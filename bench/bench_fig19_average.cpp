@@ -1,0 +1,131 @@
+// E8 — Figure 19: average-case throughput of acyclic solutions on randomly
+// generated instances, normalized by the optimal cyclic throughput.
+//
+// Setup (paper §XII): six bandwidth distributions x p_open in
+// {0.1, 0.5, 0.7, 0.9} x n in {10, 100, 1000}, 1000 instances per cell
+// (BMP_FIG19_REPS to override); the source bandwidth equals the optimal
+// cyclic throughput (fixed point), so T* = b0 exactly.
+//
+// Series per cell:
+//   black — optimal acyclic T*_ac / T*          (boxplot in the paper)
+//   blue  — best(omega1, omega2) / T*           (distributed fixed words)
+//   red   — Theorem 6.2 case-rule word / T*
+//
+// Expected shape: black means >= 0.95 nearly everywhere ("at most 5%
+// decrease"), blue ~ black (equal for large n), red visibly below blue on
+// small instances.
+#include <cmath>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/omega_words.hpp"
+#include "bmp/core/word_throughput.hpp"
+#include "bmp/gen/generator.hpp"
+#include "bmp/util/stats.hpp"
+#include "bmp/util/table.hpp"
+#include "bmp/util/thread_pool.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+struct CellResult {
+  bmp::util::BoxStats black;
+  double blue_mean = 0.0;
+  double red_mean = 0.0;
+  double worst_black = 1.0;
+};
+
+CellResult run_cell(bmp::gen::Dist dist, double p_open, int size, int reps,
+                    bmp::util::ThreadPool& pool, std::uint64_t seed) {
+  std::vector<double> black(static_cast<std::size_t>(reps));
+  std::vector<double> blue(static_cast<std::size_t>(reps));
+  std::vector<double> red(static_cast<std::size_t>(reps));
+  const bmp::util::Xoshiro256 base(seed);
+
+  bmp::util::parallel_for(pool, 0, static_cast<std::size_t>(reps), [&](std::size_t r) {
+    bmp::util::Xoshiro256 rng = base.fork(r);
+    const bmp::Instance inst =
+        bmp::gen::random_instance({size, p_open, dist}, rng);
+    const double t_star = bmp::cyclic_upper_bound(inst);
+    if (t_star <= 0.0) {
+      black[r] = blue[r] = red[r] = 1.0;
+      return;
+    }
+    const double t_ac = bmp::optimal_acyclic_throughput(inst);
+    const double t_w1 =
+        bmp::word_throughput(inst, bmp::omega1(inst.n(), inst.m()));
+    const double t_w2 =
+        bmp::word_throughput(inst, bmp::omega2(inst.n(), inst.m()));
+    const double t_red = bmp::word_throughput(inst, bmp::theorem62_word(inst));
+    black[r] = t_ac / t_star;
+    blue[r] = std::max(t_w1, t_w2) / t_star;
+    red[r] = t_red / t_star;
+  });
+
+  CellResult cell;
+  cell.black = bmp::util::box_stats(black);
+  cell.blue_mean = bmp::util::mean(blue);
+  cell.red_mean = bmp::util::mean(red);
+  cell.worst_black = cell.black.min;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  using bmp::util::Table;
+  const int reps = bmp::benchutil::env_int("BMP_FIG19_REPS", 1000);
+  const std::vector<int> sizes{10, 100, 1000};
+  const std::vector<double> p_values{0.1, 0.5, 0.7, 0.9};
+
+  bmp::util::print_banner(
+      std::cout,
+      "Figure 19 — acyclic throughput normalized by optimal cyclic throughput");
+  std::cout << reps << " random instances per cell (BMP_FIG19_REPS to change)\n";
+
+  bmp::util::ThreadPool pool;
+  Table t({"dist", "p", "n", "black mean", "black med", "black q05", "black min",
+           "blue mean", "red mean"});
+  double global_min_mean = 1.0;
+  double max_blue_gap = 0.0;   // black mean - blue mean
+  double max_red_gap = 0.0;    // blue mean - red mean (small n effect)
+  std::uint64_t cell_id = 0;
+
+  for (const auto dist : bmp::gen::all_distributions()) {
+    for (const int size : sizes) {
+      for (const double p : p_values) {
+        const CellResult cell =
+            run_cell(dist, p, size, reps, pool, 0xF19000ULL + cell_id++);
+        t.add_row({bmp::gen::name(dist), Table::num(p, 1), Table::num(size),
+                   Table::num(cell.black.mean, 4), Table::num(cell.black.median, 4),
+                   Table::num(cell.black.q05, 4), Table::num(cell.black.min, 4),
+                   Table::num(cell.blue_mean, 4), Table::num(cell.red_mean, 4)});
+        global_min_mean = std::min(global_min_mean, cell.black.mean);
+        max_blue_gap = std::max(max_blue_gap, cell.black.mean - cell.blue_mean);
+        if (size == 10) {
+          max_red_gap = std::max(max_red_gap, cell.blue_mean - cell.red_mean);
+        }
+      }
+    }
+  }
+  t.print(std::cout);
+  t.maybe_write_csv("fig19_average");
+
+  bmp::util::print_banner(std::cout, "Conclusions vs. the paper");
+  Table s({"claim", "measured", "paper"});
+  s.add_row({"worst cell mean of T*_ac/T*", Table::num(global_min_mean, 4),
+             ">= ~0.95 (\"at most 5% decrease\")"});
+  s.add_row({"max gap black->best(w1,w2)", Table::num(max_blue_gap, 4),
+             "small; ~0 for large instances"});
+  s.add_row({"max gap best(w1,w2)->case word (n=10)", Table::num(max_red_gap, 4),
+             "\"significant gap for smaller instances\""});
+  s.print(std::cout);
+
+  const bool ok = global_min_mean >= 0.90 && max_blue_gap < 0.05;
+  std::cout << (ok ? "[OK] shape matches the paper\n"
+                   : "[WARN] shape deviates from the paper\n");
+  return ok ? 0 : 1;
+}

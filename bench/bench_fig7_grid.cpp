@@ -1,0 +1,142 @@
+// E3 — Figure 7: worst-case ratio T*_ac / T* over tight homogeneous
+// instances for n, m in [0, 100]. For each (n, m) we sweep the free
+// parameter Delta in [0, n] (the paper explores "all possible tight and
+// homogeneous instances"; by the convexity argument of Lemma 11.3 the worst
+// case lies on the sweep) and keep the minimum ratio. T* = 1 by
+// construction; T*_ac comes from GreedyTest + dichotomic search.
+//
+// Expected shape (paper): a valley below 1 along m ~ 0.4254 n (Theorem 6.3,
+// e.g. n=100, m=42), everything >= 5/7 ~ 0.714 (Theorem 6.2), and ratios
+// above ~0.8 except for a few small instances.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/theory/instances.hpp"
+#include "bmp/util/table.hpp"
+#include "bmp/util/thread_pool.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+/// Worst (minimum over Delta) acyclic/cyclic ratio for a tight homogeneous
+/// (n, m) cell; n = 0 or m = 0 cells are closed-form.
+double cell_ratio(int n, int m, int delta_steps) {
+  if (n == 0 && m == 0) return 1.0;
+  if (m == 0) {
+    // Open-only tight instance: o = (n-1)/n, T* = 1,
+    // T*_ac = min(1, S_{n-1}/n) = (n^2 - n + 1)/n^2.
+    const bmp::Instance inst = bmp::theory::tight_homogeneous_open(n);
+    return bmp::acyclic_open_optimal(inst);
+  }
+  if (n == 0) {
+    // Only the source can feed guarded nodes; acyclic = cyclic = b0/m.
+    return 1.0;
+  }
+  double worst = 1.0;
+  for (int s = 0; s <= delta_steps; ++s) {
+    const double delta = static_cast<double>(n) * s / delta_steps;
+    const bmp::Instance inst = bmp::theory::tight_homogeneous(n, m, delta);
+    worst = std::min(worst, bmp::optimal_acyclic_throughput(inst));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  using bmp::util::Table;
+  const int max_n = bmp::benchutil::env_int("BMP_FIG7_MAX", 100);
+  const int delta_steps = bmp::benchutil::env_int("BMP_FIG7_DELTA_STEPS", 8);
+
+  bmp::util::print_banner(
+      std::cout, "Figure 7 — worst-case T*_ac/T* on tight homogeneous instances");
+  std::cout << "grid: n,m in [0," << max_n << "], Delta sweep with "
+            << delta_steps + 1 << " samples per cell\n";
+
+  const int width = max_n + 1;
+  std::vector<double> ratio(static_cast<std::size_t>(width) * width, 1.0);
+  bmp::util::ThreadPool pool;
+  bmp::util::parallel_for(pool, 0, static_cast<std::size_t>(width) * width,
+                          [&](std::size_t cell) {
+                            const int n = static_cast<int>(cell) / width;
+                            const int m = static_cast<int>(cell) % width;
+                            ratio[cell] = cell_ratio(n, m, delta_steps);
+                          });
+
+  // Coarse view of the surface (the paper's 3-D plot), sampled every 10.
+  {
+    std::vector<std::string> header{"n\\m"};
+    for (int m = 0; m <= max_n; m += 10) header.push_back(std::to_string(m));
+    Table t(header);
+    for (int n = 0; n <= max_n; n += 10) {
+      std::vector<std::string> row{std::to_string(n)};
+      for (int m = 0; m <= max_n; m += 10) {
+        row.push_back(Table::num(
+            ratio[static_cast<std::size_t>(n) * width + m], 3));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  // Full-resolution CSV when BMP_RESULTS_DIR is set.
+  {
+    Table full({"n", "m", "ratio"});
+    for (int n = 0; n <= max_n; ++n) {
+      for (int m = 0; m <= max_n; ++m) {
+        full.add_row({Table::num(n), Table::num(m),
+                      Table::num(ratio[static_cast<std::size_t>(n) * width + m], 6)});
+      }
+    }
+    if (full.maybe_write_csv("fig7_grid")) {
+      std::cout << "(full grid written to $BMP_RESULTS_DIR/fig7_grid.csv)\n";
+    }
+  }
+
+  // Headline statistics the paper calls out.
+  double global_min = 1.0;
+  int min_n = 0;
+  int min_m = 0;
+  std::size_t below_08 = 0;
+  std::size_t cells = 0;
+  for (int n = 0; n <= max_n; ++n) {
+    for (int m = 0; m <= max_n; ++m) {
+      const double r = ratio[static_cast<std::size_t>(n) * width + m];
+      ++cells;
+      if (r < 0.8) ++below_08;
+      if (r < global_min) {
+        global_min = r;
+        min_n = n;
+        min_m = m;
+      }
+    }
+  }
+  const int valley_m = static_cast<int>(bmp::theory::thm63_alpha() * max_n + 0.5);
+  const double valley =
+      max_n >= 10 ? ratio[static_cast<std::size_t>(max_n) * width +
+                          std::min(valley_m, max_n)]
+                  : 1.0;
+
+  Table summary({"quantity", "value", "paper reference"});
+  summary.add_row({"global min ratio", Table::num(global_min, 4),
+                   ">= 5/7 = 0.7143 (Thm 6.2)"});
+  summary.add_row({"argmin (n, m)",
+                   "(" + std::to_string(min_n) + ", " + std::to_string(min_m) + ")",
+                   "small instances are worst"});
+  summary.add_row({"cells below 0.8",
+                   Table::num(below_08) + " / " + Table::num(cells),
+                   "\"except for few small instances, ratio > 0.8\""});
+  summary.add_row({"ratio at (n=" + std::to_string(max_n) + ", m=" +
+                       std::to_string(valley_m) + ")",
+                   Table::num(valley, 4),
+                   "Thm 6.3 valley ~ (1+sqrt41)/8 = 0.9254, stays < 1"});
+  summary.print(std::cout);
+
+  const bool ok = global_min >= 5.0 / 7.0 - 1e-6 && valley < 0.99;
+  std::cout << (ok ? "[OK] shape matches the paper\n"
+                   : "[WARN] shape deviates from the paper\n");
+  return ok ? 0 : 1;
+}

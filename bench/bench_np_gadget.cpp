@@ -1,0 +1,79 @@
+// E10 — Theorem 3.1 made executable: the 3-PARTITION reduction of Fig. 8.
+// For solvable inputs the reduction yields a throughput-T scheme where every
+// node meets the degree floor ceil(b_i/T) exactly; for unsolvable inputs no
+// such scheme exists (the solver proves it), while the throughput problem
+// *without* the degree constraint remains easy (T is always reachable).
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/flow/maxflow.hpp"
+#include "bmp/theory/np_gadget.hpp"
+#include "bmp/util/table.hpp"
+
+int main() {
+  using bmp::util::Table;
+  using bmp::theory::ThreePartition;
+
+  bmp::util::print_banner(
+      std::cout, "Theorem 3.1 — degree-constrained broadcast is 3-PARTITION");
+
+  const std::vector<std::pair<std::string, ThreePartition>> cases{
+      {"p=2 solvable", {{3, 3, 4, 3, 3, 4}, 10}},
+      {"p=2 unsolvable", {{6, 6, 6, 6, 7, 9}, 20}},
+      {"p=3 solvable", {{4, 4, 4, 4, 4, 4, 4, 4, 4}, 12}},
+      {"p=3 unsolvable", {{6, 6, 6, 6, 6, 6, 7, 8, 9}, 20}},
+      {"p=4 solvable", {{10, 7, 7, 9, 8, 7, 8, 8, 8, 9, 7, 8}, 24}},
+      {"p=5 solvable", {{5, 5, 5, 4, 5, 6, 4, 6, 5, 6, 4, 5, 4, 6, 5}, 15}},
+      {"malformed (window)", {{5, 5, 5, 4, 4, 4, 3, 3, 3}, 12}},
+  };
+
+  Table t({"case", "items", "well-formed", "3-partition", "scheme throughput",
+           "degree = ceil(b/T) everywhere", "solve time"});
+  bool ok = true;
+  for (const auto& [label, tp] : cases) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto triples = bmp::theory::solve_three_partition(tp);
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    std::string throughput = "-";
+    std::string degree_ok = "-";
+    if (triples.has_value()) {
+      const bmp::Instance inst = bmp::theory::np_gadget_instance(tp);
+      const bmp::BroadcastScheme s =
+          bmp::theory::scheme_from_three_partition(tp, *triples);
+      const double flow = bmp::flow::scheme_throughput(s);
+      throughput = Table::num(flow, 2);
+      bool tight = s.validate(inst).empty();
+      for (int i = 0; i < inst.size() && tight; ++i) {
+        const int base = inst.b(i) <= 0.0
+                             ? 0
+                             : static_cast<int>(
+                                   std::ceil(inst.b(i) / tp.target - 1e-9));
+        tight = s.out_degree(i) <= base;
+      }
+      degree_ok = tight ? "yes" : "NO";
+      ok = ok && tight && std::abs(flow - tp.target) < 1e-6;
+    }
+    t.add_row({label, Table::num(static_cast<int>(tp.items.size())),
+               tp.well_formed() ? "yes" : "no",
+               triples.has_value() ? "found" : "none", throughput, degree_ok,
+               std::to_string(micros) + "us"});
+  }
+  t.print(std::cout);
+
+  // Without degrees, even the unsolvable gadget broadcasts at rate T.
+  const ThreePartition hard{{6, 6, 6, 6, 7, 9}, 20};
+  const bmp::Instance inst = bmp::theory::np_gadget_instance(hard);
+  std::cout << "\nunsolvable gadget, no degree constraint: T*_ac = "
+            << Table::num(bmp::optimal_acyclic_throughput(inst), 3)
+            << " (= T = 20; the hardness lives entirely in the degree bound)\n";
+  ok = ok && std::abs(bmp::optimal_acyclic_throughput(inst) - 20.0) < 1e-6;
+
+  std::cout << (ok ? "[OK] reduction behaves as Theorem 3.1 predicts\n"
+                   : "[WARN] reduction mismatch\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// E15 — Performance scaling (google-benchmark): Theorem 4.1 claims the
+// feasibility test and scheme construction run in linear time, and the
+// dichotomic search adds only a log(1/eps) factor. Measured over
+// PlanetLab-like instances with n = m = N/2.
+#include <benchmark/benchmark.h>
+
+#include "bmp/core/acyclic_open.hpp"
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/cyclic_open.hpp"
+#include "bmp/core/greedy_test.hpp"
+#include "bmp/core/word_schedule.hpp"
+#include "bmp/gen/generator.hpp"
+#include "bmp/util/rng.hpp"
+
+namespace {
+
+bmp::Instance make_instance(int size, double p_open, std::uint64_t seed) {
+  bmp::util::Xoshiro256 rng(seed);
+  return bmp::gen::random_instance({size, p_open, bmp::gen::Dist::kPlanetLab},
+                                   rng);
+}
+
+void BM_GreedyTest(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 0.5, 1);
+  const double T = 0.9 * bmp::cyclic_upper_bound(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bmp::greedy_test(inst, T));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyTest)->RangeMultiplier(4)->Range(64, 65536)->Complexity(benchmark::oN);
+
+void BM_DichotomicSearch(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 0.5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bmp::optimal_acyclic_throughput(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DichotomicSearch)->RangeMultiplier(4)->Range(64, 16384)->Complexity(benchmark::oN);
+
+void BM_SchemeFromWord(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 0.5, 3);
+  const double T = bmp::optimal_acyclic_throughput(inst);
+  const auto word = bmp::greedy_test(inst, T * (1 - 1e-9));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bmp::build_scheme_from_word(inst, *word, T));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SchemeFromWord)->RangeMultiplier(4)->Range(64, 16384)->Complexity(benchmark::oN);
+
+void BM_Algorithm1(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 1.0, 4);
+  const double T = bmp::acyclic_open_optimal(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bmp::build_acyclic_open(inst, T));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Algorithm1)->RangeMultiplier(4)->Range(64, 16384)->Complexity(benchmark::oN);
+
+void BM_CyclicConstruction(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<int>(state.range(0)), 1.0, 5);
+  const double T = bmp::cyclic_open_optimal(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bmp::build_cyclic_open(inst, T));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CyclicConstruction)->RangeMultiplier(4)->Range(64, 16384)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// E7 — Theorem 6.1: without guarded nodes T*_ac/T* >= 1 - 1/n. We measure
+// the worst observed ratio over random open-only instances per n and
+// compare with both the bound and the tight homogeneous instance that
+// approaches it.
+#include <algorithm>
+#include <iostream>
+
+#include "bmp/core/bounds.hpp"
+#include "bmp/theory/instances.hpp"
+#include "bmp/util/rng.hpp"
+#include "bmp/util/table.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using bmp::util::Table;
+  const int reps = bmp::benchutil::env_int("BMP_THM61_REPS", 2000);
+
+  bmp::util::print_banner(
+      std::cout, "Theorem 6.1 — open-only acyclic/cyclic ratio >= 1 - 1/n");
+
+  Table t({"n", "bound 1-1/n", "worst random ratio", "tight-instance ratio"});
+  bmp::util::Xoshiro256 rng(0x61);
+  bool ok = true;
+  for (const int n : {2, 3, 5, 10, 20, 50, 100}) {
+    double worst = 1.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<double> open(static_cast<std::size_t>(n));
+      for (auto& b : open) b = rng.uniform(0.0, 10.0);
+      const bmp::Instance inst(rng.uniform(0.1, 10.0), std::move(open), {});
+      const double ratio =
+          bmp::acyclic_open_optimal(inst) / bmp::cyclic_open_optimal(inst);
+      worst = std::min(worst, ratio);
+    }
+    // The homogeneous tight instance: ratio = (n^2-n+1)/n^2 -> 1 - 1/n.
+    const bmp::Instance tight = bmp::theory::tight_homogeneous_open(n);
+    const double tight_ratio =
+        bmp::acyclic_open_optimal(tight) / bmp::cyclic_open_optimal(tight);
+    const double bound = 1.0 - 1.0 / n;
+    ok = ok && worst >= bound - 1e-9 && tight_ratio >= bound - 1e-9;
+    t.add_row({Table::num(n), Table::num(bound, 4), Table::num(worst, 4),
+               Table::num(tight_ratio, 4)});
+  }
+  t.print(std::cout);
+  t.maybe_write_csv("thm61_open_ratio");
+  std::cout << (ok ? "[OK] bound holds everywhere; ratio -> 1 as n grows\n"
+                   : "[WARN] bound violated\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// Shared helpers for the experiment binaries.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace bmp::benchutil {
+
+/// Integer env override with default (e.g. BMP_FIG19_REPS).
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+}  // namespace bmp::benchutil

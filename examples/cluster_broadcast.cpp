@@ -1,0 +1,69 @@
+// HPC scenario (the paper's §I motivation: broadcasting input data to all
+// workers): a federation of three clusters with heterogeneous NIC uplinks
+// — no NATs here, so the open-only algorithms apply. We compare
+// Algorithm 1 (acyclic), Theorem 5.2 (cyclic) and classic tree baselines
+// on the time to broadcast a 40 GB dataset.
+#include <iostream>
+#include <vector>
+
+#include "bmp/baselines/baselines.hpp"
+#include "bmp/bmp.hpp"
+#include "bmp/trees/arborescence.hpp"
+#include "bmp/util/table.hpp"
+
+int main() {
+  using bmp::util::Table;
+
+  // Uplinks in Gbit/s: 8 fat nodes (25G), 24 mid nodes (10G), 32 thin
+  // nodes (1G); the source sits on a 25G uplink.
+  std::vector<double> uplinks;
+  for (int i = 0; i < 8; ++i) uplinks.push_back(25.0);
+  for (int i = 0; i < 24; ++i) uplinks.push_back(10.0);
+  for (int i = 0; i < 32; ++i) uplinks.push_back(1.0);
+  const bmp::Instance cluster(25.0, uplinks, {});
+  std::cout << "federation: " << cluster.n() << " workers, total uplink "
+            << cluster.open_sum() << " Gbit/s\n\n";
+
+  const double dataset_gbit = 40.0 * 8.0;  // 40 GB
+  const auto report = [&](const std::string& name, double throughput,
+                          int max_degree) {
+    return std::vector<std::string>{
+        name, Table::num(throughput, 3),
+        throughput > 0.0 ? Table::num(dataset_gbit / throughput, 1) + " s" : "-",
+        Table::num(max_degree)};
+  };
+
+  Table t({"scheme", "rate (Gbit/s)", "40 GB broadcast", "max outdegree"});
+
+  const double t_ac = bmp::acyclic_open_optimal(cluster);
+  const bmp::BroadcastScheme acyclic = bmp::build_acyclic_open(cluster, t_ac);
+  t.add_row(report("Algorithm 1 (acyclic optimal)", t_ac,
+                   acyclic.max_out_degree()));
+
+  const double t_cyc = bmp::cyclic_open_optimal(cluster);
+  const bmp::BroadcastScheme cyclic = bmp::build_cyclic_open(cluster, t_cyc);
+  t.add_row(report("Theorem 5.2 (cyclic optimal)", t_cyc,
+                   cyclic.max_out_degree()));
+
+  bmp::util::Xoshiro256 rng(11);
+  for (const auto& baseline :
+       {bmp::baselines::star(cluster), bmp::baselines::chain(cluster),
+        bmp::baselines::best_kary_tree(cluster),
+        bmp::baselines::random_mesh(cluster, 4, rng)}) {
+    t.add_row(report(baseline.name, baseline.throughput,
+                     baseline.scheme.max_out_degree()));
+  }
+  t.print(std::cout);
+
+  std::cout << "\ncyclic gains " << 100.0 * (t_cyc / t_ac - 1.0)
+            << "% over acyclic here (bounded by 1/(n-1) per Theorem 6.1: "
+            << 100.0 / (cluster.n() - 1) << "%)\n";
+
+  // The acyclic scheme decomposes into pipelined broadcast trees — this is
+  // what a collective library would schedule chunks on.
+  const auto trees = bmp::trees::decompose_acyclic(acyclic, t_ac);
+  std::cout << "acyclic scheme = " << trees.trees.size()
+            << " weighted broadcast trees; verified throughput "
+            << bmp::flow::scheme_throughput(acyclic) << " Gbit/s\n";
+  return 0;
+}

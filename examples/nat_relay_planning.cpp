@@ -1,0 +1,96 @@
+// Why the firewall constraint matters (§II.A): a planner that ignores
+// NATs produces schemes with guarded->guarded edges that simply cannot be
+// deployed. This example takes such a scheme, shows the overlay layer
+// rejecting it, repairs it with explicit relays through open nodes — and
+// then shows that the paper's firewall-aware algorithm beats the repaired
+// scheme anyway, because relaying burns open bandwidth twice.
+#include <iostream>
+#include <vector>
+
+#include "bmp/bmp.hpp"
+#include "bmp/net/overlay.hpp"
+#include "bmp/util/table.hpp"
+
+int main() {
+  using bmp::util::Table;
+
+  // Platform: strong source, two open nodes, four guarded nodes.
+  const bmp::Instance platform(8.0, {6.0, 4.0}, {5.0, 4.0, 2.0, 1.0});
+  const double t_star = bmp::cyclic_upper_bound(platform);
+  std::cout << "platform: n=2 open, m=4 guarded, cyclic bound T* = " << t_star
+            << "\n\n";
+
+  // --- A NAT-oblivious plan: pretend guarded nodes are open. ---
+  // (Equivalent to solving on a platform where every node is open.)
+  std::vector<double> all_open;
+  for (int i = 1; i < platform.size(); ++i) all_open.push_back(platform.b(i));
+  const bmp::Instance oblivious(platform.b(0), all_open, {});
+  const double naive_T = bmp::acyclic_open_optimal(oblivious);
+  const bmp::BroadcastScheme naive = bmp::build_acyclic_open(oblivious, naive_T);
+  std::cout << "NAT-oblivious plan promises T = " << naive_T << "\n";
+
+  // Deployment check: the oblivious scheme uses guarded->guarded edges.
+  // (The oblivious instance sorts all peers together, so its node k maps
+  // to the same bandwidth rank in `platform`.)
+  const bmp::net::Connectivity nat =
+      bmp::net::Connectivity::from_instance(platform);
+  std::vector<bmp::net::RelayDemand> broken;
+  for (int i = 0; i < platform.size(); ++i) {
+    for (const auto& [to, rate] : naive.out_edges(i)) {
+      if (platform.is_guarded(i) && platform.is_guarded(to)) {
+        broken.push_back({i, to, rate});
+      }
+    }
+  }
+  std::cout << "deployment check: " << broken.size()
+            << " guarded->guarded connections are unconnectable";
+  try {
+    bmp::net::Overlay::from_scheme(platform, naive, nat);
+    std::cout << " (unexpectedly deployable?)\n";
+  } catch (const std::invalid_argument& e) {
+    std::cout << "\n  overlay layer rejects the plan: " << e.what() << "\n";
+  }
+
+  // --- Repair attempt: route the broken edges through open relays. ---
+  // Relay budget = open nodes' uplink left over by the naive scheme.
+  std::vector<int> relay_ids;
+  std::vector<double> relay_budget;
+  for (int i = 0; i <= platform.n(); ++i) {
+    relay_ids.push_back(i);
+    relay_budget.push_back(platform.b(i) - naive.out_rate(i));
+  }
+  const bmp::net::RelayPlan plan =
+      bmp::net::plan_relays(broken, relay_ids, relay_budget);
+  Table t({"relayed flow", "rate", "via"});
+  for (const auto& route : plan.routes) {
+    t.add_row({"C" + std::to_string(route.src) + " -> C" + std::to_string(route.dst),
+               Table::num(route.rate, 3), "C" + std::to_string(route.relay)});
+  }
+  t.print(std::cout);
+  std::cout << "relay plan " << (plan.feasible ? "feasible" : "INFEASIBLE")
+            << ", extra open bandwidth burned: " << plan.relay_bandwidth_used
+            << "\n\n";
+
+  // --- The right way: plan with the firewall constraint from the start. ---
+  const bmp::AcyclicSolution aware = bmp::solve_acyclic(platform);
+  Table summary({"approach", "promised T", "deployable", "notes"});
+  summary.add_row({"NAT-oblivious", Table::num(naive_T, 3), "no",
+                   std::to_string(broken.size()) + " illegal edges"});
+  summary.add_row(
+      {"oblivious + relays",
+       plan.feasible ? Table::num(naive_T, 3) + " (if budget held)" : "-",
+       plan.feasible ? "yes" : "no",
+       "burns " + Table::num(plan.relay_bandwidth_used, 2) + " relay bw"});
+  summary.add_row({"firewall-aware (Thm 4.1)", Table::num(aware.throughput, 3),
+                   "yes", "degree <= ceil(b/T)+3"});
+  summary.print(std::cout);
+
+  // The firewall-aware optimum is guaranteed deployable:
+  const bmp::net::Overlay deployable =
+      bmp::net::Overlay::from_scheme(platform, aware.scheme, nat);
+  std::cout << "\nfirewall-aware overlay deploys with "
+            << deployable.connections().size() << " connections; T = "
+            << aware.throughput << " (" << 100.0 * aware.throughput / t_star
+            << "% of the cyclic bound, >= 5/7 guaranteed)\n";
+  return 0;
+}

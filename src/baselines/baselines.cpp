@@ -1,0 +1,262 @@
+#include "bmp/baselines/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "bmp/flow/maxflow.hpp"
+
+namespace bmp::baselines {
+
+namespace {
+
+BaselineResult finish(std::string name, const Instance& instance,
+                      BroadcastScheme scheme) {
+  BaselineResult result{std::move(name), std::move(scheme), 0.0};
+  if (instance.size() > 1 && result.scheme.edge_count() > 0) {
+    result.throughput = flow::scheme_throughput(result.scheme);
+  }
+  return result;
+}
+
+}  // namespace
+
+BaselineResult star(const Instance& instance) {
+  BroadcastScheme scheme(instance.size());
+  const int receivers = instance.size() - 1;
+  if (receivers > 0) {
+    const double T = instance.b(0) / receivers;
+    for (int i = 1; i < instance.size(); ++i) {
+      if (T > 0.0) scheme.add(0, i, T);
+    }
+  }
+  return finish("star", instance, std::move(scheme));
+}
+
+BaselineResult chain(const Instance& instance) {
+  const int n = instance.n();
+  const int m = instance.m();
+  BroadcastScheme scheme(instance.size());
+  if (n + m == 0) return finish("chain", instance, std::move(scheme));
+
+  // Spine: source then open nodes (already sorted non-increasingly).
+  std::vector<int> spine{0};
+  for (int i = 1; i <= n; ++i) spine.push_back(i);
+
+  // Attach guarded nodes greedily: each goes where the post-assignment
+  // bottleneck b_i / load_i stays largest. load = forwarded spine copies
+  // (1 for every spine node with a successor) + attached guardeds.
+  std::vector<int> attached(spine.size(), 0);
+  const auto load = [&](std::size_t s) {
+    const int forwards = s + 1 < spine.size() ? 1 : 0;
+    return forwards + attached[s];
+  };
+  std::vector<std::vector<int>> guarded_of(spine.size());
+  for (int g = n + 1; g < instance.size(); ++g) {
+    std::size_t best = 0;
+    double best_metric = -1.0;
+    for (std::size_t s = 0; s < spine.size(); ++s) {
+      const double metric = instance.b(spine[s]) / (load(s) + 1);
+      if (metric > best_metric) {
+        best_metric = metric;
+        best = s;
+      }
+    }
+    ++attached[best];
+    guarded_of[best].push_back(g);
+  }
+
+  // T = min over spine of b / load (nodes with load 0 are unconstrained).
+  double T = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < spine.size(); ++s) {
+    if (load(s) > 0) T = std::min(T, instance.b(spine[s]) / load(s));
+  }
+  if (!std::isfinite(T) || T <= 0.0) {
+    return finish("chain", instance, std::move(scheme));
+  }
+  for (std::size_t s = 0; s < spine.size(); ++s) {
+    if (s + 1 < spine.size()) scheme.add(spine[s], spine[s + 1], T);
+    for (const int g : guarded_of[s]) scheme.add(spine[s], g, T);
+  }
+  return finish("chain", instance, std::move(scheme));
+}
+
+BaselineResult kary_tree(const Instance& instance, int arity) {
+  if (arity < 1) throw std::invalid_argument("kary_tree: arity >= 1 required");
+  BroadcastScheme scheme(instance.size());
+  const int receivers = instance.size() - 1;
+  if (receivers == 0) return finish("kary", instance, std::move(scheme));
+
+  // BFS placement: interiors are source + opens (sorted); guardeds go last
+  // (leaves). Each placed node becomes the child of the earliest interior
+  // node with spare arity.
+  std::vector<int> order;
+  for (int i = 1; i <= instance.n(); ++i) order.push_back(i);
+  for (int g = instance.n() + 1; g < instance.size(); ++g) order.push_back(g);
+
+  std::vector<int> parent(static_cast<std::size_t>(instance.size()), -1);
+  std::vector<int> children(static_cast<std::size_t>(instance.size()), 0);
+  std::vector<int> frontier{0};  // nodes allowed to take children (open only)
+  std::size_t cursor = 0;
+  for (const int node : order) {
+    while (cursor < frontier.size() &&
+           children[static_cast<std::size_t>(frontier[cursor])] >= arity) {
+      ++cursor;
+    }
+    if (cursor >= frontier.size()) {
+      // Ran out of open interior capacity; remaining nodes are unreachable
+      // under this arity.
+      return finish("kary(" + std::to_string(arity) + ")", instance,
+                    std::move(scheme));
+    }
+    const int p = frontier[cursor];
+    parent[static_cast<std::size_t>(node)] = p;
+    ++children[static_cast<std::size_t>(p)];
+    if (!instance.is_guarded(node)) frontier.push_back(node);
+  }
+
+  double T = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < instance.size(); ++i) {
+    if (children[static_cast<std::size_t>(i)] > 0) {
+      T = std::min(T, instance.b(i) / children[static_cast<std::size_t>(i)]);
+    }
+  }
+  if (std::isfinite(T) && T > 0.0) {
+    for (int v = 1; v < instance.size(); ++v) {
+      const int p = parent[static_cast<std::size_t>(v)];
+      if (p >= 0) scheme.add(p, v, T);
+    }
+  }
+  return finish("kary(" + std::to_string(arity) + ")", instance,
+                std::move(scheme));
+}
+
+BaselineResult best_kary_tree(const Instance& instance) {
+  BaselineResult best = kary_tree(instance, 1);
+  for (int arity = 2; arity <= 8; ++arity) {
+    BaselineResult candidate = kary_tree(instance, arity);
+    if (candidate.throughput > best.throughput) best = std::move(candidate);
+  }
+  best.name = "best " + best.name;
+  return best;
+}
+
+BaselineResult splitstream_like(const Instance& instance, int stripes,
+                                util::Xoshiro256& rng) {
+  if (stripes < 1) throw std::invalid_argument("splitstream_like: stripes >= 1");
+  const int n = instance.n();
+  BroadcastScheme scheme(instance.size());
+  const int receivers = instance.size() - 1;
+  if (receivers == 0 || n == 0) {
+    // Without open nodes there is only the star.
+    return star(instance);
+  }
+
+  // Assign each open node to exactly one stripe (shuffled round-robin):
+  // SplitStream's interior-disjointness.
+  std::vector<int> opens(static_cast<std::size_t>(n));
+  std::iota(opens.begin(), opens.end(), 1);
+  for (std::size_t i = opens.size(); i > 1; --i) {
+    std::swap(opens[i - 1], opens[rng.below(i)]);
+  }
+  std::vector<std::vector<int>> interior(static_cast<std::size_t>(stripes));
+  for (std::size_t k = 0; k < opens.size(); ++k) {
+    interior[k % static_cast<std::size_t>(stripes)].push_back(opens[k]);
+  }
+
+  // children[i] = total children of node i across all stripes.
+  std::vector<int> children(static_cast<std::size_t>(instance.size()), 0);
+  std::vector<std::vector<std::pair<int, int>>> stripe_edges(
+      static_cast<std::size_t>(stripes));
+  for (int s = 0; s < stripes; ++s) {
+    auto& edges = stripe_edges[static_cast<std::size_t>(s)];
+    // Interior path: source -> i1 -> i2 -> ... (sorted by bandwidth so big
+    // nodes sit near the root).
+    auto path = interior[static_cast<std::size_t>(s)];
+    std::sort(path.begin(), path.end(),
+              [&](int a, int b) { return instance.b(a) > instance.b(b); });
+    int prev = 0;
+    for (const int node : path) {
+      edges.emplace_back(prev, node);
+      ++children[static_cast<std::size_t>(prev)];
+      prev = node;
+    }
+    // Every node outside the stripe's interior is a leaf here, attached to
+    // the interior node (or source) with the most bandwidth per child.
+    std::vector<int> hosts{0};
+    hosts.insert(hosts.end(), path.begin(), path.end());
+    for (int v = 1; v < instance.size(); ++v) {
+      if (!instance.is_guarded(v) &&
+          std::find(path.begin(), path.end(), v) != path.end()) {
+        continue;
+      }
+      // Attach to the host maximizing bandwidth per child.
+      int best_host = hosts[0];
+      double best_metric = -1.0;
+      for (const int h : hosts) {
+        const double metric =
+            instance.b(h) / (children[static_cast<std::size_t>(h)] + 1);
+        if (metric > best_metric) {
+          best_metric = metric;
+          best_host = h;
+        }
+      }
+      edges.emplace_back(best_host, v);
+      ++children[static_cast<std::size_t>(best_host)];
+    }
+  }
+
+  double T = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < instance.size(); ++i) {
+    if (children[static_cast<std::size_t>(i)] > 0) {
+      T = std::min(T, static_cast<double>(stripes) * instance.b(i) /
+                          children[static_cast<std::size_t>(i)]);
+    }
+  }
+  if (std::isfinite(T) && T > 0.0) {
+    const double per_stripe = T / stripes;
+    for (const auto& edges : stripe_edges) {
+      for (const auto& [from, to] : edges) scheme.add(from, to, per_stripe);
+    }
+  }
+  return finish("splitstream(" + std::to_string(stripes) + ")", instance,
+                std::move(scheme));
+}
+
+BaselineResult random_mesh(const Instance& instance, int degree,
+                           util::Xoshiro256& rng) {
+  if (degree < 1) throw std::invalid_argument("random_mesh: degree >= 1");
+  BroadcastScheme scheme(instance.size());
+  const int N = instance.size();
+  // In-neighbor choices.
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(N));
+  for (int v = 1; v < N; ++v) {
+    std::vector<int> eligible;
+    for (int u = 0; u < N; ++u) {
+      if (u == v) continue;
+      if (instance.is_guarded(u) && instance.is_guarded(v)) continue;
+      eligible.push_back(u);
+    }
+    for (std::size_t i = eligible.size(); i > 1; --i) {
+      std::swap(eligible[i - 1], eligible[rng.below(i)]);
+    }
+    const int take = std::min<int>(degree, static_cast<int>(eligible.size()));
+    for (int k = 0; k < take; ++k) {
+      out[static_cast<std::size_t>(eligible[static_cast<std::size_t>(k)])]
+          .push_back(v);
+    }
+  }
+  for (int u = 0; u < N; ++u) {
+    const auto& targets = out[static_cast<std::size_t>(u)];
+    if (targets.empty() || instance.b(u) <= 0.0) continue;
+    const double share = instance.b(u) / static_cast<double>(targets.size());
+    for (const int v : targets) scheme.add(u, v, share);
+  }
+  return finish("mesh(d=" + std::to_string(degree) + ")", instance,
+                std::move(scheme));
+}
+
+}  // namespace bmp::baselines

@@ -1,0 +1,59 @@
+#include "bmp/core/acyclic_open.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "bmp/core/bounds.hpp"
+
+namespace bmp {
+
+PartialAcyclic build_acyclic_open_partial(const Instance& instance, double T) {
+  if (instance.m() != 0) {
+    throw std::invalid_argument("build_acyclic_open: instance has guarded nodes");
+  }
+  // Relative tolerance (no absolute floor — bandwidth units are arbitrary).
+  const double eps = 1e-9 * T;
+  if (T > instance.b(0) * (1.0 + 1e-9) && T > instance.b(0) + eps) {
+    throw std::invalid_argument("build_acyclic_open: T exceeds b0");
+  }
+  PartialAcyclic result{BroadcastScheme(instance.size()), std::nullopt};
+  if (T <= 0.0) return result;
+
+  const int n = instance.n();
+  int sender = 0;
+  double sender_left = instance.b(0);
+  for (int receiver = 1; receiver <= n; ++receiver) {
+    double need = T;
+    while (need > eps) {
+      if (sender_left <= eps) {
+        // Advance to the next sender; it must precede the receiver, which
+        // is guaranteed while S_{receiver-1} >= receiver*T holds.
+        if (sender + 1 >= receiver) {
+          result.stalled = receiver;
+          return result;
+        }
+        ++sender;
+        sender_left = instance.b(sender);
+        continue;
+      }
+      const double take = std::min(sender_left, need);
+      result.scheme.add(sender, receiver, take);
+      sender_left -= take;
+      need -= take;
+    }
+  }
+  return result;
+}
+
+BroadcastScheme build_acyclic_open(const Instance& instance, double T) {
+  PartialAcyclic partial = build_acyclic_open_partial(instance, T);
+  if (partial.stalled.has_value()) {
+    throw std::invalid_argument(
+        "build_acyclic_open: T infeasible, bandwidth exhausted at node " +
+        std::to_string(*partial.stalled));
+  }
+  return std::move(partial.scheme);
+}
+
+}  // namespace bmp

@@ -1,0 +1,36 @@
+// Algorithm 1 (paper §III.B): optimal acyclic broadcast for instances with
+// open nodes only. Nodes (sorted non-increasingly) are satisfied one after
+// the other at rate T; sender i's upload is poured into the current
+// receiver until exhausted. The resulting DAG feeds every node at exactly
+// rate T = min(b0, S_{n-1}/n) with outdegree o_i <= ceil(b_i/T) + 1 — the
+// best possible additive overhead unless P = NP (Thm 3.1).
+//
+// The *partial* variant powers the cyclic construction (Thm 5.2): it stops
+// at the first receiver i0 whose predecessors cannot supply rate T
+// (S_{i0-1} < i0*T), leaving C_{i0} fed at T - M_{i0}.
+#pragma once
+
+#include <optional>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+
+namespace bmp {
+
+struct PartialAcyclic {
+  BroadcastScheme scheme;
+  /// First receiver that could not be served at rate T, if any. When set,
+  /// nodes 1..stalled-1 receive exactly T, node `stalled` receives
+  /// T - M_stalled, later nodes receive nothing.
+  std::optional<int> stalled;
+};
+
+/// Runs Algorithm 1 with target rate T, stopping gracefully when bandwidth
+/// runs out. Requires m == 0 and T <= b0.
+PartialAcyclic build_acyclic_open_partial(const Instance& instance, double T);
+
+/// Full Algorithm 1; throws std::invalid_argument if T is not acyclically
+/// feasible (T > min(b0, S_{n-1}/n) beyond tolerance).
+BroadcastScheme build_acyclic_open(const Instance& instance, double T);
+
+}  // namespace bmp

@@ -1,0 +1,58 @@
+#include "bmp/core/acyclic_search.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/word_schedule.hpp"
+
+namespace bmp {
+
+namespace {
+
+struct SearchResult {
+  double throughput;
+  std::optional<Word> word;
+};
+
+SearchResult search(const Instance& instance, GreedyPolicy policy, int iters) {
+  if (instance.n() + instance.m() == 0) {
+    return {instance.b(0), Word{}};
+  }
+  double hi = cyclic_upper_bound(instance);
+  if (auto word = greedy_test(instance, hi, policy)) {
+    return {hi, std::move(word)};
+  }
+  double lo = 0.0;
+  std::optional<Word> best = greedy_test(instance, lo, policy);
+  for (int k = 0; k < iters; ++k) {
+    const double mid = 0.5 * (lo + hi);
+    if (auto word = greedy_test(instance, mid, policy)) {
+      lo = mid;
+      best = std::move(word);
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, std::move(best)};
+}
+
+}  // namespace
+
+double optimal_acyclic_throughput(const Instance& instance, GreedyPolicy policy,
+                                  int iters) {
+  return search(instance, policy, iters).throughput;
+}
+
+AcyclicSolution solve_acyclic(const Instance& instance, int iters) {
+  SearchResult found = search(instance, GreedyPolicy::kPaper, iters);
+  if (!found.word.has_value()) {
+    throw std::logic_error("solve_acyclic: even T=0 rejected (empty instance?)");
+  }
+  WordSchedule ws =
+      build_scheme_from_word(instance, *found.word, found.throughput);
+  return {found.throughput, std::move(*found.word), std::move(ws.scheme)};
+}
+
+}  // namespace bmp

@@ -1,0 +1,34 @@
+#include "bmp/core/bounds.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace bmp {
+
+double fixed_point_source_bandwidth(const std::vector<double>& open_bw,
+                                    const std::vector<double>& guarded_bw) {
+  const auto n = static_cast<int>(open_bw.size());
+  const auto m = static_cast<int>(guarded_bw.size());
+  double open_sum = 0.0;
+  for (const double b : open_bw) open_sum += b;
+  double guarded_sum = 0.0;
+  for (const double b : guarded_bw) guarded_sum += b;
+
+  // b0 = (b0+O)/m        has fixed point O/(m-1)            (m > 1)
+  // b0 = (b0+O+G)/(n+m)  has fixed point (O+G)/(n+m-1)      (n+m > 1)
+  // Both right-hand sides are increasing in b0 with slope < 1, so the fixed
+  // point of their min is the min of the individual fixed points.
+  double best = std::numeric_limits<double>::infinity();
+  if (m > 1) best = std::min(best, open_sum / (m - 1));
+  if (n + m > 1) best = std::min(best, (open_sum + guarded_sum) / (n + m - 1));
+  if (std::isfinite(best)) return best;
+
+  // Degenerate: a single receiver (or none). Any b0 >= that receiver's need
+  // works; use the mean peer bandwidth (or 1.0 for an empty platform).
+  const int peers = n + m;
+  if (peers == 0) return 1.0;
+  return (open_sum + guarded_sum) / peers > 0.0 ? (open_sum + guarded_sum) / peers
+                                                : 1.0;
+}
+
+}  // namespace bmp

@@ -1,0 +1,74 @@
+// Closed-form throughput bounds from the paper.
+//
+//  * acyclic, open only (§III.B):   T*_ac = min(b0, S_{n-1}/n)
+//  * cyclic, open only (Thm 5.2):   T*    = min(b0, (b0+O)/n)
+//  * cyclic, general (Lemma 5.1):   T*    = min(b0, (b0+O)/m, (b0+O+G)/(n+m))
+//    (upper bound; the paper's contribution list states it is the optimal
+//    cyclic throughput, reachable with unbounded degree — we cross-check
+//    achievability against the LP oracle in tests).
+//
+// fixed_point_source_bandwidth computes the b0 used by the Fig. 19 average
+// case: "the bandwidth of the source node is chosen equal to the optimal
+// cyclic throughput", i.e. the unique fixed point of b0 = cyclic bound.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+
+namespace bmp {
+
+/// min(b0, S_{n-1}/n): optimal acyclic throughput for open-only instances.
+/// Requires m == 0 (throws otherwise). n == 0 returns b0 by convention.
+template <typename Num>
+Num acyclic_open_optimal(const BasicInstance<Num>& instance) {
+  if (instance.m() != 0) {
+    throw std::invalid_argument("acyclic_open_optimal: instance has guarded nodes");
+  }
+  const int n = instance.n();
+  if (n == 0) return instance.b(0);
+  const Num bound = instance.prefix_sum(n - 1) / Num(n);
+  return bound < instance.b(0) ? bound : instance.b(0);
+}
+
+/// min(b0, (b0+O)/n): optimal cyclic throughput for open-only instances
+/// (Thm 5.2). Requires m == 0.
+template <typename Num>
+Num cyclic_open_optimal(const BasicInstance<Num>& instance) {
+  if (instance.m() != 0) {
+    throw std::invalid_argument("cyclic_open_optimal: instance has guarded nodes");
+  }
+  const int n = instance.n();
+  if (n == 0) return instance.b(0);
+  const Num bound = instance.prefix_sum(n) / Num(n);
+  return bound < instance.b(0) ? bound : instance.b(0);
+}
+
+/// Lemma 5.1 closed form: min(b0, (b0+O)/m, (b0+O+G)/(n+m)). Works for any
+/// instance (skips vacuous terms); n+m == 0 returns b0 by convention.
+template <typename Num>
+Num cyclic_upper_bound(const BasicInstance<Num>& instance) {
+  const int n = instance.n();
+  const int m = instance.m();
+  Num best = instance.b(0);
+  if (m > 0) {
+    const Num open_cap = (instance.b(0) + instance.open_sum()) / Num(m);
+    if (open_cap < best) best = open_cap;
+  }
+  if (n + m > 0) {
+    const Num all_cap = instance.total_sum() / Num(n + m);
+    if (all_cap < best) best = all_cap;
+  }
+  return best;
+}
+
+/// Solves b0 = cyclic_upper_bound(b0, open, guarded) for b0 — the source
+/// bandwidth used by the Fig. 19 experiment setup (§XII): the source is not
+/// a strict bottleneck, but cannot feed everyone by itself. Degenerate
+/// platforms (fewer than two receivers overall and at most one guarded node)
+/// have no finite fixed point; we fall back to the mean peer bandwidth.
+double fixed_point_source_bandwidth(const std::vector<double>& open_bw,
+                                    const std::vector<double>& guarded_bw);
+
+}  // namespace bmp

@@ -1,0 +1,78 @@
+#include "bmp/core/conservative.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bmp {
+
+std::string ConservativenessViolation::describe() const {
+  std::ostringstream os;
+  os << "open C" << open_sender << " feeds open C" << open_receiver
+     << " while guarded C" << guarded_node << " still has " << residual
+     << " unused upload";
+  return os.str();
+}
+
+std::vector<int> order_from_word(const Instance& instance, const Word& word) {
+  if (count_open(word) != instance.n() || count_guarded(word) != instance.m()) {
+    throw std::invalid_argument("order_from_word: letter counts mismatch");
+  }
+  std::vector<int> order{0};
+  int opens = 0;
+  int guardeds = 0;
+  for (const Letter letter : word) {
+    if (letter == Letter::kOpen) {
+      order.push_back(++opens);
+    } else {
+      ++guardeds;
+      order.push_back(instance.n() + guardeds);
+    }
+  }
+  return order;
+}
+
+std::optional<ConservativenessViolation> find_conservativeness_violation(
+    const Instance& instance, const BroadcastScheme& scheme,
+    const std::vector<int>& order, double tol) {
+  if (static_cast<int>(order.size()) != instance.size() || order.empty() ||
+      order.front() != 0) {
+    throw std::invalid_argument(
+        "find_conservativeness_violation: order must list all nodes, source first");
+  }
+  std::vector<int> position(order.size());
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    position[static_cast<std::size_t>(order[p])] = static_cast<int>(p);
+  }
+
+  // For each guarded node σ(i), its upload toward positions <= k as a
+  // function of k; a violation needs residual = b - (that sum) > tol at
+  // some position k where an open->open transfer lands.
+  for (std::size_t pi = 1; pi < order.size(); ++pi) {
+    const int guarded = order[pi];
+    if (!instance.is_guarded(guarded)) continue;
+    for (std::size_t pk = pi + 1; pk < order.size(); ++pk) {
+      const int receiver = order[pk];
+      if (instance.is_guarded(receiver)) continue;
+      // Upload of `guarded` already committed to positions <= pk.
+      double committed = 0.0;
+      for (const auto& [to, rate] : scheme.out_edges(guarded)) {
+        if (position[static_cast<std::size_t>(to)] <= static_cast<int>(pk)) {
+          committed += rate;
+        }
+      }
+      const double residual = instance.b(guarded) - committed;
+      if (residual <= tol) continue;
+      // Does an open node with position < pk feed this receiver?
+      for (std::size_t pj = 0; pj < pk; ++pj) {
+        const int sender = order[pj];
+        if (instance.is_guarded(sender)) continue;
+        if (scheme.rate(sender, receiver) > tol) {
+          return ConservativenessViolation{guarded, sender, receiver, residual};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bmp

@@ -1,0 +1,44 @@
+// Conservative solutions (paper §IV.A): a solution is conservative w.r.t.
+// an order σ if no open-node transfer happens while an earlier guarded
+// node still has unused upload it could have contributed — formally, there
+// is no triplet i < k, j < k with σ(i) guarded, σ(j), σ(k) open,
+// c_{σ(j),σ(k)} > 0 while σ(i) has residual upload toward positions ≤ k.
+// Guarded upload is the scarce resource (it cannot feed guarded nodes), so
+// "wasting" open upload on open receivers is never necessary: Lemma 4.3
+// proves a conservative solution always achieves T*_ac(σ).
+//
+// This checker makes the dominance argument executable: the schemes built
+// by build_scheme_from_word are conservative by construction; the paper's
+// Fig. 4 scheme is the canonical non-conservative example.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+#include "bmp/core/word.hpp"
+
+namespace bmp {
+
+struct ConservativenessViolation {
+  int guarded_node;   ///< σ(i): the guarded node left with residual upload
+  int open_sender;    ///< σ(j): the open node that fed the receiver instead
+  int open_receiver;  ///< σ(k)
+  double residual;    ///< unused guarded upload available at position k
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Checks conservativeness of `scheme` with respect to the serving order
+/// `order` (node ids, source first, all nodes present). Returns the first
+/// violating triplet, or nullopt if the scheme is conservative.
+std::optional<ConservativenessViolation> find_conservativeness_violation(
+    const Instance& instance, const BroadcastScheme& scheme,
+    const std::vector<int>& order, double tol = 1e-9);
+
+/// Serving order of a scheme built from a word: source, then nodes in word
+/// sequence (helper for the checker).
+std::vector<int> order_from_word(const Instance& instance, const Word& word);
+
+}  // namespace bmp

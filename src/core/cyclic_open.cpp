@@ -1,0 +1,114 @@
+#include "bmp/core/cyclic_open.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bmp/core/acyclic_open.hpp"
+#include "bmp/core/bounds.hpp"
+
+namespace bmp {
+
+namespace {
+
+/// Moves `amount` units of inflow of `from_receiver` over to `to_receiver`,
+/// taking it away from the highest-index feeders first (those fed the node
+/// partially, so whole contributions move without splitting edges).
+void redirect_inflow(BroadcastScheme& scheme, int from_receiver, int to_receiver,
+                     double amount, double eps) {
+  if (amount <= eps) return;
+  std::vector<std::pair<int, double>> feeders;
+  for (int s = 0; s < scheme.num_nodes(); ++s) {
+    const double r = scheme.rate(s, from_receiver);
+    if (r > 0.0) feeders.emplace_back(s, r);
+  }
+  for (auto it = feeders.rbegin(); it != feeders.rend() && amount > eps; ++it) {
+    const double move = std::min(it->second, amount);
+    scheme.add(it->first, from_receiver, -move);
+    scheme.add(it->first, to_receiver, move);
+    amount -= move;
+  }
+  if (amount > eps) {
+    throw std::logic_error("cyclic_open: not enough inflow to redirect");
+  }
+}
+
+}  // namespace
+
+BroadcastScheme build_cyclic_open(const Instance& instance, double T) {
+  if (instance.m() != 0) {
+    throw std::invalid_argument("build_cyclic_open: instance has guarded nodes");
+  }
+  const int n = instance.n();
+  if (n < 1) throw std::invalid_argument("build_cyclic_open: no receivers");
+  const double eps = 1e-9 * T;  // relative; bandwidth units are arbitrary
+  if (T > cyclic_open_optimal(instance) * (1.0 + 1e-9) + eps) {
+    throw std::invalid_argument("build_cyclic_open: T exceeds min(b0,(b0+O)/n)");
+  }
+  T = std::min(T, instance.b(0));  // guard roundoff at the b0 boundary
+
+  PartialAcyclic partial = build_acyclic_open_partial(instance, T);
+  BroadcastScheme scheme = std::move(partial.scheme);
+  if (!partial.stalled.has_value()) return scheme;  // Algorithm 1 sufficed.
+
+  const int i0 = *partial.stalled;  // 2 <= i0 <= n (i0=1 impossible: T <= b0).
+  const auto missing = [&](int i) {
+    return static_cast<double>(i) * T - instance.prefix_sum(i - 1);
+  };  // M_i
+
+  if (i0 == n) {
+    // Terminal special case (alpha = beta = 0, R_n unused): reroute M_n via
+    // the (C0, C1) edge, which carries exactly T >= M_n.
+    const double m_n = missing(n);
+    scheme.add(0, 1, -m_n);
+    scheme.add(0, n, m_n);
+    scheme.add(n, 1, m_n);
+    return scheme;
+  }
+
+  // ----- Initial case: build the (i0+1)-partial solution. -----
+  {
+    const int i = i0;
+    const double m_i = missing(i);
+    const double m_next = missing(i + 1);
+    const double r_i = instance.b(i) - m_i;
+    const double alpha = std::max(0.0, m_next - m_i);
+    const double beta = m_next - alpha;
+
+    // Flow alpha from A (C_i's feeders) now goes to C_{i+1} instead.
+    redirect_inflow(scheme, i, i + 1, alpha, eps);
+    // Flow M_i from u=C0 goes to C_i instead of v=C1.
+    scheme.add(0, 1, -m_i);
+    scheme.add(0, i, m_i);
+    // C_i sends R_i + beta forward and M_i - beta back to v.
+    if (r_i + beta > eps) scheme.add(i, i + 1, r_i + beta);
+    if (m_i - beta > eps) scheme.add(i, 1, m_i - beta);
+    // C_{i+1} sends beta to v and alpha back to C_i.
+    if (beta > eps) scheme.add(i + 1, 1, beta);
+    if (alpha > eps) scheme.add(i + 1, i, alpha);
+  }
+
+  // ----- Inductive case: insert C_{k+1} for k = i0+1 .. n-1. -----
+  for (int k = i0 + 1; k < n; ++k) {
+    const double m_next = missing(k + 1);
+    const double r_k = instance.b(k) - missing(k);
+    const double c_back = scheme.rate(k, k - 1);  // c_{k,k-1}; (P1) gives
+    const double alpha = std::max(0.0, m_next - c_back);
+    const double beta = m_next - alpha;
+
+    if (alpha > eps) {
+      scheme.add(k - 1, k, -alpha);
+      scheme.add(k - 1, k + 1, alpha);
+      scheme.add(k + 1, k, alpha);
+    }
+    if (beta > eps) {
+      scheme.add(k, k - 1, -beta);
+      scheme.add(k + 1, k - 1, beta);
+    }
+    if (r_k + beta > eps) scheme.add(k, k + 1, r_k + beta);
+  }
+  return scheme;
+}
+
+}  // namespace bmp

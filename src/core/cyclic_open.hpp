@@ -1,0 +1,26 @@
+// Theorem 5.2 (paper §V + appendix X-A): cyclic broadcast schemes for
+// open-only instances reaching T = min(b0, (b0+O)/n) with outdegree
+// o_i <= max(ceil(b_i/T) + 2, 4).
+//
+// Construction: run Algorithm 1 until it stalls at i0 (S_{i0-1} < i0*T).
+// Each node C_i with i >= i0 is missing M_i = i*T - S_{i-1} units that must
+// flow *backwards*, so the solution becomes cyclic: the "initial case"
+// splices C_{i0} and C_{i0+1} into the partial solution by rerouting M_{i0}
+// along the guaranteed edge (C0, C1) and diverting alpha/beta units; the
+// "inductive case" then inserts each next node into the 2-cycle between its
+// two predecessors while preserving invariants
+//   (P1) c_{i,i-1} + c_{i-1,i} = T      (P2) outdeg(C_i)     <= 2
+//   (P3) outdeg(C_{i-1})       <= 3      (P4) residual of C_i  = R_i = b_i - M_i
+#pragma once
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+
+namespace bmp {
+
+/// Builds a cyclic scheme of throughput T. Requires m == 0, n >= 1 and
+/// T <= min(b0, (b0+O)/n) (within tolerance; throws otherwise). The result
+/// feeds every node at exactly rate T.
+BroadcastScheme build_cyclic_open(const Instance& instance, double T);
+
+}  // namespace bmp

@@ -1,0 +1,49 @@
+// Scheme depth / delay metrics — the paper's stated follow-up objective
+// ("optimizing the depth of produced schemes in order to minimize delays",
+// §VII). In steady-state streaming the data a node receives has crossed a
+// chain of relays; the per-node *depth* (longest source path over
+// positive-rate edges) bounds its worst-case latency, and the
+// flow-weighted depth approximates the mean piece delay observed by the
+// simulator.
+#pragma once
+
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+#include "bmp/core/word.hpp"
+
+namespace bmp {
+
+struct DepthReport {
+  std::vector<int> depth;      ///< per node: longest path from the source
+  int max_depth = 0;
+  double mean_depth = 0.0;     ///< over non-source nodes
+  /// Flow-weighted expected hop count: each node's value is the average of
+  /// (feeder's value + 1) weighted by received rate; proxies mean latency.
+  std::vector<double> weighted_depth;
+  double max_weighted_depth = 0.0;
+};
+
+/// Computes depth metrics. Requires an acyclic scheme (cyclic schemes have
+/// unbounded paths; their steady-state delay needs the simulator).
+DepthReport analyze_depth(const BroadcastScheme& scheme);
+
+/// How the word scheduler picks senders from the eligible pool — the
+/// earliest-first rule of Lemma 4.6 (paper, low degree) vs. a latest-first
+/// variant that trades degree for depth by preferring freshly-added
+/// senders... which in fact *deepens* chains; and a depth-greedy variant
+/// that picks the eligible sender with the smallest current depth.
+enum class FeedOrder {
+  kEarliestFirst,  ///< the paper's rule (Lemma 4.6 degree bounds hold)
+  kLatestFirst,    ///< adversarial ablation: deepest chains
+  kShallowest,     ///< depth-greedy: minimize receiver depth
+};
+
+/// Variant of build_scheme_from_word with a configurable feeding order.
+/// kEarliestFirst reproduces build_scheme_from_word exactly.
+BroadcastScheme build_scheme_from_word_ordered(const Instance& instance,
+                                               const Word& word, double T,
+                                               FeedOrder order);
+
+}  // namespace bmp

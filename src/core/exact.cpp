@@ -1,0 +1,35 @@
+#include "bmp/core/exact.hpp"
+
+#include "bmp/core/word_throughput.hpp"
+
+namespace bmp {
+
+ExactAcyclic optimal_acyclic_exact(const RationalInstance& instance) {
+  ExactAcyclic best{util::Rational(0), {}};
+  bool first = true;
+  for (const Word& word : enumerate_words(instance.n(), instance.m())) {
+    const util::Rational t = word_throughput_exact(instance, word);
+    if (first || best.throughput < t) {
+      best = {t, word};
+      first = false;
+    }
+  }
+  if (first) best.throughput = instance.b(0);  // no receivers
+  return best;
+}
+
+double optimal_acyclic_bruteforce(const Instance& instance) {
+  double best = 0.0;
+  bool first = true;
+  for (const Word& word : enumerate_words(instance.n(), instance.m())) {
+    const double t = word_throughput_closed_form(instance, word);
+    if (first || t > best) {
+      best = t;
+      first = false;
+    }
+  }
+  if (first) best = instance.b(0);
+  return best;
+}
+
+}  // namespace bmp

@@ -1,0 +1,24 @@
+// Exact brute-force acyclic optimum: enumerate every increasing order (all
+// C(n+m, m) coding words — Lemma 4.2 says nothing else can win) and take
+// the best exact word throughput. Exponential; intended as the ground-truth
+// oracle for property tests against GreedyTest + dichotomic search
+// (Lemma 4.5) on instances with n + m <= ~16.
+#pragma once
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/word.hpp"
+#include "bmp/util/rational.hpp"
+
+namespace bmp {
+
+struct ExactAcyclic {
+  util::Rational throughput;
+  Word word;  ///< an optimal word.
+};
+
+ExactAcyclic optimal_acyclic_exact(const RationalInstance& instance);
+
+/// Double-precision variant of the same enumeration (closed-form per word).
+double optimal_acyclic_bruteforce(const Instance& instance);
+
+}  // namespace bmp

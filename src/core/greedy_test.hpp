@@ -1,0 +1,119 @@
+// Algorithm 2, "GreedyTest" (paper §IV.B): decides in linear time whether a
+// throughput T is acyclically feasible on an instance with guarded nodes,
+// and if so returns a valid coding word. Lemma 4.5 proves the test is exact:
+// it succeeds iff T <= T*_ac, which also makes it monotone in T, enabling
+// the dichotomic search of acyclic_search.hpp.
+//
+// The greedy builds the word left to right, preferring the guarded letter
+// (conservative solutions dominate, Lemma 4.3) and forcing an open letter
+// only when
+//   (a) there is not enough open bandwidth for a guarded node (O < T), or
+//   (b) taking a guarded node now would strand the remainder
+//       (O + G + b_next_guarded - T < T), or
+//   (c) one guarded node is left and it is smaller than the next open node
+//       (the "delay the last guarded node" rule, lines 8-11).
+// Each rule can be disabled through GreedyPolicy for the ablation study
+// (bench_ablation_greedy), which shows both (b) and (c) are needed for
+// exactness.
+#pragma once
+
+#include <optional>
+#include <type_traits>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/word.hpp"
+
+namespace bmp {
+
+enum class GreedyPolicy {
+  kPaper,             ///< full Algorithm 2
+  kNoLookahead,       ///< drop rule (b)
+  kNoLastGuardedRule, ///< drop rule (c)
+  kBandwidthGreedy,   ///< naive: pick the class whose next node is larger
+};
+
+/// Runs GreedyTest(T). Returns the constructed word on success, nullopt if
+/// T is infeasible (for kPaper this is exact by Lemma 4.5; ablated policies
+/// may reject feasible T).
+///
+/// Numerical note: the paper's decisions use *strict* inequalities
+/// (O(π) < T forces an open letter; equality takes the guarded letter).
+/// Structured instances (e.g. the tight homogeneous family of Fig. 7) hit
+/// those boundaries exactly at dyadic probe values, where double roundoff
+/// would otherwise flip the branch and spuriously reject a feasible T. The
+/// double instantiation therefore resolves ties within `tie_tol` in favor
+/// of the guarded letter — matching the exact-arithmetic behavior — and
+/// clamps the state's tolerance-scale negatives. Rational instantiations
+/// keep tol = 0 (bit-exact spec).
+template <typename Num>
+std::optional<Word> greedy_test(const BasicInstance<Num>& instance, const Num& T,
+                                GreedyPolicy policy = GreedyPolicy::kPaper) {
+  const int n = instance.n();
+  const int m = instance.m();
+  auto st = PrefixState<Num>::initial(instance);
+  Word word;
+  word.reserve(static_cast<std::size_t>(n + m));
+
+  Num tie_tol(0);
+  if constexpr (std::is_floating_point_v<Num>) {
+    // Relative to the instance's own scale (never an absolute floor, so
+    // platforms measured in bit/s and Gbit/s behave identically).
+    const Num scale = instance.total_sum() > T ? instance.total_sum() : T;
+    tie_tol = Num(1e-12) * scale;
+  }
+  // "x < y beyond the tie tolerance".
+  const auto strictly_less = [&tie_tol](const Num& x, const Num& y) {
+    return x < y - tie_tol;
+  };
+
+  while (st.opens + st.guardeds < n + m) {
+    // Line 3: whatever comes next needs T units of total bandwidth.
+    if (strictly_less(st.open_avail + st.guarded_avail, T)) return std::nullopt;
+
+    Letter letter = Letter::kGuarded;
+    if (st.opens != n) {
+      if (st.guardeds == m) {
+        letter = Letter::kOpen;
+      } else if (policy == GreedyPolicy::kBandwidthGreedy) {
+        // Naive ablation: take the larger next node if feasible.
+        const Num& next_open = instance.b(st.opens + 1);
+        const Num& next_guarded = instance.b(n + st.guardeds + 1);
+        const bool guarded_ok = !strictly_less(st.open_avail, T);
+        letter = (guarded_ok && !(next_guarded < next_open)) ? Letter::kGuarded
+                                                             : Letter::kOpen;
+      } else if (st.guardeds == m - 1 && policy != GreedyPolicy::kNoLastGuardedRule) {
+        // Lines 8-11: only one guarded node left; it can be delayed behind
+        // larger open nodes.
+        if (strictly_less(st.open_avail, T) ||
+            instance.b(n + st.guardeds + 1) < instance.b(st.opens + 1)) {
+          letter = Letter::kOpen;
+        }
+      } else {
+        bool force_open = strictly_less(st.open_avail, T);
+        if (!force_open && policy != GreedyPolicy::kNoLookahead) {
+          // Rule (b): after consuming T open units and gaining the guarded
+          // node's bandwidth, at least T must remain overall.
+          const Num after = st.open_avail + st.guarded_avail +
+                            instance.b(n + st.guardeds + 1) - T;
+          force_open = strictly_less(after, T);
+        }
+        if (force_open) letter = Letter::kOpen;
+      }
+    }
+
+    // Line 17: appending a guarded letter with O < T would drive O(pi)
+    // negative (happens when opens are exhausted but guardeds remain).
+    if (letter == Letter::kGuarded && strictly_less(st.open_avail, T)) {
+      return std::nullopt;
+    }
+
+    st.append(letter, instance, T);
+    // Clamp tolerance-scale negatives introduced by tie resolution.
+    if (st.open_avail < Num(0)) st.open_avail = Num(0);
+    if (st.guarded_avail < Num(0)) st.guarded_avail = Num(0);
+    word.push_back(letter);
+  }
+  return word;
+}
+
+}  // namespace bmp

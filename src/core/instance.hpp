@@ -1,0 +1,142 @@
+// Platform instance under the LastMile / bounded multi-port model (paper
+// §II.D). An instance is a source C0 (always open), n open nodes C1..Cn and
+// m guarded nodes Cn+1..Cn+m, each with an *outgoing* bandwidth b_i
+// (incoming bandwidths are assumed non-binding). Within each class, nodes
+// are stored in non-increasing bandwidth order — Lemma 4.2 proves increasing
+// orders dominate, and every algorithm in the paper assumes this ordering.
+//
+// The class is templated on the number type: `double` for production /
+// large sweeps, `util::Rational` for exact ground truth in tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "bmp/util/rational.hpp"
+
+namespace bmp {
+
+/// Bandwidths must be non-negative and (for floating point) finite — NaN
+/// or infinite capacities would silently corrupt every closed form.
+template <typename Num>
+[[nodiscard]] bool is_valid_bandwidth(const Num& bandwidth) {
+  if constexpr (std::is_floating_point_v<Num>) {
+    return std::isfinite(bandwidth) && bandwidth >= Num(0);
+  } else {
+    return !(bandwidth < Num(0));
+  }
+}
+
+template <typename Num>
+class BasicInstance {
+ public:
+  /// Builds an instance; `open_bw`/`guarded_bw` may be in any order, they
+  /// are sorted non-increasingly (stable, so ties keep input order). The
+  /// mapping back to the caller's numbering is kept in original_id().
+  BasicInstance(Num source_bw, std::vector<Num> open_bw,
+                std::vector<Num> guarded_bw)
+      : n_(static_cast<int>(open_bw.size())),
+        m_(static_cast<int>(guarded_bw.size())) {
+    if (!is_valid_bandwidth(source_bw)) {
+      throw std::invalid_argument("Instance: invalid source bandwidth");
+    }
+    for (const auto& bw : open_bw) {
+      if (!is_valid_bandwidth(bw)) {
+        throw std::invalid_argument("Instance: invalid open bandwidth");
+      }
+    }
+    for (const auto& bw : guarded_bw) {
+      if (!is_valid_bandwidth(bw)) {
+        throw std::invalid_argument("Instance: invalid guarded bandwidth");
+      }
+    }
+
+    b_.reserve(1 + open_bw.size() + guarded_bw.size());
+    orig_.reserve(b_.capacity());
+    b_.push_back(source_bw);
+    orig_.push_back(0);
+
+    append_sorted(std::move(open_bw), /*id_offset=*/1);
+    append_sorted(std::move(guarded_bw), /*id_offset=*/1 + n_);
+
+    prefix_.resize(b_.size());
+    std::partial_sum(b_.begin(), b_.end(), prefix_.begin());
+  }
+
+  /// Number of open nodes (excluding the source).
+  [[nodiscard]] int n() const { return n_; }
+  /// Number of guarded nodes.
+  [[nodiscard]] int m() const { return m_; }
+  /// Total node count, source included.
+  [[nodiscard]] int size() const { return 1 + n_ + m_; }
+
+  /// Outgoing bandwidth of node i (0 = source).
+  [[nodiscard]] const Num& b(int i) const { return b_.at(static_cast<std::size_t>(i)); }
+
+  [[nodiscard]] bool is_source(int i) const { return i == 0; }
+  [[nodiscard]] bool is_open(int i) const { return i <= n_; }
+  [[nodiscard]] bool is_guarded(int i) const { return i > n_; }
+
+  /// O = b1 + ... + bn  (open bandwidth excluding the source).
+  [[nodiscard]] Num open_sum() const {
+    return n_ == 0 ? Num(0) : prefix_[static_cast<std::size_t>(n_)] - b_[0];
+  }
+  /// G = b_{n+1} + ... + b_{n+m}.
+  [[nodiscard]] Num guarded_sum() const {
+    return prefix_.back() - prefix_[static_cast<std::size_t>(n_)];
+  }
+  /// S_k = b0 + b1 + ... + bk over the sorted numbering (paper §III.B).
+  [[nodiscard]] const Num& prefix_sum(int k) const {
+    return prefix_.at(static_cast<std::size_t>(k));
+  }
+  /// b0 + O + G.
+  [[nodiscard]] const Num& total_sum() const { return prefix_.back(); }
+
+  /// The caller-side id this (sorted) node position came from: 0 for the
+  /// source, 1..n for opens in input order, n+1..n+m for guardeds.
+  [[nodiscard]] int original_id(int i) const { return orig_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  void append_sorted(std::vector<Num> bw, int id_offset) {
+    std::vector<std::pair<Num, int>> tagged;
+    tagged.reserve(bw.size());
+    for (std::size_t k = 0; k < bw.size(); ++k) {
+      tagged.emplace_back(bw[k], id_offset + static_cast<int>(k));
+    }
+    std::stable_sort(tagged.begin(), tagged.end(),
+                     [](const auto& a, const auto& b) { return b.first < a.first; });
+    for (auto& [value, id] : tagged) {
+      b_.push_back(value);
+      orig_.push_back(id);
+    }
+  }
+
+  std::vector<Num> b_;
+  std::vector<Num> prefix_;
+  std::vector<int> orig_;
+  int n_ = 0;
+  int m_ = 0;
+};
+
+using Instance = BasicInstance<double>;
+using RationalInstance = BasicInstance<util::Rational>;
+
+/// Converts an exact instance to double (for running the double algorithms
+/// on instances defined exactly in tests).
+inline Instance to_double(const RationalInstance& ri) {
+  std::vector<double> open;
+  std::vector<double> guarded;
+  open.reserve(static_cast<std::size_t>(ri.n()));
+  guarded.reserve(static_cast<std::size_t>(ri.m()));
+  for (int i = 1; i <= ri.n(); ++i) open.push_back(ri.b(i).to_double());
+  for (int i = ri.n() + 1; i < ri.size(); ++i) guarded.push_back(ri.b(i).to_double());
+  return {ri.b(0).to_double(), std::move(open), std::move(guarded)};
+}
+
+}  // namespace bmp

@@ -1,0 +1,54 @@
+#include "bmp/core/omega_words.hpp"
+
+#include <stdexcept>
+
+#include "bmp/core/bounds.hpp"
+
+namespace bmp {
+
+Word omega1(int n, int m) {
+  if (n < 0 || m < 0) throw std::invalid_argument("omega1: negative counts");
+  Word word;
+  word.reserve(static_cast<std::size_t>(n + m));
+  if (n == 0) {
+    word.assign(static_cast<std::size_t>(m), Letter::kGuarded);
+    return word;
+  }
+  long long placed = 0;
+  for (int i = 1; i <= n; ++i) {
+    word.push_back(Letter::kOpen);
+    const long long upto = static_cast<long long>(i) * m / n;
+    for (; placed < upto; ++placed) word.push_back(Letter::kGuarded);
+  }
+  return word;
+}
+
+Word omega2(int n, int m) {
+  if (n < 0 || m < 0) throw std::invalid_argument("omega2: negative counts");
+  Word word;
+  word.reserve(static_cast<std::size_t>(n + m));
+  if (m == 0) {
+    word.assign(static_cast<std::size_t>(n), Letter::kOpen);
+    return word;
+  }
+  long long placed = 0;
+  for (int j = 1; j <= m; ++j) {
+    word.push_back(Letter::kGuarded);
+    const long long upto =
+        (static_cast<long long>(j) * n + m - 1) / m;  // ceil(j*n/m)
+    for (; placed < upto; ++placed) word.push_back(Letter::kOpen);
+  }
+  return word;
+}
+
+Word theorem62_word(const Instance& instance) {
+  const int n = instance.n();
+  const int m = instance.m();
+  if (m == 0) return omega1(n, m);
+  if (n == 0) return omega2(n, m);
+  const double mean_open = instance.open_sum() / n;
+  const double t_star = cyclic_upper_bound(instance);
+  return mean_open >= t_star ? omega1(n, m) : omega2(n, m);
+}
+
+}  // namespace bmp

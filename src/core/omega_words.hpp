@@ -1,0 +1,28 @@
+// The fixed word families ω1/ω2 of Theorem 6.2 (paper §VI.A.2 / §XII).
+//
+//   ω1(n,m) = Π_{i=1..n} [ O G^{α_i} ],  α_i = ⌊i·m/n⌋ − ⌊(i−1)·m/n⌋
+//   ω2(n,m) = Π_{j=1..m} [ G O^{β_j} ],  β_j = ⌈j·n/m⌉ − ⌈(j−1)·n/m⌉
+//
+// ω1 spreads guarded nodes evenly after each open node (right when open
+// bandwidth is plentiful, o >= T); ω2 front-loads each guarded node before
+// the opens it will feed (right when guarded nodes are the strong ones).
+// Their best is provably >= 5/7 of the optimal cyclic throughput, and
+// Fig. 19 shows it is near-optimal on average. These words are attractive
+// in practice because they can be built distributedly from the bandwidth
+// ranks alone.
+#pragma once
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/word.hpp"
+
+namespace bmp {
+
+Word omega1(int n, int m);
+Word omega2(int n, int m);
+
+/// The single word the Theorem 6.2 case analysis would pick (red series of
+/// Fig. 19): ω1 when the mean open bandwidth is at least the optimal cyclic
+/// throughput ("o >= 1" for normalized tight instances), else ω2.
+Word theorem62_word(const Instance& instance);
+
+}  // namespace bmp

@@ -1,0 +1,78 @@
+#include "bmp/core/word.hpp"
+
+#include <stdexcept>
+
+namespace bmp {
+
+Word make_word(std::string_view text) {
+  Word word;
+  word.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case 'O':
+      case 'o':
+        word.push_back(Letter::kOpen);
+        break;
+      case 'G':
+      case 'g':
+        word.push_back(Letter::kGuarded);
+        break;
+      case ' ':
+        break;
+      default:
+        throw std::invalid_argument("make_word: expected only O/G letters");
+    }
+  }
+  return word;
+}
+
+std::string to_string(const Word& word) {
+  std::string text;
+  text.reserve(word.size());
+  for (const Letter letter : word) {
+    text.push_back(letter == Letter::kOpen ? 'O' : 'G');
+  }
+  return text;
+}
+
+int count_open(const Word& word) {
+  int count = 0;
+  for (const Letter letter : word) count += letter == Letter::kOpen ? 1 : 0;
+  return count;
+}
+
+int count_guarded(const Word& word) {
+  return static_cast<int>(word.size()) - count_open(word);
+}
+
+namespace {
+void enumerate_rec(int opens, int guardeds, Word& prefix, std::vector<Word>& out) {
+  if (opens == 0 && guardeds == 0) {
+    out.push_back(prefix);
+    return;
+  }
+  if (opens > 0) {
+    prefix.push_back(Letter::kOpen);
+    enumerate_rec(opens - 1, guardeds, prefix, out);
+    prefix.pop_back();
+  }
+  if (guardeds > 0) {
+    prefix.push_back(Letter::kGuarded);
+    enumerate_rec(opens, guardeds - 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<Word> enumerate_words(int opens, int guardeds) {
+  if (opens < 0 || guardeds < 0) {
+    throw std::invalid_argument("enumerate_words: negative letter count");
+  }
+  std::vector<Word> out;
+  Word prefix;
+  prefix.reserve(static_cast<std::size_t>(opens + guardeds));
+  enumerate_rec(opens, guardeds, prefix, out);
+  return out;
+}
+
+}  // namespace bmp

@@ -1,0 +1,43 @@
+// Low-degree broadcast scheme from a valid coding word (Lemma 4.6).
+//
+// Nodes are satisfied in the order the word dictates; every node is fed at
+// exactly rate T by the *earliest* senders that still have unused upload:
+// guarded receivers draw from open senders only (firewall constraint), open
+// receivers drain guarded senders first (conservative solutions, Lemma 4.3)
+// and top up from open senders. For words produced by GreedyTest this
+// yields the degree bounds of Theorem 4.1:
+//   guarded nodes:  o_j <= ceil(b_j/T) + 1
+//   open nodes:     o_i <= ceil(b_i/T) + 2   (at most one node +3)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+#include "bmp/core/word.hpp"
+
+namespace bmp {
+
+struct WordSchedule {
+  BroadcastScheme scheme;
+  /// Serving order σ (node ids, source excluded), e.g. Fig. 5's 3 1 4 2 5.
+  std::vector<int> order;
+
+  /// One row per processed letter — reproduces Table I (O(π), G(π), W(π)).
+  struct TraceRow {
+    std::string prefix;    ///< word prefix, e.g. "GO"
+    double open_avail;     ///< O(π)
+    double guarded_avail;  ///< G(π)
+    double open_open;      ///< W(π)
+  };
+  std::vector<TraceRow> trace;  ///< includes the initial ε row.
+};
+
+/// Builds the scheme; throws std::invalid_argument if the word is not valid
+/// for throughput T on this instance (detected as a sender pool running
+/// dry). T == 0 yields an empty scheme.
+WordSchedule build_scheme_from_word(const Instance& instance, const Word& word,
+                                    double T, bool with_trace = false);
+
+}  // namespace bmp

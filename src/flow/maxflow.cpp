@@ -1,0 +1,119 @@
+#include "bmp/flow/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace bmp::flow {
+
+MaxFlowGraph::MaxFlowGraph(int num_nodes)
+    : head_(static_cast<std::size_t>(num_nodes)) {
+  if (num_nodes <= 0) throw std::invalid_argument("MaxFlowGraph: empty node set");
+}
+
+int MaxFlowGraph::add_edge(int from, int to, double capacity) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    throw std::out_of_range("MaxFlowGraph::add_edge: node out of range");
+  }
+  if (capacity < 0.0) throw std::invalid_argument("MaxFlowGraph: negative capacity");
+  const int id = static_cast<int>(edges_.size());
+  max_capacity_ = std::max(max_capacity_, capacity);
+  edges_.push_back({to, capacity, capacity});
+  edges_.push_back({from, 0.0, 0.0});
+  head_[static_cast<std::size_t>(from)].push_back(id);
+  head_[static_cast<std::size_t>(to)].push_back(id + 1);
+  return id;
+}
+
+bool MaxFlowGraph::bfs_levels(int source, int sink) {
+  level_.assign(head_.size(), -1);
+  std::queue<int> frontier;
+  level_[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (const int id : head_[static_cast<std::size_t>(v)]) {
+      const Edge& e = edges_[static_cast<std::size_t>(id)];
+      if (e.cap > eps() && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] = level_[static_cast<std::size_t>(v)] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+double MaxFlowGraph::dfs_push(int vertex, int sink, double limit) {
+  if (vertex == sink) return limit;
+  auto& cursor = iter_[static_cast<std::size_t>(vertex)];
+  const auto& out = head_[static_cast<std::size_t>(vertex)];
+  while (cursor < out.size()) {
+    const int id = out[cursor];
+    Edge& e = edges_[static_cast<std::size_t>(id)];
+    if (e.cap > eps() && level_[static_cast<std::size_t>(e.to)] ==
+                            level_[static_cast<std::size_t>(vertex)] + 1) {
+      const double pushed = dfs_push(e.to, sink, std::min(limit, e.cap));
+      if (pushed > eps()) {
+        e.cap -= pushed;
+        edges_[static_cast<std::size_t>(id ^ 1)].cap += pushed;
+        return pushed;
+      }
+    }
+    ++cursor;
+  }
+  return 0.0;
+}
+
+double MaxFlowGraph::max_flow(int source, int sink) {
+  if (source == sink) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  while (bfs_levels(source, sink)) {
+    iter_.assign(head_.size(), 0);
+    for (;;) {
+      const double pushed =
+          dfs_push(source, sink, std::numeric_limits<double>::infinity());
+      if (pushed <= eps()) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+void MaxFlowGraph::reset() {
+  for (Edge& e : edges_) e.cap = e.original;
+}
+
+double MaxFlowGraph::flow_on(int edge_id) const {
+  const Edge& e = edges_.at(static_cast<std::size_t>(edge_id));
+  return e.original - e.cap;
+}
+
+namespace {
+MaxFlowGraph graph_of(const BroadcastScheme& scheme) {
+  MaxFlowGraph graph(scheme.num_nodes());
+  for (int i = 0; i < scheme.num_nodes(); ++i) {
+    for (const auto& [to, r] : scheme.out_edges(i)) graph.add_edge(i, to, r);
+  }
+  return graph;
+}
+}  // namespace
+
+double scheme_max_flow_to(const BroadcastScheme& scheme, int sink) {
+  MaxFlowGraph graph = graph_of(scheme);
+  return graph.max_flow(0, sink);
+}
+
+double scheme_throughput(const BroadcastScheme& scheme) {
+  MaxFlowGraph graph = graph_of(scheme);
+  double best = std::numeric_limits<double>::infinity();
+  for (int sink = 1; sink < scheme.num_nodes(); ++sink) {
+    graph.reset();
+    best = std::min(best, graph.max_flow(0, sink));
+    if (best <= 0.0) return 0.0;
+  }
+  return best;
+}
+
+}  // namespace bmp::flow

@@ -1,0 +1,62 @@
+// Dinic's max-flow on double capacities. This is the substrate that gives
+// the *definition* of broadcast throughput (paper §II.D):
+//     T(scheme) = min_k maxflow(C0 -> Ck)
+// over the weighted overlay digraph, so every constructive algorithm in the
+// library is verified against it.
+#pragma once
+
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+
+namespace bmp::flow {
+
+class MaxFlowGraph {
+ public:
+  explicit MaxFlowGraph(int num_nodes);
+
+  /// Adds a directed edge with the given capacity; returns its edge id.
+  int add_edge(int from, int to, double capacity);
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(head_.size()); }
+
+  /// Computes max flow from s to t (Dinic: BFS levels + blocking DFS).
+  /// Residual capacities are consumed; call reset() to restore.
+  double max_flow(int source, int sink);
+
+  /// Restores all capacities to their construction values.
+  void reset();
+
+  /// Flow currently pushed through edge id (cap_original - cap_residual).
+  [[nodiscard]] double flow_on(int edge_id) const;
+
+ private:
+  bool bfs_levels(int source, int sink);
+  double dfs_push(int vertex, int sink, double limit);
+
+  struct Edge {
+    int to;
+    double cap;
+    double original;
+  };
+
+  /// Scale-free augmentation cutoff: relative to the largest capacity.
+  [[nodiscard]] double eps() const { return 1e-12 * max_capacity_; }
+
+  std::vector<Edge> edges_;                 // edge 2k ~ forward, 2k+1 ~ reverse
+  std::vector<std::vector<int>> head_;      // adjacency: edge ids per vertex
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  double max_capacity_ = 0.0;
+};
+
+/// Throughput of a broadcast scheme: min over all non-source nodes of the
+/// max flow from the source. O(N * Dinic); meant for verification, not for
+/// the inner loop of large sweeps.
+double scheme_throughput(const BroadcastScheme& scheme);
+
+/// Max flow from node 0 to a single sink on the scheme graph.
+double scheme_max_flow_to(const BroadcastScheme& scheme, int sink);
+
+}  // namespace bmp::flow

@@ -1,0 +1,89 @@
+#include "bmp/flow/node_caps.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "bmp/flow/maxflow.hpp"
+
+namespace bmp::flow {
+
+std::vector<std::string> validate_download_caps(
+    const BroadcastScheme& scheme, const std::vector<double>& download_cap,
+    double tol) {
+  if (static_cast<int>(download_cap.size()) != scheme.num_nodes()) {
+    throw std::invalid_argument("validate_download_caps: size mismatch");
+  }
+  std::vector<std::string> issues;
+  for (int v = 1; v < scheme.num_nodes(); ++v) {
+    const double in = scheme.in_rate(v);
+    if (in > download_cap[static_cast<std::size_t>(v)] + tol) {
+      std::ostringstream os;
+      os << "download cap violated at node " << v << ": receives " << in
+         << " > cap " << download_cap[static_cast<std::size_t>(v)];
+      issues.push_back(os.str());
+    }
+  }
+  return issues;
+}
+
+double scheme_throughput_with_download_caps(
+    const BroadcastScheme& scheme, const std::vector<double>& download_cap) {
+  const int N = scheme.num_nodes();
+  if (static_cast<int>(download_cap.size()) != N) {
+    throw std::invalid_argument(
+        "scheme_throughput_with_download_caps: size mismatch");
+  }
+  if (N == 1) return 0.0;
+  // Split every node v into v_in (= v) and v_out (= v + N); scheme edges
+  // run u_out -> v_in; the internal edge v_in -> v_out carries b_in(v).
+  // The source's internal edge must not bind: total_rate upper-bounds any
+  // flow, and stays on the scheme's own scale (an "infinite" sentinel
+  // would wreck the solver's relative tolerances).
+  const double unbounded = scheme.total_rate() + 1.0;
+  MaxFlowGraph graph(2 * N);
+  for (int v = 0; v < N; ++v) {
+    const double cap =
+        v == 0 ? unbounded
+               : std::min(download_cap[static_cast<std::size_t>(v)], unbounded);
+    graph.add_edge(v, v + N, cap);
+    for (const auto& [to, rate] : scheme.out_edges(v)) {
+      graph.add_edge(v + N, to, rate);
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int sink = 1; sink < N; ++sink) {
+    graph.reset();
+    // The sink's own download cap applies: measure flow into v_out.
+    best = std::min(best, graph.max_flow(N, sink + N));
+    if (best <= 0.0) return 0.0;
+  }
+  return best;
+}
+
+double minimal_uniform_download_cap(const BroadcastScheme& scheme, double T,
+                                    double tol) {
+  if (T <= 0.0) return 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (int v = 1; v < scheme.num_nodes(); ++v) {
+    hi = std::max(hi, scheme.in_rate(v));
+  }
+  if (hi <= 0.0) return 0.0;
+  const std::vector<double> probe_base(
+      static_cast<std::size_t>(scheme.num_nodes()), 0.0);
+  for (int iter = 0; iter < 50; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    std::vector<double> caps(static_cast<std::size_t>(scheme.num_nodes()), mid);
+    const double reached = scheme_throughput_with_download_caps(scheme, caps);
+    if (reached + tol >= T) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace bmp::flow

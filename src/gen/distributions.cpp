@@ -1,0 +1,79 @@
+#include "bmp/gen/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bmp/gen/planetlab_data.hpp"
+
+namespace bmp::gen {
+
+const std::vector<Dist>& all_distributions() {
+  static const std::vector<Dist> kAll{Dist::kLogNormal1, Dist::kLogNormal2,
+                                      Dist::kPower1,     Dist::kPower2,
+                                      Dist::kUnif100,    Dist::kPlanetLab};
+  return kAll;
+}
+
+std::string name(Dist dist) {
+  switch (dist) {
+    case Dist::kUnif100: return "Unif100";
+    case Dist::kPower1: return "Power1";
+    case Dist::kPower2: return "Power2";
+    case Dist::kLogNormal1: return "LN1";
+    case Dist::kLogNormal2: return "LN2";
+    case Dist::kPlanetLab: return "PLab";
+  }
+  throw std::invalid_argument("unknown distribution");
+}
+
+ParetoParams pareto_params(double mean, double stddev) {
+  if (mean <= 0.0 || stddev <= 0.0) {
+    throw std::invalid_argument("pareto_params: mean/std must be positive");
+  }
+  const double r = (mean / stddev) * (mean / stddev);
+  const double shape = 1.0 + std::sqrt(1.0 + r);
+  const double scale = mean * (shape - 1.0) / shape;
+  return {shape, scale};
+}
+
+double sample_pareto(double mean, double stddev, util::Xoshiro256& rng) {
+  const ParetoParams p = pareto_params(mean, stddev);
+  // Inverse CDF: x = x_m * U^(-1/a), U in (0,1].
+  const double u = 1.0 - rng.uniform();  // (0, 1]
+  return p.scale * std::pow(u, -1.0 / p.shape);
+}
+
+double sample_lognormal(double mean, double stddev, util::Xoshiro256& rng) {
+  if (mean <= 0.0 || stddev <= 0.0) {
+    throw std::invalid_argument("sample_lognormal: mean/std must be positive");
+  }
+  const double sigma2 = std::log(1.0 + (stddev * stddev) / (mean * mean));
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  // Box-Muller normal draw.
+  const double u1 = 1.0 - rng.uniform();
+  const double u2 = rng.uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return std::exp(mu + std::sqrt(sigma2) * z);
+}
+
+double sample(Dist dist, util::Xoshiro256& rng) {
+  switch (dist) {
+    case Dist::kUnif100:
+      return rng.uniform(1.0, 100.0);
+    case Dist::kPower1:
+      return sample_pareto(100.0, 100.0, rng);
+    case Dist::kPower2:
+      return sample_pareto(100.0, 1000.0, rng);
+    case Dist::kLogNormal1:
+      return sample_lognormal(100.0, 100.0, rng);
+    case Dist::kLogNormal2:
+      return sample_lognormal(100.0, 1000.0, rng);
+    case Dist::kPlanetLab: {
+      const auto& data = planetlab_bandwidths();
+      return data[rng.below(data.size())];
+    }
+  }
+  throw std::invalid_argument("unknown distribution");
+}
+
+}  // namespace bmp::gen

@@ -1,0 +1,42 @@
+// The six bandwidth distributions of the Fig. 19 average-case study
+// (§XII):
+//   Unif100 : uniform on [1, 100]
+//   Power1  : Pareto with mean 100, stddev 100
+//   Power2  : Pareto with mean 100, stddev 1000
+//   LN1     : log-normal with mean 100, stddev 100
+//   LN2     : log-normal with mean 100, stddev 1000
+//   PLab    : uniform resampling of the (synthetic) PlanetLab sample
+//
+// Pareto(shape a, scale x_m): mean = a x_m/(a-1), var = a x_m^2/((a-1)^2(a-2)),
+// so var/mean^2 = 1/(a(a-2)) and a = 1 + sqrt(1 + (mean/std)^2).
+// Log-normal: sigma^2 = ln(1 + std^2/mean^2), mu = ln(mean) - sigma^2/2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bmp/util/rng.hpp"
+
+namespace bmp::gen {
+
+enum class Dist { kUnif100, kPower1, kPower2, kLogNormal1, kLogNormal2, kPlanetLab };
+
+/// The six distributions in the paper's plotting order.
+const std::vector<Dist>& all_distributions();
+std::string name(Dist dist);
+
+/// One bandwidth draw.
+double sample(Dist dist, util::Xoshiro256& rng);
+
+/// Parameterized building blocks (exposed for tests).
+double sample_pareto(double mean, double stddev, util::Xoshiro256& rng);
+double sample_lognormal(double mean, double stddev, util::Xoshiro256& rng);
+
+/// Exact shape/scale used for a given Pareto parameterization.
+struct ParetoParams {
+  double shape;
+  double scale;
+};
+ParetoParams pareto_params(double mean, double stddev);
+
+}  // namespace bmp::gen

@@ -1,0 +1,29 @@
+#include "bmp/gen/generator.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "bmp/core/bounds.hpp"
+
+namespace bmp::gen {
+
+Instance random_instance(const InstanceConfig& config, util::Xoshiro256& rng) {
+  if (config.size < 1) throw std::invalid_argument("random_instance: size < 1");
+  if (config.p_open < 0.0 || config.p_open > 1.0) {
+    throw std::invalid_argument("random_instance: p_open outside [0,1]");
+  }
+  std::vector<double> open;
+  std::vector<double> guarded;
+  for (int i = 0; i < config.size; ++i) {
+    const double bw = sample(config.dist, rng);
+    if (rng.uniform() < config.p_open) {
+      open.push_back(bw);
+    } else {
+      guarded.push_back(bw);
+    }
+  }
+  const double b0 = fixed_point_source_bandwidth(open, guarded);
+  return {b0, std::move(open), std::move(guarded)};
+}
+
+}  // namespace bmp::gen

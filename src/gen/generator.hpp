@@ -1,0 +1,25 @@
+// Random-instance generation for the Fig. 19 average-case experiment
+// (§XII): `size` peers, each independently open with probability p_open,
+// bandwidths i.i.d. from one of the six distributions, and the source
+// bandwidth set to the fixed point of the cyclic bound so the source is
+// exactly the cyclic bottleneck ("not a strong limiting bottleneck, and not
+// sufficient by itself").
+#pragma once
+
+#include "bmp/core/instance.hpp"
+#include "bmp/gen/distributions.hpp"
+#include "bmp/util/rng.hpp"
+
+namespace bmp::gen {
+
+struct InstanceConfig {
+  int size = 10;          ///< number of peers (source excluded)
+  double p_open = 0.5;    ///< probability a peer is open
+  Dist dist = Dist::kUnif100;
+};
+
+/// Draws one instance. Guarantees at least one peer; class draws can yield
+/// n = 0 or m = 0, both of which the algorithms support.
+Instance random_instance(const InstanceConfig& config, util::Xoshiro256& rng);
+
+}  // namespace bmp::gen

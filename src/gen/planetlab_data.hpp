@@ -1,0 +1,13 @@
+// Embedded synthetic stand-in for the PlanetLab outgoing-bandwidth sample
+// used by the paper's PLab distribution (Fig. 19). See DESIGN.md
+// ("Substitutions") for why and how this sample was produced.
+#pragma once
+
+#include <vector>
+
+namespace bmp::gen {
+
+/// 300 bandwidth values (Mbit/s-scale, heavy-tailed). Resample uniformly.
+const std::vector<double>& planetlab_bandwidths();
+
+}  // namespace bmp::gen

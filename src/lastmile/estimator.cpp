@@ -1,0 +1,148 @@
+#include "bmp/lastmile/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bmp::lastmile {
+
+namespace {
+
+/// Exact minimizer of f(x) = sum_k (m_k - min(x, cap_k))^2 over x >= 0.
+/// Piecewise quadratic with breakpoints at the caps: on a segment where
+/// caps below x are "saturated" (contribute constants), the optimum is the
+/// mean of the m_k with cap_k > x, clamped to the segment.
+double best_parameter(std::vector<std::pair<double, double>>& cap_and_m) {
+  if (cap_and_m.empty()) return 0.0;
+  std::sort(cap_and_m.begin(), cap_and_m.end());
+  const std::size_t K = cap_and_m.size();
+  // Suffix sums of m over caps > segment start.
+  std::vector<double> suffix_m(K + 1, 0.0);
+  for (std::size_t k = K; k-- > 0;) {
+    suffix_m[k] = suffix_m[k + 1] + cap_and_m[k].second;
+  }
+  const auto eval = [&](double x) {
+    double err = 0.0;
+    for (const auto& [cap, m] : cap_and_m) {
+      const double predicted = std::min(x, cap);
+      err += (m - predicted) * (m - predicted);
+    }
+    return err;
+  };
+
+  double best_x = 0.0;
+  double best_err = eval(0.0);
+  // Segment s: x in [cap_{s-1}, cap_s] — entries < s are saturated.
+  for (std::size_t s = 0; s <= K; ++s) {
+    const double lo = s == 0 ? 0.0 : cap_and_m[s - 1].first;
+    const double hi =
+        s == K ? std::numeric_limits<double>::infinity() : cap_and_m[s].first;
+    const std::size_t active = K - s;
+    double candidate;
+    if (active == 0) {
+      candidate = lo;  // flat beyond all caps
+    } else {
+      candidate = std::clamp(suffix_m[s] / static_cast<double>(active), lo, hi);
+    }
+    const double err = eval(candidate);
+    if (err < best_err) {
+      best_err = err;
+      best_x = candidate;
+    }
+  }
+  return best_x;
+}
+
+}  // namespace
+
+double model_rmse(const Matrix& measured, const std::vector<double>& out_bw,
+                  const std::vector<double>& in_bw) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    for (std::size_t j = 0; j < measured[i].size(); ++j) {
+      if (i == j || measured[i][j] < 0.0) continue;
+      const double predicted = std::min(out_bw[i], in_bw[j]);
+      sum += (measured[i][j] - predicted) * (measured[i][j] - predicted);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : std::sqrt(sum / static_cast<double>(count));
+}
+
+Estimate fit(const Matrix& measured, const EstimatorConfig& config) {
+  const std::size_t N = measured.size();
+  for (const auto& row : measured) {
+    if (row.size() != N) throw std::invalid_argument("lastmile::fit: non-square matrix");
+  }
+  Estimate est;
+  est.out_bw.assign(N, 0.0);
+  est.in_bw.assign(N, 0.0);
+  // Init: the largest observation in a row/column lower-bounds the capacity.
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < N; ++j) {
+      if (i == j || measured[i][j] < 0.0) continue;
+      est.out_bw[i] = std::max(est.out_bw[i], measured[i][j]);
+      est.in_bw[j] = std::max(est.in_bw[j], measured[i][j]);
+    }
+  }
+
+  double last_rmse = model_rmse(measured, est.out_bw, est.in_bw);
+  for (est.iterations = 1; est.iterations <= config.max_iterations;
+       ++est.iterations) {
+    // Update every out_bw[i] against fixed in_bw.
+    for (std::size_t i = 0; i < N; ++i) {
+      std::vector<std::pair<double, double>> terms;
+      for (std::size_t j = 0; j < N; ++j) {
+        if (i == j || measured[i][j] < 0.0) continue;
+        terms.emplace_back(est.in_bw[j], measured[i][j]);
+      }
+      if (!terms.empty()) est.out_bw[i] = best_parameter(terms);
+    }
+    // Update every in_bw[j] against fixed out_bw.
+    for (std::size_t j = 0; j < N; ++j) {
+      std::vector<std::pair<double, double>> terms;
+      for (std::size_t i = 0; i < N; ++i) {
+        if (i == j || measured[i][j] < 0.0) continue;
+        terms.emplace_back(est.out_bw[i], measured[i][j]);
+      }
+      if (!terms.empty()) est.in_bw[j] = best_parameter(terms);
+    }
+    const double rmse = model_rmse(measured, est.out_bw, est.in_bw);
+    if (last_rmse - rmse < config.tolerance) {
+      last_rmse = rmse;
+      break;
+    }
+    last_rmse = rmse;
+  }
+  est.rmse = last_rmse;
+  return est;
+}
+
+Matrix synthesize_matrix(const std::vector<double>& out_bw,
+                         const std::vector<double>& in_bw, double noise_sigma,
+                         util::Xoshiro256& rng) {
+  if (out_bw.size() != in_bw.size()) {
+    throw std::invalid_argument("synthesize_matrix: size mismatch");
+  }
+  const std::size_t N = out_bw.size();
+  Matrix m(N, std::vector<double>(N, -1.0));
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = 0; j < N; ++j) {
+      if (i == j) continue;
+      double noise = 1.0;
+      if (noise_sigma > 0.0) {
+        const double u1 = 1.0 - rng.uniform();
+        const double u2 = rng.uniform();
+        const double z =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+        noise = std::exp(noise_sigma * z);
+      }
+      m[i][j] = std::min(out_bw[i], in_bw[j]) * noise;
+    }
+  }
+  return m;
+}
+
+}  // namespace bmp::lastmile

@@ -1,0 +1,48 @@
+// LastMile parameter estimation — the Bedibe substitute (paper §II.C,
+// reference [14]): from a matrix of point-to-point bandwidth measurements
+// M[i][j] ~ min(b_out[i], b_in[j]) * noise, recover per-node outgoing and
+// incoming capacities. This is the front-end of the paper's pipeline: the
+// recovered b_out values instantiate the broadcast Instance.
+//
+// Fitting: alternating 1-D coordinate descent on the squared error
+//   E = sum_{i != j} (M[i][j] - min(out[i], in[j]))^2.
+// For a fixed row i, E(out_i) is piecewise quadratic with breakpoints at
+// the in[j] values, so each update is exact (sort + prefix scan).
+#pragma once
+
+#include <vector>
+
+#include "bmp/util/rng.hpp"
+
+namespace bmp::lastmile {
+
+using Matrix = std::vector<std::vector<double>>;
+
+struct EstimatorConfig {
+  int max_iterations = 60;
+  double tolerance = 1e-10;  ///< stop when the RMSE improvement drops below
+};
+
+struct Estimate {
+  std::vector<double> out_bw;
+  std::vector<double> in_bw;
+  double rmse = 0.0;      ///< residual fit error
+  int iterations = 0;
+};
+
+/// Fits the LastMile model. Entries < 0 are treated as missing (e.g. the
+/// diagonal). Throws on non-square input.
+Estimate fit(const Matrix& measured, const EstimatorConfig& config = {});
+
+/// Forward model: builds the measurement matrix for ground-truth
+/// capacities, with multiplicative log-normal noise of the given sigma
+/// (sigma = 0 -> exact). Diagonal entries are set to -1 (missing).
+Matrix synthesize_matrix(const std::vector<double>& out_bw,
+                         const std::vector<double>& in_bw, double noise_sigma,
+                         util::Xoshiro256& rng);
+
+/// RMSE of a parameter pair against a measurement matrix (for tests).
+double model_rmse(const Matrix& measured, const std::vector<double>& out_bw,
+                  const std::vector<double>& in_bw);
+
+}  // namespace bmp::lastmile

@@ -1,0 +1,222 @@
+#include "bmp/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bmp::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense tableau: rows_ x cols_ with the rhs in the last column and the
+/// (phase-specific) objective in the last row.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_((rows + 1) * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& obj(std::size_t c) { return at(rows_, c); }
+  [[nodiscard]] double obj(std::size_t c) const { return at(rows_, c); }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double inv = 1.0 / at(pr, pc);
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+    at(pr, pc) = 1.0;
+    for (std::size_t r = 0; r <= rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (std::abs(factor) < kEps * 1e-3) continue;
+      for (std::size_t c = 0; c < cols_; ++c) at(r, c) -= factor * at(pr, c);
+      at(r, pc) = 0.0;
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Runs simplex iterations (minimization form: objective row holds reduced
+/// costs; entering column has reduced cost < -eps). Bland's rule.
+Status iterate(Tableau& t, std::vector<std::size_t>& basis,
+               std::size_t num_cols_eligible, std::size_t& budget) {
+  const std::size_t rhs = t.cols() - 1;
+  while (budget-- > 0) {
+    // Entering variable: smallest index with negative reduced cost.
+    std::size_t enter = num_cols_eligible;
+    for (std::size_t c = 0; c < num_cols_eligible; ++c) {
+      if (t.obj(c) < -kEps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == num_cols_eligible) return Status::kOptimal;
+
+    // Leaving row: min ratio, ties broken by smallest basis index (Bland).
+    std::size_t leave = t.rows();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      const double a = t.at(r, enter);
+      if (a > kEps) {
+        const double ratio = t.at(r, rhs) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave == t.rows() || basis[r] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == t.rows()) return Status::kUnbounded;
+    t.pivot(leave, enter);
+    basis[leave] = enter;
+  }
+  return Status::kIterationLimit;
+}
+
+}  // namespace
+
+int LinearProgram::add_variable(double objective_coefficient) {
+  objective_.push_back(objective_coefficient);
+  return static_cast<int>(objective_.size()) - 1;
+}
+
+void LinearProgram::add_constraint(std::vector<std::pair<int, double>> terms,
+                                   Relation rel, double rhs) {
+  for (const auto& [var, coeff] : terms) {
+    if (var < 0 || var >= num_variables()) {
+      throw std::out_of_range("LinearProgram: constraint references unknown variable");
+    }
+    (void)coeff;
+  }
+  rows_.push_back({std::move(terms), rel, rhs});
+}
+
+Solution LinearProgram::solve(std::size_t max_pivots) const {
+  const std::size_t m = rows_.size();
+  const std::size_t n = objective_.size();
+
+  // Column layout: [structural n][slack/surplus per row][artificial per row]
+  // (unused slots left at zero), then rhs.
+  const std::size_t slack0 = n;
+  const std::size_t art0 = n + m;
+  const std::size_t rhs = n + 2 * m;
+  Tableau t(m, rhs + 1);
+  std::vector<std::size_t> basis(m);
+  std::vector<bool> is_artificial_col(rhs, false);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const Row& row = rows_[r];
+    double sign = 1.0;
+    Relation rel = row.rel;
+    if (row.rhs < 0.0) {
+      sign = -1.0;  // normalize to non-negative rhs
+      rel = row.rel == Relation::kLe
+                ? Relation::kGe
+                : (row.rel == Relation::kGe ? Relation::kLe : Relation::kEq);
+    }
+    for (const auto& [var, coeff] : row.terms) {
+      t.at(r, static_cast<std::size_t>(var)) += sign * coeff;
+    }
+    t.at(r, rhs) = sign * row.rhs;
+
+    switch (rel) {
+      case Relation::kLe:
+        t.at(r, slack0 + r) = 1.0;
+        basis[r] = slack0 + r;
+        break;
+      case Relation::kGe:
+        t.at(r, slack0 + r) = -1.0;
+        t.at(r, art0 + r) = 1.0;
+        basis[r] = art0 + r;
+        is_artificial_col[art0 + r] = true;
+        break;
+      case Relation::kEq:
+        t.at(r, art0 + r) = 1.0;
+        basis[r] = art0 + r;
+        is_artificial_col[art0 + r] = true;
+        break;
+    }
+  }
+
+  std::size_t budget = max_pivots;
+
+  // ---- Phase 1: minimize the sum of artificials. ----
+  bool any_artificial = false;
+  for (std::size_t c = 0; c < rhs; ++c) {
+    if (is_artificial_col[c]) {
+      t.obj(c) = 1.0;
+      any_artificial = true;
+    }
+  }
+  if (any_artificial) {
+    // Eliminate basic (artificial) columns from the objective row.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (is_artificial_col[basis[r]]) {
+        for (std::size_t c = 0; c <= rhs; ++c) t.obj(c) -= t.at(r, c);
+      }
+    }
+    const Status phase1 = iterate(t, basis, rhs, budget);
+    if (phase1 == Status::kIterationLimit) return {Status::kIterationLimit, 0.0, {}};
+    if (-t.obj(rhs) > 1e-6) return {Status::kInfeasible, 0.0, {}};
+    // Drive remaining artificials out of the basis (degenerate rows).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial_col[basis[r]]) continue;
+      std::size_t pivot_col = rhs;
+      for (std::size_t c = 0; c < art0; ++c) {
+        if (std::abs(t.at(r, c)) > kEps) {
+          pivot_col = c;
+          break;
+        }
+      }
+      if (pivot_col != rhs) {
+        t.pivot(r, pivot_col);
+        basis[r] = pivot_col;
+      }
+      // else: the row is all-zero over real columns; harmless.
+    }
+  }
+
+  // ---- Phase 2: real objective (as minimization of -c for maximize). ----
+  for (std::size_t c = 0; c <= rhs; ++c) t.obj(c) = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    t.obj(c) = maximize_ ? -objective_[c] : objective_[c];
+  }
+  // Artificial columns must never re-enter: give them prohibitive cost by
+  // excluding them from the eligible column range (they sit past art0).
+  for (std::size_t r = 0; r < m; ++r) {
+    if (std::abs(t.obj(basis[r])) > 0.0) {
+      const double factor = t.obj(basis[r]);
+      for (std::size_t c = 0; c <= rhs; ++c) t.obj(c) -= factor * t.at(r, c);
+    }
+  }
+  const Status phase2 = iterate(t, basis, art0, budget);
+  if (phase2 == Status::kIterationLimit) return {Status::kIterationLimit, 0.0, {}};
+  if (phase2 == Status::kUnbounded) return {Status::kUnbounded, 0.0, {}};
+
+  Solution solution;
+  solution.status = Status::kOptimal;
+  solution.values.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) solution.values[basis[r]] = t.at(r, rhs);
+  }
+  double objective_value = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    objective_value += objective_[c] * solution.values[c];
+  }
+  solution.objective = objective_value;
+  return solution;
+}
+
+}  // namespace bmp::lp

@@ -1,0 +1,56 @@
+// Dense two-phase primal simplex over doubles, with Bland's anti-cycling
+// rule. This is the self-contained replacement for the GLPK/CPLEX-class
+// solver the paper's authors used (see DESIGN.md substitutions): it serves
+// as an independent optimum oracle for small instances, cross-validating
+// the combinatorial algorithms (closed-form cyclic bound, T*_ac(σ), ...).
+//
+// Model: variables x_j >= 0; constraints sum_j a_ij x_j {<=,>=,=} b_i;
+// maximize or minimize sum_j c_j x_j.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bmp::lp {
+
+enum class Relation { kLe, kGe, kEq };
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  Status status = Status::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< one per structural variable
+};
+
+class LinearProgram {
+ public:
+  /// Adds a non-negative variable with the given objective coefficient;
+  /// returns its index.
+  int add_variable(double objective_coefficient = 0.0);
+
+  /// Adds `sum coeff*x {rel} rhs`. Terms are (variable index, coefficient);
+  /// duplicate indices are summed.
+  void add_constraint(std::vector<std::pair<int, double>> terms, Relation rel,
+                      double rhs);
+
+  void set_maximize(bool maximize) { maximize_ = maximize; }
+
+  [[nodiscard]] int num_variables() const { return static_cast<int>(objective_.size()); }
+  [[nodiscard]] int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  [[nodiscard]] Solution solve(std::size_t max_pivots = 200000) const;
+
+ private:
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+
+  std::vector<double> objective_;
+  std::vector<Row> rows_;
+  bool maximize_ = true;
+};
+
+}  // namespace bmp::lp

@@ -1,0 +1,126 @@
+#include "bmp/lp/throughput_lp.hpp"
+
+#include <stdexcept>
+
+namespace bmp::lp {
+
+namespace {
+
+ThroughputLpResult solve_with_edges(const Instance& instance,
+                                    const std::vector<std::pair<int, int>>& edges) {
+  const int N = instance.size();
+  LinearProgram lp;
+  lp.set_maximize(true);
+
+  const int var_T = lp.add_variable(1.0);
+  std::vector<int> var_c(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) var_c[e] = lp.add_variable(0.0);
+
+  // f^k_e for each sink k = 1..N-1.
+  std::vector<std::vector<int>> var_f(static_cast<std::size_t>(N));
+  for (int k = 1; k < N; ++k) {
+    auto& fk = var_f[static_cast<std::size_t>(k)];
+    fk.resize(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e) fk[e] = lp.add_variable(0.0);
+  }
+
+  // Bandwidth per node.
+  for (int i = 0; i < N; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (edges[e].first == i) terms.emplace_back(var_c[e], 1.0);
+    }
+    if (!terms.empty()) {
+      lp.add_constraint(std::move(terms), Relation::kLe, instance.b(i));
+    }
+  }
+
+  for (int k = 1; k < N; ++k) {
+    const auto& fk = var_f[static_cast<std::size_t>(k)];
+    // Capacity coupling f^k_e <= c_e.
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      lp.add_constraint({{fk[e], 1.0}, {var_c[e], -1.0}}, Relation::kLe, 0.0);
+    }
+    // Conservation at intermediate nodes; net inflow >= T at the sink.
+    for (int v = 1; v < N; ++v) {
+      std::vector<std::pair<int, double>> terms;
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (edges[e].second == v) terms.emplace_back(fk[e], 1.0);
+        if (edges[e].first == v) terms.emplace_back(fk[e], -1.0);
+      }
+      if (v == k) {
+        terms.emplace_back(var_T, -1.0);
+        lp.add_constraint(std::move(terms), Relation::kGe, 0.0);
+      } else {
+        lp.add_constraint(std::move(terms), Relation::kEq, 0.0);
+      }
+    }
+  }
+
+  const Solution sol = lp.solve();
+  ThroughputLpResult result{sol.status, 0.0, BroadcastScheme(N)};
+  if (sol.status != Status::kOptimal) return result;
+  result.throughput = sol.values[static_cast<std::size_t>(var_T)];
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const double rate = sol.values[static_cast<std::size_t>(var_c[e])];
+    if (rate > BroadcastScheme::kZeroTol) {
+      result.scheme.add(edges[e].first, edges[e].second, rate);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ThroughputLpResult cyclic_optimal_lp(const Instance& instance) {
+  std::vector<std::pair<int, int>> edges;
+  const int N = instance.size();
+  for (int i = 0; i < N; ++i) {
+    for (int j = 1; j < N; ++j) {
+      if (i == j) continue;
+      if (instance.is_guarded(i) && instance.is_guarded(j)) continue;
+      edges.emplace_back(i, j);
+    }
+  }
+  return solve_with_edges(instance, edges);
+}
+
+ThroughputLpResult acyclic_order_optimal_lp(const Instance& instance,
+                                            const std::vector<int>& order) {
+  if (static_cast<int>(order.size()) != instance.size() || order.empty() ||
+      order.front() != 0) {
+    throw std::invalid_argument(
+        "acyclic_order_optimal_lp: order must list all nodes, source first");
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (std::size_t a = 0; a < order.size(); ++a) {
+    for (std::size_t b = a + 1; b < order.size(); ++b) {
+      const int i = order[a];
+      const int j = order[b];
+      if (instance.is_guarded(i) && instance.is_guarded(j)) continue;
+      edges.emplace_back(i, j);
+    }
+  }
+  return solve_with_edges(instance, edges);
+}
+
+ThroughputLpResult acyclic_word_optimal_lp(const Instance& instance,
+                                           const Word& word) {
+  if (count_open(word) != instance.n() || count_guarded(word) != instance.m()) {
+    throw std::invalid_argument("acyclic_word_optimal_lp: letter counts mismatch");
+  }
+  std::vector<int> order{0};
+  int opens = 0;
+  int guardeds = 0;
+  for (const Letter letter : word) {
+    if (letter == Letter::kOpen) {
+      order.push_back(++opens);
+    } else {
+      ++guardeds;
+      order.push_back(instance.n() + guardeds);
+    }
+  }
+  return acyclic_order_optimal_lp(instance, order);
+}
+
+}  // namespace bmp::lp

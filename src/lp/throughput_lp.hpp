@@ -1,0 +1,47 @@
+// LP formulations of the broadcast throughput problem, used as an
+// *independent optimum oracle* on small instances:
+//
+//   maximize T
+//   s.t.  sum_j c_ij <= b_i                       (bandwidth, per node)
+//         f^k_ij <= c_ij                          (per sink k, per edge)
+//         flow conservation of f^k at v != 0, k   (per sink, per node)
+//         net inflow of f^k at k >= T             (per sink)
+//         c_ij = 0 on forbidden edges             (firewall / order)
+//
+// This is exactly min_k maxflow(C0->Ck) >= T by LP duality, i.e. the paper's
+// throughput definition. With all firewall-respecting edges allowed it
+// yields the optimal *cyclic* throughput (validating the Lemma 5.1 closed
+// form); restricted to σ-forward edges it yields T*_ac(σ).
+//
+// Size grows as O(N^2 * N) variables — keep N <= ~8.
+#pragma once
+
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+#include "bmp/core/word.hpp"
+#include "bmp/lp/simplex.hpp"
+
+namespace bmp::lp {
+
+struct ThroughputLpResult {
+  Status status = Status::kInfeasible;
+  double throughput = 0.0;
+  BroadcastScheme scheme;  ///< optimal c_ij (valid when status == kOptimal)
+};
+
+/// Optimal cyclic throughput (all edges except guarded->guarded and into
+/// the source).
+ThroughputLpResult cyclic_optimal_lp(const Instance& instance);
+
+/// Optimal acyclic throughput for the given serving order (node ids,
+/// source first). Edges only from earlier to later positions.
+ThroughputLpResult acyclic_order_optimal_lp(const Instance& instance,
+                                            const std::vector<int>& order);
+
+/// Convenience: order encoded by a coding word (increasing order semantics).
+ThroughputLpResult acyclic_word_optimal_lp(const Instance& instance,
+                                           const Word& word);
+
+}  // namespace bmp::lp

@@ -1,0 +1,148 @@
+#include "bmp/net/overlay.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "bmp/util/rng.hpp"
+
+namespace bmp::net {
+
+Connectivity::Connectivity(std::vector<NodeClass> classes,
+                           double hole_punch_success, std::uint64_t seed)
+    : classes_(std::move(classes)) {
+  const std::size_t n = classes_.size();
+  punched_.assign(n, std::vector<bool>(n, false));
+  util::Xoshiro256 rng(seed ^ 0x9E1A7ULL);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (classes_[a] == NodeClass::kGuarded && classes_[b] == NodeClass::kGuarded) {
+        const bool ok = rng.uniform() < hole_punch_success;
+        punched_[a][b] = ok;
+        punched_[b][a] = ok;
+      }
+    }
+  }
+}
+
+Connectivity Connectivity::from_instance(const Instance& instance,
+                                         double hole_punch_success,
+                                         std::uint64_t seed) {
+  std::vector<NodeClass> classes(static_cast<std::size_t>(instance.size()));
+  for (int i = 0; i < instance.size(); ++i) {
+    classes[static_cast<std::size_t>(i)] =
+        instance.is_guarded(i) ? NodeClass::kGuarded : NodeClass::kOpen;
+  }
+  return {std::move(classes), hole_punch_success, seed};
+}
+
+NodeClass Connectivity::node_class(int i) const {
+  return classes_.at(static_cast<std::size_t>(i));
+}
+
+bool Connectivity::can_connect(int a, int b) const {
+  if (a == b) return false;
+  const NodeClass ca = node_class(a);
+  const NodeClass cb = node_class(b);
+  if (ca == NodeClass::kGuarded && cb == NodeClass::kGuarded) {
+    return punched_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  }
+  return true;
+}
+
+int Connectivity::punched_pairs() const {
+  int count = 0;
+  for (std::size_t a = 0; a < punched_.size(); ++a) {
+    for (std::size_t b = a + 1; b < punched_.size(); ++b) {
+      count += punched_[a][b] ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+Overlay Overlay::from_scheme(const Instance& instance,
+                             const BroadcastScheme& scheme,
+                             const Connectivity& connectivity) {
+  if (instance.size() != scheme.num_nodes() ||
+      connectivity.size() != scheme.num_nodes()) {
+    throw std::invalid_argument("Overlay::from_scheme: size mismatch");
+  }
+  Overlay overlay;
+  overlay.num_nodes_ = scheme.num_nodes();
+  for (int i = 0; i < scheme.num_nodes(); ++i) {
+    for (const auto& [to, r] : scheme.out_edges(i)) {
+      if (!connectivity.can_connect(i, to)) {
+        throw std::invalid_argument(
+            "Overlay::from_scheme: scheme edge " + std::to_string(i) + "->" +
+            std::to_string(to) + " is not connectable (NAT/firewall)");
+      }
+      overlay.connections_.push_back({i, to, r});
+    }
+  }
+  return overlay;
+}
+
+int Overlay::fan_out(int node) const {
+  int count = 0;
+  for (const auto& c : connections_) count += c.from == node ? 1 : 0;
+  return count;
+}
+
+double Overlay::upload_of(int node) const {
+  double sum = 0.0;
+  for (const auto& c : connections_) {
+    if (c.from == node) sum += c.bandwidth_cap;
+  }
+  return sum;
+}
+
+std::string Overlay::describe(const Instance& instance) const {
+  std::ostringstream os;
+  for (int i = 0; i < num_nodes_; ++i) {
+    const int fan = fan_out(i);
+    if (fan == 0) continue;
+    os << "C" << i << (instance.is_guarded(i) ? " (guarded" : " (open")
+       << ", b=" << instance.b(i) << ") -> ";
+    bool first = true;
+    for (const auto& c : connections_) {
+      if (c.from != i) continue;
+      if (!first) os << ", ";
+      os << "C" << c.to << "@" << c.bandwidth_cap;
+      first = false;
+    }
+    os << "  [" << fan << " connections, " << upload_of(i) << " upload]\n";
+  }
+  return os.str();
+}
+
+RelayPlan plan_relays(const std::vector<RelayDemand>& demands,
+                      const std::vector<int>& relay_ids,
+                      std::vector<double> relay_budget) {
+  if (relay_ids.size() != relay_budget.size()) {
+    throw std::invalid_argument("plan_relays: ids/budget size mismatch");
+  }
+  RelayPlan plan;
+  plan.feasible = true;
+  for (const RelayDemand& demand : demands) {
+    double remaining = demand.rate;
+    // First-fit with the largest budgets first keeps route counts low.
+    std::vector<std::size_t> order(relay_ids.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return relay_budget[a] > relay_budget[b];
+    });
+    for (const std::size_t k : order) {
+      if (remaining <= 1e-12) break;
+      const double take = std::min(relay_budget[k], remaining);
+      if (take <= 1e-12) continue;
+      plan.routes.push_back({demand.src, demand.dst, relay_ids[k], take});
+      relay_budget[k] -= take;
+      remaining -= take;
+      plan.relay_bandwidth_used += take;
+    }
+    if (remaining > 1e-9) plan.feasible = false;
+  }
+  return plan;
+}
+
+}  // namespace bmp::net

@@ -1,0 +1,104 @@
+// Overlay-network layer (paper §II.A): NAT/firewall connectivity between
+// node classes, overlay materialization of a broadcast scheme into per-node
+// TCP connection lists with QoS bandwidth caps, and a relay planner that
+// routes guarded->guarded demands through open nodes (the "third party
+// node acts as a relay for the packets" workaround when hole punching
+// fails).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+
+namespace bmp::net {
+
+enum class NodeClass : std::uint8_t { kOpen, kGuarded };
+
+/// Pairwise reachability model: open-open and open-guarded pairs always
+/// connect; guarded-guarded pairs connect only if hole punching succeeds
+/// (probability hole_punch_success, sampled once per unordered pair with a
+/// deterministic seed — symmetric and stable).
+class Connectivity {
+ public:
+  Connectivity(std::vector<NodeClass> classes, double hole_punch_success = 0.0,
+               std::uint64_t seed = 0);
+
+  static Connectivity from_instance(const Instance& instance,
+                                    double hole_punch_success = 0.0,
+                                    std::uint64_t seed = 0);
+
+  [[nodiscard]] int size() const { return static_cast<int>(classes_.size()); }
+  [[nodiscard]] NodeClass node_class(int i) const;
+  [[nodiscard]] bool can_connect(int a, int b) const;
+  /// Guarded pairs whose hole punching succeeded.
+  [[nodiscard]] int punched_pairs() const;
+
+ private:
+  std::vector<NodeClass> classes_;
+  std::vector<std::vector<bool>> punched_;
+};
+
+/// One QoS-capped TCP connection of the overlay.
+struct Connection {
+  int from;
+  int to;
+  double bandwidth_cap;
+};
+
+/// A deployable overlay: the broadcast scheme's edges as connection lists,
+/// validated against the connectivity model.
+class Overlay {
+ public:
+  /// Throws std::invalid_argument if the scheme uses an unconnectable pair.
+  static Overlay from_scheme(const Instance& instance,
+                             const BroadcastScheme& scheme,
+                             const Connectivity& connectivity);
+
+  [[nodiscard]] const std::vector<Connection>& connections() const {
+    return connections_;
+  }
+  [[nodiscard]] int fan_out(int node) const;
+  [[nodiscard]] double upload_of(int node) const;
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  /// Human-readable per-node connection table.
+  [[nodiscard]] std::string describe(const Instance& instance) const;
+
+ private:
+  std::vector<Connection> connections_;
+  int num_nodes_ = 0;
+};
+
+/// A logical guarded->guarded transfer that needs an open relay.
+struct RelayDemand {
+  int src;
+  int dst;
+  double rate;
+};
+
+struct RelayRoute {
+  int src;
+  int dst;
+  int relay;
+  double rate;
+};
+
+struct RelayPlan {
+  bool feasible = false;
+  std::vector<RelayRoute> routes;
+  double relay_bandwidth_used = 0.0;  ///< extra upload burned on second hops
+};
+
+/// Greedily assigns each demand (split across relays if needed) to open
+/// nodes with remaining relay budget. Relaying rate r consumes r of the
+/// relay's budget (the src->relay hop uses the demand's own upload).
+/// `relay_budget[k]` is the spare upload of the k-th open node id in
+/// `relay_ids`.
+RelayPlan plan_relays(const std::vector<RelayDemand>& demands,
+                      const std::vector<int>& relay_ids,
+                      std::vector<double> relay_budget);
+
+}  // namespace bmp::net

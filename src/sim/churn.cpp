@@ -1,0 +1,101 @@
+#include "bmp/sim/churn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/sim/massoulie.hpp"
+#include "bmp/util/rng.hpp"
+
+namespace bmp::sim {
+
+Instance remove_nodes(const Instance& instance, const std::vector<int>& departed) {
+  std::vector<bool> gone(static_cast<std::size_t>(instance.size()), false);
+  for (const int id : departed) {
+    if (id <= 0 || id >= instance.size()) {
+      throw std::invalid_argument("remove_nodes: bad node id");
+    }
+    gone[static_cast<std::size_t>(id)] = true;
+  }
+  std::vector<double> open;
+  std::vector<double> guarded;
+  for (int i = 1; i < instance.size(); ++i) {
+    if (gone[static_cast<std::size_t>(i)]) continue;
+    (instance.is_guarded(i) ? guarded : open).push_back(instance.b(i));
+  }
+  return {instance.b(0), std::move(open), std::move(guarded)};
+}
+
+BroadcastScheme restrict_scheme(const BroadcastScheme& scheme,
+                                const std::vector<int>& departed) {
+  std::vector<bool> gone(static_cast<std::size_t>(scheme.num_nodes()), false);
+  for (const int id : departed) gone[static_cast<std::size_t>(id)] = true;
+  std::vector<int> remap(static_cast<std::size_t>(scheme.num_nodes()), -1);
+  int next = 0;
+  for (int i = 0; i < scheme.num_nodes(); ++i) {
+    if (!gone[static_cast<std::size_t>(i)]) remap[static_cast<std::size_t>(i)] = next++;
+  }
+  BroadcastScheme restricted(next);
+  for (int i = 0; i < scheme.num_nodes(); ++i) {
+    if (gone[static_cast<std::size_t>(i)]) continue;
+    for (const auto& [to, rate] : scheme.out_edges(i)) {
+      if (gone[static_cast<std::size_t>(to)]) continue;
+      restricted.add(remap[static_cast<std::size_t>(i)],
+                     remap[static_cast<std::size_t>(to)], rate);
+    }
+  }
+  return restricted;
+}
+
+ChurnResult churn_experiment(const Instance& instance, const ChurnConfig& config) {
+  if (config.fail_fraction < 0.0 || config.fail_fraction >= 1.0) {
+    throw std::invalid_argument("churn_experiment: fail_fraction in [0,1)");
+  }
+  ChurnResult result;
+  const AcyclicSolution design = solve_acyclic(instance);
+  result.design_rate = design.throughput;
+  if (design.throughput <= 0.0) return result;
+
+  // `horizon` counts *pieces*, not absolute time: scale the simulated time
+  // by the stream rate so the event count is independent of the platform's
+  // bandwidth units.
+  const double rate = config.stream_load * design.throughput;
+  const double duration = config.horizon / rate;
+  const SimConfig phase{rate, duration, duration / 4.0, config.seed, true};
+  result.pre_fail_min_rate = simulate_random_useful(design.scheme, phase).min_rate;
+
+  // Choose departing peers (uniform among non-source nodes).
+  util::Xoshiro256 rng(config.seed ^ 0xC09AULL);
+  std::vector<int> peers;
+  for (int i = 1; i < instance.size(); ++i) peers.push_back(i);
+  for (std::size_t i = peers.size(); i > 1; --i) {
+    std::swap(peers[i - 1], peers[rng.below(i)]);
+  }
+  const auto departures =
+      static_cast<std::size_t>(config.fail_fraction * peers.size());
+  const std::vector<int> departed(peers.begin(),
+                                  peers.begin() + static_cast<long>(departures));
+  result.departed = static_cast<int>(departed.size());
+  result.survivors = instance.size() - 1 - result.departed;
+  if (result.survivors <= 0) return result;
+
+  // No reaction: survivors keep the broken overlay.
+  const BroadcastScheme broken = restrict_scheme(design.scheme, departed);
+  result.broken_min_rate = simulate_random_useful(broken, phase).min_rate;
+
+  // Replan: rerun the algorithm on the surviving platform.
+  const Instance survivors_platform = remove_nodes(instance, departed);
+  const AcyclicSolution replanned = solve_acyclic(survivors_platform);
+  result.replanned_rate = replanned.throughput;
+  if (replanned.throughput > 0.0) {
+    const double rate2 = config.stream_load * replanned.throughput;
+    const double duration2 = config.horizon / rate2;
+    const SimConfig phase2{rate2, duration2, duration2 / 4.0, config.seed + 1,
+                           true};
+    result.replanned_min_rate =
+        simulate_random_useful(replanned.scheme, phase2).min_rate;
+  }
+  return result;
+}
+
+}  // namespace bmp::sim

@@ -1,0 +1,53 @@
+// Churn experiment — the paper's §VII caveat made measurable: "our
+// solution should be resilient to small variations in the communication
+// performance of nodes. However it is probably not resilient to churn."
+//
+// We model an abrupt departure of a fraction of the peers mid-stream and
+// two reactions:
+//   * none      — survivors keep the (now broken) overlay;
+//   * replan    — re-run the paper's acyclic algorithm on the survivors
+//                 and switch overlays at the failure instant.
+// The metric is the post-failure stream rate of the worst survivor,
+// measured with the randomized useful-piece simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+
+namespace bmp::sim {
+
+struct ChurnConfig {
+  double fail_fraction = 0.2;   ///< fraction of peers that leave
+  double stream_load = 0.85;    ///< offered rate as a fraction of design T
+  double horizon = 400.0;       ///< simulated time per phase
+  std::uint64_t seed = 1;
+};
+
+struct ChurnResult {
+  double design_rate = 0.0;        ///< pre-failure overlay throughput
+  double pre_fail_min_rate = 0.0;  ///< worst peer before the failure
+  double broken_min_rate = 0.0;    ///< worst survivor, no reaction
+  double replanned_rate = 0.0;     ///< new overlay design throughput
+  double replanned_min_rate = 0.0; ///< worst survivor after replanning
+  int survivors = 0;
+  int departed = 0;
+};
+
+/// Runs the three-phase churn experiment on `instance`. Departing peers are
+/// chosen uniformly among non-source nodes.
+ChurnResult churn_experiment(const Instance& instance, const ChurnConfig& config);
+
+/// Restriction helper: drops the given (sorted-id) peers from an instance,
+/// preserving classes. Exposed for tests.
+Instance remove_nodes(const Instance& instance, const std::vector<int>& departed);
+
+/// Projects a scheme onto the surviving nodes (edges touching departed
+/// peers vanish; ids are compacted to the new instance's numbering given by
+/// remove_nodes' ordering). Exposed for tests.
+BroadcastScheme restrict_scheme(const BroadcastScheme& scheme,
+                                const std::vector<int>& departed);
+
+}  // namespace bmp::sim

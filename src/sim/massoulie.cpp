@@ -1,0 +1,192 @@
+#include "bmp/sim/massoulie.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "bmp/util/rng.hpp"
+
+namespace bmp::sim {
+
+namespace {
+
+struct Edge {
+  int from;
+  int to;
+  double transfer_time;  // 1 / rate
+  bool busy = false;
+  int piece = -1;        // piece currently in flight
+};
+
+struct Event {
+  double time;
+  enum class Kind { kInject, kTransferDone } kind;
+  int payload;  // piece id for inject; edge id for transfer completion
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+/// Per-node piece inventory with O(1) membership and uniform sampling.
+class Inventory {
+ public:
+  void ensure(int piece) {
+    if (piece >= static_cast<int>(has_.size())) {
+      has_.resize(static_cast<std::size_t>(piece) + 64, false);
+    }
+  }
+
+  [[nodiscard]] bool contains(int piece) const {
+    return piece < static_cast<int>(has_.size()) &&
+           has_[static_cast<std::size_t>(piece)];
+  }
+
+  void add(int piece) {
+    ensure(piece);
+    if (!has_[static_cast<std::size_t>(piece)]) {
+      has_[static_cast<std::size_t>(piece)] = true;
+      list_.push_back(piece);
+    }
+  }
+
+  [[nodiscard]] const std::vector<int>& list() const { return list_; }
+
+ private:
+  std::vector<bool> has_;
+  std::vector<int> list_;
+};
+
+}  // namespace
+
+SimResult simulate_random_useful(const BroadcastScheme& overlay,
+                                 const SimConfig& config) {
+  if (config.source_rate <= 0.0 || config.duration <= config.warmup) {
+    throw std::invalid_argument("simulate_random_useful: bad config");
+  }
+  const int N = overlay.num_nodes();
+  std::vector<Edge> edges;
+  std::vector<std::vector<int>> out_edges(static_cast<std::size_t>(N));
+  for (int i = 0; i < N; ++i) {
+    for (const auto& [to, r] : overlay.out_edges(i)) {
+      if (r <= 0.0) continue;
+      out_edges[static_cast<std::size_t>(i)].push_back(
+          static_cast<int>(edges.size()));
+      edges.push_back({i, to, 1.0 / r});
+    }
+  }
+
+  util::Xoshiro256 rng(config.seed);
+  std::vector<Inventory> have(static_cast<std::size_t>(N));
+  std::vector<Inventory> incoming(static_cast<std::size_t>(N));  // in flight
+  std::vector<double> inject_time;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  SimResult result;
+  result.nodes.assign(static_cast<std::size_t>(N), {});
+  std::vector<double> delay_sum(static_cast<std::size_t>(N), 0.0);
+
+  // Pre-schedule piece injections.
+  const auto total_pieces =
+      static_cast<int>(config.duration * config.source_rate) + 1;
+  inject_time.reserve(static_cast<std::size_t>(total_pieces));
+  for (int p = 0; p < total_pieces; ++p) {
+    const double t = p / config.source_rate;
+    inject_time.push_back(t);
+    queue.push({t, Event::Kind::kInject, p});
+  }
+
+  // Tries to start a transfer on an idle edge: uniformly random useful
+  // piece (rejection sampling, falling back to a linear scan).
+  const auto try_start = [&](int edge_id, double now) {
+    Edge& e = edges[static_cast<std::size_t>(edge_id)];
+    if (e.busy) return;
+    const Inventory& src = have[static_cast<std::size_t>(e.from)];
+    const Inventory& dst = have[static_cast<std::size_t>(e.to)];
+    const Inventory& inflight = incoming[static_cast<std::size_t>(e.to)];
+    const auto useful = [&](int piece) {
+      if (dst.contains(piece)) return false;
+      return !(config.dedup_in_flight && inflight.contains(piece));
+    };
+    const auto& pieces = src.list();
+    if (pieces.empty()) return;
+    int chosen = -1;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int candidate = pieces[rng.below(pieces.size())];
+      if (useful(candidate)) {
+        chosen = candidate;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      // Dense fallback: collect all useful pieces, pick uniformly.
+      std::vector<int> candidates;
+      for (const int piece : pieces) {
+        if (useful(piece)) candidates.push_back(piece);
+      }
+      if (candidates.empty()) return;
+      chosen = candidates[rng.below(candidates.size())];
+    }
+    e.busy = true;
+    e.piece = chosen;
+    incoming[static_cast<std::size_t>(e.to)].add(chosen);
+    queue.push({now + e.transfer_time, Event::Kind::kTransferDone, edge_id});
+  };
+
+  const auto on_new_piece = [&](int node, int piece, double now) {
+    if (have[static_cast<std::size_t>(node)].contains(piece)) {
+      ++result.duplicates;
+      return;
+    }
+    have[static_cast<std::size_t>(node)].add(piece);
+    if (now >= config.warmup && node != 0) {
+      auto& stats = result.nodes[static_cast<std::size_t>(node)];
+      ++stats.pieces_received;
+      delay_sum[static_cast<std::size_t>(node)] +=
+          now - inject_time[static_cast<std::size_t>(piece)];
+    }
+    // New data at `node` may make idle out-edges useful again.
+    for (const int edge_id : out_edges[static_cast<std::size_t>(node)]) {
+      try_start(edge_id, now);
+    }
+  };
+
+  while (!queue.empty()) {
+    const Event event = queue.top();
+    queue.pop();
+    if (event.time > config.duration) break;
+    if (event.kind == Event::Kind::kInject) {
+      on_new_piece(0, event.payload, event.time);
+    } else {
+      Edge& e = edges[static_cast<std::size_t>(event.payload)];
+      e.busy = false;
+      const int piece = e.piece;
+      e.piece = -1;
+      ++result.transfers;
+      on_new_piece(e.to, piece, event.time);
+      try_start(event.payload, event.time);  // keep the pipe full
+    }
+  }
+
+  const double window = config.duration - config.warmup;
+  double rate_sum = 0.0;
+  result.min_rate = N > 1 ? std::numeric_limits<double>::infinity() : 0.0;
+  for (int v = 0; v < N; ++v) {
+    auto& stats = result.nodes[static_cast<std::size_t>(v)];
+    stats.rate = static_cast<double>(stats.pieces_received) / window;
+    if (stats.pieces_received > 0) {
+      stats.mean_delay = delay_sum[static_cast<std::size_t>(v)] /
+                         static_cast<double>(stats.pieces_received);
+    }
+    if (v == 0) {
+      stats.rate = config.source_rate;
+      continue;
+    }
+    rate_sum += stats.rate;
+    result.min_rate = std::min(result.min_rate, stats.rate);
+  }
+  result.mean_rate = N > 1 ? rate_sum / (N - 1) : 0.0;
+  return result;
+}
+
+}  // namespace bmp::sim

@@ -1,0 +1,85 @@
+#include "bmp/theory/instances.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace bmp::theory {
+
+using util::Rational;
+
+Instance fig1_instance() { return Instance(6.0, {5.0, 5.0}, {4.0, 1.0, 1.0}); }
+
+RationalInstance fig1_rational() {
+  return RationalInstance(Rational(6), {Rational(5), Rational(5)},
+                          {Rational(4), Rational(1), Rational(1)});
+}
+
+Instance fig6_instance(int m) {
+  if (m < 1) throw std::invalid_argument("fig6_instance: m >= 1 required");
+  std::vector<double> guarded(static_cast<std::size_t>(m), 1.0 / m);
+  return Instance(1.0, {static_cast<double>(m - 1)}, std::move(guarded));
+}
+
+Instance fig18_instance(double eps) {
+  if (eps < 0.0 || eps >= 0.5) {
+    throw std::invalid_argument("fig18_instance: eps in [0, 1/2) required");
+  }
+  return Instance(1.0, {1.0 + 2.0 * eps}, {0.5 - eps, 0.5 - eps});
+}
+
+RationalInstance fig18_rational(const Rational& eps) {
+  const Rational half(1, 2);
+  return RationalInstance(Rational(1), {Rational(1) + Rational(2) * eps},
+                          {half - eps, half - eps});
+}
+
+Rational fig18_worst_eps() { return {1, 14}; }
+
+Instance thm63_instance(int k, int p, int q) {
+  if (k < 1 || p < 1 || q <= p) {
+    throw std::invalid_argument("thm63_instance: need k>=1 and alpha=p/q<1");
+  }
+  const double alpha = static_cast<double>(p) / q;
+  std::vector<double> open(static_cast<std::size_t>(k) * q, alpha);
+  std::vector<double> guarded(static_cast<std::size_t>(k) * p, 1.0 / alpha);
+  return Instance(1.0, std::move(open), std::move(guarded));
+}
+
+double thm63_alpha() { return (std::sqrt(41.0) - 3.0) / 8.0; }
+double thm63_limit_ratio() { return (1.0 + std::sqrt(41.0)) / 8.0; }
+
+Instance tight_homogeneous(int n, int m, double delta) {
+  if (n < 1 || m < 1) {
+    throw std::invalid_argument("tight_homogeneous: n, m >= 1 required");
+  }
+  if (delta < 0.0 || delta > static_cast<double>(n)) {
+    throw std::invalid_argument("tight_homogeneous: delta in [0, n] required");
+  }
+  const double o = (m - 1 + delta) / n;
+  const double g = (n - delta) / m;
+  return Instance(1.0, std::vector<double>(static_cast<std::size_t>(n), o),
+                  std::vector<double>(static_cast<std::size_t>(m), g));
+}
+
+RationalInstance tight_homogeneous_rational(int n, int m, const Rational& delta) {
+  if (n < 1 || m < 1) {
+    throw std::invalid_argument("tight_homogeneous_rational: n, m >= 1 required");
+  }
+  if (delta < Rational(0) || Rational(n) < delta) {
+    throw std::invalid_argument("tight_homogeneous_rational: delta in [0, n]");
+  }
+  const Rational o = (Rational(m - 1) + delta) / Rational(n);
+  const Rational g = (Rational(n) - delta) / Rational(m);
+  return RationalInstance(
+      Rational(1), std::vector<Rational>(static_cast<std::size_t>(n), o),
+      std::vector<Rational>(static_cast<std::size_t>(m), g));
+}
+
+Instance tight_homogeneous_open(int n) {
+  if (n < 1) throw std::invalid_argument("tight_homogeneous_open: n >= 1");
+  const double o = static_cast<double>(n - 1) / n;
+  return Instance(1.0, std::vector<double>(static_cast<std::size_t>(n), o), {});
+}
+
+}  // namespace bmp::theory

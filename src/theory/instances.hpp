@@ -1,0 +1,53 @@
+// The paper's named instance families:
+//
+//  * fig1_instance        — the running example (§II.D, T* = 4.4);
+//  * fig6_instance(m)     — cyclic+guarded degree blow-up: optimal cyclic
+//                           schemes need source degree m while ceil(b0/T*)=1;
+//  * fig18_instance(eps)  — the Theorem 6.2 tight family: at eps = 1/14 the
+//                           acyclic/cyclic ratio hits exactly 5/7;
+//  * thm63_instance(k)    — I(alpha,k) of Theorem 6.3: kq opens at alpha,
+//                           kp guardeds at 1/alpha, ratio -> (1+sqrt41)/8;
+//  * tight_homogeneous    — the Fig. 7 grid family: b0 = T* = 1, opens at
+//                           o = (m-1+Delta)/n, guardeds at g = (n-Delta)/m.
+#pragma once
+
+#include "bmp/core/instance.hpp"
+#include "bmp/util/rational.hpp"
+
+namespace bmp::theory {
+
+Instance fig1_instance();
+RationalInstance fig1_rational();
+
+/// Fig. 6: b0 = 1, one open node at m-1, m guarded nodes at 1/m. T* = 1.
+Instance fig6_instance(int m);
+
+/// Fig. 18 / Thm 6.2: b0 = 1, open {1+2eps}, guarded {1/2-eps, 1/2-eps}.
+Instance fig18_instance(double eps);
+RationalInstance fig18_rational(const util::Rational& eps);
+
+/// eps at which both orderings of the 5/7 proof tie: 1/14.
+util::Rational fig18_worst_eps();
+
+/// Theorem 6.2's tight ratio.
+constexpr double five_sevenths() { return 5.0 / 7.0; }
+
+/// I(alpha = p/q, k): b0 = 1, kq open nodes at p/q, kp guarded at q/p.
+/// Defaults approximate alpha* = (sqrt(41)-3)/8 ~ 0.42539 (20/47 ~ 0.42553).
+Instance thm63_instance(int k, int p = 20, int q = 47);
+
+/// alpha* = (sqrt(41)-3)/8: the worst open/guarded balance.
+double thm63_alpha();
+/// Asymptotic ceiling of T*_ac/T*: (1+sqrt(41))/8 ~ 0.92539.
+double thm63_limit_ratio();
+
+/// Tight homogeneous instance (§XI-B): b0 = T* = 1. Requires n >= 1,
+/// m >= 1 and 0 <= delta <= n. (For m = 0 use tight_homogeneous_open.)
+Instance tight_homogeneous(int n, int m, double delta);
+RationalInstance tight_homogeneous_rational(int n, int m,
+                                            const util::Rational& delta);
+
+/// Open-only tight instance: b0 = 1, n opens at (n-1)/n (so (b0+O)/n = 1).
+Instance tight_homogeneous_open(int n);
+
+}  // namespace bmp::theory

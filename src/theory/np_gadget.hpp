@@ -1,0 +1,45 @@
+// Theorem 3.1 (appendix VIII): the degree-constrained broadcast problem is
+// strongly NP-complete, by reduction from 3-PARTITION. This module makes
+// the reduction executable:
+//
+//   3-PARTITION instance (3p items a_i, sum pT, T/4 < a_i < T/2)
+//     -> broadcast instance (Fig. 8): source b0 = 3pT, 3p intermediate open
+//        nodes with b_i = a_i, p final open nodes with b = 0, target T.
+//
+// A 3-partition solution maps to a throughput-T scheme where every node has
+// outdegree exactly ceil(b_i/T), and conversely — so an exact small-scale
+// 3-PARTITION solver doubles as the degree-constrained broadcast oracle.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+
+namespace bmp::theory {
+
+struct ThreePartition {
+  std::vector<long> items;  ///< 3p items
+  long target = 0;          ///< T; a valid instance has sum(items) = p*T
+
+  [[nodiscard]] int groups() const { return static_cast<int>(items.size()) / 3; }
+  /// Structural well-formedness: |items| = 3p, sum = pT, T/4 < a_i < T/2.
+  [[nodiscard]] bool well_formed() const;
+};
+
+/// The Fig. 8 gadget instance (all nodes open).
+Instance np_gadget_instance(const ThreePartition& tp);
+
+/// Exhaustive 3-PARTITION solver (backtracking; fine for p <= ~5). Returns
+/// the triples of item indices, or nullopt if no partition exists.
+std::optional<std::vector<std::array<int, 3>>> solve_three_partition(
+    const ThreePartition& tp);
+
+/// Builds the degree-optimal broadcast scheme of the reduction from a
+/// 3-partition solution: throughput T, outdegree(i) == ceil(b_i/T) for all.
+BroadcastScheme scheme_from_three_partition(
+    const ThreePartition& tp, const std::vector<std::array<int, 3>>& triples);
+
+}  // namespace bmp::theory

@@ -1,0 +1,137 @@
+// Exact rational arithmetic on 64-bit numerator/denominator with __int128
+// intermediates. Used as the exact number type for the coding-word state
+// machinery (Lemma 4.4 recursions) and for ground-truth throughput values in
+// tests (e.g. the tight 5/7 instances of Theorem 6.2), where floating point
+// would blur feasibility boundaries.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace bmp::util {
+
+/// Exact rational p/q, always stored normalized (gcd(p,q)=1, q>0).
+/// Overflow of the reduced representation throws std::overflow_error rather
+/// than wrapping silently; intermediates are computed in __int128.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): integers convert exactly.
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}
+  Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    if (den_ == 0) throw std::domain_error("Rational: zero denominator");
+    normalize();
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return from_i128(i128(a.num_) * b.den_ + i128(b.num_) * a.den_,
+                     i128(a.den_) * b.den_);
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return from_i128(i128(a.num_) * b.den_ - i128(b.num_) * a.den_,
+                     i128(a.den_) * b.den_);
+  }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    return from_i128(i128(a.num_) * b.num_, i128(a.den_) * b.den_);
+  }
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    if (b.num_ == 0) throw std::domain_error("Rational: division by zero");
+    return from_i128(i128(a.num_) * b.den_, i128(a.den_) * b.num_);
+  }
+  Rational operator-() const {
+    Rational r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+  }
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+    const i128 lhs = i128(a.num_) * b.den_;
+    const i128 rhs = i128(b.num_) * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  [[nodiscard]] std::string str() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r) {
+    return os << r.str();
+  }
+
+ private:
+  __extension__ typedef __int128 i128;  // NOLINT: GCC extension, sanctioned via __extension__
+
+  static Rational from_i128(i128 num, i128 den) {
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    const i128 g = gcd128(num < 0 ? -num : num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+    constexpr i128 kMax = INT64_MAX;
+    constexpr i128 kMin = INT64_MIN;
+    if (num > kMax || num < kMin || den > kMax) {
+      throw std::overflow_error("Rational: 64-bit overflow after reduction");
+    }
+    Rational r;
+    r.num_ = static_cast<std::int64_t>(num);
+    r.den_ = static_cast<std::int64_t>(den);
+    return r;
+  }
+
+  static i128 gcd128(i128 a, i128 b) {
+    while (b != 0) {
+      const i128 t = a % b;
+      a = b;
+      b = t;
+    }
+    return a == 0 ? 1 : a;
+  }
+
+  void normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// min/max helpers so templated code works uniformly for double and Rational.
+inline Rational min(const Rational& a, const Rational& b) { return a < b ? a : b; }
+inline Rational max(const Rational& a, const Rational& b) { return a < b ? b : a; }
+
+}  // namespace bmp::util

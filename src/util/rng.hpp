@@ -1,0 +1,83 @@
+// Deterministic, fast RNG (xoshiro256**) with SplitMix64 seeding. The
+// experiment harness derives one independent stream per (experiment, cell,
+// replicate) so results are reproducible regardless of thread scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace bmp::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into stream state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator so
+/// it plugs into <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0xB10C0DEULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream (for per-replicate seeding).
+  [[nodiscard]] constexpr Xoshiro256 fork(std::uint64_t salt) const {
+    std::uint64_t sm = state_[0] ^ (salt * 0x9E3779B97F4A7C15ULL) ^ state_[3];
+    Xoshiro256 child(0);
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free bound is overkill here; modulo
+    // bias is negligible for n << 2^64 but we keep a rejection loop for
+    // exactness in property tests.
+    const std::uint64_t threshold = (0ULL - n) % n;
+    for (;;) {
+      const std::uint64_t r = operator()();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace bmp::util

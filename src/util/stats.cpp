@@ -1,0 +1,88 @@
+#include "bmp/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace bmp::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  return rs.stddev();
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double h = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
+
+BoxStats box_stats(std::vector<double> xs) {
+  BoxStats b;
+  if (xs.empty()) return b;
+  b.n = xs.size();
+  b.mean = mean(xs);
+  std::sort(xs.begin(), xs.end());
+  const auto q = [&xs](double p) {
+    const double h = p * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+  };
+  b.min = xs.front();
+  b.q05 = q(0.05);
+  b.q25 = q(0.25);
+  b.median = q(0.5);
+  b.q75 = q(0.75);
+  b.q95 = q(0.95);
+  b.max = xs.back();
+  return b;
+}
+
+std::string to_string(const BoxStats& b, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << "min=" << b.min << " q05=" << b.q05 << " q25=" << b.q25
+     << " med=" << b.median << " q75=" << b.q75 << " q95=" << b.q95
+     << " max=" << b.max << " mean=" << b.mean;
+  return os.str();
+}
+
+}  // namespace bmp::util

@@ -1,0 +1,51 @@
+// Small descriptive-statistics toolkit used by the experiment harness
+// (Fig. 19 boxplots, degree audits). Quantiles follow the "type 7" linear
+// interpolation convention (the default of R/NumPy), which is what the
+// paper's boxplots use.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bmp::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (divides by n-1); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+/// Type-7 quantile with linear interpolation, q in [0,1]. Sorts a copy.
+double quantile(std::vector<double> xs, double q);
+double median(const std::vector<double>& xs);
+
+/// Five-number summary + mean, as used for the Fig. 19 boxplots.
+struct BoxStats {
+  std::size_t n = 0;
+  double min = 0, q05 = 0, q25 = 0, median = 0, q75 = 0, q95 = 0, max = 0;
+  double mean = 0;
+};
+
+BoxStats box_stats(std::vector<double> xs);
+
+/// "min=.. q25=.. med=.. .." one-line rendering for bench tables.
+std::string to_string(const BoxStats& b, int precision = 4);
+
+}  // namespace bmp::util

@@ -1,0 +1,85 @@
+#include "bmp/util/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace bmp::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(int v) { return std::to_string(v); }
+std::string Table::num(long v) { return std::to_string(v); }
+std::string Table::num(std::size_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(width[c])) << std::left
+         << (c < row.size() ? row[c] : "") << " |";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  const auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+bool Table::maybe_write_csv(const std::string& name) const {
+  const char* dir = std::getenv("BMP_RESULTS_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(std::filesystem::path(dir) / (name + ".csv"));
+  if (!out) return false;
+  out << to_csv();
+  return true;
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+}  // namespace bmp::util

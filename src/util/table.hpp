@@ -1,0 +1,42 @@
+// Plain-text aligned table rendering + CSV export for the experiment
+// binaries, so every paper table/figure prints as a readable block and can
+// optionally be dumped for plotting (set BMP_RESULTS_DIR).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bmp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format helpers for mixed numeric rows.
+  static std::string num(double v, int precision = 4);
+  static std::string num(int v);
+  static std::string num(long v);
+  static std::string num(std::size_t v);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes <name>.csv under $BMP_RESULTS_DIR if that env var is set;
+  /// returns true if a file was written.
+  bool maybe_write_csv(const std::string& name) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used by the bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace bmp::util

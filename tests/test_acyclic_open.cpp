@@ -1,0 +1,125 @@
+// Algorithm 1 (§III.B) tests: optimal throughput, the ceil(b_i/T)+1 degree
+// bound, acyclicity, exact inflow, and the partial variant used by the
+// cyclic construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bmp/core/acyclic_open.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/flow/maxflow.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp {
+namespace {
+
+void expect_valid_acyclic_scheme(const Instance& inst, const BroadcastScheme& s,
+                                 double T) {
+  EXPECT_TRUE(s.validate(inst).empty());
+  EXPECT_TRUE(s.is_acyclic());
+  EXPECT_LE(s.max_inflow_deviation(T), 1e-7 * std::max(1.0, T));
+  for (int i = 0; i < inst.size(); ++i) {
+    const int cap = static_cast<int>(std::ceil(inst.b(i) / T - 1e-9)) + 1;
+    EXPECT_LE(s.out_degree(i), cap) << "degree bound violated at node " << i;
+  }
+}
+
+TEST(AcyclicOpen, OptimalOnSimpleInstance) {
+  const Instance inst(5.0, {5.0, 3.0, 2.0}, {});
+  const double T = acyclic_open_optimal(inst);  // 13/3
+  const BroadcastScheme s = build_acyclic_open(inst, T);
+  expect_valid_acyclic_scheme(inst, s, T);
+  EXPECT_NEAR(flow::scheme_throughput(s), T, 1e-7);
+}
+
+TEST(AcyclicOpen, SourceServesFirstReceiverFully) {
+  const Instance inst(5.0, {5.0, 4.0, 4.0, 4.0, 3.0}, {});
+  const BroadcastScheme s = build_acyclic_open(inst, 4.0);
+  EXPECT_DOUBLE_EQ(s.rate(0, 1), 4.0);
+}
+
+TEST(AcyclicOpen, ThrowsOnGuardedInstance) {
+  EXPECT_THROW(build_acyclic_open(testing::fig1_instance(), 1.0),
+               std::invalid_argument);
+}
+
+TEST(AcyclicOpen, ThrowsAboveOptimal) {
+  const Instance inst(5.0, {5.0, 3.0, 2.0}, {});
+  EXPECT_THROW(build_acyclic_open(inst, 13.0 / 3.0 + 0.01), std::invalid_argument);
+  EXPECT_THROW(build_acyclic_open(Instance(2.0, {5.0}, {}), 2.5),
+               std::invalid_argument);
+}
+
+TEST(AcyclicOpen, ZeroThroughputGivesEmptyScheme) {
+  const Instance inst(5.0, {5.0, 3.0}, {});
+  const BroadcastScheme s = build_acyclic_open(inst, 0.0);
+  EXPECT_EQ(s.edge_count(), 0);
+}
+
+TEST(AcyclicOpen, PartialStallsAtTheoreticalIndex) {
+  // Figure 11: b = [5,5,3,2], T = 5: S_2 = 13 < 3*5 -> i0 = 3.
+  const auto partial = build_acyclic_open_partial(testing::fig11_instance(), 5.0);
+  ASSERT_TRUE(partial.stalled.has_value());
+  EXPECT_EQ(*partial.stalled, 3);
+  // Figure 14: b = [5,5,4,4,4,3], T = 5: S_2 = 14 < 15 -> i0 = 3, fed 4 = T-M3.
+  const auto partial14 = build_acyclic_open_partial(testing::fig14_instance(), 5.0);
+  ASSERT_TRUE(partial14.stalled.has_value());
+  EXPECT_EQ(*partial14.stalled, 3);
+  EXPECT_NEAR(partial14.scheme.in_rate(3), 4.0, 1e-9);
+  // Nodes before i0 are fully served, later ones untouched.
+  EXPECT_NEAR(partial14.scheme.in_rate(1), 5.0, 1e-9);
+  EXPECT_NEAR(partial14.scheme.in_rate(2), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(partial14.scheme.in_rate(4), 0.0);
+  EXPECT_DOUBLE_EQ(partial14.scheme.in_rate(5), 0.0);
+}
+
+TEST(AcyclicOpen, PropertySweepRandomInstances) {
+  util::Xoshiro256 rng(31337);
+  for (int rep = 0; rep < 200; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(30));
+    const Instance inst = testing::random_instance(rng, n, 0, 0.2, 20.0);
+    const double T = acyclic_open_optimal(inst);
+    const BroadcastScheme s = build_acyclic_open(inst, T);
+    expect_valid_acyclic_scheme(inst, s, T);
+  }
+}
+
+TEST(AcyclicOpen, WorksAtSubOptimalRates) {
+  util::Xoshiro256 rng(4242);
+  for (int rep = 0; rep < 100; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(15));
+    const Instance inst = testing::random_instance(rng, n, 0);
+    const double T = acyclic_open_optimal(inst) * rng.uniform(0.1, 0.999);
+    const BroadcastScheme s = build_acyclic_open(inst, T);
+    expect_valid_acyclic_scheme(inst, s, T);
+  }
+}
+
+TEST(AcyclicOpen, SenderOnlyFeedsLaterNodes) {
+  util::Xoshiro256 rng(55);
+  for (int rep = 0; rep < 50; ++rep) {
+    const int n = 2 + static_cast<int>(rng.below(20));
+    const Instance inst = testing::random_instance(rng, n, 0);
+    const double T = acyclic_open_optimal(inst);
+    const BroadcastScheme s = build_acyclic_open(inst, T);
+    for (int i = 0; i < inst.size(); ++i) {
+      for (const auto& [to, r] : s.out_edges(i)) {
+        EXPECT_GT(to, i) << "Algorithm 1 must only feed forward";
+      }
+    }
+  }
+}
+
+TEST(AcyclicOpen, ThroughputVerifiedByMaxFlow) {
+  util::Xoshiro256 rng(90);
+  for (int rep = 0; rep < 30; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(12));
+    const Instance inst = testing::random_instance(rng, n, 0);
+    const double T = acyclic_open_optimal(inst);
+    const BroadcastScheme s = build_acyclic_open(inst, T);
+    EXPECT_NEAR(flow::scheme_throughput(s), T, 1e-6 * std::max(1.0, T));
+  }
+}
+
+}  // namespace
+}  // namespace bmp

@@ -1,0 +1,129 @@
+// Baseline overlay tests: structural validity (bandwidth + firewall),
+// known closed forms (star), and the headline comparison property — the
+// paper's algorithms never lose to any baseline on throughput.
+#include <gtest/gtest.h>
+
+#include "bmp/baselines/baselines.hpp"
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp::baselines {
+namespace {
+
+void expect_valid(const Instance& inst, const BaselineResult& r) {
+  EXPECT_TRUE(r.scheme.validate(inst).empty()) << r.name;
+  EXPECT_GE(r.throughput, 0.0) << r.name;
+  EXPECT_LE(r.throughput, cyclic_upper_bound(inst) + 1e-6) << r.name;
+}
+
+TEST(Star, ClosedForm) {
+  const Instance inst = testing::fig1_instance();
+  const BaselineResult r = star(inst);
+  EXPECT_NEAR(r.throughput, 6.0 / 5.0, 1e-9);
+  EXPECT_EQ(r.scheme.out_degree(0), 5);
+  expect_valid(inst, r);
+}
+
+TEST(Chain, OpenOnlyPipelinesAtSmallestSender) {
+  const Instance inst(5.0, {4.0, 3.0, 2.0}, {});
+  const BaselineResult r = chain(inst);
+  // Spine 0->1->2->3: every non-last spine node forwards once; bottleneck
+  // is b2 = 3 (node 3 sends nothing).
+  EXPECT_NEAR(r.throughput, 3.0, 1e-9);
+  expect_valid(inst, r);
+}
+
+TEST(Chain, AttachesGuardedNodes) {
+  const Instance inst = testing::fig1_instance();
+  const BaselineResult r = chain(inst);
+  expect_valid(inst, r);
+  EXPECT_GT(r.throughput, 0.0);
+  // Guarded nodes are always fed by open spine nodes.
+  for (int g = inst.n() + 1; g < inst.size(); ++g) {
+    EXPECT_GT(r.scheme.in_rate(g), 0.0);
+  }
+}
+
+TEST(KaryTree, ArityTradeoff) {
+  // Homogeneous opens: higher arity shortens the tree but splits bandwidth.
+  const Instance inst(8.0, std::vector<double>(14, 8.0), {});
+  for (int arity = 1; arity <= 4; ++arity) {
+    const BaselineResult r = kary_tree(inst, arity);
+    expect_valid(inst, r);
+    EXPECT_NEAR(r.throughput, 8.0 / arity, 1e-9) << "arity " << arity;
+  }
+  EXPECT_THROW(kary_tree(inst, 0), std::invalid_argument);
+}
+
+TEST(KaryTree, GuardedNodesBecomeLeaves) {
+  const Instance inst(6.0, {6.0, 6.0}, {3.0, 3.0, 3.0});
+  const BaselineResult r = kary_tree(inst, 2);
+  expect_valid(inst, r);
+  for (int g = inst.n() + 1; g < inst.size(); ++g) {
+    EXPECT_EQ(r.scheme.out_degree(g), 0);
+  }
+}
+
+TEST(BestKary, PicksTheBestArity) {
+  util::Xoshiro256 rng(31);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Instance inst =
+        testing::random_instance(rng, 4 + static_cast<int>(rng.below(10)),
+                                 static_cast<int>(rng.below(5)));
+    const BaselineResult best = best_kary_tree(inst);
+    for (int arity = 1; arity <= 8; ++arity) {
+      EXPECT_GE(best.throughput + 1e-9, kary_tree(inst, arity).throughput);
+    }
+  }
+}
+
+TEST(SplitStream, StripesAreValidAndInteriorDisjoint) {
+  util::Xoshiro256 rng(32);
+  const Instance inst(10.0, {9.0, 8.0, 7.0, 6.0, 5.0, 4.0}, {3.0, 2.0});
+  const BaselineResult r = splitstream_like(inst, 3, rng);
+  expect_valid(inst, r);
+  EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(SplitStream, FallsBackToStarWithoutOpens) {
+  util::Xoshiro256 rng(33);
+  const Instance inst(9.0, {}, {1.0, 1.0, 1.0});
+  const BaselineResult r = splitstream_like(inst, 4, rng);
+  EXPECT_NEAR(r.throughput, 3.0, 1e-9);
+}
+
+TEST(RandomMesh, RespectsConstraints) {
+  util::Xoshiro256 rng(34);
+  for (int rep = 0; rep < 25; ++rep) {
+    const Instance inst =
+        testing::random_instance(rng, 3 + static_cast<int>(rng.below(8)),
+                                 static_cast<int>(rng.below(6)));
+    const BaselineResult r = random_mesh(inst, 3, rng);
+    expect_valid(inst, r);
+  }
+}
+
+// The central comparison: the paper's optimal acyclic algorithm dominates
+// every baseline on every instance (it is optimal among acyclic schemes,
+// and the cyclic bound caps the mesh too).
+TEST(Comparison, PaperAlgorithmsDominateBaselines) {
+  util::Xoshiro256 rng(35);
+  for (int rep = 0; rep < 40; ++rep) {
+    const int n = 2 + static_cast<int>(rng.below(10));
+    const int m = static_cast<int>(rng.below(6));
+    const Instance inst = testing::random_instance(rng, n, m, 0.5, 20.0);
+    const double ours = optimal_acyclic_throughput(inst);
+    EXPECT_GE(ours + 1e-6, star(inst).throughput);
+    EXPECT_GE(ours + 1e-6, chain(inst).throughput);
+    EXPECT_GE(ours + 1e-6, best_kary_tree(inst).throughput);
+    const double ss = splitstream_like(inst, 4, rng).throughput;
+    EXPECT_GE(ours + 1e-6, ss);
+    // The random mesh is cyclic, so compare against the cyclic optimum.
+    EXPECT_GE(cyclic_upper_bound(inst) + 1e-6,
+              random_mesh(inst, 3, rng).throughput);
+  }
+}
+
+}  // namespace
+}  // namespace bmp::baselines

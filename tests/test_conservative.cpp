@@ -1,0 +1,83 @@
+// Conservativeness checker tests (Lemma 4.3 machinery): the Fig. 2 scheme
+// is conservative, the Fig. 4 scheme is the paper's canonical violation,
+// and every scheme built by the word scheduler is conservative by
+// construction.
+#include <gtest/gtest.h>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/conservative.hpp"
+#include "bmp/core/word_schedule.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp {
+namespace {
+
+TEST(Conservative, OrderFromWordMapsPositions) {
+  const Instance inst = testing::fig1_instance();
+  const std::vector<int> order = order_from_word(inst, make_word("GOGOG"));
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 4, 2, 5}));
+  EXPECT_THROW(order_from_word(inst, make_word("GG")), std::invalid_argument);
+}
+
+TEST(Conservative, Fig2SchemeIsConservative) {
+  const Instance inst = testing::fig1_instance();
+  const WordSchedule ws = build_scheme_from_word(inst, make_word("GOOGG"), 4.0);
+  const auto order = order_from_word(inst, make_word("GOOGG"));
+  EXPECT_FALSE(
+      find_conservativeness_violation(inst, ws.scheme, order).has_value());
+}
+
+TEST(Conservative, Fig4SchemeIsDetected) {
+  // The paper's Fig. 4: order σ = 031245; C1 takes 2 units from the source
+  // while guarded C3 still has 2 units of unused upload.
+  const Instance inst = testing::fig1_instance();
+  BroadcastScheme s(inst.size());
+  s.add(0, 3, 4.0);
+  s.add(0, 1, 2.0);
+  s.add(3, 1, 2.0);
+  s.add(3, 2, 2.0);
+  s.add(1, 2, 2.0);
+  s.add(1, 4, 3.0);
+  s.add(2, 4, 1.0);
+  s.add(2, 5, 4.0);
+  ASSERT_TRUE(s.validate(inst).empty());
+  ASSERT_LE(s.max_inflow_deviation(4.0), 1e-9);
+  const auto order = order_from_word(inst, make_word("GOOGG"));
+  const auto violation = find_conservativeness_violation(inst, s, order);
+  ASSERT_TRUE(violation.has_value());
+  // i = 1 (C3 guarded), j = 0 (source), k = 2 (C1) — the paper's triplet.
+  EXPECT_EQ(violation->guarded_node, 3);
+  EXPECT_EQ(violation->open_sender, 0);
+  EXPECT_EQ(violation->open_receiver, 1);
+  EXPECT_NEAR(violation->residual, 2.0, 1e-9);
+  EXPECT_FALSE(violation->describe().empty());
+}
+
+TEST(Conservative, WordSchedulerIsAlwaysConservative) {
+  util::Xoshiro256 rng(0xC0A5);
+  for (int rep = 0; rep < 80; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(8));
+    const int m = static_cast<int>(rng.below(8));
+    const Instance inst = testing::random_instance(rng, n, m);
+    const AcyclicSolution sol = solve_acyclic(inst);
+    if (sol.throughput <= 1e-9) continue;
+    const auto order = order_from_word(inst, sol.word);
+    const auto violation =
+        find_conservativeness_violation(inst, sol.scheme, order, 1e-6);
+    EXPECT_FALSE(violation.has_value())
+        << (violation ? violation->describe() : "") << " word "
+        << to_string(sol.word);
+  }
+}
+
+TEST(Conservative, ValidatesOrderInput) {
+  const Instance inst = testing::fig1_instance();
+  BroadcastScheme s(inst.size());
+  EXPECT_THROW(find_conservativeness_violation(inst, s, {1, 0, 2, 3, 4, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(find_conservativeness_violation(inst, s, {0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bmp

@@ -1,0 +1,142 @@
+// Theorem 5.2 cyclic-construction tests: the Fig. 11/12 and Fig. 14/15/17
+// worked examples, exact inflow at the cyclic optimum, bandwidth validity,
+// the max(ceil(b_i/T)+2, 4) degree bound, and max-flow verification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/cyclic_open.hpp"
+#include "bmp/flow/maxflow.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp {
+namespace {
+
+void expect_valid_cyclic(const Instance& inst, const BroadcastScheme& s, double T) {
+  EXPECT_TRUE(s.validate(inst).empty());
+  EXPECT_LE(s.max_inflow_deviation(T), 1e-6 * std::max(1.0, T));
+  for (int i = 0; i < inst.size(); ++i) {
+    const int cap =
+        std::max(static_cast<int>(std::ceil(inst.b(i) / T - 1e-9)) + 2, 4);
+    EXPECT_LE(s.out_degree(i), cap) << "degree bound violated at node " << i;
+  }
+}
+
+TEST(CyclicOpen, Fig12TerminalCase) {
+  // b = [5,5,3,2], T = 5 = (5+10)/3: Algorithm 1 stalls at i0 = n = 3.
+  const Instance inst = testing::fig11_instance();
+  const double T = cyclic_open_optimal(inst);
+  ASSERT_DOUBLE_EQ(T, 5.0);
+  const BroadcastScheme s = build_cyclic_open(inst, T);
+  expect_valid_cyclic(inst, s, T);
+  EXPECT_FALSE(s.is_acyclic());
+  // Fig. 12: C3 returns its M3 = 2 units to C1.
+  EXPECT_NEAR(s.rate(3, 1), 2.0, 1e-9);
+  EXPECT_NEAR(s.rate(0, 3), 2.0, 1e-9);
+  EXPECT_NEAR(flow::scheme_throughput(s), T, 1e-7);
+}
+
+TEST(CyclicOpen, Fig15InitialAndInductiveCases) {
+  // b = [5,5,4,4,4,3], T = 5: i0 = 3, then inductive insertions of C4, C5.
+  const Instance inst = testing::fig14_instance();
+  const double T = cyclic_open_optimal(inst);
+  ASSERT_DOUBLE_EQ(T, 5.0);  // min(5, 25/5)
+  const BroadcastScheme s = build_cyclic_open(inst, T);
+  expect_valid_cyclic(inst, s, T);
+  EXPECT_FALSE(s.is_acyclic());
+  EXPECT_NEAR(flow::scheme_throughput(s), T, 1e-7);
+}
+
+TEST(CyclicOpen, NoStallReducesToAlgorithm1) {
+  const Instance inst(10.0, {8.0, 6.0, 4.0}, {});
+  const double T = 4.0;  // acyclic-feasible: S_2/3 = 8 >= 4
+  const BroadcastScheme s = build_cyclic_open(inst, T);
+  EXPECT_TRUE(s.is_acyclic());
+  expect_valid_cyclic(inst, s, T);
+}
+
+TEST(CyclicOpen, RejectsBadInputs) {
+  EXPECT_THROW(build_cyclic_open(testing::fig1_instance(), 1.0),
+               std::invalid_argument);
+  const Instance inst(5.0, {5.0, 3.0, 2.0}, {});
+  EXPECT_THROW(build_cyclic_open(inst, 5.1), std::invalid_argument);
+  EXPECT_THROW(build_cyclic_open(Instance(5.0, {}, {}), 1.0),
+               std::invalid_argument);
+}
+
+TEST(CyclicOpen, BeatsAcyclicOnTightInstances) {
+  // When b_n is small the acyclic optimum loses S_{n-1}/n vs (b0+O)/n.
+  const Instance inst(4.0, {4.0, 4.0, 0.0}, {});
+  const double t_cyc = cyclic_open_optimal(inst);  // 4
+  const double t_ac = acyclic_open_optimal(inst);  // min(4, 12/3) = 4? S_2=12
+  EXPECT_DOUBLE_EQ(t_cyc, 4.0);
+  EXPECT_DOUBLE_EQ(t_ac, 4.0);
+  const Instance inst2(3.0, {3.0, 3.0, 3.0, 0.0}, {});
+  EXPECT_DOUBLE_EQ(cyclic_open_optimal(inst2), 3.0);   // (3+9)/4
+  EXPECT_DOUBLE_EQ(acyclic_open_optimal(inst2), 3.0);  // S_3/4 = 12/4
+  // A genuinely separating instance: n=2, b=[2,2,0].
+  const Instance inst3(2.0, {2.0, 0.0}, {});
+  EXPECT_DOUBLE_EQ(cyclic_open_optimal(inst3), 2.0);
+  EXPECT_DOUBLE_EQ(acyclic_open_optimal(inst3), 2.0);  // min(2, 4/2)
+  // Theorem 6.1 says the gap is at most 1/n; build one with a real gap.
+  const Instance inst4(10.0, {10.0, 10.0}, {});
+  EXPECT_DOUBLE_EQ(cyclic_open_optimal(inst4), 10.0);   // min(10, 30/2=15)
+  EXPECT_DOUBLE_EQ(acyclic_open_optimal(inst4), 10.0);  // min(10, 20/2)
+  const Instance inst5(10.0, {6.0, 6.0, 3.0}, {});
+  EXPECT_GT(cyclic_open_optimal(inst5), acyclic_open_optimal(inst5));
+  const double T = cyclic_open_optimal(inst5);
+  const BroadcastScheme s = build_cyclic_open(inst5, T);
+  expect_valid_cyclic(inst5, s, T);
+  EXPECT_NEAR(flow::scheme_throughput(s), T, 1e-7);
+}
+
+TEST(CyclicOpen, PropertySweepAtOptimum) {
+  util::Xoshiro256 rng(6001);
+  for (int rep = 0; rep < 200; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(25));
+    const Instance inst = testing::random_instance(rng, n, 0, 0.1, 20.0);
+    const double T = cyclic_open_optimal(inst);
+    const BroadcastScheme s = build_cyclic_open(inst, T);
+    expect_valid_cyclic(inst, s, T);
+  }
+}
+
+TEST(CyclicOpen, PropertySweepBelowOptimum) {
+  util::Xoshiro256 rng(6002);
+  for (int rep = 0; rep < 100; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(15));
+    const Instance inst = testing::random_instance(rng, n, 0, 0.1, 20.0);
+    const double T = cyclic_open_optimal(inst) * rng.uniform(0.3, 0.999);
+    if (T <= 1e-6) continue;
+    const BroadcastScheme s = build_cyclic_open(inst, T);
+    expect_valid_cyclic(inst, s, T);
+  }
+}
+
+TEST(CyclicOpen, MaxFlowConfirmsThroughputOnRandomInstances) {
+  util::Xoshiro256 rng(6003);
+  for (int rep = 0; rep < 50; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(12));
+    const Instance inst = testing::random_instance(rng, n, 0, 0.1, 20.0);
+    const double T = cyclic_open_optimal(inst);
+    const BroadcastScheme s = build_cyclic_open(inst, T);
+    EXPECT_NEAR(flow::scheme_throughput(s), T, 1e-6 * std::max(1.0, T));
+  }
+}
+
+// The paper's headline for §V: cyclic reaches min(b0,(b0+O)/n), which can
+// strictly beat any acyclic scheme; ratio bounded by Theorem 6.1.
+TEST(CyclicOpen, Theorem61RatioBound) {
+  util::Xoshiro256 rng(6004);
+  for (int rep = 0; rep < 200; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(30));
+    const Instance inst = testing::random_instance(rng, n, 0, 0.0, 10.0);
+    const double ratio =
+        acyclic_open_optimal(inst) / std::max(1e-12, cyclic_open_optimal(inst));
+    EXPECT_GE(ratio, 1.0 - 1.0 / n - 1e-9) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace bmp

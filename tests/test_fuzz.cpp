@@ -1,0 +1,173 @@
+// Robustness / differential fuzz suite: extreme bandwidth scales, hostile
+// inputs (NaN/inf), degenerate shapes, and cross-implementation agreement
+// between the three ways of computing a word's throughput (closed form,
+// bisection, LP) and the two ways of computing the acyclic optimum
+// (GreedyTest search vs. brute-force enumeration).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bmp/core/acyclic_open.hpp"
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/cyclic_open.hpp"
+#include "bmp/core/exact.hpp"
+#include "bmp/core/word_schedule.hpp"
+#include "bmp/core/word_throughput.hpp"
+#include "bmp/flow/maxflow.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp {
+namespace {
+
+TEST(Fuzz, RejectsHostileBandwidths) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Instance(nan, {}, {}), std::invalid_argument);
+  EXPECT_THROW(Instance(1.0, {inf}, {}), std::invalid_argument);
+  EXPECT_THROW(Instance(1.0, {}, {nan}), std::invalid_argument);
+  EXPECT_THROW(Instance(-inf, {}, {}), std::invalid_argument);
+}
+
+TEST(Fuzz, ZeroBandwidthNodesAreHandled) {
+  // Nodes with zero upload are pure sinks; the machinery must not divide
+  // by zero or loop.
+  const Instance inst(4.0, {2.0, 0.0, 0.0}, {0.0});
+  const double t = optimal_acyclic_throughput(inst);
+  EXPECT_GT(t, 0.0);
+  const AcyclicSolution sol = solve_acyclic(inst);
+  EXPECT_TRUE(sol.scheme.validate(inst).empty());
+  EXPECT_LE(sol.scheme.max_inflow_deviation(sol.throughput), 1e-6);
+}
+
+TEST(Fuzz, AllZeroPlatform) {
+  const Instance inst(0.0, {0.0, 0.0}, {0.0});
+  EXPECT_DOUBLE_EQ(cyclic_upper_bound(inst), 0.0);
+  EXPECT_DOUBLE_EQ(optimal_acyclic_throughput(inst), 0.0);
+}
+
+TEST(Fuzz, ExtremeScalesStayConsistent) {
+  // The same instance at scale 1e-9, 1, 1e+9: throughputs must scale
+  // linearly and schemes stay valid (all tolerances are relative).
+  util::Xoshiro256 rng(0xF122);
+  for (int rep = 0; rep < 20; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(6));
+    const int m = static_cast<int>(rng.below(6));
+    const Instance base = testing::random_instance(rng, n, m, 0.5, 5.0);
+    const double t_base = optimal_acyclic_throughput(base);
+    for (const double scale : {1e-9, 1e9}) {
+      std::vector<double> open;
+      std::vector<double> guarded;
+      for (int i = 1; i <= n; ++i) open.push_back(base.b(i) * scale);
+      for (int i = n + 1; i < base.size(); ++i) guarded.push_back(base.b(i) * scale);
+      const Instance scaled(base.b(0) * scale, open, guarded);
+      const double t_scaled = optimal_acyclic_throughput(scaled);
+      EXPECT_NEAR(t_scaled, t_base * scale, 1e-6 * t_base * scale)
+          << "scale " << scale;
+      const AcyclicSolution sol = solve_acyclic(scaled);
+      EXPECT_TRUE(sol.scheme.validate(scaled).empty());
+    }
+  }
+}
+
+TEST(Fuzz, HugeHeterogeneityRatios) {
+  // 1e6:1 bandwidth spread — the regime the paper motivates (§II.A).
+  const Instance inst(1e6, {1e6, 10.0, 1.0, 0.01}, {1e5, 0.1});
+  const AcyclicSolution sol = solve_acyclic(inst);
+  EXPECT_TRUE(sol.scheme.validate(inst).empty());
+  EXPECT_NEAR(flow::scheme_throughput(sol.scheme), sol.throughput,
+              1e-5 * sol.throughput);
+  EXPECT_GE(sol.throughput, 5.0 / 7.0 * cyclic_upper_bound(inst) - 1e-3);
+}
+
+TEST(Fuzz, ManyEqualBandwidths) {
+  // Ties everywhere: sorting, greedy comparisons and the scheduler must be
+  // deterministic and valid.
+  const Instance inst(3.0, std::vector<double>(25, 3.0),
+                      std::vector<double>(25, 3.0));
+  const AcyclicSolution sol = solve_acyclic(inst);
+  EXPECT_TRUE(sol.scheme.validate(inst).empty());
+  const AcyclicSolution again = solve_acyclic(inst);
+  EXPECT_EQ(to_string(sol.word), to_string(again.word));
+  EXPECT_DOUBLE_EQ(sol.throughput, again.throughput);
+}
+
+TEST(Fuzz, DifferentialWordThroughputThreeWays) {
+  util::Xoshiro256 rng(0xF123);
+  for (int rep = 0; rep < 150; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(5));
+    const int m = static_cast<int>(rng.below(5));
+    const Instance inst = testing::random_instance(rng, n, m, 0.1, 40.0);
+    const auto words = enumerate_words(n, m);
+    const Word& w = words[rng.below(words.size())];
+    const double closed = word_throughput_closed_form(inst, w);
+    const double bisect = word_throughput(inst, w);
+    EXPECT_NEAR(closed, bisect, 1e-6 * std::max(1.0, closed)) << to_string(w);
+  }
+}
+
+TEST(Fuzz, DifferentialAcyclicOptimumTwoWays) {
+  util::Xoshiro256 rng(0xF124);
+  for (int rep = 0; rep < 100; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(4));
+    const int m = static_cast<int>(rng.below(5));
+    const Instance inst = testing::random_instance(rng, n, m, 0.1, 40.0);
+    const double greedy = optimal_acyclic_throughput(inst);
+    const double brute = optimal_acyclic_bruteforce(inst);
+    EXPECT_NEAR(greedy, brute, 1e-6 * std::max(1.0, brute))
+        << "n=" << n << " m=" << m;
+  }
+}
+
+TEST(Fuzz, SchemeBuilderAgreesWithStateMachine) {
+  // Pool totals in the scheduler must track the O/G/W recursions exactly.
+  util::Xoshiro256 rng(0xF125);
+  for (int rep = 0; rep < 60; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(6));
+    const int m = static_cast<int>(rng.below(6));
+    const Instance inst = testing::random_instance(rng, n, m);
+    const double T = optimal_acyclic_throughput(inst) * 0.9;
+    const auto word = greedy_test(inst, T);
+    if (!word || T <= 1e-9) continue;
+    const WordSchedule ws = build_scheme_from_word(inst, *word, T, true);
+    auto st = PrefixState<double>::initial(inst);
+    ASSERT_EQ(ws.trace.size(), word->size() + 1);
+    for (std::size_t k = 0; k < word->size(); ++k) {
+      st.append((*word)[k], inst, T);
+      EXPECT_NEAR(ws.trace[k + 1].open_avail, st.open_avail, 1e-6);
+      EXPECT_NEAR(ws.trace[k + 1].guarded_avail, st.guarded_avail, 1e-6);
+      EXPECT_NEAR(ws.trace[k + 1].open_open, st.open_open, 1e-6);
+    }
+  }
+}
+
+TEST(Fuzz, CyclicBuilderSurvivesNearBoundaryRates) {
+  util::Xoshiro256 rng(0xF126);
+  for (int rep = 0; rep < 60; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(15));
+    const Instance inst = testing::random_instance(rng, n, 0, 0.01, 10.0);
+    const double t_max = cyclic_open_optimal(inst);
+    for (const double f : {0.999999, 1.0 - 1e-12, 1.0}) {
+      const double T = t_max * f;
+      if (T <= 1e-9) continue;
+      const BroadcastScheme s = build_cyclic_open(inst, T);
+      EXPECT_TRUE(s.validate(inst).empty());
+      EXPECT_LE(s.max_inflow_deviation(T), 1e-6 * std::max(1.0, T));
+    }
+  }
+}
+
+TEST(Fuzz, SingleNodePlatforms) {
+  const Instance only_source(5.0, {}, {});
+  EXPECT_DOUBLE_EQ(optimal_acyclic_throughput(only_source), 5.0);
+  const Instance one_open(5.0, {1.0}, {});
+  EXPECT_DOUBLE_EQ(optimal_acyclic_throughput(one_open), 5.0);
+  const Instance one_guarded(5.0, {}, {1.0});
+  EXPECT_DOUBLE_EQ(optimal_acyclic_throughput(one_guarded), 5.0);
+  const AcyclicSolution sol = solve_acyclic(one_guarded);
+  EXPECT_DOUBLE_EQ(sol.scheme.rate(0, 1), 5.0);
+}
+
+}  // namespace
+}  // namespace bmp

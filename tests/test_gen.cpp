@@ -1,0 +1,132 @@
+// Workload-generator tests: the six Fig. 19 distributions hit their
+// documented parameterizations (checked on robust statistics — medians for
+// the heavy-tailed families), and random_instance satisfies the §XII setup
+// (source bandwidth = cyclic fixed point, class split by p_open).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bmp/core/bounds.hpp"
+#include "bmp/gen/distributions.hpp"
+#include "bmp/gen/generator.hpp"
+#include "bmp/gen/planetlab_data.hpp"
+#include "bmp/util/stats.hpp"
+
+namespace bmp::gen {
+namespace {
+
+TEST(Distributions, NamesAndOrder) {
+  const auto& all = all_distributions();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(name(all[0]), "LN1");
+  EXPECT_EQ(name(all[5]), "PLab");
+  EXPECT_EQ(name(Dist::kPower2), "Power2");
+}
+
+TEST(Distributions, ParetoParamsMatchMoments) {
+  // mean=std=100: var/mean^2 = 1 = 1/(a(a-2)) -> a = 1+sqrt(2).
+  const ParetoParams p1 = pareto_params(100.0, 100.0);
+  EXPECT_NEAR(p1.shape, 1.0 + std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(p1.scale * p1.shape / (p1.shape - 1.0), 100.0, 1e-9);
+  // std=1000: a = 1+sqrt(1.01).
+  const ParetoParams p2 = pareto_params(100.0, 1000.0);
+  EXPECT_NEAR(p2.shape, 1.0 + std::sqrt(1.01), 1e-12);
+  EXPECT_THROW(pareto_params(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Distributions, ParetoMedianMatchesTheory) {
+  // Median of Pareto(a, x_m) = x_m * 2^(1/a) — robust under the heavy tail.
+  util::Xoshiro256 rng(52);
+  for (const double stddev : {100.0, 1000.0}) {
+    const ParetoParams p = pareto_params(100.0, stddev);
+    std::vector<double> draws;
+    draws.reserve(40000);
+    for (int i = 0; i < 40000; ++i) draws.push_back(sample_pareto(100.0, stddev, rng));
+    const double theoretical = p.scale * std::pow(2.0, 1.0 / p.shape);
+    EXPECT_NEAR(util::median(draws), theoretical, 0.03 * theoretical)
+        << "std=" << stddev;
+    for (const double d : draws) EXPECT_GE(d, p.scale);
+  }
+}
+
+TEST(Distributions, LogNormalMedianAndMean) {
+  util::Xoshiro256 rng(53);
+  std::vector<double> draws;
+  for (int i = 0; i < 60000; ++i) draws.push_back(sample_lognormal(100.0, 100.0, rng));
+  // Median = exp(mu) = mean / sqrt(1 + std^2/mean^2) = 100/sqrt(2).
+  EXPECT_NEAR(util::median(draws), 100.0 / std::sqrt(2.0), 2.0);
+  EXPECT_NEAR(util::mean(draws), 100.0, 4.0);
+}
+
+TEST(Distributions, Unif100Range) {
+  util::Xoshiro256 rng(54);
+  util::RunningStats rs;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = sample(Dist::kUnif100, rng);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LT(x, 100.0);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), 50.5, 1.0);
+}
+
+TEST(Distributions, PlanetLabSampleShape) {
+  const auto& data = planetlab_bandwidths();
+  EXPECT_EQ(data.size(), 300u);
+  std::vector<double> copy(data.begin(), data.end());
+  const double med = util::median(copy);
+  double max_value = 0.0;
+  for (const double v : data) {
+    EXPECT_GT(v, 0.0);
+    max_value = std::max(max_value, v);
+  }
+  // Heavy tail: the best node is far above the median.
+  EXPECT_GT(max_value / med, 5.0);
+  // Resampling stays inside the support.
+  util::Xoshiro256 rng(55);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = sample(Dist::kPlanetLab, rng);
+    EXPECT_GE(x, *std::min_element(data.begin(), data.end()));
+    EXPECT_LE(x, max_value);
+  }
+}
+
+TEST(Generator, SplitsClassesByProbability) {
+  util::Xoshiro256 rng(56);
+  const Instance all_open = random_instance({50, 1.0, Dist::kUnif100}, rng);
+  EXPECT_EQ(all_open.n(), 50);
+  EXPECT_EQ(all_open.m(), 0);
+  const Instance all_guarded = random_instance({50, 0.0, Dist::kUnif100}, rng);
+  EXPECT_EQ(all_guarded.n(), 0);
+  EXPECT_EQ(all_guarded.m(), 50);
+  int opens = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    const Instance inst = random_instance({20, 0.7, Dist::kUnif100}, rng);
+    EXPECT_EQ(inst.n() + inst.m(), 20);
+    opens += inst.n();
+  }
+  EXPECT_NEAR(opens / (200.0 * 20.0), 0.7, 0.03);
+}
+
+TEST(Generator, SourceIsCyclicFixedPoint) {
+  util::Xoshiro256 rng(57);
+  for (const Dist dist : all_distributions()) {
+    for (int rep = 0; rep < 20; ++rep) {
+      const Instance inst = random_instance({30, 0.5, dist}, rng);
+      EXPECT_NEAR(cyclic_upper_bound(inst), inst.b(0),
+                  1e-9 * std::max(1.0, inst.b(0)))
+          << name(dist);
+    }
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  util::Xoshiro256 rng(58);
+  EXPECT_THROW(random_instance({0, 0.5, Dist::kUnif100}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(random_instance({5, 1.5, Dist::kUnif100}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bmp::gen

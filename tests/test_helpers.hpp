@@ -1,0 +1,74 @@
+// Shared fixtures for the test suite: the paper's worked instances and a
+// small random-instance helper (independent of src/gen so the core tests
+// have no extra dependencies).
+#pragma once
+
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/util/rational.hpp"
+#include "bmp/util/rng.hpp"
+
+namespace bmp::testing {
+
+/// Figure 1: source b0=6, open {5,5}, guarded {4,1,1}; T* = 4.4.
+inline Instance fig1_instance() {
+  return Instance(6.0, {5.0, 5.0}, {4.0, 1.0, 1.0});
+}
+
+inline RationalInstance fig1_rational() {
+  using util::Rational;
+  return RationalInstance(Rational(6), {Rational(5), Rational(5)},
+                          {Rational(4), Rational(1), Rational(1)});
+}
+
+/// Figure 11/12 worked example for the cyclic construction: b=[5,5,3,2],
+/// T=5, Algorithm 1 stalls at i0 = 3 = n.
+inline Instance fig11_instance() { return Instance(5.0, {5.0, 3.0, 2.0}, {}); }
+
+/// Figure 14: b=[5,5,4,4,4,3], T=5, stalls at i0=3 with M3=1.
+inline Instance fig14_instance() {
+  return Instance(5.0, {5.0, 4.0, 4.0, 4.0, 3.0}, {});
+}
+
+/// Random instance with n open / m guarded nodes, bandwidths in [lo, hi).
+inline Instance random_instance(util::Xoshiro256& rng, int n, int m,
+                                double lo = 0.5, double hi = 10.0) {
+  std::vector<double> open(static_cast<std::size_t>(n));
+  std::vector<double> guarded(static_cast<std::size_t>(m));
+  for (auto& b : open) b = rng.uniform(lo, hi);
+  for (auto& b : guarded) b = rng.uniform(lo, hi);
+  const double b0 = rng.uniform(lo, hi);
+  return Instance(b0, std::move(open), std::move(guarded));
+}
+
+/// Random instance with small-integer bandwidths, exact in Rational form.
+struct IntInstancePair {
+  Instance dbl;
+  RationalInstance rat;
+};
+
+inline IntInstancePair random_int_instance(util::Xoshiro256& rng, int n, int m,
+                                           int max_bw = 12) {
+  using util::Rational;
+  std::vector<double> open_d;
+  std::vector<double> guarded_d;
+  std::vector<Rational> open_r;
+  std::vector<Rational> guarded_r;
+  const auto draw = [&] { return static_cast<std::int64_t>(rng.below(max_bw)) + 1; };
+  for (int i = 0; i < n; ++i) {
+    const auto v = draw();
+    open_d.push_back(static_cast<double>(v));
+    open_r.emplace_back(v);
+  }
+  for (int i = 0; i < m; ++i) {
+    const auto v = draw();
+    guarded_d.push_back(static_cast<double>(v));
+    guarded_r.emplace_back(v);
+  }
+  const auto b0 = draw();
+  return {Instance(static_cast<double>(b0), open_d, guarded_d),
+          RationalInstance(Rational(b0), open_r, guarded_r)};
+}
+
+}  // namespace bmp::testing

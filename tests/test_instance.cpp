@@ -1,0 +1,135 @@
+// Instance model tests: sorting, class predicates, prefix sums, the
+// closed-form bounds of §III.B / Lemma 5.1, and the fixed-point source
+// bandwidth used by the Fig. 19 setup.
+#include <gtest/gtest.h>
+
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/instance.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp {
+namespace {
+
+using testing::fig1_instance;
+
+TEST(Instance, SortsEachClassDescending) {
+  const Instance inst(3.0, {1.0, 7.0, 4.0}, {2.0, 9.0});
+  EXPECT_EQ(inst.n(), 3);
+  EXPECT_EQ(inst.m(), 2);
+  EXPECT_EQ(inst.size(), 6);
+  EXPECT_DOUBLE_EQ(inst.b(0), 3.0);
+  EXPECT_DOUBLE_EQ(inst.b(1), 7.0);
+  EXPECT_DOUBLE_EQ(inst.b(2), 4.0);
+  EXPECT_DOUBLE_EQ(inst.b(3), 1.0);
+  EXPECT_DOUBLE_EQ(inst.b(4), 9.0);
+  EXPECT_DOUBLE_EQ(inst.b(5), 2.0);
+}
+
+TEST(Instance, OriginalIdsTrackInputPositions) {
+  const Instance inst(3.0, {1.0, 7.0, 4.0}, {2.0, 9.0});
+  EXPECT_EQ(inst.original_id(0), 0);
+  EXPECT_EQ(inst.original_id(1), 2);  // 7.0 was the 2nd open input
+  EXPECT_EQ(inst.original_id(2), 3);  // 4.0 was the 3rd
+  EXPECT_EQ(inst.original_id(3), 1);  // 1.0 was the 1st
+  EXPECT_EQ(inst.original_id(4), 5);  // 9.0 was the 2nd guarded input
+  EXPECT_EQ(inst.original_id(5), 4);
+}
+
+TEST(Instance, ClassPredicates) {
+  const Instance inst = fig1_instance();
+  EXPECT_TRUE(inst.is_source(0));
+  EXPECT_TRUE(inst.is_open(0));
+  EXPECT_TRUE(inst.is_open(2));
+  EXPECT_FALSE(inst.is_guarded(2));
+  EXPECT_TRUE(inst.is_guarded(3));
+  EXPECT_TRUE(inst.is_guarded(5));
+}
+
+TEST(Instance, SumsAndPrefixes) {
+  const Instance inst = fig1_instance();
+  EXPECT_DOUBLE_EQ(inst.open_sum(), 10.0);
+  EXPECT_DOUBLE_EQ(inst.guarded_sum(), 6.0);
+  EXPECT_DOUBLE_EQ(inst.total_sum(), 22.0);
+  EXPECT_DOUBLE_EQ(inst.prefix_sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(inst.prefix_sum(2), 16.0);
+  EXPECT_DOUBLE_EQ(inst.prefix_sum(5), 22.0);
+}
+
+TEST(Instance, RejectsNegativeBandwidth) {
+  EXPECT_THROW(Instance(-1.0, {}, {}), std::invalid_argument);
+  EXPECT_THROW(Instance(1.0, {-0.5}, {}), std::invalid_argument);
+  EXPECT_THROW(Instance(1.0, {}, {-2.0}), std::invalid_argument);
+}
+
+TEST(Instance, RationalToDoubleRoundTrip) {
+  const RationalInstance ri = testing::fig1_rational();
+  const Instance di = to_double(ri);
+  ASSERT_EQ(di.size(), 6);
+  for (int i = 0; i < di.size(); ++i) {
+    EXPECT_DOUBLE_EQ(di.b(i), ri.b(i).to_double());
+  }
+}
+
+TEST(Bounds, CyclicUpperBoundMatchesLemma51OnFig1) {
+  // min(6, 16/3, 22/5) = 4.4 — the paper states Fig. 1's scheme is optimal.
+  EXPECT_DOUBLE_EQ(cyclic_upper_bound(fig1_instance()), 4.4);
+}
+
+TEST(Bounds, CyclicUpperBoundExactRational) {
+  const auto bound = cyclic_upper_bound(testing::fig1_rational());
+  EXPECT_EQ(bound, util::Rational(22, 5));
+}
+
+TEST(Bounds, AcyclicOpenOptimalFormula) {
+  // min(b0, S_{n-1}/n): S_2 = 5+5+3 = 13, n = 3 -> 13/3.
+  const Instance inst(5.0, {5.0, 3.0, 2.0}, {});
+  EXPECT_DOUBLE_EQ(acyclic_open_optimal(inst), 13.0 / 3.0);
+  // Source-limited case.
+  const Instance src_limited(1.0, {10.0, 10.0}, {});
+  EXPECT_DOUBLE_EQ(acyclic_open_optimal(src_limited), 1.0);
+}
+
+TEST(Bounds, AcyclicOpenOptimalRequiresOpenOnly) {
+  EXPECT_THROW(acyclic_open_optimal(fig1_instance()), std::invalid_argument);
+  EXPECT_THROW(cyclic_open_optimal(fig1_instance()), std::invalid_argument);
+}
+
+TEST(Bounds, CyclicOpenOptimalFormula) {
+  const Instance inst(5.0, {5.0, 3.0, 2.0}, {});
+  EXPECT_DOUBLE_EQ(cyclic_open_optimal(inst), 5.0);  // min(5, 15/3)
+  const Instance tighter(9.0, {2.0, 2.0, 2.0}, {});
+  EXPECT_DOUBLE_EQ(cyclic_open_optimal(tighter), 5.0);  // (9+6)/3
+}
+
+TEST(Bounds, NoReceiversConvention) {
+  const Instance inst(3.0, {}, {});
+  EXPECT_DOUBLE_EQ(acyclic_open_optimal(inst), 3.0);
+  EXPECT_DOUBLE_EQ(cyclic_open_optimal(inst), 3.0);
+  EXPECT_DOUBLE_EQ(cyclic_upper_bound(inst), 3.0);
+}
+
+TEST(Bounds, FixedPointSourceBandwidthSolvesItsEquation) {
+  util::Xoshiro256 rng(123);
+  for (int rep = 0; rep < 50; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(20));
+    const int m = static_cast<int>(rng.below(20));
+    if (n + m < 2) continue;
+    std::vector<double> open;
+    std::vector<double> guarded;
+    for (int i = 0; i < n; ++i) open.push_back(rng.uniform(0.5, 20.0));
+    for (int i = 0; i < m; ++i) guarded.push_back(rng.uniform(0.5, 20.0));
+    const double b0 = fixed_point_source_bandwidth(open, guarded);
+    const Instance inst(b0, open, guarded);
+    // By construction b0 equals the cyclic optimum: the source is exactly
+    // the bottleneck.
+    EXPECT_NEAR(cyclic_upper_bound(inst), b0, 1e-9 * std::max(1.0, b0));
+  }
+}
+
+TEST(Bounds, FixedPointDegenerateFallsBack) {
+  EXPECT_GT(fixed_point_source_bandwidth({}, {}), 0.0);
+  EXPECT_GT(fixed_point_source_bandwidth({4.0}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace bmp

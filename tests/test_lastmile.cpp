@@ -1,0 +1,128 @@
+// LastMile estimator tests (Bedibe substitute, §II.C): exact recovery from
+// noiseless matrices, robustness to noise and missing entries, and the
+// end-to-end property that the recovered out-bandwidths instantiate a
+// broadcast instance whose optimum matches the ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/instance.hpp"
+#include "bmp/lastmile/estimator.hpp"
+#include "bmp/util/rng.hpp"
+
+namespace bmp::lastmile {
+namespace {
+
+TEST(Estimator, RejectsNonSquare) {
+  EXPECT_THROW(fit({{1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Estimator, NoiselessExactRecoveryWhenIdentifiable) {
+  // Identifiability: a node's out-capacity is observable only if some peer
+  // has larger in-capacity (and vice versa). Using one big "anchor" node
+  // makes every other parameter identifiable.
+  util::Xoshiro256 rng(91);
+  for (int rep = 0; rep < 30; ++rep) {
+    const std::size_t N = 4 + rng.below(8);
+    std::vector<double> out(N);
+    std::vector<double> in(N);
+    for (std::size_t i = 0; i < N; ++i) {
+      out[i] = rng.uniform(1.0, 50.0);
+      in[i] = rng.uniform(1.0, 50.0);
+    }
+    out[0] = 100.0;  // anchors
+    in[0] = 100.0;
+    const Matrix m = synthesize_matrix(out, in, 0.0, rng);
+    const Estimate est = fit(m);
+    EXPECT_LT(est.rmse, 1e-9);
+    for (std::size_t i = 1; i < N; ++i) {
+      EXPECT_NEAR(est.out_bw[i], out[i], 1e-6) << "node " << i;
+      EXPECT_NEAR(est.in_bw[i], in[i], 1e-6) << "node " << i;
+    }
+  }
+}
+
+TEST(Estimator, FitNeverWorsensInitialRmse) {
+  util::Xoshiro256 rng(92);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t N = 5 + rng.below(6);
+    std::vector<double> out(N);
+    std::vector<double> in(N);
+    for (std::size_t i = 0; i < N; ++i) {
+      out[i] = rng.uniform(1.0, 50.0);
+      in[i] = rng.uniform(1.0, 50.0);
+    }
+    const Matrix m = synthesize_matrix(out, in, 0.3, rng);
+    // Initial heuristic: row/column maxima.
+    std::vector<double> out0(N, 0.0);
+    std::vector<double> in0(N, 0.0);
+    for (std::size_t i = 0; i < N; ++i) {
+      for (std::size_t j = 0; j < N; ++j) {
+        if (i == j) continue;
+        out0[i] = std::max(out0[i], m[i][j]);
+        in0[j] = std::max(in0[j], m[i][j]);
+      }
+    }
+    const double initial = model_rmse(m, out0, in0);
+    const Estimate est = fit(m);
+    EXPECT_LE(est.rmse, initial + 1e-12);
+  }
+}
+
+TEST(Estimator, ModerateNoiseStaysAccurate) {
+  util::Xoshiro256 rng(93);
+  std::vector<double> out{100.0, 40.0, 25.0, 10.0, 5.0, 30.0, 18.0, 60.0};
+  std::vector<double> in(out.size(), 120.0);  // downloads non-binding
+  const Matrix m = synthesize_matrix(out, in, 0.05, rng);
+  const Estimate est = fit(m);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_NEAR(est.out_bw[i], out[i], 0.15 * out[i]) << "node " << i;
+  }
+}
+
+TEST(Estimator, HandlesMissingEntries) {
+  util::Xoshiro256 rng(94);
+  std::vector<double> out{80.0, 20.0, 35.0, 12.0, 50.0};
+  std::vector<double> in{90.0, 70.0, 60.0, 85.0, 75.0};
+  Matrix m = synthesize_matrix(out, in, 0.0, rng);
+  // Knock out 20% of the measurements.
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      if (i != j && rng.uniform() < 0.2) m[i][j] = -1.0;
+    }
+  }
+  const Estimate est = fit(m);
+  EXPECT_LT(est.rmse, 1e-6);
+}
+
+TEST(Estimator, SynthesizeValidation) {
+  util::Xoshiro256 rng(95);
+  EXPECT_THROW(synthesize_matrix({1.0}, {1.0, 2.0}, 0.0, rng),
+               std::invalid_argument);
+  const Matrix m = synthesize_matrix({1.0, 2.0}, {3.0, 4.0}, 0.0, rng);
+  EXPECT_DOUBLE_EQ(m[0][0], -1.0);
+  EXPECT_DOUBLE_EQ(m[0][1], 1.0);  // min(out0=1, in1=4)
+  EXPECT_DOUBLE_EQ(m[1][0], 2.0);  // min(out1=2, in0=3)
+}
+
+// End-to-end: measurements -> estimated instance -> optimal acyclic
+// throughput matches the ground-truth instance (the paper's pipeline).
+TEST(Estimator, PipelineRecoversGroundTruthThroughput) {
+  util::Xoshiro256 rng(96);
+  const std::vector<double> out{50.0, 30.0, 22.0, 14.0, 9.0, 6.0};
+  std::vector<double> in(out.size(), 100.0);
+  const Matrix m = synthesize_matrix(out, in, 0.02, rng);
+  const Estimate est = fit(m);
+
+  const auto make_inst = [](const std::vector<double>& bw) {
+    const std::vector<double> open(bw.begin() + 1, bw.end());
+    return Instance(bw[0], open, {});
+  };
+  const double truth = optimal_acyclic_throughput(make_inst(out));
+  const double recovered = optimal_acyclic_throughput(make_inst(est.out_bw));
+  EXPECT_NEAR(recovered, truth, 0.1 * truth);
+}
+
+}  // namespace
+}  // namespace bmp::lastmile

@@ -1,0 +1,174 @@
+// Simplex + LP-throughput oracle tests. The headline checks: the LP
+// confirms that the Lemma 5.1 closed form is the *achievable* optimal
+// cyclic throughput, and that the combinatorial word throughput equals the
+// LP optimum for the same order — the paper's two central quantities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/word_throughput.hpp"
+#include "bmp/lp/simplex.hpp"
+#include "bmp/lp/throughput_lp.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp::lp {
+namespace {
+
+TEST(Simplex, BasicMaximize) {
+  LinearProgram lp;
+  const int x = lp.add_variable(3.0);
+  const int y = lp.add_variable(2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLe, 4.0);
+  lp.add_constraint({{x, 1.0}, {y, 3.0}}, Relation::kLe, 6.0);
+  const Solution s = lp.solve();
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(x)], 4.0, 1e-9);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(y)], 0.0, 1e-9);
+}
+
+TEST(Simplex, BasicMinimizeWithGe) {
+  LinearProgram lp;
+  lp.set_maximize(false);
+  const int x = lp.add_variable(2.0);
+  const int y = lp.add_variable(3.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, 10.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 6.0);
+  const Solution s = lp.solve();
+  ASSERT_EQ(s.status, Status::kOptimal);
+  // x = 6, y = 4 -> 12 + 12 = 24.
+  EXPECT_NEAR(s.objective, 24.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  const int y = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kEq, 8.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 2.0);
+  const Solution s = lp.solve();
+  ASSERT_EQ(s.status, Status::kOptimal);
+  // x = 2, y = 3 -> 5.
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kGe, 5.0);
+  lp.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  EXPECT_EQ(lp.solve().status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp;
+  const int x = lp.add_variable(1.0);
+  const int y = lp.add_variable(0.0);
+  lp.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLe, 1.0);
+  EXPECT_EQ(lp.solve().status, Status::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  LinearProgram lp;
+  lp.set_maximize(false);
+  const int x = lp.add_variable(1.0);
+  // -x <= -3  <=>  x >= 3.
+  lp.add_constraint({{x, -1.0}}, Relation::kLe, -3.0);
+  const Solution s = lp.solve();
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateBlandTerminates) {
+  // Beale's classic cycling example (terminates under Bland's rule).
+  LinearProgram lp;
+  lp.set_maximize(true);
+  const int x1 = lp.add_variable(0.75);
+  const int x2 = lp.add_variable(-150.0);
+  const int x3 = lp.add_variable(0.02);
+  const int x4 = lp.add_variable(-6.0);
+  lp.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                    Relation::kLe, 0.0);
+  lp.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                    Relation::kLe, 0.0);
+  lp.add_constraint({{x3, 1.0}}, Relation::kLe, 1.0);
+  const Solution s = lp.solve();
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 0.05, 1e-9);
+}
+
+TEST(Simplex, RejectsUnknownVariable) {
+  LinearProgram lp;
+  lp.add_variable(1.0);
+  EXPECT_THROW(lp.add_constraint({{5, 1.0}}, Relation::kLe, 1.0),
+               std::out_of_range);
+}
+
+TEST(ThroughputLp, Fig1CyclicOptimumIsClosedForm) {
+  const Instance inst = bmp::testing::fig1_instance();
+  const ThroughputLpResult r = cyclic_optimal_lp(inst);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.throughput, 4.4, 1e-7);
+  EXPECT_TRUE(r.scheme.validate(inst).empty());
+}
+
+// The paper's "closed form formula for the optimal cyclic throughput":
+// the LP optimum equals min(b0, (b0+O)/m, (b0+O+G)/(n+m)) on random
+// instances — i.e. Lemma 5.1 is tight.
+TEST(ThroughputLp, ClosedFormIsAchievableOnRandomInstances) {
+  util::Xoshiro256 rng(404);
+  for (int rep = 0; rep < 25; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(3));
+    const int m = static_cast<int>(rng.below(4 - static_cast<std::uint64_t>(0)));
+    const Instance inst = bmp::testing::random_instance(rng, n, std::min(m, 3));
+    const ThroughputLpResult r = cyclic_optimal_lp(inst);
+    ASSERT_EQ(r.status, Status::kOptimal);
+    EXPECT_NEAR(r.throughput, cyclic_upper_bound(inst),
+                1e-6 * std::max(1.0, r.throughput))
+        << "n=" << inst.n() << " m=" << inst.m();
+  }
+}
+
+TEST(ThroughputLp, OpenOnlyCyclicMatchesTheorem52Formula) {
+  util::Xoshiro256 rng(405);
+  for (int rep = 0; rep < 15; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(5));
+    const Instance inst = bmp::testing::random_instance(rng, n, 0);
+    const ThroughputLpResult r = cyclic_optimal_lp(inst);
+    ASSERT_EQ(r.status, Status::kOptimal);
+    EXPECT_NEAR(r.throughput, cyclic_open_optimal(inst),
+                1e-6 * std::max(1.0, r.throughput));
+  }
+}
+
+// T*_ac(σ) from the combinatorial closed form equals the LP optimum
+// restricted to σ-forward edges: validates the conservative-solution
+// machinery of §IV end to end.
+TEST(ThroughputLp, WordThroughputMatchesOrderRestrictedLp) {
+  util::Xoshiro256 rng(406);
+  for (int rep = 0; rep < 20; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(3));
+    const int m = static_cast<int>(rng.below(3));
+    const Instance inst = bmp::testing::random_instance(rng, n, m);
+    const auto words = enumerate_words(n, m);
+    const Word& w = words[rng.below(words.size())];
+    const ThroughputLpResult r = acyclic_word_optimal_lp(inst, w);
+    ASSERT_EQ(r.status, Status::kOptimal);
+    EXPECT_NEAR(r.throughput, word_throughput_closed_form(inst, w),
+                1e-6 * std::max(1.0, r.throughput))
+        << to_string(w);
+  }
+}
+
+TEST(ThroughputLp, OrderValidation) {
+  const Instance inst = bmp::testing::fig1_instance();
+  EXPECT_THROW(acyclic_order_optimal_lp(inst, {1, 0, 2, 3, 4, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(acyclic_order_optimal_lp(inst, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(acyclic_word_optimal_lp(inst, make_word("GG")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bmp::lp

@@ -1,0 +1,124 @@
+// Overlay/NAT layer tests (§II.A substrate): connectivity classes, hole
+// punching, overlay materialization of schemes, and the relay planner for
+// guarded->guarded demands.
+#include <gtest/gtest.h>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/net/overlay.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp::net {
+namespace {
+
+TEST(Connectivity, ClassRules) {
+  const Connectivity c({NodeClass::kOpen, NodeClass::kOpen, NodeClass::kGuarded,
+                        NodeClass::kGuarded},
+                       /*hole_punch_success=*/0.0);
+  EXPECT_TRUE(c.can_connect(0, 1));
+  EXPECT_TRUE(c.can_connect(0, 2));
+  EXPECT_TRUE(c.can_connect(2, 1));
+  EXPECT_FALSE(c.can_connect(2, 3));
+  EXPECT_FALSE(c.can_connect(3, 2));
+  EXPECT_FALSE(c.can_connect(1, 1));
+  EXPECT_EQ(c.punched_pairs(), 0);
+}
+
+TEST(Connectivity, HolePunchingIsSymmetricAndSeeded) {
+  std::vector<NodeClass> classes(12, NodeClass::kGuarded);
+  classes[0] = NodeClass::kOpen;
+  const Connectivity a(classes, 0.5, 99);
+  const Connectivity b(classes, 0.5, 99);
+  int connected = 0;
+  for (int x = 1; x < 12; ++x) {
+    for (int y = x + 1; y < 12; ++y) {
+      EXPECT_EQ(a.can_connect(x, y), a.can_connect(y, x));
+      EXPECT_EQ(a.can_connect(x, y), b.can_connect(x, y));
+      connected += a.can_connect(x, y) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(connected, a.punched_pairs());
+  EXPECT_GT(connected, 5);   // ~50% of 55 pairs
+  EXPECT_LT(connected, 50);
+}
+
+TEST(Connectivity, FromInstanceMatchesClasses) {
+  const Instance inst = testing::fig1_instance();
+  const Connectivity c = Connectivity::from_instance(inst);
+  EXPECT_EQ(c.node_class(0), NodeClass::kOpen);
+  EXPECT_EQ(c.node_class(2), NodeClass::kOpen);
+  EXPECT_EQ(c.node_class(3), NodeClass::kGuarded);
+  EXPECT_FALSE(c.can_connect(3, 4));
+}
+
+TEST(Overlay, MaterializesSchemesBuiltByTheAlgorithms) {
+  util::Xoshiro256 rng(123);
+  for (int rep = 0; rep < 40; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(8));
+    const int m = static_cast<int>(rng.below(8));
+    const Instance inst = testing::random_instance(rng, n, m);
+    const AcyclicSolution sol = solve_acyclic(inst);
+    const Connectivity c = Connectivity::from_instance(inst);
+    // Our schemes always respect the firewall constraint, so this must
+    // succeed even with zero hole-punch success.
+    const Overlay overlay = Overlay::from_scheme(inst, sol.scheme, c);
+    EXPECT_EQ(static_cast<int>(overlay.connections().size()),
+              sol.scheme.edge_count());
+    for (int i = 0; i < inst.size(); ++i) {
+      EXPECT_EQ(overlay.fan_out(i), sol.scheme.out_degree(i));
+      EXPECT_NEAR(overlay.upload_of(i), sol.scheme.out_rate(i), 1e-9);
+    }
+  }
+}
+
+TEST(Overlay, RejectsFirewallViolatingScheme) {
+  const Instance inst(5.0, {2.0}, {2.0, 2.0});
+  BroadcastScheme bad(inst.size());
+  bad.add(0, 2, 1.0);
+  bad.add(2, 3, 1.0);  // guarded -> guarded
+  const Connectivity c = Connectivity::from_instance(inst);
+  EXPECT_THROW(Overlay::from_scheme(inst, bad, c), std::invalid_argument);
+  // With universal hole punching the same scheme becomes deployable.
+  const Connectivity punched = Connectivity::from_instance(inst, 1.0);
+  EXPECT_NO_THROW(Overlay::from_scheme(inst, bad, punched));
+}
+
+TEST(Overlay, DescribeListsConnections) {
+  const Instance inst = testing::fig1_instance();
+  const AcyclicSolution sol = solve_acyclic(inst);
+  const Overlay overlay =
+      Overlay::from_scheme(inst, sol.scheme, Connectivity::from_instance(inst));
+  const std::string text = overlay.describe(inst);
+  EXPECT_NE(text.find("C0"), std::string::npos);
+  EXPECT_NE(text.find("guarded"), std::string::npos);
+}
+
+TEST(RelayPlanner, SplitsAcrossRelays) {
+  const std::vector<RelayDemand> demands{{10, 11, 3.0}};
+  const RelayPlan plan = plan_relays(demands, {1, 2}, {2.0, 2.0});
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.relay_bandwidth_used, 3.0);
+  EXPECT_EQ(plan.routes.size(), 2u);
+}
+
+TEST(RelayPlanner, DetectsInfeasibility) {
+  const std::vector<RelayDemand> demands{{10, 11, 5.0}};
+  const RelayPlan plan = plan_relays(demands, {1}, {2.0});
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.relay_bandwidth_used, 2.0);
+}
+
+TEST(RelayPlanner, MultipleDemandsShareBudgets) {
+  const std::vector<RelayDemand> demands{{10, 11, 1.5}, {12, 13, 1.5}};
+  const RelayPlan plan = plan_relays(demands, {1, 2}, {2.0, 1.0});
+  EXPECT_TRUE(plan.feasible);
+  double used = 0.0;
+  for (const auto& route : plan.routes) used += route.rate;
+  EXPECT_DOUBLE_EQ(used, 3.0);
+}
+
+TEST(RelayPlanner, ValidatesInput) {
+  EXPECT_THROW(plan_relays({}, {1, 2}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bmp::net

@@ -1,0 +1,117 @@
+// Randomized useful-piece broadcast simulator tests (§II.C substrate):
+// deterministic replay, conservation sanity, and — the paper's operational
+// claim — that overlays built by our algorithms sustain stream rates close
+// to their design throughput under random useful forwarding.
+#include <gtest/gtest.h>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/cyclic_open.hpp"
+#include "bmp/core/word_schedule.hpp"
+#include "bmp/sim/massoulie.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp::sim {
+namespace {
+
+TEST(Simulator, RejectsBadConfig) {
+  BroadcastScheme s(2);
+  s.add(0, 1, 1.0);
+  EXPECT_THROW(simulate_random_useful(s, {0.0, 10.0, 1.0, 1, true}),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_random_useful(s, {1.0, 5.0, 5.0, 1, true}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  BroadcastScheme s(3);
+  s.add(0, 1, 1.0);
+  s.add(1, 2, 1.0);
+  const SimConfig config{0.8, 200.0, 50.0, 42, true};
+  const SimResult a = simulate_random_useful(s, config);
+  const SimResult b = simulate_random_useful(s, config);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.nodes[2].pieces_received, b.nodes[2].pieces_received);
+}
+
+TEST(Simulator, SingleEdgeDeliversAtStreamRate) {
+  BroadcastScheme s(2);
+  s.add(0, 1, 2.0);
+  const SimResult r = simulate_random_useful(s, {1.0, 400.0, 100.0, 7, true});
+  // Edge capacity 2 > stream rate 1: node keeps up.
+  EXPECT_NEAR(r.nodes[1].rate, 1.0, 0.05);
+  EXPECT_EQ(r.duplicates, 0);
+}
+
+TEST(Simulator, BottleneckEdgeCapsTheRate) {
+  BroadcastScheme s(2);
+  s.add(0, 1, 0.5);
+  const SimResult r = simulate_random_useful(s, {1.0, 400.0, 100.0, 7, true});
+  EXPECT_NEAR(r.nodes[1].rate, 0.5, 0.05);
+}
+
+TEST(Simulator, ChainPropagates) {
+  BroadcastScheme s(4);
+  s.add(0, 1, 1.0);
+  s.add(1, 2, 1.0);
+  s.add(2, 3, 1.0);
+  const SimResult r = simulate_random_useful(s, {0.8, 500.0, 150.0, 11, true});
+  for (int v = 1; v < 4; ++v) {
+    EXPECT_GT(r.nodes[v].rate, 0.7) << "node " << v;
+  }
+  // Delay grows along the chain.
+  EXPECT_GT(r.nodes[3].mean_delay, r.nodes[1].mean_delay);
+}
+
+TEST(Simulator, Fig1AcyclicOverlaySustainsNearDesignRate) {
+  const Instance inst = testing::fig1_instance();
+  const WordSchedule ws = build_scheme_from_word(inst, make_word("GOGOG"), 4.0);
+  // Stream at 90% of the design throughput (Massoulié optimality is
+  // asymptotic; random forwarding needs slack).
+  const SimResult r =
+      simulate_random_useful(ws.scheme, {3.6, 600.0, 200.0, 13, true});
+  EXPECT_GT(r.min_rate, 0.85 * 3.6);
+}
+
+TEST(Simulator, CyclicOverlaySustainsNearDesignRate) {
+  const Instance inst(6.0, {6.0, 6.0, 3.0}, {});
+  const double T = cyclic_open_optimal(inst);
+  const BroadcastScheme s = build_cyclic_open(inst, T);
+  const SimResult r =
+      simulate_random_useful(s, {0.85 * T, 600.0, 200.0, 17, true});
+  EXPECT_GT(r.min_rate, 0.75 * T);
+}
+
+TEST(Simulator, DedupReducesDuplicates) {
+  // Diamond where both 1 and 2 feed 3 at high rate: without in-flight
+  // dedup node 3 sees duplicate transfers.
+  BroadcastScheme s(4);
+  s.add(0, 1, 2.0);
+  s.add(0, 2, 2.0);
+  s.add(1, 3, 2.0);
+  s.add(2, 3, 2.0);
+  const SimConfig dedup{1.0, 300.0, 50.0, 23, true};
+  SimConfig no_dedup = dedup;
+  no_dedup.dedup_in_flight = false;
+  const SimResult with = simulate_random_useful(s, dedup);
+  const SimResult without = simulate_random_useful(s, no_dedup);
+  EXPECT_LE(with.duplicates, without.duplicates);
+  EXPECT_GT(without.duplicates, 0);
+}
+
+TEST(Simulator, RandomOverlaysNeverExceedDesignThroughput) {
+  util::Xoshiro256 rng(29);
+  for (int rep = 0; rep < 10; ++rep) {
+    const int n = 3 + static_cast<int>(rng.below(6));
+    const Instance inst = testing::random_instance(rng, n, 2, 1.0, 8.0);
+    const AcyclicSolution sol = solve_acyclic(inst);
+    if (sol.throughput <= 0.1) continue;
+    const SimResult r = simulate_random_useful(
+        sol.scheme, {2.0 * sol.throughput, 200.0, 50.0, rep + 1u, true});
+    // Overdriving the source cannot push past the overlay capacity.
+    EXPECT_LT(r.min_rate, 1.3 * sol.throughput);
+  }
+}
+
+}  // namespace
+}  // namespace bmp::sim

@@ -1,0 +1,192 @@
+// Worst-case family tests (§VI + appendices): the 5/7 instance is exactly
+// tight at eps = 1/14, Theorem 6.3's asymptotic ceiling, the Fig. 6 degree
+// blow-up, tight homogeneous instances, and the executable 3-PARTITION
+// reduction of Theorem 3.1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/exact.hpp"
+#include "bmp/core/word_throughput.hpp"
+#include "bmp/flow/maxflow.hpp"
+#include "bmp/lp/throughput_lp.hpp"
+#include "bmp/theory/instances.hpp"
+#include "bmp/theory/np_gadget.hpp"
+
+namespace bmp::theory {
+namespace {
+
+using util::Rational;
+
+TEST(Fig18, SigmaWordThroughputsMatchPaperFormulas) {
+  // T*_ac(sigma1 = OGG) = (2/3)(1+eps); T*_ac(sigma2 = GOG) = 3/4 - eps/2.
+  for (const Rational eps : {Rational(0), Rational(1, 20), Rational(1, 14),
+                             Rational(1, 10), Rational(1, 5)}) {
+    const RationalInstance inst = fig18_rational(eps);
+    const Rational two_thirds(2, 3);
+    EXPECT_EQ(word_throughput_exact(inst, make_word("OGG")),
+              two_thirds * (Rational(1) + eps))
+        << "eps=" << eps;
+    EXPECT_EQ(word_throughput_exact(inst, make_word("GOG")),
+              Rational(3, 4) - eps / Rational(2))
+        << "eps=" << eps;
+  }
+}
+
+TEST(Fig18, ExactlyFiveSeventhsAtWorstEps) {
+  const RationalInstance inst = fig18_rational(fig18_worst_eps());
+  const ExactAcyclic best = optimal_acyclic_exact(inst);
+  EXPECT_EQ(best.throughput, Rational(5, 7));
+  EXPECT_EQ(cyclic_upper_bound(inst), Rational(1));
+}
+
+TEST(Fig18, WorstEpsIsTheMinimumOverEps) {
+  const Rational worst = optimal_acyclic_exact(fig18_rational(fig18_worst_eps()))
+                             .throughput;
+  for (std::int64_t num = 0; num <= 20; ++num) {
+    const Rational eps(num, 50);
+    if (eps >= Rational(1, 2)) continue;
+    const Rational t = optimal_acyclic_exact(fig18_rational(eps)).throughput;
+    EXPECT_GE(t, worst) << "eps=" << eps;
+  }
+}
+
+TEST(Fig18, GreedySearchAgreesWithExact) {
+  const double t =
+      optimal_acyclic_throughput(fig18_instance(1.0 / 14.0));
+  EXPECT_NEAR(t, 5.0 / 7.0, 1e-9);
+  EXPECT_NEAR(five_sevenths(), 5.0 / 7.0, 1e-15);
+}
+
+TEST(Thm63, ConstantsMatchFormulas) {
+  EXPECT_NEAR(thm63_alpha(), 0.42539052, 1e-7);
+  EXPECT_NEAR(thm63_limit_ratio(), 0.92539052, 1e-7);
+  // f_alpha(2) = g_alpha(3) = (1+sqrt(41))/8 at alpha*.
+  const double a = thm63_alpha();
+  EXPECT_NEAR((a * 2 + 1) / 2, thm63_limit_ratio(), 1e-12);
+  EXPECT_NEAR((a * 3 + 1 / a + 1) / 5, thm63_limit_ratio(), 1e-12);
+}
+
+TEST(Thm63, InstanceRatioStaysBelowLimit) {
+  for (int k = 1; k <= 4; ++k) {
+    const Instance inst = thm63_instance(k);
+    EXPECT_NEAR(cyclic_upper_bound(inst), 1.0, 1e-9);
+    const double t_ac = optimal_acyclic_throughput(inst);
+    EXPECT_LE(t_ac, thm63_limit_ratio() + 5e-3) << "k=" << k;
+    EXPECT_GE(t_ac, five_sevenths() - 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Fig6, ClosedFormIsOneAndLpAgrees) {
+  for (const int m : {2, 3, 4}) {
+    const Instance inst = fig6_instance(m);
+    EXPECT_NEAR(cyclic_upper_bound(inst), 1.0, 1e-12);
+    const auto lp = lp::cyclic_optimal_lp(inst);
+    ASSERT_EQ(lp.status, lp::Status::kOptimal);
+    EXPECT_NEAR(lp.throughput, 1.0, 1e-6) << "m=" << m;
+  }
+}
+
+TEST(Fig6, OptimalSchemeNeedsSourceDegreeM) {
+  // The analytic optimal scheme: source sends 1/m to each guarded node,
+  // C1 tops each up with (m-1)/m, every guarded node returns 1/m to C1.
+  for (const int m : {2, 3, 5, 8}) {
+    const Instance inst = fig6_instance(m);
+    BroadcastScheme s(inst.size());
+    for (int g = 2; g <= m + 1; ++g) {
+      s.add(0, g, 1.0 / m);
+      s.add(1, g, (m - 1.0) / m);
+      s.add(g, 1, 1.0 / m);
+    }
+    ASSERT_TRUE(s.validate(inst).empty());
+    EXPECT_LE(s.max_inflow_deviation(1.0), 1e-9);
+    EXPECT_NEAR(flow::scheme_throughput(s), 1.0, 1e-9);
+    EXPECT_EQ(s.out_degree(0), m);  // vs ceil(b0/T*) = 1
+    // Low-degree acyclic solutions must therefore lose throughput:
+    EXPECT_LT(optimal_acyclic_throughput(inst), 1.0 - 1e-6);
+  }
+}
+
+TEST(TightHomogeneous, IsTightAndNormalized) {
+  for (const int n : {1, 3, 10}) {
+    for (const int m : {1, 2, 12}) {
+      for (const double frac : {0.0, 0.5, 1.0}) {
+        const Instance inst = tight_homogeneous(n, m, frac * n);
+        EXPECT_EQ(inst.n(), n);
+        EXPECT_EQ(inst.m(), m);
+        EXPECT_NEAR(cyclic_upper_bound(inst), 1.0, 1e-9);
+        EXPECT_NEAR(inst.total_sum(), n + m, 1e-9);
+      }
+    }
+  }
+  EXPECT_THROW(tight_homogeneous(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(tight_homogeneous(1, 1, 5.0), std::invalid_argument);
+}
+
+TEST(TightHomogeneous, RationalVariantIsExact) {
+  const RationalInstance inst = tight_homogeneous_rational(3, 2, Rational(1, 2));
+  EXPECT_EQ(cyclic_upper_bound(inst), Rational(1));
+  EXPECT_EQ(inst.b(1), Rational(1, 2));   // (2-1+1/2)/3
+  EXPECT_EQ(inst.b(4), Rational(5, 4));   // (3-1/2)/2
+}
+
+TEST(TightHomogeneous, OpenOnlyVariant) {
+  const Instance inst = tight_homogeneous_open(4);
+  EXPECT_NEAR(cyclic_open_optimal(inst), 1.0, 1e-12);
+  // Theorem 6.1: acyclic loses exactly b_n/(b0+O) here.
+  EXPECT_NEAR(acyclic_open_optimal(inst), 1.0 - (3.0 / 4.0) / 4.0, 1e-12);
+}
+
+TEST(NpGadget, WellFormedChecks) {
+  const ThreePartition good{{3, 3, 4, 3, 3, 4}, 10};
+  EXPECT_TRUE(good.well_formed());
+  const ThreePartition bad_sum{{3, 3, 4, 3, 3, 3}, 10};
+  EXPECT_FALSE(bad_sum.well_formed());
+  const ThreePartition bad_window{{2, 4, 4, 3, 3, 4}, 10};
+  EXPECT_FALSE(bad_window.well_formed());  // 2 <= T/4
+}
+
+TEST(NpGadget, SolvableInstanceYieldsDegreeOptimalScheme) {
+  const ThreePartition tp{{3, 3, 4, 3, 3, 4}, 10};
+  const auto triples = solve_three_partition(tp);
+  ASSERT_TRUE(triples.has_value());
+  const Instance inst = np_gadget_instance(tp);
+  EXPECT_EQ(inst.n(), 8);  // 6 intermediates + 2 finals
+  const BroadcastScheme s = scheme_from_three_partition(tp, *triples);
+  EXPECT_TRUE(s.validate(inst).empty());
+  EXPECT_LE(s.max_inflow_deviation(10.0), 1e-9);
+  EXPECT_NEAR(flow::scheme_throughput(s), 10.0, 1e-9);
+  // Degree optimality: o_i == ceil(b_i / T) for every sending node.
+  EXPECT_EQ(s.out_degree(0), 6);  // ceil(60/10)
+  for (int i = 1; i <= 6; ++i) EXPECT_EQ(s.out_degree(i), 1);
+}
+
+TEST(NpGadget, UnsolvableInstanceIsDetected) {
+  // {6,6,6,6,7,9}, T = 20: triples can sum to 18,19,21,22 but never 20.
+  const ThreePartition tp{{6, 6, 6, 6, 7, 9}, 20};
+  ASSERT_TRUE(tp.well_formed());
+  EXPECT_FALSE(solve_three_partition(tp).has_value());
+}
+
+TEST(NpGadget, LargerSolvableInstance) {
+  // p = 3, T = 12, items in (3,6): {4,4,4} x3.
+  const ThreePartition tp{{4, 4, 4, 4, 4, 4, 4, 4, 4}, 12};
+  const auto triples = solve_three_partition(tp);
+  ASSERT_TRUE(triples.has_value());
+  const BroadcastScheme s = scheme_from_three_partition(tp, *triples);
+  EXPECT_NEAR(flow::scheme_throughput(s), 12.0, 1e-9);
+}
+
+// Without the degree constraint the gadget is easy: its optimal throughput
+// always equals T (the reduction's hardness comes from degrees alone).
+TEST(NpGadget, ThroughputWithoutDegreeConstraintIsT) {
+  const ThreePartition tp{{6, 6, 6, 6, 7, 9}, 20};  // even the unsolvable one
+  const Instance inst = np_gadget_instance(tp);
+  EXPECT_NEAR(cyclic_upper_bound(inst), 20.0, 1e-9);
+  EXPECT_NEAR(optimal_acyclic_throughput(inst), 20.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace bmp::theory

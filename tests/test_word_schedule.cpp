@@ -1,0 +1,155 @@
+// Lemma 4.6 scheme-construction tests: the Fig. 2 / Fig. 5 worked schemes,
+// Table I trace, exact inflow, firewall constraint, conservativeness, and
+// the Theorem 4.1 degree bounds on greedy words.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/greedy_test.hpp"
+#include "bmp/core/word_schedule.hpp"
+#include "bmp/flow/maxflow.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp {
+namespace {
+
+TEST(WordSchedule, Fig5SchemeFromGreedyWord) {
+  const Instance inst = testing::fig1_instance();
+  const WordSchedule ws =
+      build_scheme_from_word(inst, make_word("GOGOG"), 4.0, /*with_trace=*/true);
+  // Serving order σ = 0 3 1 4 2 5 (Fig. 5 caption).
+  EXPECT_EQ(ws.order, (std::vector<int>{3, 1, 4, 2, 5}));
+  const BroadcastScheme& s = ws.scheme;
+  EXPECT_DOUBLE_EQ(s.rate(0, 3), 4.0);
+  EXPECT_DOUBLE_EQ(s.rate(3, 1), 4.0);
+  EXPECT_DOUBLE_EQ(s.rate(0, 4), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(1, 4), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(4, 2), 1.0);
+  EXPECT_DOUBLE_EQ(s.rate(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(s.rate(2, 5), 4.0);
+  EXPECT_EQ(s.edge_count(), 7);
+}
+
+TEST(WordSchedule, Fig2SchemeFromAlternativeWord) {
+  const Instance inst = testing::fig1_instance();
+  const WordSchedule ws = build_scheme_from_word(inst, make_word("GOOGG"), 4.0);
+  const BroadcastScheme& s = ws.scheme;
+  EXPECT_DOUBLE_EQ(s.rate(0, 3), 4.0);
+  EXPECT_DOUBLE_EQ(s.rate(3, 1), 4.0);
+  EXPECT_DOUBLE_EQ(s.rate(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(1, 4), 3.0);
+  EXPECT_DOUBLE_EQ(s.rate(2, 4), 1.0);
+  EXPECT_DOUBLE_EQ(s.rate(2, 5), 4.0);
+}
+
+TEST(WordSchedule, TraceReproducesTableI) {
+  const Instance inst = testing::fig1_instance();
+  const WordSchedule ws =
+      build_scheme_from_word(inst, make_word("GOGOG"), 4.0, /*with_trace=*/true);
+  ASSERT_EQ(ws.trace.size(), 6u);
+  const double expected_O[] = {6, 2, 7, 3, 5, 1};
+  const double expected_G[] = {0, 4, 0, 1, 0, 1};
+  const double expected_W[] = {0, 0, 0, 0, 3, 3};
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_NEAR(ws.trace[k].open_avail, expected_O[k], 1e-9) << "step " << k;
+    EXPECT_NEAR(ws.trace[k].guarded_avail, expected_G[k], 1e-9) << "step " << k;
+    EXPECT_NEAR(ws.trace[k].open_open, expected_W[k], 1e-9) << "step " << k;
+  }
+  EXPECT_EQ(ws.trace[0].prefix, "");
+  EXPECT_EQ(ws.trace[5].prefix, "GOGOG");
+}
+
+TEST(WordSchedule, InvalidWordThrows) {
+  const Instance inst = testing::fig1_instance();
+  // GGOOG needs 8 units of open bandwidth upfront; only b0=6 available.
+  EXPECT_THROW(build_scheme_from_word(inst, make_word("GGOOG"), 4.0),
+               std::invalid_argument);
+  EXPECT_THROW(build_scheme_from_word(inst, make_word("GOG"), 4.0),
+               std::invalid_argument);
+}
+
+TEST(WordSchedule, SchemePropertiesOnRandomGreedyWords) {
+  util::Xoshiro256 rng(777);
+  int checked = 0;
+  for (int rep = 0; rep < 150; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(10));
+    const int m = static_cast<int>(rng.below(10));
+    const Instance inst = testing::random_instance(rng, n, m, 0.2, 15.0);
+    const double T = optimal_acyclic_throughput(inst) * rng.uniform(0.5, 1.0);
+    const auto word = greedy_test(inst, T);
+    if (!word.has_value() || T <= 0.0) continue;
+    ++checked;
+    const WordSchedule ws = build_scheme_from_word(inst, *word, T);
+    const BroadcastScheme& s = ws.scheme;
+    EXPECT_TRUE(s.validate(inst).empty());
+    EXPECT_TRUE(s.is_acyclic());
+    EXPECT_LE(s.max_inflow_deviation(T), 1e-6 * std::max(1.0, T));
+  }
+  EXPECT_GT(checked, 100);
+}
+
+// Theorem 4.1 degree bounds: guarded <= ceil(b/T)+1; open <= ceil(b/T)+2
+// except at most one node at +3.
+TEST(WordSchedule, Theorem41DegreeBounds) {
+  util::Xoshiro256 rng(888);
+  for (int rep = 0; rep < 150; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(12));
+    const int m = static_cast<int>(rng.below(12));
+    const Instance inst = testing::random_instance(rng, n, m, 0.2, 15.0);
+    const AcyclicSolution sol = solve_acyclic(inst);
+    if (sol.throughput <= 1e-9) continue;
+    const double T = sol.throughput;
+    int plus3_budget = 1;
+    for (int i = 0; i < inst.size(); ++i) {
+      const int base = static_cast<int>(std::ceil(inst.b(i) / T - 1e-9));
+      const int deg = sol.scheme.out_degree(i);
+      if (inst.is_guarded(i)) {
+        EXPECT_LE(deg, base + 1) << "guarded node " << i;
+      } else if (deg > base + 2) {
+        EXPECT_LE(deg, base + 3) << "open node " << i;
+        --plus3_budget;
+        EXPECT_GE(plus3_budget, 0) << "more than one +3 open node";
+      }
+    }
+  }
+}
+
+TEST(WordSchedule, GuardedNodesNeverFeedGuarded) {
+  util::Xoshiro256 rng(999);
+  for (int rep = 0; rep < 60; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(6));
+    const int m = 1 + static_cast<int>(rng.below(8));
+    const Instance inst = testing::random_instance(rng, n, m);
+    const AcyclicSolution sol = solve_acyclic(inst);
+    for (int i = inst.n() + 1; i < inst.size(); ++i) {
+      for (const auto& [to, r] : sol.scheme.out_edges(i)) {
+        EXPECT_FALSE(inst.is_guarded(to))
+            << "guarded->guarded edge " << i << "->" << to;
+      }
+    }
+  }
+}
+
+TEST(WordSchedule, ThroughputVerifiedByMaxFlow) {
+  util::Xoshiro256 rng(1010);
+  for (int rep = 0; rep < 40; ++rep) {
+    const int n = 1 + static_cast<int>(rng.below(6));
+    const int m = static_cast<int>(rng.below(6));
+    const Instance inst = testing::random_instance(rng, n, m);
+    const AcyclicSolution sol = solve_acyclic(inst);
+    if (sol.throughput <= 1e-9) continue;
+    EXPECT_NEAR(flow::scheme_throughput(sol.scheme), sol.throughput,
+                1e-6 * std::max(1.0, sol.throughput));
+  }
+}
+
+TEST(WordSchedule, ZeroRateYieldsEmptyScheme) {
+  const Instance inst = testing::fig1_instance();
+  const WordSchedule ws = build_scheme_from_word(inst, make_word("GOGOG"), 0.0);
+  EXPECT_EQ(ws.scheme.edge_count(), 0);
+}
+
+}  // namespace
+}  // namespace bmp
