@@ -1,0 +1,156 @@
+// Planning-engine bench: plans/sec on a heavy request stream, cold vs.
+// warm cache and 1..N worker threads, plus churn-session recovery. The
+// headline numbers the subsystem exists for:
+//   * warm-cache batch planning must beat cold single-threaded planning by
+//     >= 5x on a 1000-request stream of ~100-node platforms;
+//   * churn sessions must recover >= 90% of the design rate by incremental
+//     repair (no full re-plan) on small departures.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bmp/core/bounds.hpp"
+#include "bmp/engine/plan_cache.hpp"
+#include "bmp/engine/planner.hpp"
+#include "bmp/engine/session.hpp"
+#include "bmp/gen/generator.hpp"
+#include "bmp/util/rng.hpp"
+#include "bmp/util/stats.hpp"
+#include "bmp/util/table.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using bmp::util::Table;
+  const int requests = bmp::benchutil::env_int("BMP_ENGINE_REQUESTS", 1000);
+  const int size = bmp::benchutil::env_int("BMP_ENGINE_SIZE", 100);
+  const int distinct = bmp::benchutil::env_int("BMP_ENGINE_DISTINCT", 50);
+  const int max_threads = bmp::benchutil::env_int("BMP_ENGINE_THREADS", 8);
+
+  bmp::util::print_banner(std::cout,
+                          "Planning engine — plans/sec, cold vs. warm cache");
+  std::cout << requests << " requests over " << distinct
+            << " distinct platforms, " << size << " peers each\n\n";
+
+  // The request stream: `distinct` base platforms, revisited round-robin —
+  // the shape of a deployment where the same overlays are re-requested as
+  // viewers join.
+  bmp::util::Xoshiro256 rng(97);
+  std::vector<bmp::engine::PlanRequest> stream;
+  stream.reserve(static_cast<std::size_t>(requests));
+  {
+    std::vector<bmp::Instance> bases;
+    for (int k = 0; k < distinct; ++k) {
+      bases.push_back(
+          bmp::gen::random_instance({size, 0.5, bmp::gen::Dist::kUnif100}, rng));
+    }
+    for (int r = 0; r < requests; ++r) {
+      stream.push_back(bmp::engine::PlanRequest{
+          bases[static_cast<std::size_t>(r % distinct)],
+          bmp::engine::Algorithm::kAcyclic, 0});
+    }
+  }
+
+  // Baseline: cold, single-threaded, no cache — every request pays for a
+  // full plan, the way the library worked before the engine existed.
+  const auto cold_start = std::chrono::steady_clock::now();
+  double checksum_cold = 0.0;
+  for (const auto& request : stream) {
+    checksum_cold += bmp::engine::Planner::plan_uncached(request).throughput;
+  }
+  const double cold_s = seconds_since(cold_start);
+  std::cout << "cold 1-thread uncached: " << cold_s << " s  ("
+            << static_cast<double>(requests) / cold_s << " plans/s)\n\n";
+
+  Table t({"threads", "cold batch s", "warm batch s", "plans/s warm",
+           "speedup vs cold-1t"});
+  double best_warm = 0.0;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    bmp::engine::PlannerConfig config;
+    config.threads = static_cast<std::size_t>(threads);
+    bmp::engine::Planner planner(config);
+
+    const auto cold_batch_start = std::chrono::steady_clock::now();
+    auto responses = planner.plan_batch(stream);
+    const double cold_batch_s = seconds_since(cold_batch_start);
+
+    const auto warm_start = std::chrono::steady_clock::now();
+    responses = planner.plan_batch(stream);
+    const double warm_s = seconds_since(warm_start);
+
+    double checksum = 0.0;
+    for (const auto& response : responses) checksum += response.throughput;
+    if (checksum < 0.999 * checksum_cold || checksum > 1.001 * checksum_cold) {
+      std::cout << "[WARN] cached batch diverged from uncached planning\n";
+    }
+
+    const double speedup = cold_s / warm_s;
+    best_warm = std::max(best_warm, speedup);
+    t.add_row({Table::num(threads), Table::num(cold_batch_s, 3),
+               Table::num(warm_s, 4),
+               Table::num(static_cast<double>(requests) / warm_s, 0),
+               Table::num(speedup, 1)});
+  }
+  t.print(std::cout);
+  t.maybe_write_csv("engine");
+
+  bool ok = best_warm >= 5.0;
+  std::cout << (ok ? "[OK] " : "[WARN] ") << "warm-cache batch planning is "
+            << best_warm << "x cold single-threaded planning (need >= 5)\n\n";
+
+  // Churn sessions: small departures (2% of peers per wave) must be
+  // absorbed by incremental repair at >= 90% of the design rate.
+  bmp::util::print_banner(std::cout, "Churn sessions — incremental repair");
+  const int session_reps = bmp::benchutil::env_int("BMP_ENGINE_SESSIONS", 10);
+  bmp::engine::Planner session_planner;
+  bmp::util::RunningStats recovery;
+  int incremental = 0;
+  int full = 0;
+  bmp::util::Xoshiro256 churn_rng(1234);
+  for (int rep = 0; rep < session_reps; ++rep) {
+    const bmp::Instance platform = bmp::gen::random_instance(
+        {size, 0.5, bmp::gen::Dist::kUnif100}, churn_rng);
+    bmp::engine::Session session(session_planner, platform);
+    if (session.design_rate() <= 0.0) continue;
+    for (int wave = 0; wave < 3; ++wave) {
+      const int peers = session.instance().size() - 1;
+      if (peers < 10) break;
+      std::vector<int> departed;
+      for (int k = 0; k < std::max(1, peers / 50); ++k) {
+        const int id = 1 + static_cast<int>(churn_rng.below(
+                               static_cast<std::size_t>(peers)));
+        if (std::find(departed.begin(), departed.end(), id) == departed.end()) {
+          departed.push_back(id);
+        }
+      }
+      const bmp::engine::ChurnOutcome outcome = session.on_departure(departed);
+      if (outcome.full_replan) {
+        ++full;
+      } else {
+        ++incremental;
+        recovery.add(outcome.achieved_rate / outcome.design_rate);
+      }
+    }
+  }
+  std::cout << incremental << " incremental / " << full << " full replans; "
+            << "incremental recovery mean "
+            << (recovery.count() > 0 ? recovery.mean() : 0.0) << " min "
+            << (recovery.count() > 0 ? recovery.min() : 0.0)
+            << " of design rate\n";
+  const bool churn_ok =
+      incremental > 0 && recovery.count() > 0 && recovery.min() >= 0.9 - 1e-6;
+  ok = ok && churn_ok;
+  std::cout << (churn_ok
+                    ? "[OK] small departures absorbed incrementally at >= 90%\n"
+                    : "[WARN] incremental repair under-recovered\n");
+  return ok ? 0 : 1;
+}

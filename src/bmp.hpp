@@ -9,6 +9,8 @@
 //   build_cyclic_open   §V   Theorem 5.2 cyclic construction
 //   cyclic_upper_bound  §V   Lemma 5.1 closed form
 //   flow::scheme_throughput   throughput verification by max-flow
+//   engine::Planner     batched/cached service front-end over the algorithms
+//   engine::Session     churn-aware long-lived overlay with incremental repair
 #pragma once
 
 #include "bmp/core/acyclic_open.hpp"
@@ -23,4 +25,8 @@
 #include "bmp/core/word.hpp"
 #include "bmp/core/word_schedule.hpp"
 #include "bmp/core/word_throughput.hpp"
+#include "bmp/engine/fingerprint.hpp"
+#include "bmp/engine/plan_cache.hpp"
+#include "bmp/engine/planner.hpp"
+#include "bmp/engine/session.hpp"
 #include "bmp/flow/maxflow.hpp"

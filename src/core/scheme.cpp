@@ -70,7 +70,7 @@ int BroadcastScheme::out_degree(int i) const {
 
 int BroadcastScheme::in_degree(int i) const {
   int deg = 0;
-  for (const auto& edges : out_) deg += edges.contains(i) ? 1 : 0;
+  for (const auto& edges : out_) deg += edges.count(i) != 0 ? 1 : 0;
   return deg;
 }
 

@@ -1,0 +1,47 @@
+#include "bmp/engine/fingerprint.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bmp/util/rng.hpp"
+
+namespace bmp::engine {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  return util::splitmix64(x);  // value-state use of the shared finalizer
+}
+
+namespace {
+
+std::uint64_t quantize(double bandwidth, double bucket) {
+  const double q = std::nearbyint(bandwidth / bucket);
+  if (q < 0.0 || q > 9.2e18) {
+    throw std::invalid_argument("fingerprint: bandwidth/bucket out of range");
+  }
+  return static_cast<std::uint64_t>(q);
+}
+
+}  // namespace
+
+Fingerprint fingerprint(const Instance& instance, double bucket) {
+  if (!(bucket > 0.0) || !std::isfinite(bucket)) {
+    throw std::invalid_argument("fingerprint: bucket must be positive");
+  }
+  Fingerprint fp;
+  fp.n = instance.n();
+  fp.m = instance.m();
+  // Nodes are visited in the instance's canonical (sorted) order; a class
+  // boundary marker keeps {open 3, guarded 5} distinct from {open 5,
+  // guarded 3} even when n == m.
+  std::uint64_t h = mix64(0x626d70ULL);  // "bmp"
+  h = mix64(h ^ static_cast<std::uint64_t>(fp.n));
+  h = mix64(h ^ static_cast<std::uint64_t>(fp.m));
+  for (int i = 0; i < instance.size(); ++i) {
+    if (i == fp.n + 1) h = mix64(h ^ 0x67756172ULL);  // "guar" class marker
+    h = mix64(h ^ quantize(instance.b(i), bucket));
+  }
+  fp.hash = h;
+  return fp;
+}
+
+}  // namespace bmp::engine

@@ -1,0 +1,49 @@
+// Canonical, order-insensitive fingerprint of a platform Instance, the
+// dedup key of the planning engine. Two requests for "the same" platform —
+// same class sizes, same multiset of bandwidths up to a bucket width — must
+// collide so the plan cache can serve one plan for both.
+//
+// Canonicalization is inherited from Instance itself: bandwidths are stored
+// non-increasingly per class, so hashing the stored order is insensitive to
+// the caller's input order. Bandwidths are quantized to `bucket` before
+// hashing, absorbing measurement jitter (LastMile estimates of the same
+// platform rarely agree to the last ulp). Fingerprints taken with different
+// bucket widths are incomparable — keep one width per cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bmp/core/instance.hpp"
+
+namespace bmp::engine {
+
+struct Fingerprint {
+  std::uint64_t hash = 0;
+  std::int32_t n = 0;  ///< open-node count (cheap collision guard)
+  std::int32_t m = 0;  ///< guarded-node count
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.hash == b.hash && a.n == b.n && a.m == b.m;
+  }
+  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
+    return !(a == b);
+  }
+};
+
+struct FingerprintHasher {
+  [[nodiscard]] std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.hash);
+  }
+};
+
+/// 64-bit mixing (splitmix64 finalizer) — shared by the engine's hashes.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Fingerprint of `instance` with bandwidths quantized to multiples of
+/// `bucket` (> 0; values within bucket/2 of each other may or may not
+/// collide — equality is only guaranteed for identical quantized grids).
+[[nodiscard]] Fingerprint fingerprint(const Instance& instance,
+                                      double bucket = 1e-6);
+
+}  // namespace bmp::engine

@@ -1,0 +1,89 @@
+#include "bmp/engine/plan_cache.hpp"
+
+#include <algorithm>
+
+namespace bmp::engine {
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards) {
+  shards = std::max<std::size_t>(1, shards);
+  if (capacity > 0) {
+    per_shard_capacity_ = (capacity + shards - 1) / shards;
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::shard_for(const Fingerprint& key) {
+  // Re-mix so shard choice is independent of the index's bucket choice.
+  const std::uint64_t h = mix64(key.hash ^ 0x5ca1ab1eULL);
+  return *shards_[static_cast<std::size_t>(h % shards_.size())];
+}
+
+std::shared_ptr<const PlanResponse> PlanCache::lookup(const Fingerprint& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void PlanCache::insert(const Fingerprint& key,
+                       std::shared_ptr<const PlanResponse> value) {
+  if (per_shard_capacity_ == 0) return;
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.insertions;
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats PlanCache::stats() const {
+  CacheStats total;
+  total.capacity = per_shard_capacity_ * shards_.size();
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.insertions += shard->insertions;
+    total.size += shard->lru.size();
+  }
+  return total;
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t size = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    size += shard->lru.size();
+  }
+  return size;
+}
+
+void PlanCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace bmp::engine

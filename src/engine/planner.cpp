@@ -1,0 +1,209 @@
+#include "bmp/engine/planner.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "bmp/baselines/baselines.hpp"
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/core/cyclic_open.hpp"
+#include "bmp/engine/plan_cache.hpp"
+#include "bmp/util/thread_pool.hpp"
+
+namespace bmp::engine {
+
+const char* to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kAuto: return "auto";
+    case Algorithm::kAcyclic: return "acyclic";
+    case Algorithm::kCyclic: return "cyclic";
+    case Algorithm::kBaselineTree: return "kary-tree";
+    case Algorithm::kBaselineChain: return "chain";
+  }
+  return "?";
+}
+
+namespace {
+
+PlanResponse make_response(BroadcastScheme scheme, double throughput,
+                           Algorithm used, int bound) {
+  PlanResponse response;
+  response.max_degree = scheme.max_out_degree();
+  response.scheme = std::make_shared<const BroadcastScheme>(std::move(scheme));
+  response.throughput = throughput;
+  response.algorithm = used;
+  response.degree_bound_met = bound == 0 || response.max_degree <= bound;
+  return response;
+}
+
+PlanResponse plan_acyclic(const Instance& instance, int bound) {
+  AcyclicSolution solution = solve_acyclic(instance);
+  return make_response(std::move(solution.scheme), solution.throughput,
+                       Algorithm::kAcyclic, bound);
+}
+
+/// Thm 5.2 requires an open-only platform with at least one peer; anything
+/// else degrades to the acyclic construction (which is then optimal anyway
+/// for n == 0, and the only guarded-capable scheme we have).
+PlanResponse plan_cyclic(const Instance& instance, int bound) {
+  if (instance.m() != 0 || instance.n() < 1) {
+    return plan_acyclic(instance, bound);
+  }
+  const double t_star = cyclic_open_optimal(instance);
+  return make_response(build_cyclic_open(instance, t_star), t_star,
+                       Algorithm::kCyclic, bound);
+}
+
+PlanResponse plan_auto(const Instance& instance, int bound) {
+  std::vector<PlanResponse> candidates;
+  candidates.push_back(plan_acyclic(instance, bound));
+  if (instance.m() == 0 && instance.n() >= 1) {
+    candidates.push_back(plan_cyclic(instance, bound));
+  }
+  if (bound > 0) {
+    // Low-degree fallbacks for tight bounds the optimal schemes overshoot.
+    // Tree throughput is not monotone in arity (a wide tree can run out of
+    // open interior capacity), so scan every arity the bound allows.
+    for (int arity = 1; arity <= bound; ++arity) {
+      baselines::BaselineResult tree = baselines::kary_tree(instance, arity);
+      candidates.push_back(make_response(std::move(tree.scheme), tree.throughput,
+                                         Algorithm::kBaselineTree, bound));
+    }
+    baselines::BaselineResult chain = baselines::chain(instance);
+    candidates.push_back(make_response(std::move(chain.scheme), chain.throughput,
+                                       Algorithm::kBaselineChain, bound));
+  }
+
+  const PlanResponse* best = nullptr;
+  for (const PlanResponse& candidate : candidates) {
+    if (!candidate.degree_bound_met) continue;
+    if (best == nullptr || candidate.throughput > best->throughput) {
+      best = &candidate;
+    }
+  }
+  if (best == nullptr) {
+    // Nothing honors the bound; surface the lowest-degree candidate.
+    for (const PlanResponse& candidate : candidates) {
+      if (best == nullptr || candidate.max_degree < best->max_degree) {
+        best = &candidate;
+      }
+    }
+  }
+  return *best;
+}
+
+}  // namespace
+
+PlanResponse Planner::plan_uncached(const PlanRequest& request) {
+  const int bound = request.max_out_degree;
+  if (bound < 0) {
+    throw std::invalid_argument("Planner: max_out_degree must be >= 0");
+  }
+  switch (request.algorithm) {
+    case Algorithm::kAuto:
+      return plan_auto(request.instance, bound);
+    case Algorithm::kAcyclic:
+      return plan_acyclic(request.instance, bound);
+    case Algorithm::kCyclic:
+      return plan_cyclic(request.instance, bound);
+    case Algorithm::kBaselineTree: {
+      baselines::BaselineResult tree = baselines::best_kary_tree(request.instance);
+      return make_response(std::move(tree.scheme), tree.throughput,
+                           Algorithm::kBaselineTree, bound);
+    }
+    case Algorithm::kBaselineChain: {
+      baselines::BaselineResult chain = baselines::chain(request.instance);
+      return make_response(std::move(chain.scheme), chain.throughput,
+                           Algorithm::kBaselineChain, bound);
+    }
+  }
+  throw std::invalid_argument("Planner: unknown algorithm");
+}
+
+Planner::Planner(PlannerConfig config)
+    : config_(config),
+      cache_(std::make_unique<PlanCache>(config.cache_capacity,
+                                         config.cache_shards)),
+      pool_(std::make_unique<util::ThreadPool>(config.threads)) {}
+
+Planner::~Planner() = default;
+
+Fingerprint Planner::request_key(const PlanRequest& request) const {
+  Fingerprint key = fingerprint(request.instance, config_.fingerprint_bucket);
+  key.hash = mix64(key.hash ^
+                   (static_cast<std::uint64_t>(request.algorithm) << 32) ^
+                   static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(request.max_out_degree)));
+  return key;
+}
+
+PlanResponse Planner::plan(const PlanRequest& request) {
+  const Fingerprint key = request_key(request);
+  if (std::shared_ptr<const PlanResponse> cached = cache_->lookup(key)) {
+    PlanResponse response = *cached;
+    response.cache_hit = true;
+    return response;
+  }
+  PlanResponse response = plan_uncached(request);
+  cache_->insert(key, std::make_shared<const PlanResponse>(response));
+  return response;
+}
+
+std::vector<PlanResponse> Planner::plan_batch(
+    const std::vector<PlanRequest>& requests) {
+  // One work item per distinct fingerprint, in first-occurrence order so the
+  // dedup structure (and therefore every response) is independent of thread
+  // count and timing.
+  struct WorkItem {
+    Fingerprint key;
+    std::size_t first_index = 0;
+    std::shared_ptr<const PlanResponse> plan;
+    bool from_cache = false;
+  };
+  std::vector<WorkItem> work;
+  std::vector<std::size_t> item_of(requests.size());
+  std::unordered_map<Fingerprint, std::size_t, FingerprintHasher> seen;
+  seen.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Fingerprint key = request_key(requests[i]);
+    const auto [it, inserted] = seen.emplace(key, work.size());
+    if (inserted) {
+      work.push_back(WorkItem{key, i, nullptr, false});
+    }
+    item_of[i] = it->second;
+  }
+
+  for (WorkItem& item : work) {
+    item.plan = cache_->lookup(item.key);
+    item.from_cache = item.plan != nullptr;
+  }
+
+  util::parallel_for(
+      *pool_, 0, work.size(),
+      [&](std::size_t w) {
+        WorkItem& item = work[w];
+        if (item.plan != nullptr) return;
+        auto plan = std::make_shared<const PlanResponse>(
+            plan_uncached(requests[item.first_index]));
+        cache_->insert(item.key, plan);
+        item.plan = std::move(plan);
+      },
+      /*chunk=*/1);
+
+  std::vector<PlanResponse> responses(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const WorkItem& item = work[item_of[i]];
+    responses[i] = *item.plan;
+    // A response is a "hit" when its plan was not computed for this very
+    // request: either it was cached across batches, or a duplicate earlier
+    // in this batch already triggered the computation.
+    responses[i].cache_hit = item.from_cache || i != item.first_index;
+  }
+  return responses;
+}
+
+CacheStats Planner::cache_stats() const { return cache_->stats(); }
+
+}  // namespace bmp::engine

@@ -1,0 +1,97 @@
+// The planning engine's front door: a PlanRequest/PlanResponse API over the
+// paper's algorithms, service-grade. One-shot `plan()` consults a sharded
+// LRU cache keyed by the request fingerprint; `plan_batch()` dedupes a
+// whole request stream by fingerprint and plans the distinct platforms
+// concurrently on a util::ThreadPool. Results are deterministic: grouping
+// is by fingerprint, never by thread timing, so any thread count produces
+// identical responses.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+#include "bmp/engine/fingerprint.hpp"
+
+namespace bmp::util {
+class ThreadPool;
+}  // namespace bmp::util
+
+namespace bmp::engine {
+
+class PlanCache;
+struct CacheStats;
+
+/// Which overlay construction serves a request. kAuto picks the best
+/// throughput among the paper's schemes that honors the degree bound,
+/// falling back to a bounded-arity tree when nothing else fits.
+enum class Algorithm {
+  kAuto,
+  kAcyclic,        ///< §IV optimal acyclic (dichotomic GreedyTest search)
+  kCyclic,         ///< Thm 5.2 cyclic (open-only; acyclic when guarded nodes exist)
+  kBaselineTree,   ///< best k-ary tree baseline
+  kBaselineChain,  ///< linear chain baseline
+};
+
+[[nodiscard]] const char* to_string(Algorithm algorithm);
+
+struct PlanRequest {
+  Instance instance;
+  Algorithm algorithm = Algorithm::kAuto;
+  /// Maximum allowed out-degree, 0 = unbounded. kAuto treats it as a hard
+  /// filter; explicit algorithms report violations via degree_bound_met.
+  int max_out_degree = 0;
+};
+
+struct PlanResponse {
+  /// The planned overlay (shared: cache hits alias one immutable scheme).
+  std::shared_ptr<const BroadcastScheme> scheme;
+  double throughput = 0.0;
+  Algorithm algorithm = Algorithm::kAcyclic;  ///< construction actually used
+  int max_degree = 0;                         ///< max out-degree of `scheme`
+  bool degree_bound_met = true;
+  bool cache_hit = false;  ///< served from cache (or deduped within a batch)
+};
+
+struct PlannerConfig {
+  std::size_t threads = 0;  ///< worker threads for plan_batch; 0 = hardware
+  std::size_t cache_capacity = 4096;  ///< plans retained across requests
+  std::size_t cache_shards = 16;
+  double fingerprint_bucket = 1e-6;  ///< bandwidth quantum for dedup
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerConfig config = {});
+  ~Planner();
+
+  Planner(const Planner&) = delete;
+  Planner& operator=(const Planner&) = delete;
+
+  /// Plans one request, consulting and populating the cache.
+  PlanResponse plan(const PlanRequest& request);
+
+  /// Plans a request stream: responses[i] answers requests[i]. Distinct
+  /// fingerprints are planned concurrently; duplicates are planned once.
+  std::vector<PlanResponse> plan_batch(const std::vector<PlanRequest>& requests);
+
+  /// Pure planning, no cache, no pool — the function of record the cached
+  /// paths must agree with.
+  static PlanResponse plan_uncached(const PlanRequest& request);
+
+  /// Cache key of a request: instance fingerprint with the algorithm and
+  /// degree bound mixed in (same platform, different knobs != same plan).
+  [[nodiscard]] Fingerprint request_key(const PlanRequest& request) const;
+
+  [[nodiscard]] CacheStats cache_stats() const;
+  [[nodiscard]] const PlannerConfig& config() const { return config_; }
+
+ private:
+  PlannerConfig config_;
+  std::unique_ptr<PlanCache> cache_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace bmp::engine

@@ -1,0 +1,236 @@
+#include "bmp/engine/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "bmp/flow/maxflow.hpp"
+#include "bmp/sim/churn.hpp"
+
+namespace bmp::engine {
+
+RepairResult repair_scheme(const Instance& survivors,
+                           const BroadcastScheme& restricted,
+                           double target_rate) {
+  if (restricted.num_nodes() != survivors.size()) {
+    throw std::invalid_argument("repair_scheme: instance/scheme size mismatch");
+  }
+  RepairResult result{restricted, 0.0, 0.0};
+  BroadcastScheme& scheme = result.scheme;
+  const int num_nodes = scheme.num_nodes();
+  if (scheme.is_acyclic() && target_rate > 0.0 && num_nodes > 1) {
+    const double tol = 1e-9 * std::max(1.0, target_rate);
+    // Patch each node's inflow up to target_rate. Any sender works as long
+    // as the overlay stays a DAG — i.e. the sender is not a *descendant* of
+    // the receiver in the current (partially patched) overlay. Acyclicity
+    // plus inflow >= tau everywhere is sufficient for throughput tau: for
+    // any source/j cut, the topologically first node outside the cut has
+    // all its in-edges crossing it, so min-cut(0 -> j) >= tau. The final
+    // rate is re-verified by max-flow below either way.
+    std::vector<double> out(static_cast<std::size_t>(num_nodes), 0.0);
+    std::vector<double> in(static_cast<std::size_t>(num_nodes), 0.0);
+    for (int i = 0; i < num_nodes; ++i) {
+      out[static_cast<std::size_t>(i)] = scheme.out_rate(i);
+      in[static_cast<std::size_t>(i)] = scheme.in_rate(i);
+    }
+    std::vector<char> blocked(static_cast<std::size_t>(num_nodes), 0);
+    std::vector<int> stack;
+    // Conservative sender preference (the paper's Lemma 4.3 principle):
+    // guarded upload cannot reach guarded receivers, so open receivers
+    // drain guarded senders first, keeping source + open upload for the
+    // guarded nodes that have no alternative. Guarded receivers are
+    // patched first for the same reason.
+    std::vector<int> receivers;
+    receivers.reserve(static_cast<std::size_t>(num_nodes - 1));
+    for (int i = 1; i < num_nodes; ++i) {
+      if (survivors.is_guarded(i)) receivers.push_back(i);
+    }
+    for (int i = 1; i < num_nodes; ++i) {
+      if (!survivors.is_guarded(i)) receivers.push_back(i);
+    }
+    std::vector<int> sender_order;
+    sender_order.reserve(static_cast<std::size_t>(num_nodes));
+    for (int i = 1; i < num_nodes; ++i) {
+      if (survivors.is_guarded(i)) sender_order.push_back(i);
+    }
+    for (int i = 1; i < num_nodes; ++i) {
+      if (!survivors.is_guarded(i)) sender_order.push_back(i);
+    }
+    sender_order.push_back(0);
+    // Trim pass: when repairing toward a *reduced* target, survivors still
+    // fed at the old (higher) design rate hold upload hostage. Cut their
+    // inflow down to the target, releasing open/source upload first — it
+    // is the only class guarded receivers can draw from.
+    for (int receiver = 1; receiver < num_nodes; ++receiver) {
+      double excess = in[static_cast<std::size_t>(receiver)] - target_rate;
+      if (excess <= tol) continue;
+      for (int cls = 0; cls < 2 && excess > tol; ++cls) {
+        for (int sender = 0; sender < num_nodes && excess > tol; ++sender) {
+          const bool sender_guarded = survivors.is_guarded(sender);
+          if ((cls == 0) == sender_guarded) continue;  // open first, then guarded
+          const double rate = scheme.rate(sender, receiver);
+          if (rate <= tol) continue;
+          const double cut = std::min(excess, rate);
+          scheme.add(sender, receiver, -cut);
+          out[static_cast<std::size_t>(sender)] -= cut;
+          in[static_cast<std::size_t>(receiver)] -= cut;
+          excess -= cut;
+        }
+      }
+    }
+    for (const int receiver : receivers) {
+      double deficit = target_rate - in[static_cast<std::size_t>(receiver)];
+      if (deficit <= tol) continue;
+      // Senders reachable *from* the receiver would close a cycle.
+      std::fill(blocked.begin(), blocked.end(), 0);
+      blocked[static_cast<std::size_t>(receiver)] = 1;
+      stack.assign(1, receiver);
+      while (!stack.empty()) {
+        const int v = stack.back();
+        stack.pop_back();
+        for (const auto& [to, rate] : scheme.out_edges(v)) {
+          (void)rate;
+          if (!blocked[static_cast<std::size_t>(to)]) {
+            blocked[static_cast<std::size_t>(to)] = 1;
+            stack.push_back(to);
+          }
+        }
+      }
+      for (const int sender : sender_order) {
+        if (deficit <= tol) break;
+        if (blocked[static_cast<std::size_t>(sender)]) continue;
+        if (survivors.is_guarded(sender) && survivors.is_guarded(receiver)) {
+          continue;
+        }
+        const double residual =
+            survivors.b(sender) - out[static_cast<std::size_t>(sender)];
+        if (residual <= tol) continue;
+        const double take = std::min(deficit, residual);
+        scheme.add(sender, receiver, take);
+        out[static_cast<std::size_t>(sender)] += take;
+        in[static_cast<std::size_t>(receiver)] += take;
+        result.added_rate += take;
+        deficit -= take;
+      }
+    }
+    // Reroute pass for guarded receivers the direct patch could not fill:
+    // source/open upload may be fully committed to *open* receivers that
+    // idle guarded upload could serve instead. Swap such an edge over
+    // (guarded g takes the open receiver x, open sender s turns to the
+    // guarded receiver) — the conservative exchange of Lemma 4.3. Each
+    // swap is applied tentatively and reverted if it would close a cycle.
+    for (const int receiver : receivers) {
+      if (!survivors.is_guarded(receiver)) break;  // guardeds lead the list
+      double deficit = target_rate - in[static_cast<std::size_t>(receiver)];
+      if (deficit <= tol) continue;
+      for (const int s : sender_order) {
+        if (deficit <= tol) break;
+        if (survivors.is_guarded(s)) continue;  // need an open/source sender
+        const std::vector<std::pair<int, double>> edges(
+            scheme.out_edges(s).begin(), scheme.out_edges(s).end());
+        for (const auto& [x, rate_sx] : edges) {
+          if (deficit <= tol) break;
+          if (x == receiver || survivors.is_guarded(x)) continue;
+          double movable = std::min(deficit, rate_sx);
+          for (const int g : sender_order) {
+            if (movable <= tol || deficit <= tol) break;
+            if (!survivors.is_guarded(g) || g == x) continue;
+            const double residual_g =
+                survivors.b(g) - out[static_cast<std::size_t>(g)];
+            if (residual_g <= tol) continue;
+            const double delta = std::min(movable, residual_g);
+            scheme.add(g, x, delta);
+            scheme.add(s, x, -delta);
+            scheme.add(s, receiver, delta);
+            if (!scheme.is_acyclic()) {
+              scheme.add(s, receiver, -delta);
+              scheme.add(s, x, delta);
+              scheme.add(g, x, -delta);
+              continue;
+            }
+            out[static_cast<std::size_t>(g)] += delta;
+            in[static_cast<std::size_t>(receiver)] += delta;
+            result.added_rate += delta;
+            deficit -= delta;
+            movable -= delta;
+          }
+        }
+      }
+    }
+  }
+  result.throughput =
+      num_nodes > 1 ? flow::scheme_throughput(scheme) : 0.0;
+  return result;
+}
+
+Session::Session(Planner& planner, Instance instance, SessionConfig config)
+    : planner_(planner), config_(config), instance_(std::move(instance)) {
+  if (config_.replan_threshold < 0.0 || config_.replan_threshold > 1.0) {
+    throw std::invalid_argument("Session: replan_threshold in [0,1]");
+  }
+  const PlanResponse response = planner_.plan(
+      PlanRequest{instance_, config_.algorithm, config_.max_out_degree});
+  scheme_ = response.scheme;
+  design_rate_ = response.throughput;
+  current_rate_ = response.throughput;
+}
+
+ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
+  ChurnOutcome outcome;
+  outcome.design_rate = design_rate_;
+  if (departed.empty()) {
+    outcome.survivors = instance_.size() - 1;
+    outcome.degraded_rate = current_rate_;
+    outcome.repaired_rate = current_rate_;
+    outcome.achieved_rate = current_rate_;
+    return outcome;
+  }
+
+  Instance survivors = sim::remove_nodes(instance_, departed);
+  BroadcastScheme restricted = sim::restrict_scheme(*scheme_, departed);
+  outcome.departed = static_cast<int>(departed.size());
+  outcome.survivors = survivors.size() - 1;
+  if (outcome.survivors <= 0) {
+    instance_ = std::move(survivors);
+    scheme_ = std::make_shared<const BroadcastScheme>(std::move(restricted));
+    current_rate_ = 0.0;
+    outcome.achieved_rate = 0.0;
+    return outcome;
+  }
+
+  outcome.degraded_rate = flow::scheme_throughput(restricted);
+  const double tol = 1e-9 * std::max(1.0, design_rate_);
+  const double bar = config_.replan_threshold * design_rate_;
+  // Descending target ladder: full design rate first, then reduced targets
+  // down to the acceptance bar (each one trims over-fed survivors to free
+  // upload for the deficits). Keep the first repair that clears the bar.
+  const double fractions[] = {1.0, (1.0 + config_.replan_threshold) / 2.0,
+                              config_.replan_threshold};
+  RepairResult repair = repair_scheme(survivors, restricted, design_rate_);
+  for (std::size_t f = 1; f < 3 && repair.throughput + tol < bar; ++f) {
+    if (fractions[f] >= 1.0) continue;
+    RepairResult attempt =
+        repair_scheme(survivors, restricted, fractions[f] * design_rate_);
+    if (attempt.throughput > repair.throughput) repair = std::move(attempt);
+  }
+  outcome.repaired_rate = repair.throughput;
+  if (repair.throughput + tol >= config_.replan_threshold * design_rate_) {
+    instance_ = std::move(survivors);
+    scheme_ = std::make_shared<const BroadcastScheme>(std::move(repair.scheme));
+    current_rate_ = repair.throughput;
+    ++incremental_replans_;
+  } else {
+    const PlanResponse response = planner_.plan(
+        PlanRequest{survivors, config_.algorithm, config_.max_out_degree});
+    instance_ = std::move(survivors);
+    scheme_ = response.scheme;
+    design_rate_ = response.throughput;
+    current_rate_ = response.throughput;
+    ++full_replans_;
+    outcome.full_replan = true;
+  }
+  outcome.achieved_rate = current_rate_;
+  return outcome;
+}
+
+}  // namespace bmp::engine

@@ -1,0 +1,89 @@
+// Long-lived planning sessions: a Session owns a planned overlay for one
+// platform and absorbs churn events without going back to the full planner
+// when it can avoid it. On a departure the overlay is first *restricted*
+// to the survivors (sim::restrict_scheme) and then *repaired* in place —
+// inflow deficits are patched greedily from survivors that still receive
+// the full stream and have spare upload. Only when the repaired overlay's
+// verified throughput falls below `replan_threshold` of the design rate
+// does the session pay for a full re-plan (which still goes through the
+// planner's cache, so identical survivor platforms across sessions dedupe).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+#include "bmp/engine/planner.hpp"
+
+namespace bmp::engine {
+
+struct RepairResult {
+  BroadcastScheme scheme;
+  double throughput = 0.0;  ///< verified (min max-flow) after patching
+  double added_rate = 0.0;  ///< total edge rate the patch added
+};
+
+/// Incremental repair of a restricted overlay: processes survivors in
+/// topological order and pulls each node's inflow deficit (w.r.t.
+/// `target_rate`) from already fully-fed earlier nodes with residual
+/// upload, honoring bandwidth caps and the firewall constraint. Node k of
+/// `restricted` must be node k of `survivors` (the numbering produced by
+/// sim::remove_nodes + sim::restrict_scheme). Cyclic overlays are returned
+/// unpatched (their throughput is still measured).
+[[nodiscard]] RepairResult repair_scheme(const Instance& survivors,
+                                         const BroadcastScheme& restricted,
+                                         double target_rate);
+
+struct SessionConfig {
+  /// Keep the incremental repair iff its verified throughput reaches this
+  /// fraction of the design rate; otherwise fall back to a full re-plan.
+  double replan_threshold = 0.9;
+  /// Planning knobs used for the initial plan and every full re-plan.
+  /// kAcyclic by default: its DAG structure is what repair patches best.
+  Algorithm algorithm = Algorithm::kAcyclic;
+  int max_out_degree = 0;
+};
+
+struct ChurnOutcome {
+  int departed = 0;
+  int survivors = 0;
+  double design_rate = 0.0;   ///< reference rate before the event
+  double degraded_rate = 0.0; ///< restricted overlay, before repair
+  double repaired_rate = 0.0; ///< after incremental patching
+  double achieved_rate = 0.0; ///< after the chosen reaction
+  bool full_replan = false;   ///< true when repair was not good enough
+};
+
+class Session {
+ public:
+  /// Plans the initial overlay through `planner` (which must outlive the
+  /// session).
+  Session(Planner& planner, Instance instance, SessionConfig config = {});
+
+  [[nodiscard]] const Instance& instance() const { return instance_; }
+  [[nodiscard]] const BroadcastScheme& scheme() const { return *scheme_; }
+  /// Throughput of the last *full* plan — the reference churn is judged by.
+  [[nodiscard]] double design_rate() const { return design_rate_; }
+  /// Verified throughput of the overlay currently in service.
+  [[nodiscard]] double current_rate() const { return current_rate_; }
+  [[nodiscard]] int incremental_replans() const { return incremental_replans_; }
+  [[nodiscard]] int full_replans() const { return full_replans_; }
+
+  /// Absorbs the departure of `departed` (current sorted-instance node ids,
+  /// source excluded; throws on bad ids). Updates the session's platform
+  /// and overlay and reports what happened.
+  ChurnOutcome on_departure(const std::vector<int>& departed);
+
+ private:
+  Planner& planner_;
+  SessionConfig config_;
+  Instance instance_;
+  std::shared_ptr<const BroadcastScheme> scheme_;
+  double design_rate_ = 0.0;
+  double current_rate_ = 0.0;
+  int incremental_replans_ = 0;
+  int full_replans_ = 0;
+};
+
+}  // namespace bmp::engine

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <compare>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
@@ -64,13 +63,13 @@ class Rational {
   friend bool operator==(const Rational& a, const Rational& b) {
     return a.num_ == b.num_ && a.den_ == b.den_;
   }
-  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
-    const i128 lhs = i128(a.num_) * b.den_;
-    const i128 rhs = i128(b.num_) * a.den_;
-    if (lhs < rhs) return std::strong_ordering::less;
-    if (lhs > rhs) return std::strong_ordering::greater;
-    return std::strong_ordering::equal;
+  friend bool operator!=(const Rational& a, const Rational& b) { return !(a == b); }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return i128(a.num_) * b.den_ < i128(b.num_) * a.den_;
   }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) { return !(b < a); }
+  friend bool operator>=(const Rational& a, const Rational& b) { return !(a < b); }
 
   [[nodiscard]] std::string str() const {
     if (den_ == 1) return std::to_string(num_);

@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -26,9 +27,12 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task; fire-and-forget (use wait_idle to join logically).
+  /// Throws std::runtime_error if the pool is shutting down.
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have completed.
+  /// Block until all submitted tasks have completed. If any task threw, the
+  /// *first* captured exception is rethrown here (later ones are dropped);
+  /// the pool stays usable afterwards.
   void wait_idle();
 
  private:
@@ -40,11 +44,13 @@ class ThreadPool {
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
+  std::exception_ptr first_exception_;
   bool stop_ = false;
 };
 
 /// Run fn(i) for i in [begin, end) across the pool, blocking until done.
-/// Work is chunked to amortize queue overhead.
+/// Work is chunked to amortize queue overhead. If any fn(i) throws, the
+/// remaining chunks still drain and the first exception is rethrown.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t chunk = 0);

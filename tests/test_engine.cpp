@@ -1,0 +1,336 @@
+// Planning-engine tests: fingerprint canonicalization, plan-cache
+// accounting, batch determinism across thread counts, and churn-session
+// repair-vs-replan decisions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bmp/core/acyclic_search.hpp"
+#include "bmp/core/bounds.hpp"
+#include "bmp/engine/fingerprint.hpp"
+#include "bmp/engine/plan_cache.hpp"
+#include "bmp/engine/planner.hpp"
+#include "bmp/engine/session.hpp"
+#include "bmp/flow/maxflow.hpp"
+#include "bmp/sim/churn.hpp"
+#include "test_helpers.hpp"
+
+namespace bmp::engine {
+namespace {
+
+// ------------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, InsensitiveToInputOrder) {
+  const Instance a(6.0, {5.0, 3.0, 4.0}, {2.0, 1.0});
+  const Instance b(6.0, {4.0, 5.0, 3.0}, {1.0, 2.0});
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToBandwidths) {
+  const Instance a(6.0, {5.0, 5.0}, {4.0, 1.0, 1.0});
+  const Instance b(6.0, {5.0, 5.0}, {4.0, 1.0, 2.0});
+  const Instance c(7.0, {5.0, 5.0}, {4.0, 1.0, 1.0});
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+}
+
+TEST(Fingerprint, SensitiveToClassAssignment) {
+  // Same bandwidth multiset, different open/guarded split.
+  const Instance a(6.0, {5.0, 4.0}, {3.0});
+  const Instance b(6.0, {5.0}, {4.0, 3.0});
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+  EXPECT_NE(fingerprint(a).n, fingerprint(b).n);
+}
+
+TEST(Fingerprint, BucketsAbsorbJitter) {
+  const Instance base(6.0, {5.0, 5.0}, {4.0});
+  const Instance jittered(6.0 + 1e-9, {5.0 - 2e-9, 5.0}, {4.0 + 1e-9});
+  const Instance shifted(6.0, {5.0, 5.1}, {4.0});
+  EXPECT_EQ(fingerprint(base, 1e-3), fingerprint(jittered, 1e-3));
+  EXPECT_NE(fingerprint(base, 1e-3), fingerprint(shifted, 1e-3));
+}
+
+TEST(Fingerprint, InvalidBucketThrows) {
+  const Instance a(1.0, {1.0}, {});
+  EXPECT_THROW((void)fingerprint(a, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)fingerprint(a, -1.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- plan cache
+
+std::shared_ptr<const PlanResponse> dummy_plan(double throughput) {
+  auto response = std::make_shared<PlanResponse>();
+  response->throughput = throughput;
+  return response;
+}
+
+Fingerprint key_of(std::uint64_t h) {
+  Fingerprint key;
+  key.hash = h;
+  key.n = 1;
+  key.m = 0;
+  return key;
+}
+
+TEST(PlanCache, HitMissAccounting) {
+  PlanCache cache(8, 2);
+  EXPECT_EQ(cache.lookup(key_of(1)), nullptr);
+  cache.insert(key_of(1), dummy_plan(4.0));
+  const auto hit = cache.lookup(key_of(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->throughput, 4.0);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  // Single shard so the LRU order is global and predictable.
+  PlanCache cache(2, 1);
+  cache.insert(key_of(1), dummy_plan(1.0));
+  cache.insert(key_of(2), dummy_plan(2.0));
+  EXPECT_NE(cache.lookup(key_of(1)), nullptr);  // 1 is now MRU
+  cache.insert(key_of(3), dummy_plan(3.0));     // evicts 2
+  EXPECT_EQ(cache.lookup(key_of(2)), nullptr);
+  EXPECT_NE(cache.lookup(key_of(1)), nullptr);
+  EXPECT_NE(cache.lookup(key_of(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(PlanCache, ZeroCapacityDisables) {
+  PlanCache cache(0, 4);
+  cache.insert(key_of(1), dummy_plan(1.0));
+  EXPECT_EQ(cache.lookup(key_of(1)), nullptr);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(PlanCache, ClearEmptiesAllShards) {
+  PlanCache cache(32, 4);
+  for (std::uint64_t k = 0; k < 20; ++k) cache.insert(key_of(k), dummy_plan(1.0));
+  EXPECT_GT(cache.size(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ----------------------------------------------------------------- planner
+
+TEST(Planner, MatchesDirectSolve) {
+  const Instance platform = bmp::testing::fig1_instance();
+  Planner planner;
+  const PlanResponse response =
+      planner.plan(PlanRequest{platform, Algorithm::kAcyclic, 0});
+  const AcyclicSolution direct = solve_acyclic(platform);
+  EXPECT_NEAR(response.throughput, direct.throughput, 1e-9);
+  EXPECT_FALSE(response.cache_hit);
+  ASSERT_NE(response.scheme, nullptr);
+  EXPECT_TRUE(response.scheme->validate(platform).empty());
+  EXPECT_NEAR(flow::scheme_throughput(*response.scheme), response.throughput,
+              1e-6);
+}
+
+TEST(Planner, SecondCallHitsCache) {
+  Planner planner;
+  const PlanRequest request{bmp::testing::fig1_instance(), Algorithm::kAcyclic, 0};
+  const PlanResponse first = planner.plan(request);
+  const PlanResponse second = planner.plan(request);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.scheme.get(), second.scheme.get());  // shared, not copied
+  EXPECT_EQ(planner.cache_stats().hits, 1u);
+}
+
+TEST(Planner, KeyDependsOnAlgorithmAndBound) {
+  Planner planner;
+  const Instance platform = bmp::testing::fig1_instance();
+  const Fingerprint acyclic =
+      planner.request_key(PlanRequest{platform, Algorithm::kAcyclic, 0});
+  const Fingerprint autoalg =
+      planner.request_key(PlanRequest{platform, Algorithm::kAuto, 0});
+  const Fingerprint bounded =
+      planner.request_key(PlanRequest{platform, Algorithm::kAcyclic, 3});
+  EXPECT_NE(acyclic, autoalg);
+  EXPECT_NE(acyclic, bounded);
+}
+
+TEST(Planner, CyclicOnOpenOnlyReachesTheorem52) {
+  const Instance platform = bmp::testing::fig14_instance();
+  Planner planner;
+  const PlanResponse response =
+      planner.plan(PlanRequest{platform, Algorithm::kCyclic, 0});
+  EXPECT_EQ(response.algorithm, Algorithm::kCyclic);
+  EXPECT_NEAR(response.throughput, cyclic_open_optimal(platform), 1e-9);
+  EXPECT_TRUE(response.scheme->validate(platform).empty());
+}
+
+TEST(Planner, CyclicFallsBackWithGuardedNodes) {
+  Planner planner;
+  const PlanResponse response = planner.plan(
+      PlanRequest{bmp::testing::fig1_instance(), Algorithm::kCyclic, 0});
+  EXPECT_EQ(response.algorithm, Algorithm::kAcyclic);
+}
+
+TEST(Planner, AutoHonorsDegreeBound) {
+  bmp::util::Xoshiro256 rng(5);
+  Planner planner;
+  for (int rep = 0; rep < 10; ++rep) {
+    const Instance platform = bmp::testing::random_instance(rng, 8, 4);
+    const PlanResponse bounded =
+        planner.plan(PlanRequest{platform, Algorithm::kAuto, 3});
+    if (bounded.degree_bound_met) {
+      EXPECT_LE(bounded.max_degree, 3);
+    }
+    EXPECT_TRUE(bounded.scheme->validate(platform).empty());
+  }
+}
+
+TEST(Planner, BatchDeterministicAcrossThreadCounts) {
+  bmp::util::Xoshiro256 rng(11);
+  std::vector<PlanRequest> stream;
+  for (int r = 0; r < 40; ++r) {
+    // 10 distinct platforms, each requested 4 times.
+    bmp::util::Xoshiro256 fork = rng.fork(static_cast<std::uint64_t>(r % 10));
+    stream.push_back(PlanRequest{
+        bmp::testing::random_instance(fork, 10, 5), Algorithm::kAuto, 0});
+  }
+
+  std::vector<std::vector<PlanResponse>> runs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+    PlannerConfig config;
+    config.threads = threads;
+    Planner planner(config);
+    runs.push_back(planner.plan_batch(stream));
+  }
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_DOUBLE_EQ(runs[run][i].throughput, runs[0][i].throughput);
+      EXPECT_EQ(runs[run][i].algorithm, runs[0][i].algorithm);
+      EXPECT_EQ(runs[run][i].max_degree, runs[0][i].max_degree);
+      EXPECT_EQ(runs[run][i].cache_hit, runs[0][i].cache_hit);
+      EXPECT_EQ(runs[run][i].scheme->edge_count(), runs[0][i].scheme->edge_count());
+    }
+  }
+}
+
+TEST(Planner, BatchDedupesDuplicates) {
+  PlannerConfig config;
+  config.threads = 4;
+  Planner planner(config);
+  const std::vector<PlanRequest> stream(
+      8, PlanRequest{bmp::testing::fig1_instance(), Algorithm::kAcyclic, 0});
+  const std::vector<PlanResponse> responses = planner.plan_batch(stream);
+  ASSERT_EQ(responses.size(), 8u);
+  EXPECT_FALSE(responses[0].cache_hit);
+  for (std::size_t i = 1; i < responses.size(); ++i) {
+    EXPECT_TRUE(responses[i].cache_hit);
+    EXPECT_EQ(responses[i].scheme.get(), responses[0].scheme.get());
+  }
+  // Only one miss was ever planned.
+  EXPECT_EQ(planner.cache_stats().misses, 1u);
+  EXPECT_EQ(planner.cache_stats().insertions, 1u);
+}
+
+// ----------------------------------------------------------------- session
+
+TEST(Session, RepairRestoresOrphanedNode) {
+  // Generous slack: the source alone could re-feed a lost subtree.
+  const Instance platform(20.0, {10.0, 10.0, 10.0}, {5.0, 5.0});
+  Planner planner;
+  Session session(planner, platform);
+  const double design = session.design_rate();
+  ASSERT_GT(design, 0.0);
+
+  const ChurnOutcome outcome = session.on_departure({1});
+  EXPECT_FALSE(outcome.full_replan);
+  EXPECT_GE(outcome.achieved_rate, 0.9 * design - 1e-9);
+  EXPECT_EQ(session.incremental_replans(), 1);
+  EXPECT_EQ(session.full_replans(), 0);
+  EXPECT_EQ(session.instance().size(), platform.size() - 1);
+  // The repaired overlay is valid and its verified throughput is honest.
+  EXPECT_TRUE(session.scheme().validate(session.instance()).empty());
+  EXPECT_NEAR(flow::scheme_throughput(session.scheme()),
+              session.current_rate(), 1e-6);
+}
+
+TEST(Session, CatastrophicDepartureForcesFullReplan) {
+  // Removing the big open nodes leaves survivors that cannot sustain the
+  // design rate: Lemma 5.1 caps them strictly below 90% of it.
+  const Instance platform(10.0, {10.0, 10.0, 10.0, 10.0}, {1.0, 1.0});
+  Planner planner;
+  Session session(planner, platform);
+  const double design = session.design_rate();
+  ASSERT_GT(design, 0.0);
+
+  const ChurnOutcome outcome = session.on_departure({1, 2, 3});
+  const Instance& survivors = session.instance();
+  EXPECT_TRUE(outcome.full_replan);
+  EXPECT_EQ(session.full_replans(), 1);
+  // Full replan resets the design rate to the survivors' optimum.
+  EXPECT_NEAR(session.design_rate(), solve_acyclic(survivors).throughput, 1e-9);
+  EXPECT_TRUE(session.scheme().validate(survivors).empty());
+}
+
+TEST(Session, EmptyDepartureIsNoop) {
+  Planner planner;
+  Session session(planner, bmp::testing::fig1_instance());
+  const ChurnOutcome outcome = session.on_departure({});
+  EXPECT_EQ(outcome.departed, 0);
+  EXPECT_DOUBLE_EQ(outcome.achieved_rate, session.design_rate());
+  EXPECT_EQ(session.incremental_replans(), 0);
+  EXPECT_EQ(session.full_replans(), 0);
+}
+
+TEST(Session, BadDepartureIdThrows) {
+  Planner planner;
+  Session session(planner, bmp::testing::fig1_instance());
+  EXPECT_THROW(session.on_departure({0}), std::invalid_argument);
+  EXPECT_THROW(session.on_departure({99}), std::invalid_argument);
+}
+
+TEST(RepairScheme, PatchKeepsSchemeValid) {
+  bmp::util::Xoshiro256 rng(21);
+  for (int rep = 0; rep < 8; ++rep) {
+    const Instance platform = bmp::testing::random_instance(rng, 12, 6);
+    const AcyclicSolution solution = solve_acyclic(platform);
+    if (solution.throughput <= 0.0) continue;
+    const std::vector<int> departed{3, 9};
+    const Instance survivors = sim::remove_nodes(platform, departed);
+    const BroadcastScheme restricted =
+        sim::restrict_scheme(solution.scheme, departed);
+    const RepairResult repair =
+        repair_scheme(survivors, restricted, solution.throughput);
+    EXPECT_TRUE(repair.scheme.validate(survivors).empty());
+    EXPECT_TRUE(repair.scheme.is_acyclic());
+    // Repair can only improve on doing nothing.
+    EXPECT_GE(repair.throughput,
+              flow::scheme_throughput(restricted) - 1e-9);
+  }
+}
+
+TEST(RepairScheme, TrimMakesReducedTargetsFeasible) {
+  bmp::util::Xoshiro256 rng(33);
+  int repaired_to_target = 0;
+  for (int rep = 0; rep < 8; ++rep) {
+    const Instance platform = bmp::testing::random_instance(rng, 14, 7);
+    const AcyclicSolution solution = solve_acyclic(platform);
+    if (solution.throughput <= 0.0) continue;
+    const std::vector<int> departed{2};
+    const Instance survivors = sim::remove_nodes(platform, departed);
+    const BroadcastScheme restricted =
+        sim::restrict_scheme(solution.scheme, departed);
+    const double target = 0.9 * solution.throughput;
+    const RepairResult repair = repair_scheme(survivors, restricted, target);
+    EXPECT_TRUE(repair.scheme.validate(survivors).empty());
+    if (repair.throughput >= target - 1e-6) ++repaired_to_target;
+  }
+  // One small departure should nearly always be absorbable at 90%.
+  EXPECT_GE(repaired_to_target, 6);
+}
+
+}  // namespace
+}  // namespace bmp::engine

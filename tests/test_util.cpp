@@ -176,6 +176,33 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   EXPECT_FALSE(touched);
 }
 
+TEST(ThreadPool, TaskExceptionRethrownInWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The exception is consumed: the pool is reusable afterwards.
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      parallel_for(
+          pool, 0, 100,
+          [&](std::size_t i) {
+            executed.fetch_add(1);
+            if (i == 13) throw std::invalid_argument("bad cell");
+          },
+          /*chunk=*/1),
+      std::invalid_argument);
+  // All other tasks still ran: one failure does not abandon the batch.
+  EXPECT_EQ(executed.load(), 100);
+}
+
 TEST(ThreadPool, ReusableAcrossCalls) {
   ThreadPool pool(2);
   for (int round = 0; round < 5; ++round) {
