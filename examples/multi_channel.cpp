@@ -1,0 +1,55 @@
+// Multi-channel runtime walkthrough: three live channels share one
+// heterogeneous population's bounded multi-port upload budgets through the
+// CapacityBroker, absorb a flash crowd, diurnal churn and a correlated
+// failure, and get rebalanced by periodic capacity renegotiations. Prints
+// the churn audit trail and the deterministic metrics snapshot.
+#include <iostream>
+
+#include "bmp/runtime/runtime.hpp"
+#include "bmp/runtime/scenario.hpp"
+
+int main() {
+  using namespace bmp::runtime;
+
+  // A day-long (10 time units) scenario on ~60 heterogeneous peers.
+  Scenario scenario(10.0, /*seed=*/42);
+  scenario.source(400.0)
+      .population({40, 0.7, bmp::gen::Dist::kUnif100})
+      .population({20, 0.3, bmp::gen::Dist::kLogNormal1})
+      .channel({0.0, -1.0, /*weight=*/2.0, /*fraction=*/0.45})
+      .channel({0.5, -1.0, 1.0, 0.25})
+      .channel({1.0, 8.0, 1.0, 0.2})
+      .flash_crowd({3.0, 15, {0, 0.8, bmp::gen::Dist::kUnif100}, 0.6, 2.0})
+      .diurnal_churn({5.0, 0.8, 6.0, 0.5, {0, 0.5, bmp::gen::Dist::kUnif100}})
+      .correlated_failure({7.5, 0.15})
+      .renegotiate_every(2.5, 0.95);
+  const ScenarioScript script = scenario.build();
+
+  RuntimeConfig config;
+  config.broker_headroom = 0.05;
+  Runtime runtime(config, script.source_bandwidth, script.initial_peers);
+  runtime.run(script.events);
+
+  std::cout << "processed " << script.events.size() << " events, "
+            << runtime.open_channels() << " channels live, "
+            << runtime.alive_peers() << " peers alive\n\n";
+
+  std::cout << "churn audit trail (channel, design, achieved):\n";
+  for (const ChurnReport& report : runtime.churn_log()) {
+    std::cout << "  t=" << report.time << " ch" << report.channel << " "
+              << to_string(report.type) << " design=" << report.design_rate
+              << " achieved=" << report.achieved_rate
+              << (report.full_replan ? " [replan]" : " [repair]") << "\n";
+  }
+
+  const auto violations = runtime.validate();
+  std::cout << "\ncapacity audit: "
+            << (violations.empty() ? "every node within its multi-port budget"
+                                   : "VIOLATIONS")
+            << "\n";
+  for (const auto& violation : violations) std::cout << "  " << violation << "\n";
+
+  std::cout << "\nmetrics snapshot (deterministic view):\n"
+            << runtime.metrics().snapshot().to_string(/*include_timing=*/false);
+  return violations.empty() ? 0 : 1;
+}

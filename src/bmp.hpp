@@ -11,6 +11,8 @@
 //   flow::scheme_throughput   throughput verification by max-flow
 //   engine::Planner     batched/cached service front-end over the algorithms
 //   engine::Session     churn-aware long-lived overlay with incremental repair
+//   runtime::Runtime    multi-channel event loop over brokered capacity
+//   runtime::Scenario   deterministic workload -> event-stream compiler
 #pragma once
 
 #include "bmp/core/acyclic_open.hpp"
@@ -30,3 +32,8 @@
 #include "bmp/engine/planner.hpp"
 #include "bmp/engine/session.hpp"
 #include "bmp/flow/maxflow.hpp"
+#include "bmp/runtime/capacity_broker.hpp"
+#include "bmp/runtime/event.hpp"
+#include "bmp/runtime/metrics.hpp"
+#include "bmp/runtime/runtime.hpp"
+#include "bmp/runtime/scenario.hpp"

@@ -1,6 +1,7 @@
 #include "bmp/engine/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -173,6 +174,39 @@ Session::Session(Planner& planner, Instance instance, SessionConfig config)
   scheme_ = response.scheme;
   design_rate_ = response.throughput;
   current_rate_ = response.throughput;
+}
+
+std::vector<double> Session::capacities() const {
+  std::vector<double> caps(static_cast<std::size_t>(instance_.size()));
+  for (int i = 0; i < instance_.size(); ++i) {
+    caps[static_cast<std::size_t>(i)] = instance_.b(i);
+  }
+  return caps;
+}
+
+void Session::rescale(double factor) {
+  if (!std::isfinite(factor) || factor <= 0.0) {
+    throw std::invalid_argument("Session::rescale: factor must be > 0");
+  }
+  // Rebuild the instance from its sorted order: scaling by a positive factor
+  // preserves the non-increasing order, and the stable per-class sort keeps
+  // every node at its current index.
+  std::vector<double> open;
+  std::vector<double> guarded;
+  for (int i = 1; i < instance_.size(); ++i) {
+    (instance_.is_guarded(i) ? guarded : open).push_back(instance_.b(i) * factor);
+  }
+  Instance scaled(instance_.b(0) * factor, std::move(open), std::move(guarded));
+  BroadcastScheme scheme(scheme_->num_nodes());
+  for (int i = 0; i < scheme_->num_nodes(); ++i) {
+    for (const auto& [to, rate] : scheme_->out_edges(i)) {
+      scheme.add(i, to, rate * factor);
+    }
+  }
+  instance_ = std::move(scaled);
+  scheme_ = std::make_shared<const BroadcastScheme>(std::move(scheme));
+  design_rate_ *= factor;
+  current_rate_ *= factor;
 }
 
 ChurnOutcome Session::on_departure(const std::vector<int>& departed) {

@@ -58,11 +58,18 @@ struct ChurnOutcome {
 class Session {
  public:
   /// Plans the initial overlay through `planner` (which must outlive the
-  /// session).
+  /// session). `instance` carries the per-node upload caps the session plans
+  /// against — a broker that partitions node budgets across sessions hands
+  /// each one a scaled instance rather than the full platform.
   Session(Planner& planner, Instance instance, SessionConfig config = {});
 
   [[nodiscard]] const Instance& instance() const { return instance_; }
   [[nodiscard]] const BroadcastScheme& scheme() const { return *scheme_; }
+  /// The per-node upload capacity vector currently planned against, in the
+  /// instance's sorted numbering (index 0 = source). This is the session's
+  /// side of the broker contract: callers audit brokered allocations against
+  /// it instead of re-reading the full platform.
+  [[nodiscard]] std::vector<double> capacities() const;
   /// Throughput of the last *full* plan — the reference churn is judged by.
   [[nodiscard]] double design_rate() const { return design_rate_; }
   /// Verified throughput of the overlay currently in service.
@@ -74,6 +81,12 @@ class Session {
   /// source excluded; throws on bad ids). Updates the session's platform
   /// and overlay and reports what happened.
   ChurnOutcome on_departure(const std::vector<int>& departed);
+
+  /// Capacity renegotiation: multiplies every node's upload cap by `factor`
+  /// (> 0, finite). Scaling all caps uniformly scales the optimal overlay by
+  /// the same factor, so the current scheme and rates are rescaled exactly —
+  /// no re-plan, no cache traffic — and node k stays node k.
+  void rescale(double factor);
 
  private:
   Planner& planner_;

@@ -76,4 +76,11 @@ double sample(Dist dist, util::Xoshiro256& rng) {
   throw std::invalid_argument("unknown distribution");
 }
 
+std::vector<double> sample_many(Dist dist, int count, util::Xoshiro256& rng) {
+  if (count < 0) throw std::invalid_argument("sample_many: negative count");
+  std::vector<double> draws(static_cast<std::size_t>(count));
+  for (auto& draw : draws) draw = sample(dist, rng);
+  return draws;
+}
+
 }  // namespace bmp::gen

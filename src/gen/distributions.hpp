@@ -28,6 +28,9 @@ std::string name(Dist dist);
 /// One bandwidth draw.
 double sample(Dist dist, util::Xoshiro256& rng);
 
+/// `count` i.i.d. bandwidth draws (runtime node-class generation).
+std::vector<double> sample_many(Dist dist, int count, util::Xoshiro256& rng);
+
 /// Parameterized building blocks (exposed for tests).
 double sample_pareto(double mean, double stddev, util::Xoshiro256& rng);
 double sample_lognormal(double mean, double stddev, util::Xoshiro256& rng);

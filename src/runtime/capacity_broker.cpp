@@ -1,0 +1,85 @@
+#include "bmp/runtime/capacity_broker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bmp::runtime {
+
+namespace {
+constexpr double kTol = 1e-12;
+}  // namespace
+
+CapacityBroker::CapacityBroker(double headroom) {
+  if (!std::isfinite(headroom) || headroom < 0.0 || headroom >= 1.0) {
+    throw std::invalid_argument("CapacityBroker: headroom in [0, 1)");
+  }
+  usable_ = 1.0 - headroom;
+}
+
+std::optional<Grant> CapacityBroker::admit(int channel, double weight,
+                                           double fraction) {
+  if (!std::isfinite(weight) || weight <= 0.0) {
+    throw std::invalid_argument("CapacityBroker::admit: weight must be > 0");
+  }
+  if (!std::isfinite(fraction) || fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("CapacityBroker::admit: fraction in (0, 1]");
+  }
+  if (grants_.count(channel) != 0) {
+    throw std::invalid_argument("CapacityBroker::admit: channel already held");
+  }
+  if (fraction > available() + kTol) {
+    ++rejections_;
+    return std::nullopt;
+  }
+  const Grant granted{channel, weight, fraction};
+  grants_.emplace(channel, granted);
+  total_weight_ += weight;
+  allocated_ += fraction;
+  ++admissions_;
+  return granted;
+}
+
+double CapacityBroker::release(int channel) {
+  const auto it = grants_.find(channel);
+  if (it == grants_.end()) {
+    throw std::invalid_argument("CapacityBroker::release: unknown channel");
+  }
+  const double reclaimed = it->second.fraction;
+  total_weight_ -= it->second.weight;
+  allocated_ -= reclaimed;
+  grants_.erase(it);
+  if (grants_.empty()) {  // absorb float residue at quiescence
+    total_weight_ = 0.0;
+    allocated_ = 0.0;
+  }
+  ++releases_;
+  return reclaimed;
+}
+
+std::vector<Grant> CapacityBroker::rebalance(double utilization) {
+  if (!std::isfinite(utilization) || utilization <= 0.0 || utilization > 1.0) {
+    throw std::invalid_argument("CapacityBroker::rebalance: utilization in (0, 1]");
+  }
+  std::vector<Grant> changed;
+  if (grants_.empty()) return changed;
+  const double pool = utilization * usable_;
+  double allocated = 0.0;
+  for (auto& [id, held] : grants_) {
+    const double share = pool * held.weight / total_weight_;
+    if (std::abs(share - held.fraction) > kTol) {
+      held.fraction = share;
+      changed.push_back(held);
+    }
+    allocated += held.fraction;
+  }
+  allocated_ = allocated;
+  return changed;
+}
+
+std::optional<Grant> CapacityBroker::grant(int channel) const {
+  const auto it = grants_.find(channel);
+  if (it == grants_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bmp::runtime

@@ -1,0 +1,78 @@
+// CapacityBroker — partitions the platform's bounded multi-port upload
+// budgets across concurrent broadcast channels. The broker works in
+// *fractions* of each node's budget b_i: a channel granted fraction g gets
+// the scaled platform {g * b_i}, so as long as the granted fractions sum to
+// <= 1 every node's summed per-channel allocation respects its multi-port
+// budget by construction — the invariant the runtime audits after every
+// event.
+//
+// Policy (requested admissions, weighted fair renegotiation):
+//   * a channel is admitted with the fraction it *requests*, iff that
+//     request fits in the unallocated remainder — an admission that would
+//     oversubscribe any node's budget is rejected outright, and existing
+//     grants are never squeezed by an admission, so an open channel's
+//     design rate only moves at explicit renegotiation points;
+//   * `rebalance(utilization)` resets every grant to its exact weighted
+//     fair share of `utilization * usable` — the capacity-renegotiation
+//     event — and reports which grants changed; keeping utilization < 1
+//     preserves admission headroom for future channels;
+//   * `release` reclaims a closing channel's fraction immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace bmp::runtime {
+
+struct Grant {
+  int channel = -1;
+  double weight = 1.0;
+  double fraction = 0.0;  ///< of every node's budget b_i
+};
+
+class CapacityBroker {
+ public:
+  /// `headroom` in [0, 1) is withheld from every node's budget (operator
+  /// safety margin); channels share the remaining `1 - headroom`.
+  explicit CapacityBroker(double headroom = 0.0);
+
+  /// Admits `channel` (not currently granted, weight > 0) with the
+  /// requested `fraction` in (0, 1] of every node's budget, or rejects it
+  /// when the request would oversubscribe the pool. Returns the grant on
+  /// success, nullopt on rejection.
+  std::optional<Grant> admit(int channel, double weight, double fraction);
+
+  /// Reclaims a channel's fraction; returns it. Throws if unknown.
+  double release(int channel);
+
+  /// Resets every grant to its weighted fair share of
+  /// `utilization * usable` capacity (utilization in (0, 1]). Returns the
+  /// grants whose fraction changed (new values).
+  std::vector<Grant> rebalance(double utilization = 1.0);
+
+  /// The grant currently held by `channel`, nullopt if none.
+  [[nodiscard]] std::optional<Grant> grant(int channel) const;
+
+  [[nodiscard]] double usable() const { return usable_; }
+  /// Sum of granted fractions (<= usable, always).
+  [[nodiscard]] double allocated() const { return allocated_; }
+  [[nodiscard]] double available() const { return usable_ - allocated_; }
+  [[nodiscard]] std::size_t channels() const { return grants_.size(); }
+
+  [[nodiscard]] std::uint64_t admissions() const { return admissions_; }
+  [[nodiscard]] std::uint64_t rejections() const { return rejections_; }
+  [[nodiscard]] std::uint64_t releases() const { return releases_; }
+
+ private:
+  double usable_ = 1.0;
+  double allocated_ = 0.0;
+  double total_weight_ = 0.0;
+  std::map<int, Grant> grants_;  // ordered: deterministic iteration
+  std::uint64_t admissions_ = 0;
+  std::uint64_t rejections_ = 0;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace bmp::runtime

@@ -1,0 +1,57 @@
+// The runtime's input language: a deterministic, timestamped event stream.
+// Scenarios compile workloads (Poisson channel arrivals, flash crowds,
+// diurnal churn, correlated failures, capacity renegotiations) down to a
+// flat, time-sorted vector of these events; the Runtime consumes them one
+// by one. Ties are broken by `sequence`, assigned once at build time, so a
+// replay of the same stream is bit-for-bit identical regardless of how it
+// was generated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bmp::runtime {
+
+enum class EventType {
+  kChannelOpen,   ///< admit a channel through the broker, plan its overlay
+  kChannelClose,  ///< tear a channel down, reclaim its capacity fraction
+  kNodeJoin,      ///< peers enter the population (ids assigned sequentially)
+  kNodeLeave,     ///< peers depart — every hosting channel repairs/replans
+  kRenegotiate,   ///< rebalance all grants to weighted fair shares
+};
+
+[[nodiscard]] const char* to_string(EventType type);
+
+/// A peer entering the population: upload budget + firewall class.
+struct NodeSpec {
+  double bandwidth = 0.0;
+  bool guarded = false;
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t sequence = 0;  ///< tie-break for equal timestamps
+  EventType type = EventType::kChannelOpen;
+
+  // kChannelOpen / kChannelClose
+  int channel = -1;
+  double weight = 1.0;    ///< open: renegotiation fair-share weight (> 0)
+  double fraction = 0.1;  ///< open: requested capacity fraction in (0, 1]
+
+  // kNodeJoin
+  std::vector<NodeSpec> joins;
+  // kNodeLeave — runtime node ids (never 0, the source)
+  std::vector<int> leaves;
+
+  // kRenegotiate: fraction of broker capacity the fair shares sum to;
+  // keeping it < 1 leaves admission headroom for future channels.
+  double utilization = 1.0;
+};
+
+/// Orders a stream for replay: by time, then by build-time sequence.
+[[nodiscard]] inline bool event_before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.sequence < b.sequence;
+}
+
+}  // namespace bmp::runtime

@@ -1,0 +1,178 @@
+#include "bmp/runtime/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace bmp::runtime {
+
+WindowedHistogram::WindowedHistogram(std::size_t window) : window_(window) {
+  if (window_ == 0) {
+    throw std::invalid_argument("WindowedHistogram: window must be > 0");
+  }
+  recent_.reserve(window_);
+}
+
+void WindowedHistogram::observe(double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("WindowedHistogram: non-finite observation");
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (recent_.size() < window_) {
+    recent_.push_back(value);
+  } else {
+    recent_[next_] = value;
+  }
+  next_ = (next_ + 1) % window_;
+}
+
+double WindowedHistogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double WindowedHistogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double WindowedHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+namespace {
+/// Nearest-rank quantile of a sorted, non-empty window: the smallest value
+/// with cumulative fraction >= q.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+}  // namespace
+
+double WindowedHistogram::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("WindowedHistogram::quantile: q in [0, 1]");
+  }
+  if (recent_.empty()) return 0.0;
+  std::vector<double> sorted(recent_);
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, q);
+}
+
+HistogramStats WindowedHistogram::stats() const {
+  HistogramStats stats;
+  stats.count = count_;
+  stats.sum = sum_;
+  stats.min = min();
+  stats.max = max();
+  stats.mean = mean();
+  if (!recent_.empty()) {
+    std::vector<double> sorted(recent_);
+    std::sort(sorted.begin(), sorted.end());
+    stats.p50 = sorted_quantile(sorted, 0.50);
+    stats.p90 = sorted_quantile(sorted, 0.90);
+    stats.p99 = sorted_quantile(sorted, 0.99);
+  }
+  return stats;
+}
+
+std::string MetricsSnapshot::to_string(bool include_timing) const {
+  const auto timed = [&](const std::string& name) {
+    return !include_timing &&
+           name.rfind(MetricsRegistry::kTimingPrefix, 0) == 0;
+  };
+  std::ostringstream out;
+  out.precision(12);
+  for (const auto& [name, value] : counters) {
+    if (timed(name)) continue;
+    out << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    if (timed(name)) continue;
+    out << "gauge " << name << " " << value << "\n";
+  }
+  for (const auto& [name, stats] : histograms) {
+    if (timed(name)) continue;
+    out << "histogram " << name << " count=" << stats.count
+        << " sum=" << stats.sum << " min=" << stats.min << " max=" << stats.max
+        << " mean=" << stats.mean << " p50=" << stats.p50
+        << " p90=" << stats.p90 << " p99=" << stats.p99 << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::inc(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_counter(std::string_view name, std::uint64_t value) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), WindowedHistogram()).first;
+  }
+  it->second.observe(value);
+}
+
+void MetricsRegistry::erase(std::string_view name) {
+  const auto erase_from = [&](auto& map) {
+    const auto it = map.find(name);
+    if (it != map.end()) map.erase(it);
+  };
+  erase_from(counters_);
+  erase_from(gauges_);
+  erase_from(histograms_);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const WindowedHistogram* MetricsRegistry::histogram(
+    std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.insert(counters_.begin(), counters_.end());
+  snap.gauges.insert(gauges_.begin(), gauges_.end());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace(name, hist.stats());
+  }
+  return snap;
+}
+
+}  // namespace bmp::runtime

@@ -1,0 +1,101 @@
+// MetricsRegistry — counters, gauges and windowed histograms for the
+// runtime, with deterministic snapshot export. Metrics are created on
+// first touch and held in name-ordered maps, so two runs that perform the
+// same operations produce byte-identical snapshots — the property the
+// runtime's replay-determinism tests assert on.
+//
+// Wall-clock observations (event-loop latency) are inherently
+// nondeterministic; by convention they live under the `timing.` prefix and
+// `MetricsSnapshot::to_string(false)` omits them, giving a deterministic
+// view of an otherwise timed run.
+//
+// The registry is single-threaded by design: it belongs to the runtime's
+// event loop. (Planner worker threads never touch it.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bmp::runtime {
+
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Sliding-window histogram: cumulative count/sum/min/max over all
+/// observations plus order statistics over the most recent `window` ones.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(std::size_t window = 1024);
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Quantile q in [0, 1] over the retained window (nearest-rank).
+  [[nodiscard]] double quantile(double q) const;
+  /// All exported statistics with one sort of the window (what
+  /// MetricsRegistry::snapshot uses instead of three quantile() calls).
+  [[nodiscard]] HistogramStats stats() const;
+  [[nodiscard]] std::size_t window_size() const { return recent_.size(); }
+
+ private:
+  std::size_t window_;
+  std::vector<double> recent_;  // ring buffer
+  std::size_t next_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Text export, one metric per line, name-sorted. With
+  /// `include_timing == false`, metrics under `timing.` are omitted.
+  [[nodiscard]] std::string to_string(bool include_timing = true) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Nondeterministic (wall-clock) metrics live under this prefix.
+  static constexpr std::string_view kTimingPrefix = "timing.";
+
+  void inc(std::string_view name, std::uint64_t delta = 1);
+  /// Mirror an externally tracked monotonic count (e.g. broker totals).
+  void set_counter(std::string_view name, std::uint64_t value);
+  void set(std::string_view name, double value);
+  void observe(std::string_view name, double value);
+  /// Drops a metric of any kind (per-entity gauges of a closed channel);
+  /// no-op when absent.
+  void erase(std::string_view name);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] const WindowedHistogram* histogram(std::string_view name) const;
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, WindowedHistogram, std::less<>> histograms_;
+};
+
+}  // namespace bmp::runtime

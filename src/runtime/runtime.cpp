@@ -1,0 +1,314 @@
+#include "bmp/runtime/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace bmp::runtime {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kChannelOpen: return "channel_open";
+    case EventType::kChannelClose: return "channel_close";
+    case EventType::kNodeJoin: return "node_join";
+    case EventType::kNodeLeave: return "node_leave";
+    case EventType::kRenegotiate: return "renegotiate";
+  }
+  throw std::invalid_argument("unknown event type");
+}
+
+Runtime::Runtime(RuntimeConfig config, double source_bandwidth,
+                 const std::vector<NodeSpec>& initial_peers)
+    : config_(config),
+      planner_(config.planner),
+      broker_(config.broker_headroom) {
+  if (!is_valid_bandwidth(source_bandwidth)) {
+    throw std::invalid_argument("Runtime: invalid source bandwidth");
+  }
+  nodes_.reserve(1 + initial_peers.size());
+  nodes_.push_back(Node{source_bandwidth, false, true});
+  for (const NodeSpec& spec : initial_peers) {
+    if (!is_valid_bandwidth(spec.bandwidth)) {
+      throw std::invalid_argument("Runtime: invalid peer bandwidth");
+    }
+    nodes_.push_back(Node{spec.bandwidth, spec.guarded, true});
+  }
+  alive_peers_ = static_cast<int>(initial_peers.size());
+  metrics_.set("population.alive", static_cast<double>(alive_peers_));
+  metrics_.set("channels.open", 0.0);
+}
+
+void Runtime::run(const std::vector<Event>& events) {
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (event_before(events[i], events[i - 1])) {
+      throw std::invalid_argument("Runtime::run: events not time-sorted");
+    }
+  }
+  for (const Event& event : events) step(event);
+}
+
+void Runtime::step(const Event& event) {
+  if (event.time < now_) {
+    throw std::invalid_argument("Runtime::step: event precedes loop clock");
+  }
+  now_ = event.time;
+  const auto start = config_.collect_timing
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+  switch (event.type) {
+    case EventType::kChannelOpen: on_channel_open(event); break;
+    case EventType::kChannelClose: on_channel_close(event); break;
+    case EventType::kNodeJoin: on_node_join(event); break;
+    case EventType::kNodeLeave: on_node_leave(event); break;
+    case EventType::kRenegotiate: on_renegotiate(event); break;
+  }
+  metrics_.inc("events.total");
+  metrics_.inc(std::string("events.") + to_string(event.type));
+  // The broker is the single source of truth for admission accounting;
+  // mirror its totals instead of double-counting at every call site.
+  metrics_.set_counter("broker.admitted", broker_.admissions());
+  metrics_.set_counter("broker.rejected", broker_.rejections());
+  metrics_.set_counter("broker.released", broker_.releases());
+  metrics_.set("broker.allocated", broker_.allocated());
+  metrics_.set("channels.open", static_cast<double>(channels_.size()));
+  metrics_.set("population.alive", static_cast<double>(alive_peers_));
+  if (config_.collect_timing) {
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    metrics_.observe("timing.event_loop_us", us);
+  }
+}
+
+std::string Runtime::channel_metric(int id, const char* what) const {
+  return "channel." + std::to_string(id) + "." + what;
+}
+
+void Runtime::set_channel_gauges(int id, const Channel& channel) {
+  metrics_.set(channel_metric(id, "fraction"), channel.grant.fraction);
+  metrics_.set(channel_metric(id, "design_rate"),
+               channel.session->design_rate());
+  metrics_.set(channel_metric(id, "achieved_rate"),
+               channel.session->current_rate());
+}
+
+void Runtime::build_session(int id, Channel& channel) {
+  // Gather the alive population in runtime-id order, opens before guardeds
+  // — the instance's caller-side numbering the slot map is derived from.
+  std::vector<double> open_bw;
+  std::vector<double> guarded_bw;
+  std::vector<int> open_ids;
+  std::vector<int> guarded_ids;
+  const double fraction = channel.grant.fraction;
+  for (int node = 1; node < static_cast<int>(nodes_.size()); ++node) {
+    const Node& info = nodes_[static_cast<std::size_t>(node)];
+    if (!info.alive) continue;
+    if (info.guarded) {
+      guarded_bw.push_back(info.bandwidth * fraction);
+      guarded_ids.push_back(node);
+    } else {
+      open_bw.push_back(info.bandwidth * fraction);
+      open_ids.push_back(node);
+    }
+  }
+  Instance scaled(nodes_[0].bandwidth * fraction, std::move(open_bw),
+                  std::move(guarded_bw));
+  channel.session = std::make_unique<engine::Session>(planner_, scaled,
+                                                      config_.session);
+  // original_id(slot) indexes [source, opens..., guardeds...] directly.
+  channel.node_of_slot.assign(static_cast<std::size_t>(scaled.size()), 0);
+  for (int slot = 1; slot < scaled.size(); ++slot) {
+    const int input_id = scaled.original_id(slot);
+    channel.node_of_slot[static_cast<std::size_t>(slot)] =
+        input_id <= static_cast<int>(open_ids.size())
+            ? open_ids[static_cast<std::size_t>(input_id - 1)]
+            : guarded_ids[static_cast<std::size_t>(
+                  input_id - 1 - static_cast<int>(open_ids.size()))];
+  }
+  set_channel_gauges(id, channel);
+}
+
+void Runtime::on_channel_open(const Event& event) {
+  if (channels_.count(event.channel) != 0) {
+    throw std::invalid_argument("Runtime: channel already open");
+  }
+  const std::optional<Grant> granted =
+      broker_.admit(event.channel, event.weight, event.fraction);
+  if (!granted) return;  // counted via broker_.rejections()
+  Channel channel;
+  channel.grant = *granted;
+  build_session(event.channel, channel);
+  channels_.emplace(event.channel, std::move(channel));
+}
+
+void Runtime::on_channel_close(const Event& event) {
+  const auto it = channels_.find(event.channel);
+  if (it == channels_.end()) {
+    // Scenarios emit open/close pairs without knowing whether the broker
+    // admitted the open; closing a never-admitted channel is expected data.
+    metrics_.inc("broker.close_ignored");
+    return;
+  }
+  broker_.release(event.channel);
+  // Drop the per-channel gauges: under Poisson channel arrivals a
+  // long-lived runtime would otherwise accumulate dead entries forever.
+  metrics_.erase(channel_metric(event.channel, "fraction"));
+  metrics_.erase(channel_metric(event.channel, "design_rate"));
+  metrics_.erase(channel_metric(event.channel, "achieved_rate"));
+  channels_.erase(it);
+}
+
+void Runtime::on_node_join(const Event& event) {
+  // Validate the whole batch before mutating: a rejected event must leave
+  // the population untouched.
+  for (const NodeSpec& spec : event.joins) {
+    if (!is_valid_bandwidth(spec.bandwidth)) {
+      throw std::invalid_argument("Runtime: invalid join bandwidth");
+    }
+  }
+  for (const NodeSpec& spec : event.joins) {
+    nodes_.push_back(Node{spec.bandwidth, spec.guarded, true});
+    ++alive_peers_;
+  }
+  if (event.joins.empty() || config_.join_policy == JoinPolicy::kIgnore) {
+    return;
+  }
+  // Recruit the new uploaders: re-plan every live channel on the grown
+  // platform. The shared cache dedupes channels whose scaled platforms
+  // collide; the session's design rate resets to the new optimum.
+  for (auto& [id, channel] : channels_) {
+    build_session(id, channel);
+    metrics_.inc("replans.join");
+    ChurnReport report;
+    report.time = now_;
+    report.channel = id;
+    report.type = EventType::kNodeJoin;
+    report.full_replan = true;
+    report.design_rate = channel.session->design_rate();
+    report.achieved_rate = channel.session->current_rate();
+    churn_log_.push_back(report);
+  }
+}
+
+void Runtime::on_node_leave(const Event& event) {
+  // Validate the whole batch (range, aliveness, in-event duplicates)
+  // before mutating: a rejected event must leave the population untouched.
+  std::unordered_set<int> departed;
+  for (const int node : event.leaves) {
+    if (node <= 0 || node >= static_cast<int>(nodes_.size())) {
+      throw std::invalid_argument("Runtime: departure of unknown node");
+    }
+    if (!nodes_[static_cast<std::size_t>(node)].alive) {
+      throw std::invalid_argument("Runtime: departure of dead node");
+    }
+    if (!departed.insert(node).second) {
+      throw std::invalid_argument("Runtime: duplicate departure");
+    }
+  }
+  if (departed.empty()) return;
+  for (const int node : departed) {
+    nodes_[static_cast<std::size_t>(node)].alive = false;
+    --alive_peers_;
+  }
+
+  for (auto& [id, channel] : channels_) {
+    // Translate runtime ids to this channel's session slots. Channels
+    // opened after a joiner arrived include it; older ones may not.
+    std::vector<int> slots;
+    const std::vector<int>& node_of_slot = channel.node_of_slot;
+    for (int slot = 1; slot < static_cast<int>(node_of_slot.size()); ++slot) {
+      if (departed.count(node_of_slot[static_cast<std::size_t>(slot)]) != 0) {
+        slots.push_back(slot);
+      }
+    }
+    if (slots.empty()) continue;
+
+    // Survivors in the session's *current sorted order*, opens first: this
+    // is exactly the caller-side numbering sim::remove_nodes hands the
+    // post-churn instance, so original_id() maps new slots back into it.
+    std::vector<int> survivors;
+    survivors.reserve(node_of_slot.size() - slots.size() - 1);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int slot = 1; slot < static_cast<int>(node_of_slot.size());
+           ++slot) {
+        const int node = node_of_slot[static_cast<std::size_t>(slot)];
+        if (departed.count(node) != 0) continue;
+        if (nodes_[static_cast<std::size_t>(node)].guarded == (pass == 1)) {
+          survivors.push_back(node);
+        }
+      }
+    }
+
+    const engine::ChurnOutcome outcome = channel.session->on_departure(slots);
+    const Instance& instance = channel.session->instance();
+    std::vector<int> remapped(static_cast<std::size_t>(instance.size()),
+                              node_of_slot[0]);
+    for (int slot = 1; slot < instance.size(); ++slot) {
+      remapped[static_cast<std::size_t>(slot)] =
+          survivors[static_cast<std::size_t>(instance.original_id(slot) - 1)];
+    }
+    channel.node_of_slot = std::move(remapped);
+
+    metrics_.inc(outcome.full_replan ? "repairs.full" : "repairs.incremental");
+    set_channel_gauges(id, channel);
+    ChurnReport report;
+    report.time = now_;
+    report.channel = id;
+    report.type = EventType::kNodeLeave;
+    report.departed = outcome.departed;
+    report.full_replan = outcome.full_replan;
+    report.design_rate = channel.session->design_rate();
+    report.achieved_rate = outcome.achieved_rate;
+    churn_log_.push_back(report);
+    if (report.design_rate > 0.0) {
+      metrics_.observe("channel.recovery_ratio",
+                       report.achieved_rate / report.design_rate);
+    }
+  }
+}
+
+void Runtime::on_renegotiate(const Event& event) {
+  const std::vector<Grant> changed = broker_.rebalance(event.utilization);
+  for (const Grant& grant : changed) {
+    const auto it = channels_.find(grant.channel);
+    if (it == channels_.end()) continue;
+    Channel& channel = it->second;
+    const double factor = grant.fraction / channel.grant.fraction;
+    channel.session->rescale(factor);
+    channel.grant = grant;
+    metrics_.inc("broker.renegotiated");
+    set_channel_gauges(grant.channel, channel);
+  }
+}
+
+const engine::Session* Runtime::session(int channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? nullptr : it->second.session.get();
+}
+
+std::vector<std::string> Runtime::validate(double tol) const {
+  std::vector<double> allocated(nodes_.size(), 0.0);
+  for (const auto& [id, channel] : channels_) {
+    (void)id;
+    const std::vector<double> caps = channel.session->capacities();
+    for (std::size_t slot = 0; slot < caps.size(); ++slot) {
+      allocated[static_cast<std::size_t>(channel.node_of_slot[slot])] +=
+          caps[slot];
+    }
+  }
+  std::vector<std::string> violations;
+  for (std::size_t node = 0; node < nodes_.size(); ++node) {
+    const double budget = nodes_[node].bandwidth;
+    if (allocated[node] > budget * (1.0 + tol) + tol) {
+      violations.push_back("node " + std::to_string(node) +
+                           " oversubscribed: allocated " +
+                           std::to_string(allocated[node]) + " > budget " +
+                           std::to_string(budget));
+    }
+  }
+  return violations;
+}
+
+}  // namespace bmp::runtime

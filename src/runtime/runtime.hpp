@@ -1,0 +1,133 @@
+// The multi-channel broadcast runtime: an event-driven service loop that
+// hosts many concurrent broadcast channels on one shared node population.
+//
+// Each channel is an engine::Session planned on a *scaled* platform: the
+// CapacityBroker grants the channel a fraction g of every node's bounded
+// multi-port upload budget, and the session plans against {g * b_i}. All
+// sessions share one engine::Planner (sharded plan cache + thread pool), so
+// identical survivor platforms across channels dedupe.
+//
+// The loop consumes a deterministic timestamped Event stream (see
+// event.hpp, produced by runtime::Scenario):
+//   kChannelOpen   broker admission -> plan -> channel goes live
+//   kChannelClose  teardown, fraction reclaimed
+//   kNodeLeave     every hosting channel absorbs the departure through
+//                  Session::on_departure (incremental repair, full re-plan
+//                  fallback)
+//   kNodeJoin      population grows; per JoinPolicy, live channels re-plan
+//                  (through the shared cache) to recruit the new uploaders
+//   kRenegotiate   broker rebalances grants; affected sessions rescale
+//                  exactly (no re-plan)
+// Determinism contract: node ids are assigned sequentially in event order,
+// channel maps are ordered, and nothing depends on wall-clock or thread
+// timing, so identical (population, event stream) pairs produce identical
+// metrics snapshots (timing.* excluded) and churn logs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bmp/engine/planner.hpp"
+#include "bmp/engine/session.hpp"
+#include "bmp/runtime/capacity_broker.hpp"
+#include "bmp/runtime/event.hpp"
+#include "bmp/runtime/metrics.hpp"
+
+namespace bmp::runtime {
+
+/// What live channels do when peers join the population.
+enum class JoinPolicy {
+  kIgnore,  ///< joiners only serve channels opened later
+  kReplan,  ///< re-plan every live channel on the grown platform (cached)
+};
+
+struct RuntimeConfig {
+  engine::PlannerConfig planner;  ///< shared cache / thread pool knobs
+  engine::SessionConfig session;  ///< repair-vs-replan policy per channel
+  double broker_headroom = 0.0;   ///< budget fraction withheld from channels
+  JoinPolicy join_policy = JoinPolicy::kReplan;
+  bool collect_timing = true;     ///< record timing.* event-loop latency
+};
+
+/// One line of the runtime's churn audit trail: how a channel fared at one
+/// population event. `design_rate` is the channel's *post-event* design
+/// rate on its broker-granted capacity — the reference the acceptance bar
+/// (achieved >= 0.85 x design) is measured against.
+struct ChurnReport {
+  double time = 0.0;
+  int channel = -1;
+  EventType type = EventType::kNodeLeave;  ///< kNodeLeave or kNodeJoin
+  int departed = 0;
+  bool full_replan = false;
+  double design_rate = 0.0;
+  double achieved_rate = 0.0;
+};
+
+class Runtime {
+ public:
+  /// `initial_peers[k]` becomes runtime node id k + 1; id 0 is the source.
+  /// Nodes joining later get the next ids in event order.
+  Runtime(RuntimeConfig config, double source_bandwidth,
+          const std::vector<NodeSpec>& initial_peers);
+
+  /// Replays a time-sorted stream (throws on out-of-order events).
+  void run(const std::vector<Event>& events);
+  /// Processes one event; `event.time` must not precede the loop clock.
+  void step(const Event& event);
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] int alive_peers() const { return alive_peers_; }
+  [[nodiscard]] std::size_t open_channels() const { return channels_.size(); }
+  [[nodiscard]] const CapacityBroker& broker() const { return broker_; }
+  [[nodiscard]] const engine::Planner& planner() const { return planner_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] const std::vector<ChurnReport>& churn_log() const {
+    return churn_log_;
+  }
+  /// The live session of `channel`, nullptr if not open.
+  [[nodiscard]] const engine::Session* session(int channel) const;
+
+  /// Audits the shared-capacity invariant through Session::capacities():
+  /// every node's summed per-channel allocation must stay within its
+  /// multi-port budget b_i. Returns human-readable violations (empty = ok).
+  [[nodiscard]] std::vector<std::string> validate(double tol = 1e-7) const;
+
+ private:
+  struct Node {
+    double bandwidth = 0.0;
+    bool guarded = false;
+    bool alive = true;
+  };
+  struct Channel {
+    Grant grant;
+    std::unique_ptr<engine::Session> session;
+    /// Session slot (sorted instance id) -> runtime node id; slot 0 = source.
+    std::vector<int> node_of_slot;
+  };
+
+  void on_channel_open(const Event& event);
+  void on_channel_close(const Event& event);
+  void on_node_join(const Event& event);
+  void on_node_leave(const Event& event);
+  void on_renegotiate(const Event& event);
+
+  /// (Re)plans `channel` on the current alive population scaled by its
+  /// granted fraction, and rebuilds the slot -> node mapping.
+  void build_session(int id, Channel& channel);
+  void set_channel_gauges(int id, const Channel& channel);
+  [[nodiscard]] std::string channel_metric(int id, const char* what) const;
+
+  RuntimeConfig config_;
+  engine::Planner planner_;
+  CapacityBroker broker_;
+  MetricsRegistry metrics_;
+  std::vector<Node> nodes_;  // index = runtime node id, 0 = source
+  int alive_peers_ = 0;
+  std::map<int, Channel> channels_;  // ordered: deterministic event handling
+  std::vector<ChurnReport> churn_log_;
+  double now_ = 0.0;
+};
+
+}  // namespace bmp::runtime

@@ -1,0 +1,376 @@
+#include "bmp/runtime/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bmp/sim/churn.hpp"
+#include "bmp/util/rng.hpp"
+
+namespace bmp::runtime {
+
+namespace {
+
+void check_class(const NodeClassSpec& spec, const char* where) {
+  if (spec.p_open < 0.0 || spec.p_open > 1.0) {
+    throw std::invalid_argument(std::string(where) + ": p_open in [0, 1]");
+  }
+  if (!(spec.bandwidth_scale > 0.0)) {
+    throw std::invalid_argument(std::string(where) +
+                                ": bandwidth_scale must be > 0");
+  }
+}
+
+/// One peer draw from a class template.
+NodeSpec draw_node(const NodeClassSpec& spec, util::Xoshiro256& rng) {
+  NodeSpec node;
+  node.bandwidth = spec.bandwidth_scale * gen::sample(spec.dist, rng);
+  node.guarded = rng.uniform() >= spec.p_open;
+  return node;
+}
+
+/// Exponential inter-arrival draw, rate > 0.
+double exponential(double rate, util::Xoshiro256& rng) {
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+/// An intermediate record: either a fully resolved event, or a population
+/// action whose node picks are deferred to the time-ordered sweep.
+struct Tick {
+  enum class Kind { kEvent, kCrowdJoin, kCrowdLeave, kDiurnal, kFailure };
+  double time = 0.0;
+  std::uint64_t order = 0;  ///< creation order, tie-break
+  Kind kind = Kind::kEvent;
+  Event event;    // kEvent
+  int index = -1; // crowd / diurnal / failure spec index
+};
+
+}  // namespace
+
+Scenario::Scenario(double horizon, std::uint64_t seed)
+    : horizon_(horizon), seed_(seed) {
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) {
+    throw std::invalid_argument("Scenario: horizon must be > 0");
+  }
+}
+
+Scenario& Scenario::source(double bandwidth) {
+  if (!(bandwidth >= 0.0) || !std::isfinite(bandwidth)) {
+    throw std::invalid_argument("Scenario::source: invalid bandwidth");
+  }
+  source_bandwidth_ = bandwidth;
+  return *this;
+}
+
+Scenario& Scenario::population(const NodeClassSpec& spec) {
+  check_class(spec, "Scenario::population");
+  if (spec.count < 0) {
+    throw std::invalid_argument("Scenario::population: negative count");
+  }
+  population_.push_back(spec);
+  return *this;
+}
+
+Scenario& Scenario::channel(const ChannelSpec& spec) {
+  if (spec.open_time < 0.0 || !(spec.weight > 0.0)) {
+    throw std::invalid_argument("Scenario::channel: bad open_time/weight");
+  }
+  if (!(spec.fraction > 0.0) || spec.fraction > 1.0) {
+    throw std::invalid_argument("Scenario::channel: fraction in (0, 1]");
+  }
+  if (spec.close_time >= 0.0 && spec.close_time < spec.open_time) {
+    throw std::invalid_argument("Scenario::channel: closes before opening");
+  }
+  channels_.push_back(spec);
+  return *this;
+}
+
+Scenario& Scenario::poisson_channels(const PoissonChannelsSpec& spec) {
+  if (!(spec.rate >= 0.0) || !(spec.mean_hold > 0.0) || !(spec.weight > 0.0)) {
+    throw std::invalid_argument("Scenario::poisson_channels: bad spec");
+  }
+  if (!(spec.fraction > 0.0) || spec.fraction > 1.0) {
+    throw std::invalid_argument(
+        "Scenario::poisson_channels: fraction in (0, 1]");
+  }
+  poisson_.push_back(spec);
+  return *this;
+}
+
+Scenario& Scenario::flash_crowd(const FlashCrowdSpec& spec) {
+  check_class(spec.node_class, "Scenario::flash_crowd");
+  if (spec.time < 0.0 || spec.joins < 0 || spec.leave_fraction < 0.0 ||
+      spec.leave_fraction > 1.0 || spec.leave_delay < 0.0) {
+    throw std::invalid_argument("Scenario::flash_crowd: bad spec");
+  }
+  crowds_.push_back(spec);
+  return *this;
+}
+
+Scenario& Scenario::diurnal_churn(const DiurnalChurnSpec& spec) {
+  check_class(spec.node_class, "Scenario::diurnal_churn");
+  if (!(spec.period > 0.0) || spec.amplitude < 0.0 || spec.amplitude >= 1.0 ||
+      spec.mean_events_per_period < 0.0 || spec.rejoin_probability < 0.0 ||
+      spec.rejoin_probability > 1.0) {
+    throw std::invalid_argument("Scenario::diurnal_churn: bad spec");
+  }
+  diurnal_.push_back(spec);
+  return *this;
+}
+
+Scenario& Scenario::correlated_failure(const CorrelatedFailureSpec& spec) {
+  if (spec.time < 0.0 || spec.fraction < 0.0 || spec.fraction >= 1.0) {
+    throw std::invalid_argument("Scenario::correlated_failure: bad spec");
+  }
+  failures_.push_back(spec);
+  return *this;
+}
+
+Scenario& Scenario::renegotiate_every(double interval, double utilization) {
+  if (!(interval > 0.0) || !(utilization > 0.0) || utilization > 1.0) {
+    throw std::invalid_argument("Scenario::renegotiate_every: bad spec");
+  }
+  renegotiations_.push_back(Renegotiation{interval, utilization});
+  return *this;
+}
+
+ScenarioScript Scenario::build() const {
+  const util::Xoshiro256 root(seed_);
+  ScenarioScript script;
+  script.source_bandwidth = source_bandwidth_;
+
+  // Initial population: class by class, bandwidth draws then firewall flags.
+  util::Xoshiro256 pop = root.fork(1);
+  for (const NodeClassSpec& cls : population_) {
+    const std::vector<double> bandwidths =
+        gen::sample_many(cls.dist, cls.count, pop);
+    for (const double bw : bandwidths) {
+      NodeSpec node;
+      node.bandwidth = cls.bandwidth_scale * bw;
+      node.guarded = pop.uniform() >= cls.p_open;
+      script.initial_peers.push_back(node);
+    }
+  }
+
+  // Phase A: lay down ticks. Channel, renegotiation and *times* of
+  // population actions are resolved here, each generator on its own forked
+  // stream; node picks wait for the sweep.
+  std::vector<Tick> ticks;
+  std::uint64_t order = 0;
+  const auto push = [&](double time, Tick::Kind kind, int index) -> Tick& {
+    Tick tick;
+    tick.time = time;
+    tick.order = order++;
+    tick.kind = kind;
+    tick.index = index;
+    ticks.push_back(tick);
+    return ticks.back();
+  };
+  const auto push_event = [&](double time, const Event& event) {
+    push(time, Tick::Kind::kEvent, -1).event = event;
+  };
+
+  int next_channel = 0;
+  for (const ChannelSpec& spec : channels_) {
+    const int id = next_channel++;  // ids are stable even for clipped specs
+    if (spec.open_time > horizon_) continue;
+    Event open;
+    open.type = EventType::kChannelOpen;
+    open.channel = id;
+    open.weight = spec.weight;
+    open.fraction = spec.fraction;
+    push_event(spec.open_time, open);
+    if (spec.close_time >= 0.0 && spec.close_time <= horizon_) {
+      Event close;
+      close.type = EventType::kChannelClose;
+      close.channel = id;
+      push_event(spec.close_time, close);
+    }
+  }
+  // Fork salts: generator kind in the high bits, spec index in the low
+  // bits, so streams never collide across generator families.
+  const auto fork_salt = [](std::uint64_t kind, std::size_t index) {
+    return (kind << 32) + static_cast<std::uint64_t>(index);
+  };
+  for (std::size_t p = 0; p < poisson_.size(); ++p) {
+    const PoissonChannelsSpec& spec = poisson_[p];
+    if (spec.rate <= 0.0) continue;
+    util::Xoshiro256 rng = root.fork(fork_salt(2, p));
+    for (double t = exponential(spec.rate, rng); t <= horizon_;
+         t += exponential(spec.rate, rng)) {
+      Event open;
+      open.type = EventType::kChannelOpen;
+      open.channel = next_channel++;
+      open.weight = spec.weight;
+      open.fraction = spec.fraction;
+      push_event(t, open);
+      const double close_at = t + exponential(1.0 / spec.mean_hold, rng);
+      if (close_at <= horizon_) {
+        Event close;
+        close.type = EventType::kChannelClose;
+        close.channel = open.channel;
+        push_event(close_at, close);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < crowds_.size(); ++c) {
+    const FlashCrowdSpec& spec = crowds_[c];
+    if (spec.joins == 0 || spec.time > horizon_) continue;
+    push(spec.time, Tick::Kind::kCrowdJoin, static_cast<int>(c));
+    const double leave_at = spec.time + spec.leave_delay;
+    if (spec.leave_fraction > 0.0 && leave_at <= horizon_) {
+      push(leave_at, Tick::Kind::kCrowdLeave, static_cast<int>(c));
+    }
+  }
+  for (std::size_t d = 0; d < diurnal_.size(); ++d) {
+    const DiurnalChurnSpec& spec = diurnal_[d];
+    const double base = spec.mean_events_per_period / spec.period;
+    if (base <= 0.0) continue;
+    util::Xoshiro256 rng = root.fork(fork_salt(3, d));
+    const double peak = base * (1.0 + spec.amplitude);
+    // Thinning: candidate times at the peak rate, accepted with probability
+    // rate(t) / peak.
+    for (double t = exponential(peak, rng); t <= horizon_;
+         t += exponential(peak, rng)) {
+      const double rate =
+          base * (1.0 + spec.amplitude *
+                            std::sin(2.0 * M_PI * t / spec.period));
+      if (rng.uniform() * peak < rate) {
+        push(t, Tick::Kind::kDiurnal, static_cast<int>(d));
+      }
+    }
+  }
+  for (std::size_t f = 0; f < failures_.size(); ++f) {
+    if (failures_[f].time <= horizon_) {
+      push(failures_[f].time, Tick::Kind::kFailure, static_cast<int>(f));
+    }
+  }
+  for (const Renegotiation& renegotiation : renegotiations_) {
+    Event event;
+    event.type = EventType::kRenegotiate;
+    event.utilization = renegotiation.utilization;
+    for (double t = renegotiation.interval; t <= horizon_;
+         t += renegotiation.interval) {
+      push_event(t, event);
+    }
+  }
+
+  std::sort(ticks.begin(), ticks.end(), [](const Tick& a, const Tick& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  });
+
+  // Phase B: the sweep. Node ids are assigned sequentially exactly as the
+  // Runtime will assign them; the alive set mirrors the Runtime's so leave
+  // picks always name live peers.
+  util::Xoshiro256 sweep = root.fork(4);
+  std::vector<int> alive;
+  std::vector<char> is_alive(1, 0);  // id-indexed; source id 0 never alive here
+  int next_id = 1;
+  const auto add_peer = [&]() {
+    const int id = next_id++;
+    alive.push_back(id);
+    is_alive.push_back(1);
+    return id;
+  };
+  const auto remove_peer = [&](int id) {
+    const auto it = std::find(alive.begin(), alive.end(), id);
+    *it = alive.back();
+    alive.pop_back();
+    is_alive[static_cast<std::size_t>(id)] = 0;
+  };
+  for (std::size_t k = 0; k < script.initial_peers.size(); ++k) add_peer();
+
+  std::vector<std::vector<int>> crowd_ids(crowds_.size());
+  for (const Tick& tick : ticks) {
+    switch (tick.kind) {
+      case Tick::Kind::kEvent: {
+        Event event = tick.event;
+        event.time = tick.time;
+        script.events.push_back(event);
+        break;
+      }
+      case Tick::Kind::kCrowdJoin: {
+        const FlashCrowdSpec& spec = crowds_[static_cast<std::size_t>(tick.index)];
+        Event event;
+        event.type = EventType::kNodeJoin;
+        event.time = tick.time;
+        for (int j = 0; j < spec.joins; ++j) {
+          event.joins.push_back(draw_node(spec.node_class, sweep));
+          crowd_ids[static_cast<std::size_t>(tick.index)].push_back(add_peer());
+        }
+        script.events.push_back(std::move(event));
+        break;
+      }
+      case Tick::Kind::kCrowdLeave: {
+        const FlashCrowdSpec& spec = crowds_[static_cast<std::size_t>(tick.index)];
+        std::vector<int> candidates;
+        for (const int id : crowd_ids[static_cast<std::size_t>(tick.index)]) {
+          if (is_alive[static_cast<std::size_t>(id)]) candidates.push_back(id);
+        }
+        const auto want = static_cast<std::size_t>(
+            spec.leave_fraction * static_cast<double>(spec.joins));
+        const std::vector<int> picks = sim::sample_departures(
+            static_cast<int>(candidates.size()),
+            std::min(want, candidates.size()), sweep);
+        if (picks.empty()) break;
+        Event event;
+        event.type = EventType::kNodeLeave;
+        event.time = tick.time;
+        for (const int pick : picks) {
+          const int id = candidates[static_cast<std::size_t>(pick - 1)];
+          event.leaves.push_back(id);
+          remove_peer(id);
+        }
+        script.events.push_back(std::move(event));
+        break;
+      }
+      case Tick::Kind::kDiurnal: {
+        const DiurnalChurnSpec& spec = diurnal_[static_cast<std::size_t>(tick.index)];
+        Event event;
+        event.time = tick.time;
+        if (sweep.uniform() < spec.rejoin_probability) {
+          event.type = EventType::kNodeJoin;
+          event.joins.push_back(draw_node(spec.node_class, sweep));
+          add_peer();
+        } else {
+          if (alive.empty()) break;
+          event.type = EventType::kNodeLeave;
+          const int id = alive[sweep.below(alive.size())];
+          event.leaves.push_back(id);
+          remove_peer(id);
+        }
+        script.events.push_back(std::move(event));
+        break;
+      }
+      case Tick::Kind::kFailure: {
+        const CorrelatedFailureSpec& spec =
+            failures_[static_cast<std::size_t>(tick.index)];
+        const auto count = static_cast<std::size_t>(
+            spec.fraction * static_cast<double>(alive.size()));
+        // Picks index the alive set frozen at this instant.
+        const std::vector<int> frozen = alive;
+        const std::vector<int> picks = sim::sample_departures(
+            static_cast<int>(frozen.size()), count, sweep);
+        if (picks.empty()) break;
+        Event event;
+        event.type = EventType::kNodeLeave;
+        event.time = tick.time;
+        for (const int pick : picks) {
+          const int id = frozen[static_cast<std::size_t>(pick - 1)];
+          event.leaves.push_back(id);
+          remove_peer(id);
+        }
+        script.events.push_back(std::move(event));
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < script.events.size(); ++i) {
+    script.events[i].sequence = i;
+  }
+  return script;
+}
+
+}  // namespace bmp::runtime

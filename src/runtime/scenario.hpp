@@ -1,0 +1,125 @@
+// Scenario driver — compiles composable workload descriptions into the
+// deterministic Event stream the Runtime replays. A Scenario is a builder:
+// stack any mix of
+//   * heterogeneous node classes (gen:: bandwidth distributions, open /
+//     guarded split) for the initial population,
+//   * fixed channels and Poisson channel arrivals with exponential holds,
+//   * flash crowds (a burst of joiners, optionally leaving together later
+//     — a correlated failure),
+//   * diurnal churn waves (sinusoidally modulated leave/rejoin process),
+//   * one-shot correlated failures (a fraction of the alive population
+//     departs at one instant),
+//   * periodic capacity renegotiations,
+// then build(). Identical builder state + seed => identical script, byte
+// for byte: every generator draws from its own forked rng stream for event
+// *times*, and all node picks happen in one time-ordered sweep that tracks
+// the alive population exactly as the Runtime will.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bmp/gen/distributions.hpp"
+#include "bmp/runtime/event.hpp"
+
+namespace bmp::runtime {
+
+/// A heterogeneous class of peers: `count` draws from `dist` (scaled),
+/// each open with probability `p_open`.
+struct NodeClassSpec {
+  int count = 0;
+  double p_open = 0.5;
+  gen::Dist dist = gen::Dist::kUnif100;
+  double bandwidth_scale = 1.0;
+};
+
+/// A channel with scripted open/close times. `close_time < 0` keeps it
+/// open past the horizon. `fraction` is the capacity share requested at
+/// admission; `weight` drives renegotiation fair shares.
+struct ChannelSpec {
+  double open_time = 0.0;
+  double close_time = -1.0;
+  double weight = 1.0;
+  double fraction = 0.1;
+};
+
+/// Poisson channel arrivals at `rate` per unit time, exponential holding
+/// times with mean `mean_hold`.
+struct PoissonChannelsSpec {
+  double rate = 0.0;
+  double mean_hold = 1.0;
+  double weight = 1.0;
+  double fraction = 0.1;
+};
+
+/// `joins` peers drawn from `node_class` arrive together at `time`; a
+/// `leave_fraction` of them departs together `leave_delay` later.
+struct FlashCrowdSpec {
+  double time = 0.0;
+  int joins = 0;
+  NodeClassSpec node_class;  ///< count is ignored
+  double leave_fraction = 0.0;
+  double leave_delay = 0.0;
+};
+
+/// Churn ticks from a nonhomogeneous Poisson process with rate
+/// `mean_events_per_period / period * (1 + amplitude * sin(2 pi t / period))`;
+/// each tick is a rejoin (one `node_class` draw) with probability
+/// `rejoin_probability`, otherwise one uniformly chosen alive peer leaves.
+struct DiurnalChurnSpec {
+  double period = 1.0;
+  double amplitude = 0.5;
+  double mean_events_per_period = 0.0;
+  double rejoin_probability = 0.5;
+  NodeClassSpec node_class;  ///< count is ignored
+};
+
+/// A correlated failure: `fraction` of the alive peers leave at `time`.
+struct CorrelatedFailureSpec {
+  double time = 0.0;
+  double fraction = 0.1;
+};
+
+/// The compiled scenario: initial population plus the replayable stream.
+struct ScenarioScript {
+  double source_bandwidth = 0.0;
+  std::vector<NodeSpec> initial_peers;
+  std::vector<Event> events;
+};
+
+class Scenario {
+ public:
+  Scenario(double horizon, std::uint64_t seed);
+
+  Scenario& source(double bandwidth);
+  Scenario& population(const NodeClassSpec& spec);
+  Scenario& channel(const ChannelSpec& spec);
+  Scenario& poisson_channels(const PoissonChannelsSpec& spec);
+  Scenario& flash_crowd(const FlashCrowdSpec& spec);
+  Scenario& diurnal_churn(const DiurnalChurnSpec& spec);
+  Scenario& correlated_failure(const CorrelatedFailureSpec& spec);
+  /// Rebalances grants every `interval`, fair shares summing to
+  /// `utilization` of broker capacity.
+  Scenario& renegotiate_every(double interval, double utilization = 1.0);
+
+  /// Compiles the description. Pure: repeated calls return the same script.
+  [[nodiscard]] ScenarioScript build() const;
+
+ private:
+  double horizon_;
+  std::uint64_t seed_;
+  double source_bandwidth_ = 1000.0;
+  std::vector<NodeClassSpec> population_;
+  std::vector<ChannelSpec> channels_;
+  std::vector<PoissonChannelsSpec> poisson_;
+  std::vector<FlashCrowdSpec> crowds_;
+  std::vector<DiurnalChurnSpec> diurnal_;
+  std::vector<CorrelatedFailureSpec> failures_;
+  struct Renegotiation {
+    double interval;
+    double utilization;
+  };
+  std::vector<Renegotiation> renegotiations_;
+};
+
+}  // namespace bmp::runtime

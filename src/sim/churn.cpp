@@ -9,6 +9,21 @@
 
 namespace bmp::sim {
 
+std::vector<int> sample_departures(int num_peers, std::size_t count,
+                                   util::Xoshiro256& rng) {
+  if (num_peers < 0) {
+    throw std::invalid_argument("sample_departures: negative population");
+  }
+  std::vector<int> peers;
+  peers.reserve(static_cast<std::size_t>(num_peers));
+  for (int i = 1; i <= num_peers; ++i) peers.push_back(i);
+  for (std::size_t i = peers.size(); i > 1; --i) {
+    std::swap(peers[i - 1], peers[rng.below(i)]);
+  }
+  peers.resize(std::min(count, peers.size()));
+  return peers;
+}
+
 Instance remove_nodes(const Instance& instance, const std::vector<int>& departed) {
   std::vector<bool> gone(static_cast<std::size_t>(instance.size()), false);
   for (const int id : departed) {
@@ -66,15 +81,10 @@ ChurnResult churn_experiment(const Instance& instance, const ChurnConfig& config
 
   // Choose departing peers (uniform among non-source nodes).
   util::Xoshiro256 rng(config.seed ^ 0xC09AULL);
-  std::vector<int> peers;
-  for (int i = 1; i < instance.size(); ++i) peers.push_back(i);
-  for (std::size_t i = peers.size(); i > 1; --i) {
-    std::swap(peers[i - 1], peers[rng.below(i)]);
-  }
+  const int peers = instance.size() - 1;
   const auto departures =
-      static_cast<std::size_t>(config.fail_fraction * peers.size());
-  const std::vector<int> departed(peers.begin(),
-                                  peers.begin() + static_cast<long>(departures));
+      static_cast<std::size_t>(config.fail_fraction * peers);
+  const std::vector<int> departed = sample_departures(peers, departures, rng);
   result.departed = static_cast<int>(departed.size());
   result.survivors = instance.size() - 1 - result.departed;
   if (result.survivors <= 0) return result;

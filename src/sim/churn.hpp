@@ -16,6 +16,7 @@
 
 #include "bmp/core/instance.hpp"
 #include "bmp/core/scheme.hpp"
+#include "bmp/util/rng.hpp"
 
 namespace bmp::sim {
 
@@ -39,6 +40,14 @@ struct ChurnResult {
 /// Runs the three-phase churn experiment on `instance`. Departing peers are
 /// chosen uniformly among non-source nodes.
 ChurnResult churn_experiment(const Instance& instance, const ChurnConfig& config);
+
+/// Draws `count` distinct departing peers uniformly among ids 1..num_peers
+/// (the source never departs). This is the event source shared by
+/// churn_experiment and the runtime scenario driver: one full Fisher-Yates
+/// shuffle, take the prefix, so the draw for a given rng state is stable no
+/// matter how many departures are requested downstream.
+std::vector<int> sample_departures(int num_peers, std::size_t count,
+                                   util::Xoshiro256& rng);
 
 /// Restriction helper: drops the given (sorted-id) peers from an instance,
 /// preserving classes. Exposed for tests.

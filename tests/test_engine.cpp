@@ -312,6 +312,111 @@ TEST(RepairScheme, PatchKeepsSchemeValid) {
   }
 }
 
+TEST(Session, CapacitiesExposesPlannedPlatform) {
+  const Instance platform = bmp::testing::fig1_instance();
+  Planner planner;
+  Session session(planner, platform);
+  const std::vector<double> caps = session.capacities();
+  ASSERT_EQ(caps.size(), static_cast<std::size_t>(platform.size()));
+  for (int i = 0; i < platform.size(); ++i) {
+    EXPECT_DOUBLE_EQ(caps[static_cast<std::size_t>(i)], platform.b(i));
+  }
+}
+
+TEST(Session, RescaleIsExact) {
+  Planner planner;
+  Session session(planner, bmp::testing::fig1_instance());
+  const double design = session.design_rate();
+  const int edges = session.scheme().edge_count();
+  ASSERT_GT(design, 0.0);
+
+  session.rescale(0.25);
+  EXPECT_NEAR(session.design_rate(), 0.25 * design, 1e-12);
+  EXPECT_NEAR(session.current_rate(), 0.25 * design, 1e-12);
+  EXPECT_EQ(session.scheme().edge_count(), edges);  // same overlay, scaled
+  EXPECT_TRUE(session.scheme().validate(session.instance()).empty());
+  EXPECT_NEAR(flow::scheme_throughput(session.scheme()),
+              session.current_rate(), 1e-9);
+  // Scaled caps are visible through the broker-facing accessor.
+  EXPECT_NEAR(session.capacities()[0],
+              0.25 * bmp::testing::fig1_instance().b(0), 1e-12);
+
+  session.rescale(4.0);  // round-trips back to the original platform
+  EXPECT_NEAR(session.design_rate(), design, 1e-9);
+
+  EXPECT_THROW(session.rescale(0.0), std::invalid_argument);
+  EXPECT_THROW(session.rescale(-1.0), std::invalid_argument);
+}
+
+TEST(Session, RescaledSessionStillAbsorbsChurn) {
+  const Instance platform(20.0, {10.0, 10.0, 10.0}, {5.0, 5.0});
+  Planner planner;
+  Session session(planner, platform);
+  session.rescale(0.5);
+  const double design = session.design_rate();
+  const ChurnOutcome outcome = session.on_departure({1});
+  EXPECT_GE(outcome.achieved_rate, 0.9 * design - 1e-9);
+  EXPECT_TRUE(session.scheme().validate(session.instance()).empty());
+}
+
+// -------------------------------------------- repair_scheme edge cases
+
+TEST(RepairScheme, NoSurvivorWithSpareUploadLeavesDeficit) {
+  // Source -> 1 -> 2 chain at rate 1 saturates every positive budget;
+  // node 3 (zero upload) is orphaned and no survivor has spare upload to
+  // re-feed it. The patch must add nothing and stay valid rather than
+  // oversubscribe someone.
+  const Instance survivors(1.0, {1.0, 0.0, 0.0}, {});
+  BroadcastScheme restricted(4);
+  restricted.add(0, 1, 1.0);
+  restricted.add(1, 2, 1.0);
+  const RepairResult repair = repair_scheme(survivors, restricted, 1.0);
+  EXPECT_DOUBLE_EQ(repair.added_rate, 0.0);
+  EXPECT_TRUE(repair.scheme.validate(survivors).empty());
+  EXPECT_DOUBLE_EQ(repair.throughput, 0.0);  // node 3 is unreachable
+}
+
+TEST(RepairScheme, SurvivesDepartureOfHighestBandwidthRelay) {
+  // Node 1 is the dominant open relay; its departure orphans most of the
+  // overlay. Source slack plus the remaining opens must re-feed everyone.
+  const Instance platform(20.0, {12.0, 6.0, 6.0}, {3.0, 3.0});
+  const AcyclicSolution solution = solve_acyclic(platform);
+  ASSERT_GT(solution.throughput, 0.0);
+  ASSERT_GT(solution.scheme.out_rate(1), 0.0);  // it really relays
+
+  const std::vector<int> departed{1};
+  const Instance survivors = sim::remove_nodes(platform, departed);
+  const BroadcastScheme restricted =
+      sim::restrict_scheme(solution.scheme, departed);
+  const RepairResult repair =
+      repair_scheme(survivors, restricted, solution.throughput);
+  EXPECT_TRUE(repair.scheme.validate(survivors).empty());
+  EXPECT_TRUE(repair.scheme.is_acyclic());
+  EXPECT_GE(repair.throughput, flow::scheme_throughput(restricted) - 1e-9);
+  EXPECT_GT(repair.added_rate, 0.0);  // the orphans were actually patched
+}
+
+TEST(RepairScheme, CyclicOverlayPassesThroughUnpatched) {
+  // session.hpp documents cyclic overlays as unpatched: the repair must
+  // return the scheme bit-for-bit and still measure its throughput.
+  const Instance survivors(2.0, {2.0, 2.0}, {});
+  BroadcastScheme cyclic(3);
+  cyclic.add(0, 1, 1.0);
+  cyclic.add(1, 2, 1.0);
+  cyclic.add(2, 1, 0.5);  // closes the 1 <-> 2 cycle
+  ASSERT_FALSE(cyclic.is_acyclic());
+
+  const RepairResult repair = repair_scheme(survivors, cyclic, 2.0);
+  EXPECT_DOUBLE_EQ(repair.added_rate, 0.0);
+  EXPECT_EQ(repair.scheme.edge_count(), cyclic.edge_count());
+  for (int i = 0; i < cyclic.num_nodes(); ++i) {
+    for (const auto& [to, rate] : cyclic.out_edges(i)) {
+      EXPECT_DOUBLE_EQ(repair.scheme.rate(i, to), rate);
+    }
+  }
+  EXPECT_NEAR(repair.throughput, flow::scheme_throughput(cyclic), 1e-12);
+}
+
 TEST(RepairScheme, TrimMakesReducedTargetsFeasible) {
   bmp::util::Xoshiro256 rng(33);
   int repaired_to_target = 0;
