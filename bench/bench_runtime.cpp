@@ -50,10 +50,9 @@ double run_once(const bmp::runtime::ScenarioScript& script,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = bmp::benchutil::env_int("BMP_RUNTIME_QUICK", 0) != 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  const bool quick = bmp::benchutil::has_flag(argc, argv, "--quick") ||
+                     bmp::benchutil::env_int("BMP_RUNTIME_QUICK", 0) != 0;
+  const std::string json_path = bmp::benchutil::json_path_arg(argc, argv);
   const int peers =
       bmp::benchutil::env_int("BMP_RUNTIME_PEERS", quick ? 120 : 500);
   const double horizon = quick ? 6.0 : 20.0;
@@ -95,6 +94,13 @@ int main(int argc, char** argv) {
     t.add_row({"event latency p99 us",
                bmp::util::Table::num(latency->quantile(0.99), 1)});
   }
+  if (const auto* vlat = metrics.histogram("timing.verify.us")) {
+    t.add_row({"verify p50 us", bmp::util::Table::num(vlat->quantile(0.5), 1)});
+  }
+  t.add_row({"verify tier-1 sweeps",
+             bmp::util::Table::num(metrics.counter("verify.tier_sweep"))});
+  t.add_row({"verify tier-2 maxflow",
+             bmp::util::Table::num(metrics.counter("verify.tier_maxflow"))});
   t.print(std::cout);
   t.maybe_write_csv("runtime");
 
@@ -135,5 +141,33 @@ int main(int argc, char** argv) {
   std::cout << (deterministic ? "[OK] " : "[WARN] ")
             << "replay reproduced the metrics snapshot byte-for-byte\n";
 
+  if (!json_path.empty()) {
+    bmp::benchutil::JsonReport json;
+    json.add("peers", peers);
+    json.add("events", static_cast<std::uint64_t>(script.events.size()));
+    json.add("elapsed_s", elapsed);
+    json.add("events_per_sec",
+             static_cast<double>(script.events.size()) / elapsed);
+    json.add("repairs_incremental", metrics.counter("repairs.incremental"));
+    json.add("repairs_full", metrics.counter("repairs.full"));
+    json.add("verify_calls", metrics.counter("verify.calls"));
+    json.add("verify_tier_sweep", metrics.counter("verify.tier_sweep"));
+    json.add("verify_tier_maxflow", metrics.counter("verify.tier_maxflow"));
+    if (const auto* latency = metrics.histogram("timing.event_loop_us")) {
+      json.add("event_latency_p50_us", latency->quantile(0.5));
+      json.add("event_latency_p99_us", latency->quantile(0.99));
+    }
+    if (const auto* vlat = metrics.histogram("timing.verify.us")) {
+      json.add("verify_p50_us", vlat->quantile(0.5));
+      json.add("verify_p99_us", vlat->quantile(0.99));
+    }
+    json.add_string("status", ok ? "ok" : "warn");
+    if (json.write(json_path)) {
+      std::cout << "json written to " << json_path << "\n";
+    } else {
+      std::cout << "[WARN] could not write " << json_path << "\n";
+      ok = false;
+    }
+  }
   return ok ? 0 : 1;
 }

@@ -1,8 +1,16 @@
 // Shared helpers for the experiment binaries.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace bmp::benchutil {
 
@@ -11,6 +19,90 @@ inline int env_int(const char* name, int fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   return std::atoi(value);
+}
+
+/// Machine-readable bench output: a flat JSON object written next to the
+/// human table so CI can archive one BENCH_<name>.json per run and chart
+/// the perf trajectory across commits. Insertion order is preserved.
+class JsonReport {
+ public:
+  void add(const std::string& key, double value) {
+    // inf/nan are not JSON tokens; a degenerate measurement must not make
+    // the whole artifact unparseable.
+    if (!std::isfinite(value)) {
+      fields_.emplace_back(key, "null");
+      return;
+    }
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    fields_.emplace_back(key, os.str());
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void add_string(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + escaped(value) + "\"");
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += "  \"" + escaped(fields_[i].first) + "\": " + fields_[i].second;
+      if (i + 1 < fields_.size()) out += ",";
+      out += "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the report; returns false (and prints nothing) on IO failure.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_string();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string escaped(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Parses `--json <path>` from argv; empty string when absent.
+inline std::string json_path_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// True when `flag` (e.g. "--quick") appears in argv.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace bmp::benchutil

@@ -8,7 +8,8 @@
 //   build_acyclic_open  §III Algorithm 1 (open nodes only)
 //   build_cyclic_open   §V   Theorem 5.2 cyclic construction
 //   cyclic_upper_bound  §V   Lemma 5.1 closed form
-//   flow::scheme_throughput   throughput verification by max-flow
+//   flow::scheme_throughput   tiered throughput verification (flow/verify)
+//   flow::Verifier      reusable verification engine with per-tier stats
 //   engine::Planner     batched/cached service front-end over the algorithms
 //   engine::Session     churn-aware long-lived overlay with incremental repair
 //   runtime::Runtime    multi-channel event loop over brokered capacity
@@ -32,6 +33,7 @@
 #include "bmp/engine/planner.hpp"
 #include "bmp/engine/session.hpp"
 #include "bmp/flow/maxflow.hpp"
+#include "bmp/flow/verify.hpp"
 #include "bmp/runtime/capacity_broker.hpp"
 #include "bmp/runtime/event.hpp"
 #include "bmp/runtime/metrics.hpp"

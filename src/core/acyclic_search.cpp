@@ -20,21 +20,31 @@ SearchResult search(const Instance& instance, GreedyPolicy policy, int iters) {
   if (instance.n() + instance.m() == 0) {
     return {instance.b(0), Word{}};
   }
-  double hi = cyclic_upper_bound(instance);
-  if (auto word = greedy_test(instance, hi, policy)) {
-    return {hi, std::move(word)};
+  const double hi0 = cyclic_upper_bound(instance);
+  // Allocation-free probing: the bisection reuses two Word buffers (the
+  // best word so far and the in-flight probe, swapped on success) and
+  // hoists the tie tolerance out of the loop — it is computed once at the
+  // search's upper bound, which dominates every probe below it.
+  const double tie_tol = greedy_tie_tolerance(instance, hi0);
+  Word best;
+  Word probe;
+  if (greedy_test_into(instance, hi0, best, policy, tie_tol)) {
+    return {hi0, std::move(best)};
   }
   double lo = 0.0;
-  std::optional<Word> best = greedy_test(instance, lo, policy);
+  double hi = hi0;
+  bool has_best = greedy_test_into(instance, lo, best, policy, tie_tol);
   for (int k = 0; k < iters; ++k) {
     const double mid = 0.5 * (lo + hi);
-    if (auto word = greedy_test(instance, mid, policy)) {
+    if (greedy_test_into(instance, mid, probe, policy, tie_tol)) {
       lo = mid;
-      best = std::move(word);
+      std::swap(best, probe);
+      has_best = true;
     } else {
       hi = mid;
     }
   }
+  if (!has_best) return {lo, std::nullopt};
   return {lo, std::move(best)};
 }
 

@@ -32,35 +32,39 @@ enum class GreedyPolicy {
   kBandwidthGreedy,   ///< naive: pick the class whose next node is larger
 };
 
-/// Runs GreedyTest(T). Returns the constructed word on success, nullopt if
-/// T is infeasible (for kPaper this is exact by Lemma 4.5; ablated policies
-/// may reject feasible T).
-///
-/// Numerical note: the paper's decisions use *strict* inequalities
-/// (O(π) < T forces an open letter; equality takes the guarded letter).
-/// Structured instances (e.g. the tight homogeneous family of Fig. 7) hit
-/// those boundaries exactly at dyadic probe values, where double roundoff
-/// would otherwise flip the branch and spuriously reject a feasible T. The
-/// double instantiation therefore resolves ties within `tie_tol` in favor
-/// of the guarded letter — matching the exact-arithmetic behavior — and
-/// clamps the state's tolerance-scale negatives. Rational instantiations
-/// keep tol = 0 (bit-exact spec).
+/// The tie tolerance greedy_test resolves boundary decisions with: relative
+/// to the instance's own scale (never an absolute floor, so platforms
+/// measured in bit/s and Gbit/s behave identically). Exposed so a bisection
+/// driver can hoist it out of the probe loop — any T' <= T yields the same
+/// or a smaller tolerance, so the value computed at the search's upper
+/// bound is valid (and fixed) for every probe below it.
 template <typename Num>
-std::optional<Word> greedy_test(const BasicInstance<Num>& instance, const Num& T,
-                                GreedyPolicy policy = GreedyPolicy::kPaper) {
+[[nodiscard]] Num greedy_tie_tolerance(const BasicInstance<Num>& instance,
+                                       const Num& T) {
+  if constexpr (std::is_floating_point_v<Num>) {
+    const Num scale = instance.total_sum() > T ? instance.total_sum() : T;
+    return Num(1e-12) * scale;
+  } else {
+    (void)instance;
+    (void)T;
+    return Num(0);
+  }
+}
+
+/// Allocation-free core of GreedyTest(T): rebuilds the word into `word`
+/// (cleared, capacity kept) and returns true on success. A dichotomic
+/// search probing ~50 values reuses one buffer across all probes instead of
+/// allocating a Word per probe; `tie_tol` can be hoisted the same way (pass
+/// greedy_tie_tolerance(instance, hi) computed once). Semantics are those
+/// of greedy_test below.
+template <typename Num>
+bool greedy_test_into(const BasicInstance<Num>& instance, const Num& T,
+                      Word& word, GreedyPolicy policy, const Num& tie_tol) {
   const int n = instance.n();
   const int m = instance.m();
   auto st = PrefixState<Num>::initial(instance);
-  Word word;
+  word.clear();
   word.reserve(static_cast<std::size_t>(n + m));
-
-  Num tie_tol(0);
-  if constexpr (std::is_floating_point_v<Num>) {
-    // Relative to the instance's own scale (never an absolute floor, so
-    // platforms measured in bit/s and Gbit/s behave identically).
-    const Num scale = instance.total_sum() > T ? instance.total_sum() : T;
-    tie_tol = Num(1e-12) * scale;
-  }
   // "x < y beyond the tie tolerance".
   const auto strictly_less = [&tie_tol](const Num& x, const Num& y) {
     return x < y - tie_tol;
@@ -68,7 +72,7 @@ std::optional<Word> greedy_test(const BasicInstance<Num>& instance, const Num& T
 
   while (st.opens + st.guardeds < n + m) {
     // Line 3: whatever comes next needs T units of total bandwidth.
-    if (strictly_less(st.open_avail + st.guarded_avail, T)) return std::nullopt;
+    if (strictly_less(st.open_avail + st.guarded_avail, T)) return false;
 
     Letter letter = Letter::kGuarded;
     if (st.opens != n) {
@@ -104,7 +108,7 @@ std::optional<Word> greedy_test(const BasicInstance<Num>& instance, const Num& T
     // Line 17: appending a guarded letter with O < T would drive O(pi)
     // negative (happens when opens are exhausted but guardeds remain).
     if (letter == Letter::kGuarded && strictly_less(st.open_avail, T)) {
-      return std::nullopt;
+      return false;
     }
 
     st.append(letter, instance, T);
@@ -113,6 +117,34 @@ std::optional<Word> greedy_test(const BasicInstance<Num>& instance, const Num& T
     if (st.guarded_avail < Num(0)) st.guarded_avail = Num(0);
     word.push_back(letter);
   }
+  return true;
+}
+
+template <typename Num>
+bool greedy_test_into(const BasicInstance<Num>& instance, const Num& T,
+                      Word& word, GreedyPolicy policy = GreedyPolicy::kPaper) {
+  return greedy_test_into(instance, T, word, policy,
+                          greedy_tie_tolerance(instance, T));
+}
+
+/// Runs GreedyTest(T). Returns the constructed word on success, nullopt if
+/// T is infeasible (for kPaper this is exact by Lemma 4.5; ablated policies
+/// may reject feasible T).
+///
+/// Numerical note: the paper's decisions use *strict* inequalities
+/// (O(π) < T forces an open letter; equality takes the guarded letter).
+/// Structured instances (e.g. the tight homogeneous family of Fig. 7) hit
+/// those boundaries exactly at dyadic probe values, where double roundoff
+/// would otherwise flip the branch and spuriously reject a feasible T. The
+/// implementation therefore resolves ties within greedy_tie_tolerance in
+/// favor of the guarded letter — matching the exact-arithmetic behavior —
+/// and clamps the state's tolerance-scale negatives. Rational
+/// instantiations keep tol = 0 (bit-exact spec).
+template <typename Num>
+std::optional<Word> greedy_test(const BasicInstance<Num>& instance, const Num& T,
+                                GreedyPolicy policy = GreedyPolicy::kPaper) {
+  Word word;
+  if (!greedy_test_into(instance, T, word, policy)) return std::nullopt;
   return word;
 }
 

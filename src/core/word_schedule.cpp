@@ -42,8 +42,19 @@ WordSchedule build_scheme_from_word(const Instance& instance, const Word& word,
 
   WordSchedule result{BroadcastScheme(instance.size()), {}, {}};
   // Relative tolerance: must scale with T (an absolute floor would swallow
-  // entire bandwidths on, e.g., Gbit-vs-bit unit choices).
-  const double eps = 1e-9 * T;
+  // entire bandwidths on, e.g., Gbit-vs-bit unit choices). The second term
+  // covers the greedy's tie resolution: greedy_test accepts words while
+  // clamping tolerance-scale negatives (up to greedy_tie_tolerance =
+  // 1e-12 * total_sum per letter), so on instances of a few thousand nodes
+  // a valid word from the dichotomic search can run the pools dry by that
+  // accumulated slack — a purely T-relative eps would reject it here. The
+  // flip side is deliberate: when T is orders of magnitude below the
+  // platform's total bandwidth, the greedy's own decisions were only
+  // resolved to total_sum precision, so this builder cannot be (and is not)
+  // stricter than the test that produced the word; callers needing the
+  // realized rate re-measure it (flow::scheme_throughput is now one sweep).
+  const double eps = 1e-9 * T + 1e-12 * static_cast<double>(instance.size()) *
+                                    instance.total_sum();
 
   std::deque<SenderSlot> open_pool;
   std::deque<SenderSlot> guarded_pool;

@@ -10,6 +10,7 @@
 #include "bmp/core/bounds.hpp"
 #include "bmp/core/cyclic_open.hpp"
 #include "bmp/engine/plan_cache.hpp"
+#include "bmp/flow/verify.hpp"
 #include "bmp/util/thread_pool.hpp"
 
 namespace bmp::engine {
@@ -76,8 +77,8 @@ PlanResponse plan_auto(const Instance& instance, int bound) {
                                        Algorithm::kBaselineChain, bound));
   }
 
-  const PlanResponse* best = nullptr;
-  for (const PlanResponse& candidate : candidates) {
+  PlanResponse* best = nullptr;
+  for (PlanResponse& candidate : candidates) {
     if (!candidate.degree_bound_met) continue;
     if (best == nullptr || candidate.throughput > best->throughput) {
       best = &candidate;
@@ -85,41 +86,61 @@ PlanResponse plan_auto(const Instance& instance, int bound) {
   }
   if (best == nullptr) {
     // Nothing honors the bound; surface the lowest-degree candidate.
-    for (const PlanResponse& candidate : candidates) {
+    for (PlanResponse& candidate : candidates) {
       if (best == nullptr || candidate.max_degree < best->max_degree) {
         best = &candidate;
       }
     }
   }
-  return *best;
+  return std::move(*best);
 }
 
 }  // namespace
 
-PlanResponse Planner::plan_uncached(const PlanRequest& request) {
-  const int bound = request.max_out_degree;
-  if (bound < 0) {
+PlanResponse Planner::plan_uncached(const Instance& instance,
+                                    Algorithm algorithm, int max_out_degree) {
+  if (max_out_degree < 0) {
     throw std::invalid_argument("Planner: max_out_degree must be >= 0");
   }
-  switch (request.algorithm) {
+  switch (algorithm) {
     case Algorithm::kAuto:
-      return plan_auto(request.instance, bound);
+      return plan_auto(instance, max_out_degree);
     case Algorithm::kAcyclic:
-      return plan_acyclic(request.instance, bound);
+      return plan_acyclic(instance, max_out_degree);
     case Algorithm::kCyclic:
-      return plan_cyclic(request.instance, bound);
+      return plan_cyclic(instance, max_out_degree);
     case Algorithm::kBaselineTree: {
-      baselines::BaselineResult tree = baselines::best_kary_tree(request.instance);
+      baselines::BaselineResult tree = baselines::best_kary_tree(instance);
       return make_response(std::move(tree.scheme), tree.throughput,
-                           Algorithm::kBaselineTree, bound);
+                           Algorithm::kBaselineTree, max_out_degree);
     }
     case Algorithm::kBaselineChain: {
-      baselines::BaselineResult chain = baselines::chain(request.instance);
+      baselines::BaselineResult chain = baselines::chain(instance);
       return make_response(std::move(chain.scheme), chain.throughput,
-                           Algorithm::kBaselineChain, bound);
+                           Algorithm::kBaselineChain, max_out_degree);
     }
   }
   throw std::invalid_argument("Planner: unknown algorithm");
+}
+
+PlanResponse Planner::plan_uncached(const PlanRequest& request) {
+  return plan_uncached(request.instance, request.algorithm,
+                       request.max_out_degree);
+}
+
+PlanResponse Planner::plan_verified(const Instance& instance,
+                                    Algorithm algorithm,
+                                    int max_out_degree) const {
+  PlanResponse response = plan_uncached(instance, algorithm, max_out_degree);
+  if (config_.verify_plans && response.scheme != nullptr &&
+      response.scheme->num_nodes() > 1) {
+    // verify_throughput goes through a thread-local Verifier, so
+    // plan_batch workers each reuse their own scratch across the batch.
+    const flow::VerifyResult verified = flow::verify_throughput(*response.scheme);
+    response.verified_throughput = verified.throughput;
+    response.verified_tier = verified.tier;
+  }
+  return response;
 }
 
 Planner::Planner(PlannerConfig config)
@@ -130,32 +151,45 @@ Planner::Planner(PlannerConfig config)
 
 Planner::~Planner() = default;
 
-Fingerprint Planner::request_key(const PlanRequest& request) const {
-  Fingerprint key = fingerprint(request.instance, config_.fingerprint_bucket);
+Fingerprint Planner::request_key(const Instance& instance, Algorithm algorithm,
+                                 int max_out_degree) const {
+  Fingerprint key = fingerprint(instance, config_.fingerprint_bucket);
   key.hash = mix64(key.hash ^
-                   (static_cast<std::uint64_t>(request.algorithm) << 32) ^
+                   (static_cast<std::uint64_t>(algorithm) << 32) ^
                    static_cast<std::uint64_t>(
-                       static_cast<std::uint32_t>(request.max_out_degree)));
+                       static_cast<std::uint32_t>(max_out_degree)));
   return key;
 }
 
-PlanResponse Planner::plan(const PlanRequest& request) {
-  const Fingerprint key = request_key(request);
+Fingerprint Planner::request_key(const PlanRequest& request) const {
+  return request_key(request.instance, request.algorithm,
+                     request.max_out_degree);
+}
+
+PlanResponse Planner::plan(const Instance& instance, Algorithm algorithm,
+                           int max_out_degree) {
+  const Fingerprint key = request_key(instance, algorithm, max_out_degree);
   if (std::shared_ptr<const PlanResponse> cached = cache_->lookup(key)) {
     PlanResponse response = *cached;
     response.cache_hit = true;
     return response;
   }
-  PlanResponse response = plan_uncached(request);
+  PlanResponse response = plan_verified(instance, algorithm, max_out_degree);
   cache_->insert(key, std::make_shared<const PlanResponse>(response));
   return response;
+}
+
+PlanResponse Planner::plan(const PlanRequest& request) {
+  return plan(request.instance, request.algorithm, request.max_out_degree);
 }
 
 std::vector<PlanResponse> Planner::plan_batch(
     const std::vector<PlanRequest>& requests) {
   // One work item per distinct fingerprint, in first-occurrence order so the
   // dedup structure (and therefore every response) is independent of thread
-  // count and timing.
+  // count and timing. Requests are grouped purely by index: the Instance is
+  // never copied — workers read it through requests[first_index], and the
+  // fingerprint lives only in the dedup map.
   struct WorkItem {
     Fingerprint key;
     std::size_t first_index = 0;
@@ -185,8 +219,9 @@ std::vector<PlanResponse> Planner::plan_batch(
       [&](std::size_t w) {
         WorkItem& item = work[w];
         if (item.plan != nullptr) return;
-        auto plan = std::make_shared<const PlanResponse>(
-            plan_uncached(requests[item.first_index]));
+        const PlanRequest& request = requests[item.first_index];
+        auto plan = std::make_shared<const PlanResponse>(plan_verified(
+            request.instance, request.algorithm, request.max_out_degree));
         cache_->insert(item.key, plan);
         item.plan = std::move(plan);
       },

@@ -14,6 +14,7 @@
 #include "bmp/core/instance.hpp"
 #include "bmp/core/scheme.hpp"
 #include "bmp/engine/fingerprint.hpp"
+#include "bmp/flow/verify.hpp"
 
 namespace bmp::util {
 class ThreadPool;
@@ -49,6 +50,14 @@ struct PlanResponse {
   /// The planned overlay (shared: cache hits alias one immutable scheme).
   std::shared_ptr<const BroadcastScheme> scheme;
   double throughput = 0.0;
+  /// Throughput of `scheme` as re-measured by the tiered verifier
+  /// (flow/verify.hpp) when PlannerConfig::verify_plans is on; negative
+  /// when verification was disabled. Verification runs once per computed
+  /// plan — cache hits inherit the stored value. `verified_tier` records
+  /// which tier served it (meaningful only when verified_throughput >= 0),
+  /// so telemetry never has to re-derive the dispatch structurally.
+  double verified_throughput = -1.0;
+  flow::VerifyTier verified_tier = flow::VerifyTier::kOracle;
   Algorithm algorithm = Algorithm::kAcyclic;  ///< construction actually used
   int max_degree = 0;                         ///< max out-degree of `scheme`
   bool degree_bound_met = true;
@@ -60,6 +69,10 @@ struct PlannerConfig {
   std::size_t cache_capacity = 4096;  ///< plans retained across requests
   std::size_t cache_shards = 16;
   double fingerprint_bucket = 1e-6;  ///< bandwidth quantum for dedup
+  /// Verify every computed plan against the §II.D max-flow definition
+  /// before caching it. Near-free since the tiered verifier sweeps the
+  /// acyclic constructions in O(V + E) with zero max-flow solves.
+  bool verify_plans = true;
 };
 
 class Planner {
@@ -73,22 +86,41 @@ class Planner {
   /// Plans one request, consulting and populating the cache.
   PlanResponse plan(const PlanRequest& request);
 
+  /// By-reference single-plan path: identical to plan(PlanRequest) but
+  /// never copies the Instance into a request carrier — the call sites
+  /// that re-plan on every churn event (engine::Session, the runtime) go
+  /// through here.
+  PlanResponse plan(const Instance& instance, Algorithm algorithm = Algorithm::kAuto,
+                    int max_out_degree = 0);
+
   /// Plans a request stream: responses[i] answers requests[i]. Distinct
-  /// fingerprints are planned concurrently; duplicates are planned once.
+  /// fingerprints are planned concurrently; duplicates are planned once and
+  /// referenced by index — the batch path never copies an Instance.
   std::vector<PlanResponse> plan_batch(const std::vector<PlanRequest>& requests);
 
   /// Pure planning, no cache, no pool — the function of record the cached
   /// paths must agree with.
   static PlanResponse plan_uncached(const PlanRequest& request);
+  static PlanResponse plan_uncached(const Instance& instance, Algorithm algorithm,
+                                    int max_out_degree);
 
   /// Cache key of a request: instance fingerprint with the algorithm and
   /// degree bound mixed in (same platform, different knobs != same plan).
   [[nodiscard]] Fingerprint request_key(const PlanRequest& request) const;
+  [[nodiscard]] Fingerprint request_key(const Instance& instance,
+                                        Algorithm algorithm,
+                                        int max_out_degree) const;
 
   [[nodiscard]] CacheStats cache_stats() const;
   [[nodiscard]] const PlannerConfig& config() const { return config_; }
 
  private:
+  /// plan_uncached plus tiered verification when config_.verify_plans is
+  /// set; every cache miss goes through here exactly once.
+  [[nodiscard]] PlanResponse plan_verified(const Instance& instance,
+                                           Algorithm algorithm,
+                                           int max_out_degree) const;
+
   PlannerConfig config_;
   std::unique_ptr<PlanCache> cache_;
   std::unique_ptr<util::ThreadPool> pool_;

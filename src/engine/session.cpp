@@ -13,6 +13,12 @@ namespace bmp::engine {
 RepairResult repair_scheme(const Instance& survivors,
                            const BroadcastScheme& restricted,
                            double target_rate) {
+  return repair_scheme(survivors, restricted, target_rate, nullptr);
+}
+
+RepairResult repair_scheme(const Instance& survivors,
+                           const BroadcastScheme& restricted,
+                           double target_rate, flow::Verifier* verifier) {
   if (restricted.num_nodes() != survivors.size()) {
     throw std::invalid_argument("repair_scheme: instance/scheme size mismatch");
   }
@@ -159,21 +165,32 @@ RepairResult repair_scheme(const Instance& survivors,
       }
     }
   }
-  result.throughput =
-      num_nodes > 1 ? flow::scheme_throughput(scheme) : 0.0;
+  if (num_nodes <= 1) {
+    result.throughput = 0.0;
+  } else if (verifier != nullptr) {
+    result.throughput = verifier->verify(scheme).throughput;
+  } else {
+    result.throughput = flow::scheme_throughput(scheme);
+  }
   return result;
 }
 
 Session::Session(Planner& planner, Instance instance, SessionConfig config)
-    : planner_(planner), config_(config), instance_(std::move(instance)) {
+    : planner_(planner),
+      config_(config),
+      instance_(std::move(instance)),
+      verifier_(config.verify) {
   if (config_.replan_threshold < 0.0 || config_.replan_threshold > 1.0) {
     throw std::invalid_argument("Session: replan_threshold in [0,1]");
   }
-  const PlanResponse response = planner_.plan(
-      PlanRequest{instance_, config_.algorithm, config_.max_out_degree});
+  const PlanResponse response =
+      planner_.plan(instance_, config_.algorithm, config_.max_out_degree);
   scheme_ = response.scheme;
   design_rate_ = response.throughput;
   current_rate_ = response.throughput;
+  initial_plan_verified_ =
+      !response.cache_hit && response.verified_throughput >= 0.0;
+  initial_plan_tier_ = response.verified_tier;
 }
 
 std::vector<double> Session::capacities() const {
@@ -232,7 +249,8 @@ ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
     return outcome;
   }
 
-  outcome.degraded_rate = flow::scheme_throughput(restricted);
+  const flow::VerifyStats before = verifier_.stats();
+  outcome.degraded_rate = verifier_.verify(restricted).throughput;
   const double tol = 1e-9 * std::max(1.0, design_rate_);
   const double bar = config_.replan_threshold * design_rate_;
   // Descending target ladder: full design rate first, then reduced targets
@@ -240,28 +258,50 @@ ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
   // upload for the deficits). Keep the first repair that clears the bar.
   const double fractions[] = {1.0, (1.0 + config_.replan_threshold) / 2.0,
                               config_.replan_threshold};
-  RepairResult repair = repair_scheme(survivors, restricted, design_rate_);
+  RepairResult repair =
+      repair_scheme(survivors, restricted, design_rate_, &verifier_);
   for (std::size_t f = 1; f < 3 && repair.throughput + tol < bar; ++f) {
     if (fractions[f] >= 1.0) continue;
-    RepairResult attempt =
-        repair_scheme(survivors, restricted, fractions[f] * design_rate_);
+    RepairResult attempt = repair_scheme(
+        survivors, restricted, fractions[f] * design_rate_, &verifier_);
     if (attempt.throughput > repair.throughput) repair = std::move(attempt);
   }
   outcome.repaired_rate = repair.throughput;
+  bool replan_verified = false;
+  flow::VerifyTier replan_tier = flow::VerifyTier::kOracle;
   if (repair.throughput + tol >= config_.replan_threshold * design_rate_) {
     instance_ = std::move(survivors);
     scheme_ = std::make_shared<const BroadcastScheme>(std::move(repair.scheme));
     current_rate_ = repair.throughput;
     ++incremental_replans_;
   } else {
-    const PlanResponse response = planner_.plan(
-        PlanRequest{survivors, config_.algorithm, config_.max_out_degree});
+    const PlanResponse response =
+        planner_.plan(survivors, config_.algorithm, config_.max_out_degree);
+    // Cache hits reuse a plan whose verification already happened (and was
+    // already counted) when it was first computed.
+    replan_verified = !response.cache_hit && response.verified_throughput >= 0.0;
+    replan_tier = response.verified_tier;
     instance_ = std::move(survivors);
     scheme_ = response.scheme;
     design_rate_ = response.throughput;
     current_rate_ = response.throughput;
     ++full_replans_;
     outcome.full_replan = true;
+  }
+  const flow::VerifyStats& after = verifier_.stats();
+  outcome.verify_calls = static_cast<int>(after.calls - before.calls);
+  outcome.verify_sweep = static_cast<int>(after.tier_sweep - before.tier_sweep);
+  outcome.verify_maxflow =
+      static_cast<int>(after.tier_maxflow - before.tier_maxflow);
+  outcome.verify_us = after.total_us - before.total_us;
+  if (replan_verified) {
+    // The computed full re-plan was verified planner-side (thread-local
+    // verifier); count it here so the runtime's verify.* metrics cover
+    // every verification this event triggered. Its wall-clock cost is
+    // attributed to planning, not verify_us.
+    ++outcome.verify_calls;
+    (replan_tier == flow::VerifyTier::kAcyclicSweep ? outcome.verify_sweep
+                                                    : outcome.verify_maxflow) += 1;
   }
   outcome.achieved_rate = current_rate_;
   return outcome;

@@ -15,6 +15,7 @@
 #include "bmp/core/instance.hpp"
 #include "bmp/core/scheme.hpp"
 #include "bmp/engine/planner.hpp"
+#include "bmp/flow/verify.hpp"
 
 namespace bmp::engine {
 
@@ -35,6 +36,15 @@ struct RepairResult {
                                          const BroadcastScheme& restricted,
                                          double target_rate);
 
+/// Same repair, but the final throughput verification runs through the
+/// caller's Verifier — a session reuses one engine (and its scratch) across
+/// every churn event and keeps per-tier statistics for the runtime's
+/// metrics. `verifier` may be nullptr (falls back to the thread-local one).
+[[nodiscard]] RepairResult repair_scheme(const Instance& survivors,
+                                         const BroadcastScheme& restricted,
+                                         double target_rate,
+                                         flow::Verifier* verifier);
+
 struct SessionConfig {
   /// Keep the incremental repair iff its verified throughput reaches this
   /// fraction of the design rate; otherwise fall back to a full re-plan.
@@ -43,6 +53,9 @@ struct SessionConfig {
   /// kAcyclic by default: its DAG structure is what repair patches best.
   Algorithm algorithm = Algorithm::kAcyclic;
   int max_out_degree = 0;
+  /// Options for the session-owned verification engine (timing collection,
+  /// parallel sweep pool, tier forcing).
+  flow::VerifyOptions verify{};
 };
 
 struct ChurnOutcome {
@@ -53,6 +66,15 @@ struct ChurnOutcome {
   double repaired_rate = 0.0; ///< after incremental patching
   double achieved_rate = 0.0; ///< after the chosen reaction
   bool full_replan = false;   ///< true when repair was not good enough
+  // Verification telemetry for this event: deltas of the session verifier's
+  // stats, plus the planner-side verification when a full re-plan computes
+  // (not cache-hits) its plan. Counts are deterministic; verify_us is wall
+  // clock, covers only the session's own verifier (planner verification
+  // time is attributed to planning), and belongs under a `timing.` prefix.
+  int verify_calls = 0;       ///< throughput verifications performed
+  int verify_sweep = 0;       ///< ... served by the tier-1 acyclic sweep
+  int verify_maxflow = 0;     ///< ... that needed max-flow solves
+  double verify_us = 0.0;     ///< wall-clock microseconds spent verifying
 };
 
 class Session {
@@ -76,6 +98,20 @@ class Session {
   [[nodiscard]] double current_rate() const { return current_rate_; }
   [[nodiscard]] int incremental_replans() const { return incremental_replans_; }
   [[nodiscard]] int full_replans() const { return full_replans_; }
+  /// Cumulative statistics of the session's verification engine (tier
+  /// counts, solve counts, wall-clock time).
+  [[nodiscard]] const flow::VerifyStats& verify_stats() const {
+    return verifier_.stats();
+  }
+  /// Whether the constructor's plan was verified planner-side (it was
+  /// computed, not served from cache, with verify_plans on) — so a host
+  /// can count session creation in its verification telemetry.
+  [[nodiscard]] bool initial_plan_verified() const {
+    return initial_plan_verified_;
+  }
+  [[nodiscard]] flow::VerifyTier initial_plan_tier() const {
+    return initial_plan_tier_;
+  }
 
   /// Absorbs the departure of `departed` (current sorted-instance node ids,
   /// source excluded; throws on bad ids). Updates the session's platform
@@ -92,11 +128,16 @@ class Session {
   Planner& planner_;
   SessionConfig config_;
   Instance instance_;
+  /// Owned verification engine: scratch and stats persist across every
+  /// churn event this session absorbs.
+  flow::Verifier verifier_;
   std::shared_ptr<const BroadcastScheme> scheme_;
   double design_rate_ = 0.0;
   double current_rate_ = 0.0;
   int incremental_replans_ = 0;
   int full_replans_ = 0;
+  bool initial_plan_verified_ = false;
+  flow::VerifyTier initial_plan_tier_ = flow::VerifyTier::kOracle;
 };
 
 }  // namespace bmp::engine

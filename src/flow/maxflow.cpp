@@ -2,43 +2,99 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 namespace bmp::flow {
 
-MaxFlowGraph::MaxFlowGraph(int num_nodes)
-    : head_(static_cast<std::size_t>(num_nodes)) {
+MaxFlowGraph::MaxFlowGraph(int num_nodes) {
   if (num_nodes <= 0) throw std::invalid_argument("MaxFlowGraph: empty node set");
+  assign(num_nodes);
+}
+
+void MaxFlowGraph::assign(int num_nodes) {
+  if (num_nodes <= 0) throw std::invalid_argument("MaxFlowGraph: empty node set");
+  num_nodes_ = num_nodes;
+  to_.clear();
+  cap_.clear();
+  original_.clear();
+  finalized_ = false;
+  max_capacity_ = 0.0;
 }
 
 int MaxFlowGraph::add_edge(int from, int to, double capacity) {
-  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+  if (from < 0 || from >= num_nodes_ || to < 0 || to >= num_nodes_) {
     throw std::out_of_range("MaxFlowGraph::add_edge: node out of range");
   }
   if (capacity < 0.0) throw std::invalid_argument("MaxFlowGraph: negative capacity");
-  const int id = static_cast<int>(edges_.size());
+  const int id = static_cast<int>(to_.size());
   max_capacity_ = std::max(max_capacity_, capacity);
-  edges_.push_back({to, capacity, capacity});
-  edges_.push_back({from, 0.0, 0.0});
-  head_[static_cast<std::size_t>(from)].push_back(id);
-  head_[static_cast<std::size_t>(to)].push_back(id + 1);
+  // Forward edge stores the head; the reverse edge stores the tail, so
+  // from(id) is recoverable as to_[id ^ 1] when building the CSR index.
+  to_.push_back(to);
+  cap_.push_back(capacity);
+  original_.push_back(capacity);
+  to_.push_back(from);
+  cap_.push_back(0.0);
+  original_.push_back(0.0);
+  finalized_ = false;
   return id;
 }
 
+void MaxFlowGraph::set_capacity(int edge_id, double capacity) {
+  if (edge_id < 0 || edge_id >= static_cast<int>(to_.size()) || (edge_id & 1) != 0) {
+    throw std::out_of_range("MaxFlowGraph::set_capacity: not a forward edge id");
+  }
+  if (capacity < 0.0) throw std::invalid_argument("MaxFlowGraph: negative capacity");
+  // max_capacity_ only ratchets up: eps() must never shrink below the scale
+  // of flow already pushed in earlier solves of this probe sequence.
+  max_capacity_ = std::max(max_capacity_, capacity);
+  const auto id = static_cast<std::size_t>(edge_id);
+  original_[id] = capacity;
+  cap_[id] = capacity;
+  original_[id ^ 1] = 0.0;
+  cap_[id ^ 1] = 0.0;
+}
+
+void MaxFlowGraph::finalize() {
+  if (finalized_) return;
+  const auto nodes = static_cast<std::size_t>(num_nodes_);
+  csr_offset_.assign(nodes + 1, 0);
+  for (std::size_t id = 0; id < to_.size(); ++id) {
+    // Edge id leaves the node its partner points at.
+    ++csr_offset_[static_cast<std::size_t>(to_[id ^ 1]) + 1];
+  }
+  for (std::size_t v = 0; v < nodes; ++v) csr_offset_[v + 1] += csr_offset_[v];
+  csr_edges_.resize(to_.size());
+  std::vector<int> cursor(csr_offset_.begin(), csr_offset_.end() - 1);
+  for (std::size_t id = 0; id < to_.size(); ++id) {
+    csr_edges_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(to_[id ^ 1])]++)] = static_cast<int>(id);
+  }
+  level_.resize(nodes);
+  iter_.resize(nodes);
+  queue_.resize(nodes);
+  finalized_ = true;
+}
+
 bool MaxFlowGraph::bfs_levels(int source, int sink) {
-  level_.assign(head_.size(), -1);
-  std::queue<int> frontier;
+  std::fill(level_.begin(), level_.end(), -1);
+  int head = 0;
+  int tail = 0;
   level_[static_cast<std::size_t>(source)] = 0;
-  frontier.push(source);
-  while (!frontier.empty()) {
-    const int v = frontier.front();
-    frontier.pop();
-    for (const int id : head_[static_cast<std::size_t>(v)]) {
-      const Edge& e = edges_[static_cast<std::size_t>(id)];
-      if (e.cap > eps() && level_[static_cast<std::size_t>(e.to)] < 0) {
-        level_[static_cast<std::size_t>(e.to)] = level_[static_cast<std::size_t>(v)] + 1;
-        frontier.push(e.to);
+  queue_[tail++] = source;
+  const double cutoff = eps();
+  while (head < tail) {
+    const int v = queue_[head++];
+    const int begin = csr_offset_[static_cast<std::size_t>(v)];
+    const int end = csr_offset_[static_cast<std::size_t>(v) + 1];
+    for (int k = begin; k < end; ++k) {
+      const int id = csr_edges_[static_cast<std::size_t>(k)];
+      const int to = to_[static_cast<std::size_t>(id)];
+      if (cap_[static_cast<std::size_t>(id)] > cutoff &&
+          level_[static_cast<std::size_t>(to)] < 0) {
+        level_[static_cast<std::size_t>(to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue_[tail++] = to;
       }
     }
   }
@@ -47,17 +103,20 @@ bool MaxFlowGraph::bfs_levels(int source, int sink) {
 
 double MaxFlowGraph::dfs_push(int vertex, int sink, double limit) {
   if (vertex == sink) return limit;
-  auto& cursor = iter_[static_cast<std::size_t>(vertex)];
-  const auto& out = head_[static_cast<std::size_t>(vertex)];
-  while (cursor < out.size()) {
-    const int id = out[cursor];
-    Edge& e = edges_[static_cast<std::size_t>(id)];
-    if (e.cap > eps() && level_[static_cast<std::size_t>(e.to)] ==
-                            level_[static_cast<std::size_t>(vertex)] + 1) {
-      const double pushed = dfs_push(e.to, sink, std::min(limit, e.cap));
-      if (pushed > eps()) {
-        e.cap -= pushed;
-        edges_[static_cast<std::size_t>(id ^ 1)].cap += pushed;
+  int& cursor = iter_[static_cast<std::size_t>(vertex)];
+  const int end = csr_offset_[static_cast<std::size_t>(vertex) + 1];
+  const double cutoff = eps();
+  while (cursor < end) {
+    const int id = csr_edges_[static_cast<std::size_t>(cursor)];
+    const int to = to_[static_cast<std::size_t>(id)];
+    if (cap_[static_cast<std::size_t>(id)] > cutoff &&
+        level_[static_cast<std::size_t>(to)] ==
+            level_[static_cast<std::size_t>(vertex)] + 1) {
+      const double pushed = dfs_push(
+          to, sink, std::min(limit, cap_[static_cast<std::size_t>(id)]));
+      if (pushed > cutoff) {
+        cap_[static_cast<std::size_t>(id)] -= pushed;
+        cap_[static_cast<std::size_t>(id ^ 1)] += pushed;
         return pushed;
       }
     }
@@ -67,46 +126,52 @@ double MaxFlowGraph::dfs_push(int vertex, int sink, double limit) {
 }
 
 double MaxFlowGraph::max_flow(int source, int sink) {
-  if (source == sink) return std::numeric_limits<double>::infinity();
+  return max_flow(source, sink, std::numeric_limits<double>::infinity());
+}
+
+double MaxFlowGraph::max_flow(int source, int sink, double limit) {
+  if (source < 0 || source >= num_nodes_ || sink < 0 || sink >= num_nodes_) {
+    throw std::out_of_range("MaxFlowGraph::max_flow: node out of range");
+  }
+  if (source == sink) return limit;
+  finalize();
   double total = 0.0;
-  while (bfs_levels(source, sink)) {
-    iter_.assign(head_.size(), 0);
+  while (total < limit - eps() && bfs_levels(source, sink)) {
+    std::copy(csr_offset_.begin(), csr_offset_.end() - 1, iter_.begin());
     for (;;) {
-      const double pushed =
-          dfs_push(source, sink, std::numeric_limits<double>::infinity());
+      const double room = limit - total;
+      if (room <= eps()) break;
+      const double pushed = dfs_push(source, sink, room);
       if (pushed <= eps()) break;
       total += pushed;
     }
   }
-  return total;
+  // An early exit lands within eps() of the limit; snap to it so a
+  // min-over-sinks sweep reads "limit reached, no update" instead of
+  // accumulating one eps of downward drift per saturating sink.
+  return total >= limit - eps() ? limit : total;
 }
 
-void MaxFlowGraph::reset() {
-  for (Edge& e : edges_) e.cap = e.original;
-}
+void MaxFlowGraph::reset() { cap_ = original_; }
 
 double MaxFlowGraph::flow_on(int edge_id) const {
-  const Edge& e = edges_.at(static_cast<std::size_t>(edge_id));
-  return e.original - e.cap;
+  const auto id = static_cast<std::size_t>(edge_id);
+  return original_.at(id) - cap_.at(id);
 }
 
-namespace {
-MaxFlowGraph graph_of(const BroadcastScheme& scheme) {
+double scheme_max_flow_to(const BroadcastScheme& scheme, int sink) {
   MaxFlowGraph graph(scheme.num_nodes());
   for (int i = 0; i < scheme.num_nodes(); ++i) {
     for (const auto& [to, r] : scheme.out_edges(i)) graph.add_edge(i, to, r);
   }
-  return graph;
-}
-}  // namespace
-
-double scheme_max_flow_to(const BroadcastScheme& scheme, int sink) {
-  MaxFlowGraph graph = graph_of(scheme);
   return graph.max_flow(0, sink);
 }
 
-double scheme_throughput(const BroadcastScheme& scheme) {
-  MaxFlowGraph graph = graph_of(scheme);
+double scheme_throughput_oracle(const BroadcastScheme& scheme) {
+  MaxFlowGraph graph(scheme.num_nodes());
+  for (int i = 0; i < scheme.num_nodes(); ++i) {
+    for (const auto& [to, r] : scheme.out_edges(i)) graph.add_edge(i, to, r);
+  }
   double best = std::numeric_limits<double>::infinity();
   for (int sink = 1; sink < scheme.num_nodes(); ++sink) {
     graph.reset();

@@ -3,6 +3,13 @@
 //     T(scheme) = min_k maxflow(C0 -> Ck)
 // over the weighted overlay digraph, so every constructive algorithm in the
 // library is verified against it.
+//
+// The solver is built for the verification hot path (flow/verify.hpp): a
+// flat CSR adjacency with structure-of-arrays edge storage, scratch buffers
+// (BFS queue, levels, arc cursors) that are allocated once and reused across
+// solves, a memcpy reset, and an early-exit `max_flow(s, t, limit)` overload
+// for min-over-sinks sweeps where the running minimum upper-bounds every
+// later sink.
 #pragma once
 
 #include <vector>
@@ -14,19 +21,48 @@ namespace bmp::flow {
 
 class MaxFlowGraph {
  public:
+  /// An empty graph; assign() before use (reusable-scratch construction).
+  MaxFlowGraph() = default;
+
   explicit MaxFlowGraph(int num_nodes);
 
+  /// Re-targets the graph at a new node set, dropping all edges but keeping
+  /// every internal buffer's capacity — the reuse entry point for callers
+  /// that verify many schemes through one solver.
+  void assign(int num_nodes);
+
   /// Adds a directed edge with the given capacity; returns its edge id.
+  /// Invalidates the CSR index (rebuilt lazily on the next solve).
   int add_edge(int from, int to, double capacity);
 
-  [[nodiscard]] int num_nodes() const { return static_cast<int>(head_.size()); }
+  /// Overwrites the construction capacity of an existing edge (forward
+  /// direction only) and resets its residual pair. Used by probes that
+  /// re-solve the same topology under varying capacities (node_caps
+  /// bisection) without rebuilding the graph. Keeps the CSR index valid.
+  void set_capacity(int edge_id, double capacity);
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(to_.size()) / 2; }
 
   /// Computes max flow from s to t (Dinic: BFS levels + blocking DFS).
   /// Residual capacities are consumed; call reset() to restore.
   double max_flow(int source, int sink);
 
-  /// Restores all capacities to their construction values.
+  /// Early-exit variant: stops augmenting once `limit` units have been
+  /// pushed and returns min(true max flow, limit) up to the solver's
+  /// relative tolerance. In a min-over-sinks sweep the running minimum is a
+  /// valid limit for every later sink — a sink at or above the limit cannot
+  /// lower the minimum, so its exact value is never needed.
+  double max_flow(int source, int sink, double limit);
+
+  /// Restores all capacities to their construction values (one memcpy).
   void reset();
+
+  /// Builds the CSR adjacency index now instead of lazily on the first
+  /// solve. Idempotent. Call it before copying the graph for a parallel
+  /// sweep so the copies inherit the built index instead of each
+  /// rebuilding it.
+  void finalize();
 
   /// Flow currently pushed through edge id (cap_original - cap_residual).
   [[nodiscard]] double flow_on(int edge_id) const;
@@ -35,26 +71,40 @@ class MaxFlowGraph {
   bool bfs_levels(int source, int sink);
   double dfs_push(int vertex, int sink, double limit);
 
-  struct Edge {
-    int to;
-    double cap;
-    double original;
-  };
-
   /// Scale-free augmentation cutoff: relative to the largest capacity.
   [[nodiscard]] double eps() const { return 1e-12 * max_capacity_; }
 
-  std::vector<Edge> edges_;                 // edge 2k ~ forward, 2k+1 ~ reverse
-  std::vector<std::vector<int>> head_;      // adjacency: edge ids per vertex
+  // Edge arrays, SoA; edge 2k ~ forward, 2k+1 ~ reverse. The tail of a
+  // stored edge is the head of its partner: from(id) == to_[id ^ 1].
+  std::vector<int> to_;
+  std::vector<double> cap_;
+  std::vector<double> original_;
+
+  // CSR adjacency over edge ids, built lazily from the edge list.
+  std::vector<int> csr_offset_;  // size num_nodes_ + 1
+  std::vector<int> csr_edges_;   // size 2 * num_edges()
+
+  // Reusable per-solve scratch.
   std::vector<int> level_;
-  std::vector<std::size_t> iter_;
+  std::vector<int> iter_;   // arc cursor into csr_edges_ per vertex
+  std::vector<int> queue_;  // BFS frontier
+
+  int num_nodes_ = 0;
+  bool finalized_ = false;
   double max_capacity_ = 0.0;
 };
 
 /// Throughput of a broadcast scheme: min over all non-source nodes of the
-/// max flow from the source. O(N * Dinic); meant for verification, not for
-/// the inner loop of large sweeps.
+/// max flow from the source. Dispatches through the tiered verifier
+/// (flow/verify.hpp): one O(V+E) sweep for acyclic overlays, warm-started
+/// limit-bounded Dinic sweep otherwise. Implemented in verify.cpp.
 double scheme_throughput(const BroadcastScheme& scheme);
+
+/// The tier-3 oracle: one full Dinic solve per sink, no early exit, no
+/// structure exploited. This is the function of record the fast paths are
+/// differential-tested against; production code should call
+/// scheme_throughput instead.
+double scheme_throughput_oracle(const BroadcastScheme& scheme);
 
 /// Max flow from node 0 to a single sink on the scheme graph.
 double scheme_max_flow_to(const BroadcastScheme& scheme, int sink);

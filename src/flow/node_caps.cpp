@@ -1,11 +1,10 @@
 #include "bmp/flow/node_caps.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <sstream>
 #include <stdexcept>
 
-#include "bmp/flow/maxflow.hpp"
+#include "bmp/flow/verify.hpp"
 
 namespace bmp::flow {
 
@@ -28,38 +27,72 @@ std::vector<std::string> validate_download_caps(
   return issues;
 }
 
-double scheme_throughput_with_download_caps(
-    const BroadcastScheme& scheme, const std::vector<double>& download_cap) {
-  const int N = scheme.num_nodes();
-  if (static_cast<int>(download_cap.size()) != N) {
-    throw std::invalid_argument(
-        "scheme_throughput_with_download_caps: size mismatch");
-  }
-  if (N == 1) return 0.0;
+DownloadCapProbe::DownloadCapProbe(const BroadcastScheme& scheme)
+    : num_nodes_(scheme.num_nodes()) {
+  const int N = num_nodes_;
   // Split every node v into v_in (= v) and v_out (= v + N); scheme edges
-  // run u_out -> v_in; the internal edge v_in -> v_out carries b_in(v).
+  // run u_out -> v_in; the internal edge v_in -> v_out carries the cap.
   // The source's internal edge must not bind: total_rate upper-bounds any
   // flow, and stays on the scheme's own scale (an "infinite" sentinel
   // would wreck the solver's relative tolerances).
-  const double unbounded = scheme.total_rate() + 1.0;
-  MaxFlowGraph graph(2 * N);
+  unbounded_ = scheme.total_rate() + 1.0;
+  graph_.assign(2 * N);
+  cap_edge_.assign(static_cast<std::size_t>(N), -1);
+  cap_.assign(static_cast<std::size_t>(N), unbounded_);
+  inflow_.assign(static_cast<std::size_t>(N), 0.0);
   for (int v = 0; v < N; ++v) {
-    const double cap =
-        v == 0 ? unbounded
-               : std::min(download_cap[static_cast<std::size_t>(v)], unbounded);
-    graph.add_edge(v, v + N, cap);
+    cap_edge_[static_cast<std::size_t>(v)] = graph_.add_edge(v, v + N, unbounded_);
     for (const auto& [to, rate] : scheme.out_edges(v)) {
-      graph.add_edge(v + N, to, rate);
+      graph_.add_edge(v + N, to, rate);
+      inflow_[static_cast<std::size_t>(to)] += rate;
     }
   }
-  double best = std::numeric_limits<double>::infinity();
-  for (int sink = 1; sink < N; ++sink) {
-    graph.reset();
-    // The sink's own download cap applies: measure flow into v_out.
-    best = std::min(best, graph.max_flow(N, sink + N));
-    if (best <= 0.0) return 0.0;
+}
+
+void DownloadCapProbe::set_caps(const std::vector<double>& download_cap) {
+  if (static_cast<int>(download_cap.size()) != num_nodes_) {
+    throw std::invalid_argument("DownloadCapProbe: size mismatch");
   }
-  return best;
+  for (int v = 1; v < num_nodes_; ++v) {
+    const double cap =
+        std::min(download_cap[static_cast<std::size_t>(v)], unbounded_);
+    cap_[static_cast<std::size_t>(v)] = cap;
+    graph_.set_capacity(cap_edge_[static_cast<std::size_t>(v)], cap);
+  }
+}
+
+void DownloadCapProbe::set_uniform_cap(double cap) {
+  const double clamped = std::min(cap, unbounded_);
+  for (int v = 1; v < num_nodes_; ++v) {
+    cap_[static_cast<std::size_t>(v)] = clamped;
+    graph_.set_capacity(cap_edge_[static_cast<std::size_t>(v)], clamped);
+  }
+}
+
+double DownloadCapProbe::throughput() {
+  const int N = num_nodes_;
+  if (N <= 1) return 0.0;
+  // min(inflow, cap) upper-bounds the flow into every sink in any digraph.
+  // The sink's own download cap applies: measure flow into v_out (v + N).
+  sink_order_.clear();
+  sink_order_.reserve(static_cast<std::size_t>(N - 1));
+  for (int v = 1; v < N; ++v) {
+    sink_order_.emplace_back(std::min(inflow_[static_cast<std::size_t>(v)],
+                                      cap_[static_cast<std::size_t>(v)]),
+                             v + N);
+  }
+  return limit_bounded_sink_sweep(graph_, /*source=*/N, sink_order_);
+}
+
+double scheme_throughput_with_download_caps(
+    const BroadcastScheme& scheme, const std::vector<double>& download_cap) {
+  if (static_cast<int>(download_cap.size()) != scheme.num_nodes()) {
+    throw std::invalid_argument(
+        "scheme_throughput_with_download_caps: size mismatch");
+  }
+  DownloadCapProbe probe(scheme);
+  probe.set_caps(download_cap);
+  return probe.throughput();
 }
 
 double minimal_uniform_download_cap(const BroadcastScheme& scheme, double T,
@@ -71,12 +104,13 @@ double minimal_uniform_download_cap(const BroadcastScheme& scheme, double T,
     hi = std::max(hi, scheme.in_rate(v));
   }
   if (hi <= 0.0) return 0.0;
-  const std::vector<double> probe_base(
-      static_cast<std::size_t>(scheme.num_nodes()), 0.0);
+  // One probe for all 50 bisection iterations: only the N internal-edge
+  // capacities change between evaluations.
+  DownloadCapProbe probe(scheme);
   for (int iter = 0; iter < 50; ++iter) {
     const double mid = 0.5 * (lo + hi);
-    std::vector<double> caps(static_cast<std::size_t>(scheme.num_nodes()), mid);
-    const double reached = scheme_throughput_with_download_caps(scheme, caps);
+    probe.set_uniform_cap(mid);
+    const double reached = probe.throughput();
     if (reached + tol >= T) {
       hi = mid;
     } else {

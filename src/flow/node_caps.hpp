@@ -12,11 +12,44 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bmp/core/scheme.hpp"
+#include "bmp/flow/maxflow.hpp"
 
 namespace bmp::flow {
+
+/// Reusable throughput probe for one scheme under varying download caps.
+/// The node-split graph is built once; each probe rewrites only the N
+/// internal-edge capacities in place (MaxFlowGraph::set_capacity) and
+/// re-runs a limit-bounded sink sweep on the same CSR storage and scratch —
+/// a bisection such as minimal_uniform_download_cap pays the graph
+/// construction once instead of per probe, and each sweep is seeded with
+/// the min(inflow, cap) upper bound so most sinks exit early.
+class DownloadCapProbe {
+ public:
+  explicit DownloadCapProbe(const BroadcastScheme& scheme);
+
+  /// Per-node caps (index 0 = source, which is never capped); size must be
+  /// the scheme's node count.
+  void set_caps(const std::vector<double>& download_cap);
+  /// Caps every non-source node at `cap`.
+  void set_uniform_cap(double cap);
+
+  /// min_k maxflow(source_out -> k_in..k_out) under the current caps.
+  double throughput();
+
+ private:
+  int num_nodes_ = 0;
+  double unbounded_ = 0.0;
+  std::vector<int> cap_edge_;   ///< internal edge id of node v
+  std::vector<double> inflow_;  ///< scheme inflow per node (cap-free)
+  std::vector<double> cap_;     ///< caps currently applied
+  /// Scratch for limit_bounded_sink_sweep: (bound, split sink id) pairs.
+  std::vector<std::pair<double, int>> sink_order_;
+  MaxFlowGraph graph_;
+};
 
 /// Violations of per-node download caps (in_rate(v) > download_cap[v]).
 std::vector<std::string> validate_download_caps(

@@ -1,0 +1,224 @@
+#include "bmp/flow/verify.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "bmp/util/thread_pool.hpp"
+
+namespace bmp::flow {
+
+const char* to_string(VerifyTier tier) {
+  switch (tier) {
+    case VerifyTier::kAcyclicSweep: return "acyclic-sweep";
+    case VerifyTier::kWarmMaxFlow: return "warm-maxflow";
+    case VerifyTier::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+Verifier::Verifier(VerifyOptions options) : options_(options) {}
+
+bool Verifier::acyclic_sweep(const BroadcastScheme& scheme) {
+  const int num_nodes = scheme.num_nodes();
+  const auto nodes = static_cast<std::size_t>(num_nodes);
+  indegree_.assign(nodes, 0);
+  inflow_.assign(nodes, 0.0);
+  for (int i = 0; i < num_nodes; ++i) {
+    for (const auto& [to, rate] : scheme.out_edges(i)) {
+      ++indegree_[static_cast<std::size_t>(to)];
+      inflow_[static_cast<std::size_t>(to)] += rate;
+    }
+  }
+  stack_.clear();
+  for (int v = 0; v < num_nodes; ++v) {
+    if (indegree_[static_cast<std::size_t>(v)] == 0) stack_.push_back(v);
+  }
+  int processed = 0;
+  while (!stack_.empty()) {
+    const int v = stack_.back();
+    stack_.pop_back();
+    ++processed;
+    for (const auto& [to, rate] : scheme.out_edges(v)) {
+      (void)rate;
+      if (--indegree_[static_cast<std::size_t>(to)] == 0) stack_.push_back(to);
+    }
+  }
+  return processed == num_nodes;
+}
+
+double limit_bounded_sink_sweep(MaxFlowGraph& graph, int source,
+                                std::vector<std::pair<double, int>>& sinks,
+                                int* solves) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [bound, sink] : sinks) {
+    (void)sink;
+    best = std::min(best, bound);
+  }
+  if (best <= 0.0) return 0.0;
+  // Ascending-bound order: low-bound sinks are the likeliest to hold the
+  // minimum, so visiting them first tightens the limit for the rest of the
+  // sweep. Pair order ties break on sink id, keeping it deterministic.
+  std::sort(sinks.begin(), sinks.end());
+  for (const auto& [bound, sink] : sinks) {
+    (void)bound;
+    graph.reset();
+    best = std::min(best, graph.max_flow(source, sink, best));
+    if (solves != nullptr) ++*solves;
+    if (best <= 0.0) return 0.0;
+  }
+  return best;
+}
+
+VerifyResult Verifier::warm_maxflow(const BroadcastScheme& scheme) {
+  const int num_nodes = scheme.num_nodes();
+  VerifyResult result;
+  result.tier = VerifyTier::kWarmMaxFlow;
+
+  // Min-inflow seed: maxflow(0 -> k) <= inflow(k) in any digraph, so the
+  // minimum inflow upper-bounds the answer and is a valid limit for every
+  // solve in the sweep.
+  double bound = std::numeric_limits<double>::infinity();
+  for (int v = 1; v < num_nodes; ++v) {
+    bound = std::min(bound, inflow_[static_cast<std::size_t>(v)]);
+  }
+  if (bound <= 0.0) {
+    result.throughput = 0.0;
+    return result;
+  }
+
+  graph_.assign(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    for (const auto& [to, rate] : scheme.out_edges(i)) {
+      graph_.add_edge(i, to, rate);
+    }
+  }
+
+  sink_order_.clear();
+  sink_order_.reserve(static_cast<std::size_t>(num_nodes - 1));
+  for (int v = 1; v < num_nodes; ++v) {
+    sink_order_.emplace_back(inflow_[static_cast<std::size_t>(v)], v);
+  }
+
+  const auto sinks = sink_order_.size();
+  const bool parallel =
+      options_.pool != nullptr && options_.pool->size() > 1 &&
+      static_cast<int>(sinks) >= options_.parallel_min_sinks;
+  if (!parallel) {
+    result.throughput = limit_bounded_sink_sweep(graph_, 0, sink_order_,
+                                                 &result.maxflow_solves);
+    return result;
+  }
+
+  // Parallel sweep: fixed-size chunks, one private graph copy and one
+  // private running minimum per chunk. Every per-sink value is
+  // min(flow_k, local_limit) with local_limit >= the true global minimum
+  // (it starts at `bound` and only drops through values that are
+  // themselves >= the minimum), so min over chunks is exact — identical
+  // for any pool size, chunk split, or scheduling.
+  std::sort(sink_order_.begin(), sink_order_.end());
+  graph_.finalize();  // chunks copy the built CSR index, not the edge list
+  const std::size_t chunk_count =
+      std::min(sinks, 2 * options_.pool->size());
+  const std::size_t chunk_size = (sinks + chunk_count - 1) / chunk_count;
+  std::vector<double> chunk_min(chunk_count, bound);
+  std::vector<int> chunk_solves(chunk_count, 0);
+  util::parallel_for(
+      *options_.pool, 0, chunk_count,
+      [&](std::size_t c) {
+        MaxFlowGraph local = graph_;
+        double best = bound;
+        const std::size_t begin = c * chunk_size;
+        const std::size_t end = std::min(sinks, begin + chunk_size);
+        for (std::size_t k = begin; k < end && best > 0.0; ++k) {
+          local.reset();
+          best = std::min(best, local.max_flow(0, sink_order_[k].second, best));
+          ++chunk_solves[c];
+        }
+        chunk_min[c] = best;
+      },
+      /*chunk=*/1);
+  for (const int solves : chunk_solves) result.maxflow_solves += solves;
+  result.throughput =
+      std::max(*std::min_element(chunk_min.begin(), chunk_min.end()), 0.0);
+  return result;
+}
+
+VerifyResult Verifier::dispatch(const BroadcastScheme& scheme) {
+  const int num_nodes = scheme.num_nodes();
+  if (options_.force_tier && options_.tier == VerifyTier::kOracle) {
+    // Same sweep as scheme_throughput_oracle (full solve per sink, early
+    // exit at zero), run on the reusable graph so the solve count in the
+    // result is the number of Dinic invocations that actually happened.
+    VerifyResult result;
+    result.tier = VerifyTier::kOracle;
+    graph_.assign(num_nodes);
+    for (int i = 0; i < num_nodes; ++i) {
+      for (const auto& [to, rate] : scheme.out_edges(i)) {
+        graph_.add_edge(i, to, rate);
+      }
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (int sink = 1; sink < num_nodes; ++sink) {
+      graph_.reset();
+      best = std::min(best, graph_.max_flow(0, sink));
+      ++result.maxflow_solves;
+      if (best <= 0.0) break;
+    }
+    result.throughput = std::max(best, 0.0);
+    return result;
+  }
+
+  const bool acyclic = acyclic_sweep(scheme);
+  if (options_.force_tier && options_.tier == VerifyTier::kAcyclicSweep &&
+      !acyclic) {
+    throw std::invalid_argument(
+        "Verifier: kAcyclicSweep forced on a cyclic scheme");
+  }
+  const bool sweep =
+      options_.force_tier ? options_.tier == VerifyTier::kAcyclicSweep : acyclic;
+  if (sweep) {
+    VerifyResult result;
+    result.tier = VerifyTier::kAcyclicSweep;
+    double best = std::numeric_limits<double>::infinity();
+    for (int v = 1; v < num_nodes; ++v) {
+      best = std::min(best, inflow_[static_cast<std::size_t>(v)]);
+    }
+    result.throughput = best;
+    return result;
+  }
+  return warm_maxflow(scheme);
+}
+
+VerifyResult Verifier::verify(const BroadcastScheme& scheme) {
+  const auto start = options_.collect_timing
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+  const VerifyResult result = dispatch(scheme);
+  ++stats_.calls;
+  if (result.tier == VerifyTier::kAcyclicSweep) {
+    ++stats_.tier_sweep;
+  } else {
+    ++stats_.tier_maxflow;
+  }
+  stats_.maxflow_solves += static_cast<std::uint64_t>(result.maxflow_solves);
+  if (options_.collect_timing) {
+    stats_.last_us = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    stats_.total_us += stats_.last_us;
+  }
+  return result;
+}
+
+VerifyResult verify_throughput(const BroadcastScheme& scheme) {
+  thread_local Verifier verifier;
+  return verifier.verify(scheme);
+}
+
+double scheme_throughput(const BroadcastScheme& scheme) {
+  return verify_throughput(scheme).throughput;
+}
+
+}  // namespace bmp::flow

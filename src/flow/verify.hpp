@@ -1,0 +1,136 @@
+// Tiered throughput verification — the fast path for the paper's §II.D
+// definition T(scheme) = min_k maxflow(C0 -> Ck).
+//
+// Tier 1 (acyclic sweep). For an acyclic overlay the minimum over sinks of
+// the s-t max flow equals the minimum inflow over non-source nodes, so one
+// O(V + E) topological sweep verifies the scheme exactly — zero max-flow
+// solves. Proof of the identity:
+//   * Upper bound: maxflow(0 -> j) <= inflow(j) (the in-edges of j are a
+//     cut), so min_j maxflow(0 -> j) <= min_j inflow(j).
+//   * Lower bound: take any 0/j cut (S, V\S) and let u be the node of V\S
+//     that comes first in a fixed topological order. Every predecessor of u
+//     is topologically earlier, hence inside S, so *all* of u's in-edges
+//     cross the cut: capacity(S) >= inflow(u) >= min_v inflow(v). Thus
+//     maxflow(0 -> j) = mincut(0 -> j) >= min_v inflow(v) for every j.
+// This is exactly the structure the word-schedule constructions emit (every
+// node fed at rate T), which makes the planner/session/runtime verification
+// loop allocation- and solver-free in the common case.
+//
+// Tier 2 (warm max-flow sweep). Cyclic or irregular overlays fall back to
+// Dinic, but the sweep is warm-started: the graph is built once in CSR form
+// and reset by memcpy between sinks, the running minimum — seeded with the
+// min-inflow upper bound, which is valid for *any* digraph — caps every
+// solve through max_flow(s, t, limit), and sinks are visited in ascending
+// inflow order so the cap tightens as early as possible. With a ThreadPool
+// the sink range is split into deterministic chunks, each with its own
+// graph copy and its own running minimum; the chunk minima combine to the
+// exact global minimum regardless of thread count or timing.
+//
+// Tier 3 (oracle). scheme_throughput_oracle — one full Dinic solve per
+// sink, nothing exploited. Kept as the differential-testing cross-check.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bmp/core/scheme.hpp"
+#include "bmp/flow/maxflow.hpp"
+
+namespace bmp::util {
+class ThreadPool;
+}  // namespace bmp::util
+
+namespace bmp::flow {
+
+enum class VerifyTier : std::uint8_t {
+  kAcyclicSweep,  ///< tier 1: topological min-inflow sweep, no solves
+  kWarmMaxFlow,   ///< tier 2: limit-bounded Dinic sink sweep
+  kOracle,        ///< tier 3: full Dinic per sink (cross-check only)
+};
+
+[[nodiscard]] const char* to_string(VerifyTier tier);
+
+struct VerifyResult {
+  double throughput = 0.0;
+  VerifyTier tier = VerifyTier::kAcyclicSweep;
+  int maxflow_solves = 0;  ///< Dinic invocations (0 on the tier-1 path)
+};
+
+/// Cumulative per-verifier counters; wall-clock total under `total_us`
+/// (callers exporting metrics keep it under a `timing.` prefix).
+struct VerifyStats {
+  std::uint64_t calls = 0;
+  std::uint64_t tier_sweep = 0;    ///< verifications served by tier 1
+  std::uint64_t tier_maxflow = 0;  ///< verifications served by tier 2/3
+  std::uint64_t maxflow_solves = 0;
+  double total_us = 0.0;
+  double last_us = 0.0;
+};
+
+struct VerifyOptions {
+  /// Force a tier instead of dispatching on structure. kAcyclicSweep may
+  /// only be forced on acyclic schemes (throws otherwise); kOracle routes
+  /// to scheme_throughput_oracle.
+  bool force_tier = false;
+  VerifyTier tier = VerifyTier::kAcyclicSweep;
+  /// Parallel tier-2 sink sweep across this pool (nullptr = serial). The
+  /// result is identical for any pool size.
+  util::ThreadPool* pool = nullptr;
+  /// Minimum sink count before the parallel sweep is worth the per-chunk
+  /// graph copies.
+  int parallel_min_sinks = 256;
+  /// Collect wall-clock timings into stats() (two steady_clock reads per
+  /// verify; the measurement itself never affects the returned value).
+  bool collect_timing = true;
+};
+
+/// Reusable verification engine: owns the topological/inflow scratch and
+/// the CSR max-flow graph so that verifying a stream of schemes (planner
+/// constructions, churn repairs, runtime events) allocates only on
+/// high-water-mark growth.
+class Verifier {
+ public:
+  explicit Verifier(VerifyOptions options = {});
+
+  VerifyResult verify(const BroadcastScheme& scheme);
+
+  [[nodiscard]] const VerifyStats& stats() const { return stats_; }
+  [[nodiscard]] const VerifyOptions& options() const { return options_; }
+
+ private:
+  VerifyResult dispatch(const BroadcastScheme& scheme);
+  /// Kahn sweep; fills inflow_/indegree_ and returns true iff acyclic.
+  bool acyclic_sweep(const BroadcastScheme& scheme);
+  VerifyResult warm_maxflow(const BroadcastScheme& scheme);
+
+  VerifyOptions options_;
+  VerifyStats stats_;
+
+  // Tier-1 scratch.
+  std::vector<int> indegree_;
+  std::vector<int> stack_;
+  std::vector<double> inflow_;
+  // Tier-2 scratch: (inflow bound, sink id) pairs for the sweep.
+  std::vector<std::pair<double, int>> sink_order_;
+  MaxFlowGraph graph_;
+};
+
+/// One-shot verification through a thread-local Verifier (scratch reused
+/// across calls on each thread).
+VerifyResult verify_throughput(const BroadcastScheme& scheme);
+
+/// The limit-bounded min-over-sinks sweep shared by the tier-2 verifier
+/// and the node-caps probes: `sinks` holds one (upper_bound, sink id) pair
+/// per sink, where upper_bound must be a valid upper bound on
+/// maxflow(source -> sink) (e.g. the sink's inflow). Sorts `sinks` in
+/// place ascending by (bound, id) — deterministic — seeds the running
+/// minimum with the smallest bound, and caps every solve with it; a sink
+/// at or above the running minimum can never lower it, so its exact flow
+/// is never computed. Returns the exact min over sinks; `solves` (if
+/// non-null) is incremented per max-flow invocation.
+double limit_bounded_sink_sweep(MaxFlowGraph& graph, int source,
+                                std::vector<std::pair<double, int>>& sinks,
+                                int* solves = nullptr);
+
+}  // namespace bmp::flow

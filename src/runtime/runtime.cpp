@@ -24,6 +24,10 @@ Runtime::Runtime(RuntimeConfig config, double source_bandwidth,
     : config_(config),
       planner_(config.planner),
       broker_(config.broker_headroom) {
+  // One timing switch for the whole loop: a runtime that opts out of
+  // timing.* metrics must not pay the per-verify clock reads inside its
+  // sessions either.
+  config_.session.verify.collect_timing = config_.collect_timing;
   if (!is_valid_bandwidth(source_bandwidth)) {
     throw std::invalid_argument("Runtime: invalid source bandwidth");
   }
@@ -117,6 +121,15 @@ void Runtime::build_session(int id, Channel& channel) {
                   std::move(guarded_bw));
   channel.session = std::make_unique<engine::Session>(planner_, scaled,
                                                       config_.session);
+  if (channel.session->initial_plan_verified()) {
+    // Channel opens and join replans verify their computed plans too —
+    // without this the verify.* counters would only see leave events.
+    metrics_.inc("verify.calls");
+    metrics_.inc(channel.session->initial_plan_tier() ==
+                         flow::VerifyTier::kAcyclicSweep
+                     ? "verify.tier_sweep"
+                     : "verify.tier_maxflow");
+  }
   // original_id(slot) indexes [source, opens..., guardeds...] directly.
   channel.node_of_slot.assign(static_cast<std::size_t>(scaled.size()), 0);
   for (int slot = 1; slot < scaled.size(); ++slot) {
@@ -252,6 +265,17 @@ void Runtime::on_node_leave(const Event& event) {
     channel.node_of_slot = std::move(remapped);
 
     metrics_.inc(outcome.full_replan ? "repairs.full" : "repairs.incremental");
+    // Verification telemetry: tier counts are deterministic (structure
+    // decides the tier), so they live beside the repair counters; the
+    // wall-clock cost goes under timing.* like every other latency.
+    metrics_.inc("verify.calls", static_cast<std::uint64_t>(outcome.verify_calls));
+    metrics_.inc("verify.tier_sweep",
+                 static_cast<std::uint64_t>(outcome.verify_sweep));
+    metrics_.inc("verify.tier_maxflow",
+                 static_cast<std::uint64_t>(outcome.verify_maxflow));
+    if (config_.collect_timing) {
+      metrics_.observe("timing.verify.us", outcome.verify_us);
+    }
     set_channel_gauges(id, channel);
     ChurnReport report;
     report.time = now_;

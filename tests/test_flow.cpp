@@ -82,6 +82,62 @@ TEST(MaxFlow, DisconnectedSinkIsZero) {
   EXPECT_DOUBLE_EQ(g.max_flow(0, 2), 0.0);
 }
 
+TEST(MaxFlow, LimitOverloadClampsAndEarlyExits) {
+  MaxFlowGraph g(4);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 3, 3.0);
+  g.add_edge(0, 2, 4.0);
+  g.add_edge(2, 3, 2.0);
+  // True max flow is 5; the limited call stops at the cap.
+  EXPECT_DOUBLE_EQ(g.max_flow(0, 3, 2.5), 2.5);
+  g.reset();
+  // A limit above the max flow returns the exact value.
+  EXPECT_DOUBLE_EQ(g.max_flow(0, 3, 100.0), 5.0);
+}
+
+TEST(MaxFlow, SetCapacityRetargetsAnExistingEdge) {
+  MaxFlowGraph g(3);
+  const int e01 = g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(g.max_flow(0, 2), 2.0);
+  g.set_capacity(e01, 1.0);  // now the first hop binds
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.max_flow(0, 2), 1.0);
+  g.set_capacity(e01, 10.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.max_flow(0, 2), 2.0);
+  EXPECT_THROW(g.set_capacity(e01 + 1, 1.0), std::out_of_range);  // reverse id
+  EXPECT_THROW(g.set_capacity(e01, -1.0), std::invalid_argument);
+}
+
+TEST(MaxFlow, AssignReusesTheSolverAcrossGraphs) {
+  MaxFlowGraph g(2);
+  g.add_edge(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(g.max_flow(0, 1), 3.5);
+  g.assign(3);  // drop edges, keep buffers
+  EXPECT_EQ(g.num_edges(), 0);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(g.max_flow(0, 2), 2.0);
+}
+
+TEST(MaxFlow, AddEdgeAfterSolveRebuildsTheIndex) {
+  MaxFlowGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(g.max_flow(0, 2), 0.0);
+  g.add_edge(1, 2, 1.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.max_flow(0, 2), 1.0);
+}
+
+TEST(SchemeThroughput, OracleAgreesWithTieredPath) {
+  BroadcastScheme s(4);
+  s.add(0, 1, 3.0);
+  s.add(1, 2, 2.0);
+  s.add(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(scheme_throughput_oracle(s), scheme_throughput(s));
+}
+
 TEST(SchemeThroughput, StarScheme) {
   // Source splits b0=6 across 3 nodes: throughput = 2 each.
   BroadcastScheme s(4);
