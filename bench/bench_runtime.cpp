@@ -143,6 +143,7 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     bmp::benchutil::JsonReport json;
+    json.add_string("git_sha", bmp::benchutil::git_sha());
     json.add("peers", peers);
     json.add("events", static_cast<std::uint64_t>(script.events.size()));
     json.add("elapsed_s", elapsed);

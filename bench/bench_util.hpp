@@ -21,6 +21,26 @@ inline int env_int(const char* name, int fallback) {
   return std::atoi(value);
 }
 
+/// Commit id for stamping JSON perf reports, so BENCH_*.json artifacts
+/// line up into a trajectory across commits: GITHUB_SHA when CI provides
+/// it, `git rev-parse HEAD` for local runs, "unknown" outside a checkout.
+inline std::string git_sha() {
+  if (const char* env = std::getenv("GITHUB_SHA");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::string sha;
+  if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buffer[128];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) sha = buffer;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
 /// Machine-readable bench output: a flat JSON object written next to the
 /// human table so CI can archive one BENCH_<name>.json per run and chart
 /// the perf trajectory across commits. Insertion order is preserved.

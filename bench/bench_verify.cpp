@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
             << "-node cyclic overlays" << (quick ? "  [quick]\n\n" : "\n\n");
 
   bmp::benchutil::JsonReport json;
+  json.add_string("git_sha", bmp::benchutil::git_sha());
   json.add("acyclic_peers", acyclic_peers);
   json.add("cyclic_peers", cyclic_peers);
   bmp::util::Table table({"case", "oracle ms", "fast ms", "speedup", "value"});

@@ -1,0 +1,613 @@
+#include "bmp/dataplane/execution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bmp::dataplane {
+
+namespace {
+/// Below this a pipe rate is treated as edge removal (mirrors the scheme's
+/// kZeroTol: planned overlays never carry meaningful rates this small).
+constexpr double kMinRate = 1e-12;
+}  // namespace
+
+Execution::Execution(ExecutionConfig config) : config_(config) {
+  if (!(config_.chunk_size > 0.0) || !std::isfinite(config_.chunk_size)) {
+    throw std::invalid_argument("Execution: chunk_size must be > 0");
+  }
+  if (config_.total_chunks < 0) {
+    throw std::invalid_argument("Execution: total_chunks must be >= 0");
+  }
+  if (config_.receiver_window < 1) {
+    throw std::invalid_argument("Execution: receiver_window must be >= 1");
+  }
+  if (config_.latency < 0.0 || !std::isfinite(config_.latency)) {
+    throw std::invalid_argument("Execution: latency must be finite, >= 0");
+  }
+  if (config_.loss_rate < 0.0 || config_.loss_rate > 0.95) {
+    // 1.0 would retransmit forever; 0.95 is already absurd for a WAN.
+    throw std::invalid_argument("Execution: loss_rate in [0, 0.95]");
+  }
+  if (config_.warmup_chunks < 0 || config_.scan_limit < 1) {
+    throw std::invalid_argument("Execution: bad warmup/scan limit");
+  }
+  if (config_.overtake_factor < 0.0 || config_.overtake_factor >= 1.0 ||
+      !std::isfinite(config_.overtake_factor)) {
+    throw std::invalid_argument("Execution: overtake_factor in [0, 1)");
+  }
+  now_ = config_.start_time;
+  last_emit_time_ = config_.start_time;
+  emission_rate_ = std::max(0.0, config_.emission_rate);
+  if (config_.total_chunks > 0 || emission_rate_ > 0.0) {
+    ChunkEvent first;
+    first.time = config_.start_time;
+    first.kind = ChunkEventKind::kEmission;
+    first.generation = emission_generation_;
+    queue_.push(first);
+  }
+}
+
+Execution::Execution(const Instance& instance, const BroadcastScheme& scheme,
+                     ExecutionConfig config)
+    : Execution(config) {
+  if (scheme.num_nodes() != instance.size()) {
+    throw std::invalid_argument("Execution: instance/scheme size mismatch");
+  }
+  for (int i = 0; i < instance.size(); ++i) add_node(instance.b(i));
+  for (int i = 0; i < scheme.num_nodes(); ++i) {
+    for (const auto& [to, rate] : scheme.out_edges(i)) set_edge(i, to, rate);
+  }
+}
+
+// ----------------------------------------------------------------- bitsets
+
+bool Execution::bit(const std::vector<std::uint64_t>& bits, int i) {
+  const std::size_t word = static_cast<std::size_t>(i) >> 6;
+  if (word >= bits.size()) return false;
+  return (bits[word] >> (static_cast<unsigned>(i) & 63U)) & 1U;
+}
+
+void Execution::set_bit(std::vector<std::uint64_t>& bits, int i) {
+  const std::size_t word = static_cast<std::size_t>(i) >> 6;
+  if (word >= bits.size()) bits.resize(word + 1, 0);
+  bits[word] |= std::uint64_t{1} << (static_cast<unsigned>(i) & 63U);
+}
+
+bool Execution::node_has(const Node& node, int chunk) const {
+  return chunk >= node.skip_before && bit(node.have, chunk);
+}
+
+Execution::Node& Execution::node_at(int id, const char* who) {
+  if (id < 0 || id >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument(std::string(who) + ": unknown node");
+  }
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+// ---------------------------------------------------------- live topology
+
+int Execution::add_node(double upload_budget) {
+  if (!is_valid_bandwidth(upload_budget)) {
+    throw std::invalid_argument("Execution::add_node: invalid budget");
+  }
+  const int id = static_cast<int>(nodes_.size());
+  Node node;
+  node.budget = upload_budget;
+  node.alive = true;
+  node.joined = now_;
+  node.skip_before = emitted_;  // live-edge join: no catch-up of old chunks
+  node.next_missing = emitted_;
+  nodes_.push_back(std::move(node));
+  ++alive_nodes_;
+  if (id == 0 && (emission_rate_ > 0.0 ||
+                  (config_.total_chunks > 0 &&
+                   emitted_ < config_.total_chunks))) {
+    // The source just came into existence: re-arm the emission chain in
+    // case an emission event already fired into the empty execution and
+    // died there.
+    ++emission_generation_;
+    ChunkEvent first;
+    first.time = std::max(now_, config_.start_time);
+    first.kind = ChunkEventKind::kEmission;
+    first.generation = emission_generation_;
+    queue_.push(first);
+  }
+  return id;
+}
+
+void Execution::remove_node(int id) {
+  if (id == 0) {
+    throw std::invalid_argument("Execution::remove_node: source is immortal");
+  }
+  Node& node = node_at(id, "Execution::remove_node");
+  if (!node.alive) {
+    throw std::invalid_argument("Execution::remove_node: node already dead");
+  }
+  node.alive = false;
+  --alive_nodes_;
+  // The departed copies stop counting toward rarity.
+  for (int chunk = node.skip_before; chunk < emitted_; ++chunk) {
+    if (bit(node.have, chunk)) --replicas_[static_cast<std::size_t>(chunk)];
+  }
+  std::vector<int> doomed = node.in;
+  doomed.insert(doomed.end(), node.out.begin(), node.out.end());
+  std::vector<int> wake;
+  for (const int slot : doomed) {
+    const int receiver = pipes_[static_cast<std::size_t>(slot)].to;
+    remove_pipe(slot);
+    if (receiver != id) wake.push_back(receiver);
+  }
+  // Free the dead node's chunk state — a churny channel would otherwise
+  // accumulate one bitset per departed peer forever.
+  node.have.clear();
+  node.have.shrink_to_fit();
+  node.inflight.clear();
+  node.window_used = 0;
+  for (const int receiver : wake) activate_receiver(receiver);
+}
+
+void Execution::set_node_budget(int id, double budget) {
+  if (!is_valid_bandwidth(budget)) {
+    throw std::invalid_argument("Execution::set_node_budget: invalid budget");
+  }
+  node_at(id, "Execution::set_node_budget").budget = budget;
+}
+
+void Execution::set_edge(int from, int to, double rate) {
+  if (from == to) {
+    throw std::invalid_argument("Execution::set_edge: self-loop");
+  }
+  const auto key = std::make_pair(from, to);
+  const auto it = pipe_of_.find(key);
+  if (rate <= kMinRate) {
+    if (it == pipe_of_.end()) return;
+    const int slot = it->second;
+    const int receiver = pipes_[static_cast<std::size_t>(slot)].to;
+    remove_pipe(slot);
+    activate_receiver(receiver);
+    return;
+  }
+  if (!std::isfinite(rate)) {
+    throw std::invalid_argument("Execution::set_edge: rate must be finite");
+  }
+  if (it != pipe_of_.end()) {
+    // Re-rate in place; an in-flight transmission keeps its old timing, the
+    // next one uses the new rate.
+    pipes_[static_cast<std::size_t>(it->second)].rate = rate;
+    return;
+  }
+  Node& sender = node_at(from, "Execution::set_edge");
+  Node& receiver = node_at(to, "Execution::set_edge");
+  if (!sender.alive || !receiver.alive) {
+    throw std::invalid_argument("Execution::set_edge: endpoint is dead");
+  }
+  int slot;
+  if (!free_pipes_.empty()) {
+    slot = free_pipes_.back();
+    free_pipes_.pop_back();
+  } else {
+    slot = static_cast<int>(pipes_.size());
+    pipes_.emplace_back();
+  }
+  Pipe& pipe = pipes_[static_cast<std::size_t>(slot)];
+  pipe.from = from;
+  pipe.to = to;
+  pipe.rate = rate;
+  pipe.active = true;
+  pipe.busy = false;
+  pipe.in_flight.clear();  // a recycled slot starts with a clean wire
+  // One independent, replay-stable loss stream per pipe creation: the
+  // stream index is a deterministic function of the operation sequence.
+  pipe.rng = util::Xoshiro256(config_.seed).fork(++pipe_streams_);
+  pipe_of_.emplace(key, slot);
+  sender.out.insert(
+      std::upper_bound(sender.out.begin(), sender.out.end(), slot,
+                       [this](int a, int b) {
+                         return pipes_[static_cast<std::size_t>(a)].to <
+                                pipes_[static_cast<std::size_t>(b)].to;
+                       }),
+      slot);
+  receiver.in.insert(
+      std::upper_bound(receiver.in.begin(), receiver.in.end(), slot,
+                       [this](int a, int b) {
+                         return pipes_[static_cast<std::size_t>(a)].from <
+                                pipes_[static_cast<std::size_t>(b)].from;
+                       }),
+      slot);
+  try_send(slot);
+}
+
+void Execution::reconcile_edges(
+    const std::vector<std::tuple<int, int, double>>& desired) {
+  std::map<std::pair<int, int>, double> want;
+  for (const auto& [from, to, rate] : desired) {
+    if (rate > kMinRate) want[std::make_pair(from, to)] = rate;
+  }
+  std::vector<int> doomed;
+  for (const auto& [key, slot] : pipe_of_) {
+    if (want.find(key) == want.end()) doomed.push_back(slot);
+  }
+  std::vector<int> wake;
+  for (const int slot : doomed) {
+    wake.push_back(pipes_[static_cast<std::size_t>(slot)].to);
+    remove_pipe(slot);
+  }
+  for (const auto& [key, rate] : want) {
+    set_edge(key.first, key.second, rate);
+  }
+  for (const int receiver : wake) {
+    if (nodes_[static_cast<std::size_t>(receiver)].alive) {
+      activate_receiver(receiver);
+    }
+  }
+}
+
+void Execution::set_emission_rate(double rate) {
+  if (rate < 0.0 || !std::isfinite(rate)) {
+    throw std::invalid_argument("Execution: emission rate must be finite, >= 0");
+  }
+  if (rate == emission_rate_) return;  // no-op: keep the scheduled cadence
+  ++emission_generation_;  // invalidate the queued emission, if any
+  emission_rate_ = rate;
+  if (rate <= 0.0) return;
+  ChunkEvent next;
+  // Resume from the last emission instant, never before now: a rate change
+  // must not double-emit or starve the stream.
+  next.time = emitted_ == 0
+                  ? std::max(now_, config_.start_time)
+                  : std::max(now_, last_emit_time_ + config_.chunk_size / rate);
+  next.kind = ChunkEventKind::kEmission;
+  next.generation = emission_generation_;
+  queue_.push(next);
+}
+
+void Execution::remove_pipe(int slot) {
+  Pipe& pipe = pipes_[static_cast<std::size_t>(slot)];
+  if (!pipe.active) return;
+  // Every transmission still pending on this pipe — the one in the wire
+  // *and* any pipelining through the propagation latency — must hand its
+  // window slot and reservation back, because the generation bump below
+  // strands their queued arrival events.
+  for (const int chunk : pipe.in_flight) {
+    release_reservation(pipe.to, chunk);
+  }
+  pipe.in_flight.clear();
+  ++pipe.generation;  // strands the pipe's queued events
+  pipe.active = false;
+  pipe.busy = false;
+  pipe_of_.erase(std::make_pair(pipe.from, pipe.to));
+  auto detach = [slot](std::vector<int>& list) {
+    list.erase(std::remove(list.begin(), list.end(), slot), list.end());
+  };
+  detach(nodes_[static_cast<std::size_t>(pipe.from)].out);
+  detach(nodes_[static_cast<std::size_t>(pipe.to)].in);
+  free_pipes_.push_back(slot);
+}
+
+void Execution::release_reservation(int receiver_id, int chunk) {
+  Node& receiver = nodes_[static_cast<std::size_t>(receiver_id)];
+  if (!receiver.alive) return;  // a dead receiver's bookkeeping died with it
+  const auto it = receiver.inflight.find(chunk);
+  if (it != receiver.inflight.end() && --it->second.count <= 0) {
+    receiver.inflight.erase(it);
+  }
+  --receiver.window_used;
+}
+
+// ----------------------------------------------------------------- advance
+
+void Execution::run_until(double t) {
+  if (t < now_) {
+    throw std::invalid_argument("Execution::run_until: time went backwards");
+  }
+  while (!queue_.empty() && queue_.top().time <= t) {
+    const ChunkEvent event = queue_.pop();
+    now_ = event.time;
+    process(event);
+  }
+  now_ = t;
+}
+
+void Execution::run_to_completion() {
+  if (emission_rate_ > 0.0 && config_.total_chunks == 0) {
+    throw std::invalid_argument(
+        "Execution::run_to_completion: unbounded stream (set total_chunks or "
+        "stop_emission first)");
+  }
+  while (!queue_.empty()) {
+    const ChunkEvent event = queue_.pop();
+    now_ = event.time;
+    process(event);
+  }
+}
+
+void Execution::process(const ChunkEvent& event) {
+  switch (event.kind) {
+    case ChunkEventKind::kEmission:
+      if (event.generation == emission_generation_) emit_chunks();
+      break;
+    case ChunkEventKind::kSendComplete:
+      on_send_complete(event);
+      break;
+    case ChunkEventKind::kArrival:
+      on_arrival(event);
+      break;
+  }
+}
+
+void Execution::emit_chunks() {
+  if (nodes_.empty()) return;  // nobody to hold the stream yet
+  const bool paced = emission_rate_ > 0.0;
+  const int target = config_.total_chunks > 0
+                         ? config_.total_chunks
+                         : (paced ? emitted_ + 1 : emitted_);
+  // Paced: one chunk per event. File mode (rate <= 0): everything at once.
+  int burst = paced ? 1 : target - emitted_;
+  Node& source = nodes_.front();
+  while (burst-- > 0 && emitted_ < target) {
+    const int chunk = emitted_++;
+    last_emit_time_ = now_;
+    emit_time_.push_back(now_);
+    replicas_.push_back(source.alive ? 1 : 0);
+    set_bit(source.have, chunk);
+  }
+  activate_sender(0);
+  schedule_next_emission();
+}
+
+void Execution::schedule_next_emission() {
+  if (emission_rate_ <= 0.0) return;
+  if (config_.total_chunks > 0 && emitted_ >= config_.total_chunks) return;
+  ChunkEvent next;
+  next.time = now_ + config_.chunk_size / emission_rate_;
+  next.kind = ChunkEventKind::kEmission;
+  next.generation = emission_generation_;
+  queue_.push(next);
+}
+
+void Execution::on_send_complete(const ChunkEvent& event) {
+  Pipe& pipe = pipes_[static_cast<std::size_t>(event.pipe)];
+  if (!pipe.active || pipe.generation != event.generation) return;
+  pipe.busy = false;
+  try_send(event.pipe);
+}
+
+void Execution::on_arrival(const ChunkEvent& event) {
+  Pipe& pipe = pipes_[static_cast<std::size_t>(event.pipe)];
+  if (!pipe.active || pipe.generation != event.generation) return;
+  pipe.in_flight.erase(
+      std::find(pipe.in_flight.begin(), pipe.in_flight.end(), event.chunk));
+  const int receiver_id = pipe.to;
+  Node& receiver = nodes_[static_cast<std::size_t>(receiver_id)];
+  --receiver.window_used;
+  if (event.lost) {
+    const auto it = receiver.inflight.find(event.chunk);
+    if (it != receiver.inflight.end() && --it->second.count <= 0) {
+      receiver.inflight.erase(it);
+    }
+    ++losses_;
+    // The loss notice re-opens the chunk for scheduling; every loss leads
+    // to exactly one fresh transmission attempt somewhere.
+    ++retransmits_;
+    activate_receiver(receiver_id);
+    return;
+  }
+  if (bit(receiver.have, event.chunk)) {
+    // An overtaken copy landing after the chunk was already delivered.
+    ++duplicates_;
+    activate_receiver(receiver_id);
+    return;
+  }
+  receiver.inflight.erase(event.chunk);  // later copies arrive as duplicates
+  deliver(receiver, receiver_id, event.chunk);
+  activate_receiver(receiver_id);
+  activate_sender(receiver_id);
+}
+
+void Execution::deliver(Node& node, int node_id, int chunk) {
+  (void)node_id;
+  set_bit(node.have, chunk);
+  ++node.delivered;
+  ++replicas_[static_cast<std::size_t>(chunk)];
+  ++delivered_chunks_;
+  while (node.next_missing < emitted_ && bit(node.have, node.next_missing)) {
+    ++node.next_missing;
+  }
+  const int buffered = node.delivered - (node.next_missing - node.skip_before);
+  node.max_buffer = std::max(node.max_buffer, buffered);
+  if (node.delivered == config_.warmup_chunks) node.warmup_time = now_;
+  node.last_time = now_;
+  if (config_.collect_latencies) {
+    pending_latencies_.push_back(now_ -
+                                 emit_time_[static_cast<std::size_t>(chunk)]);
+  }
+  if (config_.total_chunks > 0 && emitted_ == config_.total_chunks &&
+      node.next_missing >= config_.total_chunks &&
+      node.completion_time < 0.0) {
+    node.completion_time = now_;
+  }
+}
+
+void Execution::try_send(int pipe_slot) {
+  Pipe& pipe = pipes_[static_cast<std::size_t>(pipe_slot)];
+  if (!pipe.active || pipe.busy) return;
+  Node& sender = nodes_[static_cast<std::size_t>(pipe.from)];
+  Node& receiver = nodes_[static_cast<std::size_t>(pipe.to)];
+  if (!sender.alive || !receiver.alive) return;
+  // Backpressure: the effective window grants at least one outstanding
+  // chunk per in-pipe so a wide fan-in is never throttled structurally.
+  const int window = std::max(config_.receiver_window,
+                              static_cast<int>(receiver.in.size()));
+  if (receiver.window_used >= window) {
+    ++hol_stalls_;  // one head-of-line stall per denied send opportunity
+    return;
+  }
+  // Rarest-first within the scan horizon: the eligible unreserved chunk
+  // held by the fewest alive nodes; ties break to the oldest (smallest
+  // id), which the ascending scan gives for free. Chunks already in flight
+  // to this receiver are only considered for *overtaking* — and only when
+  // no unreserved chunk is available — to keep duplicates rare.
+  const double my_eta = now_ + config_.chunk_size / pipe.rate + config_.latency;
+  const int start = receiver.next_missing;
+  const int end = std::min(emitted_, start + config_.scan_limit);
+  int best = -1;
+  int best_replicas = std::numeric_limits<int>::max();
+  int overtake = -1;
+  int overtake_replicas = std::numeric_limits<int>::max();
+  for (int chunk = start; chunk < end; ++chunk) {
+    if (bit(receiver.have, chunk)) continue;
+    if (!node_has(sender, chunk)) continue;
+    const auto reserved = receiver.inflight.find(chunk);
+    const int rep = replicas_[static_cast<std::size_t>(chunk)];
+    if (reserved == receiver.inflight.end()) {
+      if (rep < best_replicas) {
+        best = chunk;
+        best_replicas = rep;
+      }
+    } else if (config_.overtake_factor > 0.0 && rep < overtake_replicas &&
+               my_eta - now_ <
+                   config_.overtake_factor * (reserved->second.eta - now_)) {
+      overtake = chunk;
+      overtake_replicas = rep;
+    }
+  }
+  if (best < 0) best = overtake;
+  if (best < 0) return;
+  pipe.busy = true;
+  pipe.in_flight.push_back(best);
+  auto& reservation = receiver.inflight[best];
+  reservation.eta =
+      reservation.count == 0 ? my_eta : std::min(reservation.eta, my_eta);
+  ++reservation.count;
+  ++receiver.window_used;
+  const double done = now_ + config_.chunk_size / pipe.rate;
+  const bool lost =
+      config_.loss_rate > 0.0 && pipe.rng.uniform() < config_.loss_rate;
+  ChunkEvent freed;
+  freed.time = done;
+  freed.kind = ChunkEventKind::kSendComplete;
+  freed.pipe = pipe_slot;
+  freed.generation = pipe.generation;
+  queue_.push(freed);  // before the arrival: at zero latency the pipe frees first
+  ChunkEvent arrival;
+  arrival.time = done + config_.latency;
+  arrival.kind = ChunkEventKind::kArrival;
+  arrival.pipe = pipe_slot;
+  arrival.generation = pipe.generation;
+  arrival.chunk = best;
+  arrival.lost = lost;
+  queue_.push(arrival);
+}
+
+void Execution::activate_sender(int node_id) {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  for (const int slot : node.out) try_send(slot);
+}
+
+void Execution::activate_receiver(int node_id) {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  for (const int slot : node.in) try_send(slot);
+}
+
+// ----------------------------------------------------------------- observe
+
+bool Execution::node_alive(int id) const {
+  return id >= 0 && id < static_cast<int>(nodes_.size()) &&
+         nodes_[static_cast<std::size_t>(id)].alive;
+}
+
+int Execution::delivered(int id) const {
+  return nodes_.at(static_cast<std::size_t>(id)).delivered;
+}
+
+double Execution::completion_time(int id) const {
+  return nodes_.at(static_cast<std::size_t>(id)).completion_time;
+}
+
+NodeProgress Execution::progress(int id) const {
+  const Node& node = nodes_.at(static_cast<std::size_t>(id));
+  NodeProgress progress;
+  progress.id = id;
+  progress.alive = node.alive;
+  progress.delivered = node.delivered;
+  progress.skipped = node.skip_before;
+  progress.joined = node.joined;
+  progress.completion_time = node.completion_time;
+  progress.max_buffer = node.max_buffer;
+  // Steady-state rate over the post-warmup window; nodes that never cleared
+  // warmup fall back to their whole lifetime (short runs, late joiners).
+  if (node.delivered > config_.warmup_chunks && node.warmup_time >= 0.0 &&
+      node.last_time > node.warmup_time) {
+    progress.steady_rate = (node.delivered - config_.warmup_chunks) *
+                           config_.chunk_size /
+                           (node.last_time - node.warmup_time);
+  } else if (node.delivered > 0 && node.last_time > node.joined) {
+    progress.steady_rate =
+        node.delivered * config_.chunk_size / (node.last_time - node.joined);
+  }
+  return progress;
+}
+
+ExecutionReport Execution::report(double planned_rate) const {
+  ExecutionReport report;
+  report.now = now_;
+  report.emitted = emitted_;
+  report.delivered_chunks = delivered_chunks_;
+  report.losses = losses_;
+  report.retransmits = retransmits_;
+  report.hol_stalls = hol_stalls_;
+  report.duplicates = duplicates_;
+  report.planned_rate = planned_rate;
+  report.nodes.reserve(nodes_.size());
+  // Steady-state rate: min over nodes whose post-warmup window is valid.
+  // Nodes that never cleared warmup (late joiners, very short runs) only
+  // speak up when *nobody* cleared it — their lifetime-average fallback
+  // would otherwise drown the steady-state signal.
+  bool any_steady = false;
+  bool any = false;
+  double min_steady = std::numeric_limits<double>::infinity();
+  double min_rate = std::numeric_limits<double>::infinity();
+  for (int id = 0; id < static_cast<int>(nodes_.size()); ++id) {
+    report.nodes.push_back(progress(id));
+    const NodeProgress& node = report.nodes.back();
+    if (id == 0 || !node.alive) continue;
+    any = true;
+    min_rate = std::min(min_rate, node.steady_rate);
+    if (node.delivered > config_.warmup_chunks) {
+      any_steady = true;
+      min_steady = std::min(min_steady, node.steady_rate);
+    }
+  }
+  report.achieved_rate = any_steady ? min_steady : (any ? min_rate : 0.0);
+  if (report.achieved_rate > 0.0) {
+    report.stretch = planned_rate / report.achieved_rate;
+  }
+  return report;
+}
+
+std::vector<double> Execution::drain_latencies() {
+  std::vector<double> out;
+  out.swap(pending_latencies_);
+  return out;
+}
+
+std::vector<std::string> Execution::validate(double tol) const {
+  std::vector<double> active(nodes_.size(), 0.0);
+  for (const auto& [key, slot] : pipe_of_) {
+    const Pipe& pipe = pipes_[static_cast<std::size_t>(slot)];
+    if (pipe.busy) active[static_cast<std::size_t>(key.first)] += pipe.rate;
+  }
+  std::vector<std::string> violations;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const double budget = nodes_[id].budget;
+    if (active[id] > budget * (1.0 + tol) + tol) {
+      violations.push_back("node " + std::to_string(id) +
+                           " uploading at " + std::to_string(active[id]) +
+                           " over budget " + std::to_string(budget));
+    }
+  }
+  return violations;
+}
+
+}  // namespace bmp::dataplane

@@ -1,0 +1,275 @@
+// Chunk-level data plane — the layer that *moves data* through a planned
+// overlay and closes the plan-vs-achieved loop. The planner (engine::),
+// verifier (flow::) and host (runtime::) reason about fluid rates; an
+// Execution takes those rates literally and streams discrete fixed-size
+// chunks through them:
+//
+//   * the source emits a stream of chunks, paced at the planned rate (or
+//     all at t = 0 for file-transfer style runs);
+//   * every directed overlay edge is a serial, rate-limited pipe — one
+//     chunk in transmission at a time, transmission time chunk_size / rate,
+//     optional propagation latency (the pipe frees at transmission end, so
+//     consecutive chunks pipeline through the latency), optional i.i.d.
+//     per-transmission loss with retransmit;
+//   * each node's bounded multi-port budget b_i is respected structurally
+//     (the planned edge rates sum to <= b_i, and every pipe is capped at
+//     its planned rate); validate() audits the invariant on demand;
+//   * a per-node send scheduler picks, whenever a pipe frees, the
+//     rarest-first chunk the sender holds, the receiver lacks, and nobody
+//     is already sending to that receiver — with backpressure when the
+//     receiver's in-flight window fills (head-of-line stalls are counted);
+//   * a deterministic event loop (event_queue.hpp) advances emission /
+//     send-complete / arrival events in timestamp-then-id order, so
+//     replays are bit-identical.
+//
+// The topology is *live-patchable*: nodes and edges can be added, removed
+// and re-rated mid-stream — a departed node's in-flight chunks are dropped
+// (reservations released, so survivors re-request the chunks elsewhere) and
+// a repaired overlay's new edges splice in without restarting the stream.
+// runtime::Runtime drives one Execution per channel this way.
+//
+// Units: rates share the instance's bandwidth unit (e.g. Mbit/s),
+// chunk_size the matching data unit (Mbit), times the matching seconds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bmp/core/instance.hpp"
+#include "bmp/core/scheme.hpp"
+#include "bmp/dataplane/event_queue.hpp"
+#include "bmp/util/rng.hpp"
+
+namespace bmp::dataplane {
+
+struct ExecutionConfig {
+  double chunk_size = 1.0;  ///< data per chunk, in the bandwidth unit x s
+  /// Chunks the source will emit; 0 = unbounded stream (stop_emission() or
+  /// a rate of 0 ends it).
+  int total_chunks = 0;
+  /// Source pacing: chunk k becomes available at start_time + k * s / rate.
+  /// <= 0 emits every chunk at start_time (file-transfer mode). Mutable at
+  /// run time through set_emission_rate (live renegotiation).
+  double emission_rate = 0.0;
+  double start_time = 0.0;    ///< the execution's epoch (channel open time)
+  /// Max chunks in flight toward one receiver. A receiver always grants at
+  /// least one outstanding chunk per in-pipe (the effective window is
+  /// max(receiver_window, in-degree)), otherwise a fan-in wider than the
+  /// window would throttle below the planned rate by construction.
+  int receiver_window = 8;
+  /// Reservation overtaking ("endgame" duplicate suppression): a pipe may
+  /// re-request a chunk already in flight to the receiver iff it can land
+  /// its copy within this fraction of the current copy's remaining transfer
+  /// time. Without it, one near-zero-rate pipe grabbing a chunk would hold
+  /// the whole receiver hostage; with it, duplicates stay rare and bounded.
+  /// 0 disables overtaking (strictly exclusive reservations).
+  double overtake_factor = 0.5;
+  double latency = 0.0;       ///< propagation delay per pipe, seconds
+  double loss_rate = 0.0;     ///< i.i.d. per-transmission loss in [0, 0.95]
+  std::uint64_t seed = 1;     ///< loss-stream seed (per-pipe forked streams)
+  /// Deliveries per node excluded from the steady-rate window (startup
+  /// transient: pipeline fill, rarest-first warm-up).
+  int warmup_chunks = 16;
+  /// Rarest-first scan horizon past a receiver's first missing chunk; caps
+  /// scheduler cost when a slow node accumulates a deep backlog.
+  int scan_limit = 4096;
+  /// Keep per-delivery chunk latencies for drain_latencies() (the runtime
+  /// feeds them into its dataplane.chunk_latency histogram).
+  bool collect_latencies = false;
+};
+
+/// Per-node outcome of a run (ids are Execution node ids; node 0 = source).
+struct NodeProgress {
+  int id = 0;
+  bool alive = true;
+  int delivered = 0;   ///< chunks received (loss retries excluded)
+  int skipped = 0;     ///< chunks emitted before the node joined (live edge)
+  double joined = 0.0;
+  /// Time the node held every chunk of its window [skipped, emitted);
+  /// negative while incomplete.
+  double completion_time = -1.0;
+  /// Data rate between the warmup-th and the latest delivery; the
+  /// execution's steady-state throughput measure for this node.
+  double steady_rate = 0.0;
+  int max_buffer = 0;  ///< peak out-of-order backlog (received - in-order)
+};
+
+/// Aggregate outcome; `achieved_rate` is the min steady rate over alive
+/// non-source nodes — directly comparable to the planner's throughput T.
+struct ExecutionReport {
+  double now = 0.0;
+  int emitted = 0;
+  std::uint64_t delivered_chunks = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t hol_stalls = 0;
+  std::uint64_t duplicates = 0;  ///< overtaken copies that arrived late
+  double achieved_rate = 0.0;
+  double planned_rate = 0.0;  ///< caller-supplied reference (scheme T)
+  /// planned / achieved; 1 means the plan's fluid rate was met exactly,
+  /// +inf when nothing was delivered.
+  double stretch = std::numeric_limits<double>::infinity();
+  std::vector<NodeProgress> nodes;
+};
+
+class Execution {
+ public:
+  explicit Execution(ExecutionConfig config);
+  /// Convenience: node k of `scheme`/`instance` becomes Execution node k
+  /// (budgets from the instance, pipes from the scheme's edges).
+  Execution(const Instance& instance, const BroadcastScheme& scheme,
+            ExecutionConfig config);
+
+  // ------------------------------------------------------- live topology
+  /// Adds a node and returns its id; the first node added is the source.
+  /// A node added mid-stream joins at the live edge: chunks emitted before
+  /// its join are skipped (neither wanted nor forwardable).
+  int add_node(double upload_budget);
+  /// Removes a node: its pipes vanish, chunks in flight from or to it are
+  /// dropped, and reservations held on live receivers are released so the
+  /// scheduler re-requests those chunks from surviving senders.
+  void remove_node(int id);
+  void set_node_budget(int id, double budget);
+  /// Adds or re-rates the (from, to) pipe; rate <= 0 removes it. Re-rating
+  /// a busy pipe applies to its next transmission.
+  void set_edge(int from, int to, double rate);
+  /// Diffs the live pipe set against `desired` {from, to, rate}: missing
+  /// pipes are added, absent ones removed, rates updated — in-flight
+  /// transmissions on surviving pipes are untouched. This is how a repaired
+  /// or rescaled overlay splices in without restarting the stream.
+  void reconcile_edges(const std::vector<std::tuple<int, int, double>>& desired);
+  /// Live emission-rate change (renegotiation). A no-op when unchanged;
+  /// otherwise the next emission is rescheduled at the new cadence.
+  void set_emission_rate(double rate);
+  void stop_emission() { set_emission_rate(0.0); }
+
+  // ------------------------------------------------------------ advance
+  /// Processes every event with time <= t and advances the clock to t.
+  void run_until(double t);
+  /// Drains the queue completely (requires a bounded stream: total_chunks
+  /// set or emission stopped — throws otherwise).
+  void run_to_completion();
+
+  // ------------------------------------------------------------- observe
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] int emitted() const { return emitted_; }
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int alive_nodes() const { return alive_nodes_; }
+  [[nodiscard]] int num_pipes() const { return static_cast<int>(pipe_of_.size()); }
+  [[nodiscard]] bool node_alive(int id) const;
+  [[nodiscard]] int delivered(int id) const;
+  [[nodiscard]] double completion_time(int id) const;
+  [[nodiscard]] std::uint64_t delivered_chunks() const { return delivered_chunks_; }
+  [[nodiscard]] std::uint64_t losses() const { return losses_; }
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t hol_stalls() const { return hol_stalls_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] const ExecutionConfig& config() const { return config_; }
+
+  [[nodiscard]] NodeProgress progress(int id) const;
+  [[nodiscard]] ExecutionReport report(double planned_rate) const;
+
+  /// Per-delivery chunk latencies (arrival - emission) accumulated since
+  /// the last drain; empty unless config.collect_latencies.
+  std::vector<double> drain_latencies();
+
+  /// Audits the bounded multi-port invariant: the summed rates of every
+  /// node's *concurrently transmitting* pipes must stay within its budget.
+  /// Returns human-readable violations (empty = ok).
+  [[nodiscard]] std::vector<std::string> validate(double tol = 1e-7) const;
+
+ private:
+  struct Node {
+    double budget = 0.0;
+    bool alive = false;
+    double joined = 0.0;
+    int skip_before = 0;   ///< chunks < this id are outside the window
+    int next_missing = 0;  ///< smallest wanted chunk id not yet received
+    int delivered = 0;
+    int window_used = 0;   ///< chunks currently in flight toward this node
+    int max_buffer = 0;
+    double completion_time = -1.0;
+    double warmup_time = -1.0;  ///< time of the warmup-th delivery
+    double last_time = -1.0;    ///< time of the latest delivery
+    std::vector<std::uint64_t> have;  // received bitset
+    /// chunk -> active transmissions toward this node. `eta` is the min
+    /// arrival time among them (conservative under cancellations: a stale
+    /// min only makes overtaking harder, never unsafe).
+    struct Reservation {
+      int count = 0;
+      double eta = 0.0;
+    };
+    std::map<int, Reservation> inflight;
+    std::vector<int> out;  ///< pipe slots, kept sorted by receiver id
+    std::vector<int> in;   ///< pipe slots, kept sorted by sender id
+  };
+  struct Pipe {
+    int from = -1;
+    int to = -1;
+    double rate = 0.0;
+    std::uint64_t generation = 0;
+    bool active = false;
+    bool busy = false;
+    /// Chunks sent on this pipe whose arrival (or loss notice) is still
+    /// pending — the transmitting chunk plus any pipelining through the
+    /// propagation latency. Removal releases every one of them, or the
+    /// receiver's window slots and reservations would leak when the
+    /// generation bump strands the queued arrivals.
+    std::vector<int> in_flight;
+    util::Xoshiro256 rng{0};
+  };
+
+  static bool bit(const std::vector<std::uint64_t>& bits, int i);
+  static void set_bit(std::vector<std::uint64_t>& bits, int i);
+
+  [[nodiscard]] bool node_has(const Node& node, int chunk) const;
+  Node& node_at(int id, const char* who);
+
+  void process(const ChunkEvent& event);
+  void emit_chunks();
+  void schedule_next_emission();
+  void on_send_complete(const ChunkEvent& event);
+  void on_arrival(const ChunkEvent& event);
+  void deliver(Node& node, int node_id, int chunk);
+  /// Rarest-first pick + transmission start for one idle pipe.
+  void try_send(int pipe_slot);
+  void activate_sender(int node_id);
+  void activate_receiver(int node_id);
+  void remove_pipe(int pipe_slot);
+  /// Drops one cancelled transmission's reservation + window slot on a
+  /// live receiver so the chunk is re-requested elsewhere.
+  void release_reservation(int receiver_id, int chunk);
+
+  ExecutionConfig config_;
+  EventQueue queue_;
+  double now_ = 0.0;
+  int emitted_ = 0;
+  double last_emit_time_ = 0.0;
+  std::uint64_t emission_generation_ = 0;
+  double emission_rate_ = 0.0;
+
+  std::vector<Node> nodes_;
+  int alive_nodes_ = 0;
+  std::vector<Pipe> pipes_;
+  std::vector<int> free_pipes_;
+  std::uint64_t pipe_streams_ = 0;  ///< loss-stream index of the next pipe
+  /// (from, to) -> pipe slot; ordered so reconcile diffs deterministically.
+  std::map<std::pair<int, int>, int> pipe_of_;
+
+  std::vector<double> emit_time_;  ///< per chunk, for latency measurement
+  std::vector<int> replicas_;      ///< per chunk, alive holders (rarest-first)
+
+  std::uint64_t delivered_chunks_ = 0;
+  std::uint64_t losses_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t hol_stalls_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::vector<double> pending_latencies_;
+};
+
+}  // namespace bmp::dataplane

@@ -13,6 +13,12 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
 
 namespace {
 
+// Per-class salts keep {open 3, guarded 5} distinct from {open 5,
+// guarded 3} even when the counts n == m collide.
+constexpr std::uint64_t kSourceSalt = 0x626d702d73726355ULL;  // "bmp-srcU"
+constexpr std::uint64_t kOpenSalt = 0x626d702d6f70656eULL;    // "bmp-open"
+constexpr std::uint64_t kGuardedSalt = 0x626d702d67756172ULL; // "bmp-guar"
+
 std::uint64_t quantize(double bandwidth, double bucket) {
   const double q = std::nearbyint(bandwidth / bucket);
   if (q < 0.0 || q > 9.2e18) {
@@ -21,27 +27,93 @@ std::uint64_t quantize(double bandwidth, double bucket) {
   return static_cast<std::uint64_t>(q);
 }
 
-}  // namespace
-
-Fingerprint fingerprint(const Instance& instance, double bucket) {
+void check_bucket(double bucket) {
   if (!(bucket > 0.0) || !std::isfinite(bucket)) {
     throw std::invalid_argument("fingerprint: bucket must be positive");
   }
-  Fingerprint fp;
-  fp.n = instance.n();
-  fp.m = instance.m();
-  // Nodes are visited in the instance's canonical (sorted) order; a class
-  // boundary marker keeps {open 3, guarded 5} distinct from {open 5,
-  // guarded 3} even when n == m.
-  std::uint64_t h = mix64(0x626d70ULL);  // "bmp"
-  h = mix64(h ^ static_cast<std::uint64_t>(fp.n));
-  h = mix64(h ^ static_cast<std::uint64_t>(fp.m));
-  for (int i = 0; i < instance.size(); ++i) {
-    if (i == fp.n + 1) h = mix64(h ^ 0x67756172ULL);  // "guar" class marker
-    h = mix64(h ^ quantize(instance.b(i), bucket));
+}
+
+/// One node's commutative contribution: a full 64-bit mix of its quantized
+/// bandwidth keyed by its class, so wrapping addition over nodes behaves
+/// like a multiset hash.
+std::uint64_t term(double bandwidth, double bucket, std::uint64_t salt) {
+  return mix64(mix64(quantize(bandwidth, bucket)) ^ salt);
+}
+
+}  // namespace
+
+IncrementalFingerprint::IncrementalFingerprint(const Instance& instance,
+                                               double bucket)
+    : bucket_(bucket) {
+  check_bucket(bucket);
+  set_source(instance.b(0));
+  for (int i = 1; i < instance.size(); ++i) {
+    if (instance.is_guarded(i)) {
+      add_guarded(instance.b(i));
+    } else {
+      add_open(instance.b(i));
+    }
   }
-  fp.hash = h;
+}
+
+void IncrementalFingerprint::set_source(double bandwidth) {
+  source_term_ = term(bandwidth, bucket_, kSourceSalt);
+}
+
+void IncrementalFingerprint::add_open(double bandwidth) {
+  sum_ += term(bandwidth, bucket_, kOpenSalt);
+  ++n_;
+}
+
+void IncrementalFingerprint::remove_open(double bandwidth) {
+  if (n_ <= 0) {
+    throw std::invalid_argument("IncrementalFingerprint: no open node left");
+  }
+  sum_ -= term(bandwidth, bucket_, kOpenSalt);
+  --n_;
+}
+
+void IncrementalFingerprint::add_guarded(double bandwidth) {
+  sum_ += term(bandwidth, bucket_, kGuardedSalt);
+  ++m_;
+}
+
+void IncrementalFingerprint::remove_guarded(double bandwidth) {
+  if (m_ <= 0) {
+    throw std::invalid_argument(
+        "IncrementalFingerprint: no guarded node left");
+  }
+  sum_ -= term(bandwidth, bucket_, kGuardedSalt);
+  --m_;
+}
+
+void IncrementalFingerprint::remove(const Instance& instance, int i) {
+  if (i <= 0 || i >= instance.size()) {
+    throw std::invalid_argument("IncrementalFingerprint: bad node id");
+  }
+  if (instance.is_guarded(i)) {
+    remove_guarded(instance.b(i));
+  } else {
+    remove_open(instance.b(i));
+  }
+}
+
+Fingerprint IncrementalFingerprint::value() const {
+  Fingerprint fp;
+  fp.n = n_;
+  fp.m = m_;
+  // Final mix binds the class counts so multiset collisions across class
+  // splits can't alias, and diffuses the commutative sum.
+  fp.hash = mix64(sum_ ^ mix64(source_term_ ^
+                               ((static_cast<std::uint64_t>(
+                                     static_cast<std::uint32_t>(n_))
+                                 << 32) |
+                                static_cast<std::uint32_t>(m_))));
   return fp;
+}
+
+Fingerprint fingerprint(const Instance& instance, double bucket) {
+  return IncrementalFingerprint(instance, bucket).value();
 }
 
 }  // namespace bmp::engine

@@ -3,12 +3,17 @@
 // same class sizes, same multiset of bandwidths up to a bucket width — must
 // collide so the plan cache can serve one plan for both.
 //
-// Canonicalization is inherited from Instance itself: bandwidths are stored
-// non-increasingly per class, so hashing the stored order is insensitive to
-// the caller's input order. Bandwidths are quantized to `bucket` before
+// The hash is *commutative*: each node contributes one keyed 64-bit term
+// (its quantized bandwidth mixed with a per-class salt) and the terms are
+// combined by wrapping addition, so the digest only depends on the multiset
+// of (class, quantized bandwidth) pairs — never on order. That makes it
+// *incrementally maintainable*: IncrementalFingerprint keeps the running
+// sum and updates it in O(1) per join/leave delta, instead of rehashing the
+// whole survivor platform on every churn event (the engine::Session hot
+// path at runtime scale). Bandwidths are quantized to `bucket` before
 // hashing, absorbing measurement jitter (LastMile estimates of the same
-// platform rarely agree to the last ulp). Fingerprints taken with different
-// bucket widths are incomparable — keep one width per cache.
+// platform rarely agree to the last ulp). Fingerprints taken with
+// different bucket widths are incomparable — keep one width per cache.
 #pragma once
 
 #include <cstddef>
@@ -45,5 +50,37 @@ struct FingerprintHasher {
 /// collide — equality is only guaranteed for identical quantized grids).
 [[nodiscard]] Fingerprint fingerprint(const Instance& instance,
                                       double bucket = 1e-6);
+
+/// The live form of the same digest: seeded from a platform once, then
+/// maintained under joins and leaves in O(1) per delta. `value()` is
+/// guaranteed to equal `fingerprint(current platform, bucket)` at every
+/// step — the differential tests in tests/test_engine.cpp replay random
+/// churn sequences against the full rehash to enforce exactly that.
+class IncrementalFingerprint {
+ public:
+  IncrementalFingerprint() = default;
+  /// Seeds from `instance` (one full pass, the last one this platform
+  /// needs).
+  IncrementalFingerprint(const Instance& instance, double bucket);
+
+  void set_source(double bandwidth);
+  void add_open(double bandwidth);
+  void remove_open(double bandwidth);
+  void add_guarded(double bandwidth);
+  void remove_guarded(double bandwidth);
+  /// Removes node `i` of `instance` (sorted numbering, not the source),
+  /// picking the class from the instance — the churn-event form.
+  void remove(const Instance& instance, int i);
+
+  [[nodiscard]] double bucket() const { return bucket_; }
+  [[nodiscard]] Fingerprint value() const;
+
+ private:
+  double bucket_ = 1e-6;
+  std::uint64_t source_term_ = 0;
+  std::uint64_t sum_ = 0;  ///< wrapping sum of per-node keyed terms
+  std::int32_t n_ = 0;
+  std::int32_t m_ = 0;
+};
 
 }  // namespace bmp::engine

@@ -151,14 +151,21 @@ Planner::Planner(PlannerConfig config)
 
 Planner::~Planner() = default;
 
-Fingerprint Planner::request_key(const Instance& instance, Algorithm algorithm,
+Fingerprint Planner::request_key(const Fingerprint& instance_fp,
+                                 Algorithm algorithm,
                                  int max_out_degree) const {
-  Fingerprint key = fingerprint(instance, config_.fingerprint_bucket);
+  Fingerprint key = instance_fp;
   key.hash = mix64(key.hash ^
                    (static_cast<std::uint64_t>(algorithm) << 32) ^
                    static_cast<std::uint64_t>(
                        static_cast<std::uint32_t>(max_out_degree)));
   return key;
+}
+
+Fingerprint Planner::request_key(const Instance& instance, Algorithm algorithm,
+                                 int max_out_degree) const {
+  return request_key(fingerprint(instance, config_.fingerprint_bucket),
+                     algorithm, max_out_degree);
 }
 
 Fingerprint Planner::request_key(const PlanRequest& request) const {
@@ -168,7 +175,14 @@ Fingerprint Planner::request_key(const PlanRequest& request) const {
 
 PlanResponse Planner::plan(const Instance& instance, Algorithm algorithm,
                            int max_out_degree) {
-  const Fingerprint key = request_key(instance, algorithm, max_out_degree);
+  return plan(instance, algorithm, max_out_degree,
+              fingerprint(instance, config_.fingerprint_bucket));
+}
+
+PlanResponse Planner::plan(const Instance& instance, Algorithm algorithm,
+                           int max_out_degree,
+                           const Fingerprint& instance_fp) {
+  const Fingerprint key = request_key(instance_fp, algorithm, max_out_degree);
   if (std::shared_ptr<const PlanResponse> cached = cache_->lookup(key)) {
     PlanResponse response = *cached;
     response.cache_hit = true;

@@ -93,6 +93,17 @@ class Planner {
   PlanResponse plan(const Instance& instance, Algorithm algorithm = Algorithm::kAuto,
                     int max_out_degree = 0);
 
+  /// Same cached path, but with a caller-maintained instance fingerprint
+  /// (engine::IncrementalFingerprint) instead of the O(n) rehash — the
+  /// churn hot path: a Session updates its fingerprint per join/leave
+  /// delta and plans without ever re-touching the survivor bandwidths.
+  /// `instance_fp` must equal fingerprint(instance,
+  /// config().fingerprint_bucket); a mismatched fingerprint silently
+  /// poisons the cache, which is why the differential tests replay churn
+  /// sequences against the full rehash.
+  PlanResponse plan(const Instance& instance, Algorithm algorithm,
+                    int max_out_degree, const Fingerprint& instance_fp);
+
   /// Plans a request stream: responses[i] answers requests[i]. Distinct
   /// fingerprints are planned concurrently; duplicates are planned once and
   /// referenced by index — the batch path never copies an Instance.
@@ -108,6 +119,10 @@ class Planner {
   /// degree bound mixed in (same platform, different knobs != same plan).
   [[nodiscard]] Fingerprint request_key(const PlanRequest& request) const;
   [[nodiscard]] Fingerprint request_key(const Instance& instance,
+                                        Algorithm algorithm,
+                                        int max_out_degree) const;
+  /// Key derivation from an already-computed instance fingerprint.
+  [[nodiscard]] Fingerprint request_key(const Fingerprint& instance_fp,
                                         Algorithm algorithm,
                                         int max_out_degree) const;
 

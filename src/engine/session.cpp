@@ -179,12 +179,13 @@ Session::Session(Planner& planner, Instance instance, SessionConfig config)
     : planner_(planner),
       config_(config),
       instance_(std::move(instance)),
+      instance_fp_(instance_, planner.config().fingerprint_bucket),
       verifier_(config.verify) {
   if (config_.replan_threshold < 0.0 || config_.replan_threshold > 1.0) {
     throw std::invalid_argument("Session: replan_threshold in [0,1]");
   }
-  const PlanResponse response =
-      planner_.plan(instance_, config_.algorithm, config_.max_out_degree);
+  const PlanResponse response = planner_.plan(
+      instance_, config_.algorithm, config_.max_out_degree, instance_fp_.value());
   scheme_ = response.scheme;
   design_rate_ = response.throughput;
   current_rate_ = response.throughput;
@@ -221,6 +222,10 @@ void Session::rescale(double factor) {
     }
   }
   instance_ = std::move(scaled);
+  // Every bandwidth moved: reseed the fingerprint (O(n), like the rescale
+  // itself — renegotiations are rare next to churn deltas).
+  instance_fp_ = IncrementalFingerprint(instance_,
+                                        planner_.config().fingerprint_bucket);
   scheme_ = std::make_shared<const BroadcastScheme>(std::move(scheme));
   design_rate_ *= factor;
   current_rate_ *= factor;
@@ -239,6 +244,15 @@ ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
 
   Instance survivors = sim::remove_nodes(instance_, departed);
   BroadcastScheme restricted = sim::restrict_scheme(*scheme_, departed);
+  // remove_nodes validated the ids (and tolerates duplicates via its
+  // bitmap — mirror that); the fingerprint follows the platform in O(1)
+  // per departure instead of rehashing every survivor.
+  std::vector<char> gone(static_cast<std::size_t>(instance_.size()), 0);
+  for (const int node : departed) {
+    if (gone[static_cast<std::size_t>(node)]) continue;
+    gone[static_cast<std::size_t>(node)] = 1;
+    instance_fp_.remove(instance_, node);
+  }
   outcome.departed = static_cast<int>(departed.size());
   outcome.survivors = survivors.size() - 1;
   if (outcome.survivors <= 0) {
@@ -276,7 +290,8 @@ ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
     ++incremental_replans_;
   } else {
     const PlanResponse response =
-        planner_.plan(survivors, config_.algorithm, config_.max_out_degree);
+        planner_.plan(survivors, config_.algorithm, config_.max_out_degree,
+                      instance_fp_.value());
     // Cache hits reuse a plan whose verification already happened (and was
     // already counted) when it was first computed.
     replan_verified = !response.cache_hit && response.verified_throughput >= 0.0;

@@ -128,6 +128,10 @@ class Session {
   Planner& planner_;
   SessionConfig config_;
   Instance instance_;
+  /// The platform fingerprint, maintained incrementally: O(1) per departed
+  /// node instead of rehashing every survivor bandwidth on each churn
+  /// event. Always equals fingerprint(instance_, planner cache bucket).
+  IncrementalFingerprint instance_fp_;
   /// Owned verification engine: scratch and stats persist across every
   /// churn event this session absorbs.
   flow::Verifier verifier_;

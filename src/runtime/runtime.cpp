@@ -61,6 +61,9 @@ void Runtime::step(const Event& event) {
   const auto start = config_.collect_timing
                          ? std::chrono::steady_clock::now()
                          : std::chrono::steady_clock::time_point{};
+  // Execution mode: every live chunk stream catches up to this instant on
+  // the pre-event overlays before the event reshapes them.
+  advance_executions(event.time);
   switch (event.type) {
     case EventType::kChannelOpen: on_channel_open(event); break;
     case EventType::kChannelClose: on_channel_close(event); break;
@@ -78,6 +81,11 @@ void Runtime::step(const Event& event) {
   metrics_.set("broker.allocated", broker_.allocated());
   metrics_.set("channels.open", static_cast<double>(channels_.size()));
   metrics_.set("population.alive", static_cast<double>(alive_peers_));
+  if (config_.dataplane.execute) {
+    for (auto& [id, channel] : channels_) {
+      export_dataplane_metrics(id, channel);
+    }
+  }
   if (config_.collect_timing) {
     const double us = std::chrono::duration<double, std::micro>(
                           std::chrono::steady_clock::now() - start)
@@ -141,6 +149,8 @@ void Runtime::build_session(int id, Channel& channel) {
                   input_id - 1 - static_cast<int>(open_ids.size()))];
   }
   set_channel_gauges(id, channel);
+  // A live chunk stream follows every re-plan without restarting.
+  sync_execution(id, channel);
 }
 
 void Runtime::on_channel_open(const Event& event) {
@@ -152,7 +162,27 @@ void Runtime::on_channel_open(const Event& event) {
   if (!granted) return;  // counted via broker_.rejections()
   Channel channel;
   channel.grant = *granted;
-  build_session(event.channel, channel);
+  try {
+    if (config_.dataplane.execute) {
+      // The operator's engine knobs pass through wholesale; the runtime
+      // owns the stream lifecycle, so only these four are overridden.
+      dataplane::ExecutionConfig exec_config = config_.dataplane.execution;
+      exec_config.total_chunks = 0;  // live stream: paced until close/drain
+      exec_config.emission_rate = 0.0;  // set by sync once the plan exists
+      exec_config.start_time = now_;
+      exec_config.seed = engine::mix64(
+          config_.dataplane.execution.seed ^
+          static_cast<std::uint64_t>(event.channel) * 0x9E3779B97F4A7C15ULL);
+      channel.open_time = now_;
+      channel.execution = std::make_unique<dataplane::Execution>(exec_config);
+    }
+    build_session(event.channel, channel);
+  } catch (...) {
+    // The broker grant must not leak when plan or stream setup throws
+    // mid-open: a channel that never went live holds no capacity.
+    broker_.release(event.channel);
+    throw;
+  }
   channels_.emplace(event.channel, std::move(channel));
 }
 
@@ -163,6 +193,9 @@ void Runtime::on_channel_close(const Event& event) {
     // admitted the open; closing a never-admitted channel is expected data.
     metrics_.inc("broker.close_ignored");
     return;
+  }
+  if (it->second.execution) {
+    stream_log_.push_back(finalize_stream(event.channel, it->second));
   }
   broker_.release(event.channel);
   // Drop the per-channel gauges: under Poisson channel arrivals a
@@ -277,6 +310,9 @@ void Runtime::on_node_leave(const Event& event) {
       metrics_.observe("timing.verify.us", outcome.verify_us);
     }
     set_channel_gauges(id, channel);
+    // Live-patch the running stream: the departed peers' in-flight chunks
+    // drop, the repaired overlay's edges splice in — no restart.
+    sync_execution(id, channel);
     ChurnReport report;
     report.time = now_;
     report.channel = id;
@@ -304,12 +340,179 @@ void Runtime::on_renegotiate(const Event& event) {
     channel.grant = grant;
     metrics_.inc("broker.renegotiated");
     set_channel_gauges(grant.channel, channel);
+    // Renegotiated rates reach the stream live: pipes re-rate in place,
+    // the source re-paces its emission.
+    sync_execution(grant.channel, channel);
   }
 }
 
 const engine::Session* Runtime::session(int channel) const {
   const auto it = channels_.find(channel);
   return it == channels_.end() ? nullptr : it->second.session.get();
+}
+
+const dataplane::Execution* Runtime::execution(int channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? nullptr : it->second.execution.get();
+}
+
+void Runtime::advance_executions(double t) {
+  if (!config_.dataplane.execute) return;
+  const double dt = t - dp_clock_;
+  for (auto& [id, channel] : channels_) {
+    (void)id;
+    if (!channel.execution) continue;
+    if (dt > 0.0) {
+      // Integrate the design-rate promise while it was in force; the
+      // StreamReport's sustained_ratio is measured against this.
+      channel.design_integral += channel.session->design_rate() * dt /
+                                 config_.dataplane.execution.chunk_size;
+    }
+    channel.execution->run_until(t);
+  }
+  dp_clock_ = t;
+}
+
+void Runtime::sync_execution(int id, Channel& channel) {
+  (void)id;
+  if (!channel.execution) return;
+  dataplane::Execution& exec = *channel.execution;
+  const engine::Session& session = *channel.session;
+  const Instance& instance = session.instance();
+  // Nodes: the session's current platform, keyed by runtime node id.
+  std::map<int, int> slot_of_node;
+  for (int slot = 0; slot < instance.size(); ++slot) {
+    slot_of_node[channel.node_of_slot[static_cast<std::size_t>(slot)]] = slot;
+  }
+  for (auto it = channel.dp_of_node.begin(); it != channel.dp_of_node.end();) {
+    if (slot_of_node.count(it->first) == 0) {
+      // Departed (or dropped from the overlay): in-flight chunks vanish,
+      // reservations release, survivors re-request elsewhere.
+      exec.remove_node(it->second);
+      channel.expected_at_join.erase(it->second);
+      it = channel.dp_of_node.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (int slot = 0; slot < instance.size(); ++slot) {
+    const int node = channel.node_of_slot[static_cast<std::size_t>(slot)];
+    const auto it = channel.dp_of_node.find(node);
+    if (it == channel.dp_of_node.end()) {
+      const int dp = exec.add_node(instance.b(slot));
+      channel.dp_of_node.emplace(node, dp);
+      // A live-edge joiner is only on the hook for chunks emitted after it
+      // arrived.
+      channel.expected_at_join.emplace(dp, channel.design_integral);
+    } else {
+      exec.set_node_budget(it->second, instance.b(slot));
+    }
+  }
+  // Pipes: splice the session's current overlay in, preserving in-flight
+  // transmissions on edges that survived.
+  const BroadcastScheme& scheme = session.scheme();
+  std::vector<std::tuple<int, int, double>> desired;
+  desired.reserve(static_cast<std::size_t>(scheme.edge_count()));
+  for (int slot = 0; slot < scheme.num_nodes(); ++slot) {
+    const int from = channel.dp_of_node.at(
+        channel.node_of_slot[static_cast<std::size_t>(slot)]);
+    for (const auto& [to_slot, rate] : scheme.out_edges(slot)) {
+      desired.emplace_back(
+          from,
+          channel.dp_of_node.at(
+              channel.node_of_slot[static_cast<std::size_t>(to_slot)]),
+          rate);
+    }
+  }
+  exec.reconcile_edges(desired);
+  // Emit at the verified rate of the overlay actually in service — the
+  // stream can never outrun what the flow bound proves deliverable.
+  exec.set_emission_rate(session.current_rate());
+  channel.max_verified = std::max(channel.max_verified, session.current_rate());
+}
+
+void Runtime::export_dataplane_metrics(int id, Channel& channel) {
+  if (!channel.execution) return;
+  dataplane::Execution& exec = *channel.execution;
+  const auto delta = [this](const char* name, std::uint64_t current,
+                            std::uint64_t& seen) {
+    if (current > seen) {
+      metrics_.inc(name, current - seen);
+      seen = current;
+    }
+  };
+  delta("dataplane.delivered", exec.delivered_chunks(), channel.seen_delivered);
+  delta("dataplane.losses", exec.losses(), channel.seen_losses);
+  delta("dataplane.retransmits", exec.retransmits(),
+        channel.seen_retransmits);
+  delta("dataplane.hol_stalls", exec.hol_stalls(), channel.seen_stalls);
+  delta("dataplane.duplicates", exec.duplicates(), channel.seen_duplicates);
+  for (const double latency : exec.drain_latencies()) {
+    metrics_.observe("dataplane.chunk_latency", latency);
+  }
+  metrics_.set(channel_metric(id, "dataplane.delivered"),
+               static_cast<double>(exec.delivered_chunks()));
+}
+
+StreamReport Runtime::finalize_stream(int id, Channel& channel) {
+  dataplane::Execution& exec = *channel.execution;
+  // End of stream: stop the source and let the in-flight tail drain (in
+  // virtual time) so backpressured chunks still count.
+  exec.stop_emission();
+  exec.run_to_completion();
+  export_dataplane_metrics(id, channel);
+  const dataplane::ExecutionReport executed =
+      exec.report(channel.session->current_rate());
+  StreamReport report;
+  report.channel = id;
+  report.open_time = channel.open_time;
+  report.end_time = now_;
+  report.emitted = executed.emitted;
+  report.delivered_chunks = executed.delivered_chunks;
+  report.retransmits = executed.retransmits;
+  report.hol_stalls = executed.hol_stalls;
+  report.duplicates = executed.duplicates;
+  report.expected_chunks = channel.design_integral;
+  report.achieved_rate = executed.achieved_rate;
+  report.verified_rate = channel.max_verified;
+  for (const auto& [node, dp] : channel.dp_of_node) {
+    (void)node;
+    if (dp == 0 || !exec.node_alive(dp)) continue;
+    const double expected =
+        channel.design_integral - channel.expected_at_join.at(dp);
+    if (expected < 1.0) continue;  // too young for a meaningful ratio
+    report.sustained_ratio =
+        std::min(report.sustained_ratio, exec.delivered(dp) / expected);
+  }
+  // flow::Verifier cross-check: a windowed empirical rate may wobble a few
+  // percent above the fluid bound on short windows, never materially.
+  report.rate_within_verified =
+      report.achieved_rate <= report.verified_rate * 1.02 + 1e-9;
+  metrics_.inc("dataplane.streams_finalized");
+  if (!report.rate_within_verified) {
+    metrics_.inc("dataplane.rate_audit_failures");
+  }
+  metrics_.observe("dataplane.sustained_ratio", report.sustained_ratio);
+  metrics_.observe("dataplane.achieved_rate", report.achieved_rate);
+  metrics_.erase(channel_metric(id, "dataplane.delivered"));
+  channel.execution.reset();
+  return report;
+}
+
+std::vector<StreamReport> Runtime::drain(double t) {
+  std::vector<StreamReport> reports;
+  if (!config_.dataplane.execute) return reports;
+  if (t < dp_clock_) {
+    throw std::invalid_argument("Runtime::drain: time went backwards");
+  }
+  now_ = std::max(now_, t);
+  advance_executions(t);
+  for (auto& [id, channel] : channels_) {
+    if (!channel.execution) continue;
+    reports.push_back(finalize_stream(id, channel));
+    stream_log_.push_back(reports.back());
+  }
+  return reports;
 }
 
 std::vector<std::string> Runtime::validate(double tol) const {

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bmp/dataplane/execution.hpp"
 #include "bmp/engine/planner.hpp"
 #include "bmp/engine/session.hpp"
 #include "bmp/runtime/capacity_broker.hpp"
@@ -43,12 +44,39 @@ enum class JoinPolicy {
   kReplan,  ///< re-plan every live channel on the grown platform (cached)
 };
 
+/// Opt-in chunk-level execution: every channel drives a
+/// dataplane::Execution on the scenario's clock — the source streams
+/// chunks at the channel's verified rate, churn live-patches the running
+/// execution (departed nodes' in-flight chunks dropped, repaired edges
+/// spliced in, renegotiated rates applied) without restarting the stream,
+/// and dataplane.* metrics report what the stream *actually achieved*
+/// against what the planner promised.
+struct DataPlaneConfig {
+  bool execute = false;
+  /// Per-stream engine knobs (chunk_size, window, latency, loss, warmup,
+  /// ...), passed through to every channel's Execution. The runtime owns
+  /// the stream lifecycle, so four fields are overridden per channel:
+  /// total_chunks (0: live until close/drain), emission_rate (paced at the
+  /// session's verified rate), start_time (channel open), and seed (forked
+  /// per channel from this seed). Size chunk_size so a channel emits
+  /// hundreds — not millions — of chunks over the scenario horizon.
+  /// collect_latencies defaults on here (unlike standalone Executions):
+  /// the runtime drains latencies into dataplane.chunk_latency per event,
+  /// so the pending buffer stays bounded.
+  dataplane::ExecutionConfig execution = [] {
+    dataplane::ExecutionConfig config;
+    config.collect_latencies = true;
+    return config;
+  }();
+};
+
 struct RuntimeConfig {
   engine::PlannerConfig planner;  ///< shared cache / thread pool knobs
   engine::SessionConfig session;  ///< repair-vs-replan policy per channel
   double broker_headroom = 0.0;   ///< budget fraction withheld from channels
   JoinPolicy join_policy = JoinPolicy::kReplan;
   bool collect_timing = true;     ///< record timing.* event-loop latency
+  DataPlaneConfig dataplane;      ///< chunk-level execution mode
 };
 
 /// One line of the runtime's churn audit trail: how a channel fared at one
@@ -63,6 +91,32 @@ struct ChurnReport {
   bool full_replan = false;
   double design_rate = 0.0;
   double achieved_rate = 0.0;
+};
+
+/// What one channel's chunk stream actually delivered, produced when the
+/// channel closes (or at drain()). The acceptance bar of the execution
+/// mode: `sustained_ratio` — the worst node's delivered chunks against the
+/// time-integral of the channel's design rate since that node joined —
+/// must stay >= 0.85 through churn, with live patches only (no restart).
+struct StreamReport {
+  int channel = -1;
+  double open_time = 0.0;
+  double end_time = 0.0;
+  int emitted = 0;
+  std::uint64_t delivered_chunks = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t hol_stalls = 0;
+  std::uint64_t duplicates = 0;
+  /// Chunks the design rate promised over the channel's life (integral of
+  /// the post-event design rate / chunk_size).
+  double expected_chunks = 0.0;
+  double sustained_ratio = 1.0;
+  /// Min steady-state rate over surviving nodes (dataplane measurement).
+  double achieved_rate = 0.0;
+  /// Highest verified (flow) throughput the channel was ever planned at;
+  /// the data plane can never beat the flow bound: achieved <= verified.
+  double verified_rate = 0.0;
+  bool rate_within_verified = true;
 };
 
 class Runtime {
@@ -88,6 +142,19 @@ class Runtime {
   }
   /// The live session of `channel`, nullptr if not open.
   [[nodiscard]] const engine::Session* session(int channel) const;
+  /// The live chunk execution of `channel`; nullptr unless execution mode
+  /// is on and the channel is open (and not yet drained).
+  [[nodiscard]] const dataplane::Execution* execution(int channel) const;
+  /// Stream outcomes of closed (or drained) channels, in close order.
+  [[nodiscard]] const std::vector<StreamReport>& stream_log() const {
+    return stream_log_;
+  }
+  /// Execution mode: advances every live chunk stream to time `t`
+  /// (>= now()), lets their tails drain, and finalizes a StreamReport per
+  /// still-open channel — the end-of-scenario bookend after run(). The
+  /// channels stay open; their executions are released. No-op per channel
+  /// when execution mode is off.
+  std::vector<StreamReport> drain(double t);
 
   /// Audits the shared-capacity invariant through Session::capacities():
   /// every node's summed per-channel allocation must stay within its
@@ -105,6 +172,21 @@ class Runtime {
     std::unique_ptr<engine::Session> session;
     /// Session slot (sorted instance id) -> runtime node id; slot 0 = source.
     std::vector<int> node_of_slot;
+    // ---- execution mode ----
+    std::unique_ptr<dataplane::Execution> execution;
+    std::map<int, int> dp_of_node;  ///< runtime node id -> execution node id
+    /// Per execution node: channel design integral at its join (so a late
+    /// joiner is only expected chunks emitted after it arrived).
+    std::map<int, double> expected_at_join;
+    double open_time = 0.0;
+    double design_integral = 0.0;  ///< integral of design rate / chunk_size
+    double max_verified = 0.0;     ///< peak verified rate over the life
+    // counter snapshots for delta export into the metrics registry
+    std::uint64_t seen_delivered = 0;
+    std::uint64_t seen_losses = 0;
+    std::uint64_t seen_retransmits = 0;
+    std::uint64_t seen_stalls = 0;
+    std::uint64_t seen_duplicates = 0;
   };
 
   void on_channel_open(const Event& event);
@@ -112,6 +194,18 @@ class Runtime {
   void on_node_join(const Event& event);
   void on_node_leave(const Event& event);
   void on_renegotiate(const Event& event);
+
+  /// Execution mode: run every live stream up to `t` on the scenario clock
+  /// and accumulate each channel's design-rate integral.
+  void advance_executions(double t);
+  /// Reconciles a channel's execution with its (re)planned session: nodes
+  /// added/removed, pipes spliced to the current overlay, emission paced at
+  /// the verified current rate. Called after every session change.
+  void sync_execution(int id, Channel& channel);
+  /// Exports the execution's counter deltas / latencies into dataplane.*.
+  void export_dataplane_metrics(int id, Channel& channel);
+  /// Lets the stream tail drain, reports, and releases the execution.
+  StreamReport finalize_stream(int id, Channel& channel);
 
   /// (Re)plans `channel` on the current alive population scaled by its
   /// granted fraction, and rebuilds the slot -> node mapping.
@@ -127,7 +221,9 @@ class Runtime {
   int alive_peers_ = 0;
   std::map<int, Channel> channels_;  // ordered: deterministic event handling
   std::vector<ChurnReport> churn_log_;
+  std::vector<StreamReport> stream_log_;
   double now_ = 0.0;
+  double dp_clock_ = 0.0;  ///< time every live execution has reached
 };
 
 }  // namespace bmp::runtime

@@ -55,6 +55,102 @@ TEST(Fingerprint, InvalidBucketThrows) {
   const Instance a(1.0, {1.0}, {});
   EXPECT_THROW((void)fingerprint(a, 0.0), std::invalid_argument);
   EXPECT_THROW((void)fingerprint(a, -1.0), std::invalid_argument);
+  EXPECT_THROW(IncrementalFingerprint(a, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------- incremental fingerprint
+
+TEST(IncrementalFingerprint, MatchesFullRehashUnderRandomChurn) {
+  // The ROADMAP perf-frontier contract: the live fingerprint maintained in
+  // O(1) per join/leave delta must equal the full rehash of the survivor
+  // platform after *every* event of a randomized churn sequence.
+  for (const double bucket : {1e-6, 1e-3}) {
+    util::Xoshiro256 rng(2027);
+    std::vector<double> open;
+    std::vector<double> guarded;
+    for (int i = 0; i < 40; ++i) {
+      (i % 3 == 0 ? guarded : open)
+          .push_back(1.0 + static_cast<double>(rng.below(1000)) / 7.0);
+    }
+    const double source_bw = 100.0;
+    IncrementalFingerprint live(Instance(source_bw, open, guarded), bucket);
+    for (int step = 0; step < 300; ++step) {
+      const bool join = rng.uniform() < 0.45 || open.size() + guarded.size() < 4;
+      const bool pick_guarded = rng.uniform() < 0.4;
+      auto& cls = pick_guarded ? guarded : open;
+      if (join) {
+        const double bandwidth = static_cast<double>(rng.below(1000)) / 3.0;
+        cls.push_back(bandwidth);
+        if (pick_guarded) {
+          live.add_guarded(bandwidth);
+        } else {
+          live.add_open(bandwidth);
+        }
+      } else if (!cls.empty()) {
+        const std::size_t victim = rng.below(cls.size());
+        const double bandwidth = cls[victim];
+        cls.erase(cls.begin() + static_cast<std::ptrdiff_t>(victim));
+        if (pick_guarded) {
+          live.remove_guarded(bandwidth);
+        } else {
+          live.remove_open(bandwidth);
+        }
+      }
+      const Fingerprint rehash =
+          fingerprint(Instance(source_bw, open, guarded), bucket);
+      ASSERT_EQ(live.value(), rehash) << "step " << step << " bucket " << bucket;
+    }
+  }
+}
+
+TEST(IncrementalFingerprint, RemoveBySortedIdTracksRemoveNodes) {
+  util::Xoshiro256 rng(99);
+  Instance platform(50.0, {9.0, 3.0, 7.0, 5.0, 1.0}, {8.0, 2.0, 6.0});
+  IncrementalFingerprint live(platform, 1e-6);
+  while (platform.size() > 2) {
+    const int victim = 1 + static_cast<int>(rng.below(
+                               static_cast<std::uint64_t>(platform.size() - 1)));
+    live.remove(platform, victim);
+    platform = sim::remove_nodes(platform, {victim});
+    ASSERT_EQ(live.value(), fingerprint(platform, 1e-6));
+  }
+  EXPECT_THROW(live.remove(platform, 0), std::invalid_argument);
+  EXPECT_THROW(live.remove(platform, platform.size()), std::invalid_argument);
+}
+
+TEST(IncrementalFingerprint, PlannerAcceptsPrecomputedKeys) {
+  // The fingerprint-forwarding plan path must hit the cache entries the
+  // rehashing path populated, and vice versa.
+  Planner planner;
+  const Instance platform(20.0, {6.0, 5.0, 4.0}, {3.0, 2.0});
+  const PlanResponse computed = planner.plan(platform, Algorithm::kAcyclic, 0);
+  EXPECT_FALSE(computed.cache_hit);
+  const IncrementalFingerprint live(platform,
+                                    planner.config().fingerprint_bucket);
+  const PlanResponse hit =
+      planner.plan(platform, Algorithm::kAcyclic, 0, live.value());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_DOUBLE_EQ(hit.throughput, computed.throughput);
+  EXPECT_EQ(planner.request_key(platform, Algorithm::kAcyclic, 0),
+            planner.request_key(live.value(), Algorithm::kAcyclic, 0));
+}
+
+TEST(IncrementalFingerprint, SessionChurnKeysMatchTheRehashedPlatform) {
+  // After a full-replan churn event, a fresh request for the session's
+  // survivor platform must be a cache hit: the session's incrementally
+  // maintained key and the rehashed key agree.
+  Planner planner;
+  SessionConfig config;
+  config.replan_threshold = 1.0;  // replan aggressively to exercise the key
+  Session session(planner, Instance(12.0, {8.0, 7.0, 6.0, 5.0, 4.0}, {3.0, 2.0}),
+                  config);
+  // The three strongest uploaders depart: no repair can reach the old
+  // design rate, so the session full-replans through its incremental key.
+  const ChurnOutcome outcome = session.on_departure({1, 2, 3});
+  ASSERT_TRUE(outcome.full_replan);
+  const PlanResponse again =
+      planner.plan(session.instance(), config.algorithm, config.max_out_degree);
+  EXPECT_TRUE(again.cache_hit);
 }
 
 // -------------------------------------------------------------- plan cache

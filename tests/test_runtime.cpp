@@ -64,6 +64,37 @@ TEST(CapacityBroker, HeadroomShrinksThePool) {
   EXPECT_TRUE(broker.admit(1, 1.0, 0.75).has_value());
 }
 
+TEST(CapacityBroker, ReleaseMidRenegotiationKeepsAccountingExact) {
+  // A channel closing between a rebalance and the next one must reclaim
+  // exactly its renegotiated fraction, and the following rebalance must
+  // redistribute over the surviving weights only.
+  CapacityBroker broker;
+  ASSERT_TRUE(broker.admit(1, 2.0, 0.5).has_value());
+  ASSERT_TRUE(broker.admit(2, 1.0, 0.3).has_value());
+  ASSERT_TRUE(broker.admit(3, 1.0, 0.1).has_value());
+  (void)broker.rebalance(1.0);
+  EXPECT_NEAR(broker.grant(1)->fraction, 0.5, 1e-12);
+  // Channel 1 closes holding its renegotiated half of the pool.
+  EXPECT_NEAR(broker.release(1), 0.5, 1e-12);
+  EXPECT_NEAR(broker.allocated(), 0.5, 1e-12);
+  // A newcomer fits in the reclaimed space, to the boundary.
+  EXPECT_TRUE(broker.admit(4, 1.0, 0.5).has_value());
+  EXPECT_FALSE(broker.admit(5, 1.0, 0.1).has_value());
+  // The next rebalance never resurrects the closed channel's weight.
+  (void)broker.rebalance(0.9);
+  EXPECT_FALSE(broker.grant(1).has_value());
+  EXPECT_NEAR(broker.grant(2)->fraction, 0.9 / 3.0, 1e-12);
+  EXPECT_NEAR(broker.grant(3)->fraction, 0.9 / 3.0, 1e-12);
+  EXPECT_NEAR(broker.grant(4)->fraction, 0.9 / 3.0, 1e-12);
+  EXPECT_NEAR(broker.allocated(), 0.9, 1e-12);
+  // Releasing everything settles the pool back to exactly empty.
+  broker.release(2);
+  broker.release(3);
+  broker.release(4);
+  EXPECT_DOUBLE_EQ(broker.allocated(), 0.0);
+  EXPECT_TRUE(broker.rebalance(1.0).empty());
+}
+
 TEST(CapacityBroker, RejectsMalformedRequests) {
   CapacityBroker broker;
   EXPECT_THROW(broker.admit(1, 0.0, 0.5), std::invalid_argument);
@@ -356,6 +387,90 @@ TEST(Runtime, DepartureRepairsEveryHostingChannel) {
   EXPECT_THROW(runtime.step(again), std::invalid_argument);
   EXPECT_EQ(runtime.alive_peers(), 18);
   EXPECT_EQ(runtime.churn_log().size(), 2u);  // nothing was repaired
+}
+
+TEST(Runtime, ZeroCapacityNodeClassAdmitsRebalancesAndChurns) {
+  // A class of zero-upload peers (pure leechers) must ride through
+  // admission, renegotiation, and departure without wedging the broker,
+  // the planner, or the budget audit.
+  RuntimeConfig config;
+  config.collect_timing = false;
+  std::vector<NodeSpec> peers = uniform_peers(8, 10.0);
+  for (int i = 0; i < 4; ++i) peers.push_back(NodeSpec{0.0, i % 2 == 0});
+  Runtime runtime(config, 100.0, peers);
+  runtime.step(open_event(0.0, 0, 2.0, 0.5));
+  runtime.step(open_event(0.0, 1, 1.0, 0.25));
+  ASSERT_EQ(runtime.open_channels(), 2u);
+  // Zero-capacity peers are planned in (they still receive the stream).
+  EXPECT_EQ(runtime.session(0)->instance().size(), 13);
+  EXPECT_GT(runtime.session(0)->design_rate(), 0.0);
+
+  Event renegotiate;
+  renegotiate.time = 1.0;
+  renegotiate.type = EventType::kRenegotiate;
+  runtime.step(renegotiate);
+  EXPECT_NEAR(runtime.broker().grant(0)->fraction, 2.0 / 3.0, 1e-12);
+
+  Event leave;
+  leave.time = 2.0;
+  leave.type = EventType::kNodeLeave;
+  leave.leaves = {9, 10};  // two of the zero-capacity peers
+  runtime.step(leave);
+  EXPECT_EQ(runtime.alive_peers(), 10);
+  for (const ChurnReport& report : runtime.churn_log()) {
+    EXPECT_GE(report.achieved_rate, 0.85 * report.design_rate - 1e-9);
+  }
+  EXPECT_TRUE(runtime.validate().empty());
+}
+
+TEST(Runtime, CloseBetweenRenegotiationsReclaimsTheRenegotiatedFraction) {
+  // kRenegotiate / kChannelClose / kRenegotiate in sequence: the close
+  // must reclaim the channel's *renegotiated* fraction, and the second
+  // rebalance must hand the survivors their new fair shares exactly.
+  RuntimeConfig config;
+  config.collect_timing = false;
+  Runtime runtime(config, 100.0, uniform_peers(10, 10.0));
+  runtime.step(open_event(0.0, 0, 3.0, 0.4));
+  runtime.step(open_event(0.0, 1, 1.0, 0.4));
+
+  Event renegotiate;
+  renegotiate.time = 1.0;
+  renegotiate.type = EventType::kRenegotiate;
+  runtime.step(renegotiate);
+  EXPECT_NEAR(runtime.broker().grant(0)->fraction, 0.75, 1e-12);
+
+  Event close;
+  close.time = 1.0;  // same timestamp: sequence ordering decides
+  close.type = EventType::kChannelClose;
+  close.channel = 0;
+  runtime.step(close);
+  EXPECT_EQ(runtime.open_channels(), 1u);
+  EXPECT_NEAR(runtime.broker().allocated(), 0.25, 1e-12);
+
+  renegotiate.time = 1.0;
+  runtime.step(renegotiate);
+  EXPECT_NEAR(runtime.broker().grant(1)->fraction, 1.0, 1e-12);
+  EXPECT_NEAR(runtime.session(1)->capacities()[0], 100.0, 1e-9);
+  EXPECT_TRUE(runtime.validate().empty());
+  // The freed capacity is immediately admittable after a release-heavy
+  // sequence (no float residue locking the pool).
+  runtime.step(open_event(2.0, 2, 1.0, 1.0));
+  EXPECT_EQ(runtime.metrics().counter("broker.rejected"), 1u);
+}
+
+TEST(Runtime, GrantNeverLeaksWhenChannelSetupThrows) {
+  // A malformed data-plane config makes stream setup throw mid-open; the
+  // broker grant must be released on the way out (no capacity leak).
+  RuntimeConfig config;
+  config.collect_timing = false;
+  config.dataplane.execute = true;
+  config.dataplane.execution.chunk_size = 0.0;  // invalid: Execution ctor throws
+  Runtime runtime(config, 100.0, uniform_peers(6, 10.0));
+  EXPECT_THROW(runtime.step(open_event(0.0, 0, 1.0, 0.9)),
+               std::invalid_argument);
+  EXPECT_EQ(runtime.open_channels(), 0u);
+  EXPECT_DOUBLE_EQ(runtime.broker().allocated(), 0.0);
+  EXPECT_EQ(runtime.broker().channels(), 0u);
 }
 
 TEST(Runtime, RejectsOutOfOrderEvents) {
