@@ -136,6 +136,43 @@ int main(int argc, char** argv) {
   json.add("chunks_per_sec", chunks_per_sec);
   json.add("retransmits_lossy", noisy.retransmits);
 
+  // -------------------------- scheduler scan index vs linear deep backlog
+  // A file-mode relay chain keeps every receiver's backlog window full
+  // (scan_limit deep), the worst case for the linear rarest-first scan.
+  // The per-rarity bucket index must pick identical chunks (differentially
+  // asserted in tests) and must never be slower — the no-regression bar.
+  const int backlog_chunks = quick ? 6000 : 30000;
+  const auto scan_case = [&](bool use_index) {
+    bmp::dataplane::ExecutionConfig scan_config;
+    scan_config.chunk_size = 1.0;
+    scan_config.total_chunks = backlog_chunks;
+    scan_config.emission_rate = 0.0;  // file mode: the backlog exists at t=0
+    scan_config.warmup_chunks = 0;
+    scan_config.use_scan_index = use_index;
+    const auto start = std::chrono::steady_clock::now();
+    bmp::dataplane::Execution exec(scan_config);
+    const int source = exec.add_node(1000.0);
+    const int relay = exec.add_node(1000.0);
+    const int leaf = exec.add_node(0.0);
+    exec.set_edge(source, relay, 1000.0);
+    exec.set_edge(relay, leaf, 1000.0);
+    exec.run_to_completion();
+    if (exec.delivered(leaf) != backlog_chunks) std::abort();
+    return seconds_since(start);
+  };
+  const double linear_s = scan_case(false);
+  const double indexed_s = scan_case(true);
+  const double scan_speedup = linear_s / indexed_s;
+  std::cout << "\ndeep-backlog scheduler: linear scan " << linear_s
+            << "s, rarity-bucket index " << indexed_s << "s (" << scan_speedup
+            << "x)\n";
+  ok = ok && indexed_s <= linear_s * 1.05;
+  std::cout << (indexed_s <= linear_s * 1.05 ? "[OK] " : "[WARN] ")
+            << "scan index is no slower than the linear scan (bar: <= 1.05x)\n";
+  json.add("scan_linear_seconds", linear_s);
+  json.add("scan_indexed_seconds", indexed_s);
+  json.add("scan_index_speedup", scan_speedup);
+
   // --------------------------------------------- churn scenario, executed
   const int churn_peers = quick ? 120 : 500;
   const double horizon = quick ? 6.0 : 20.0;

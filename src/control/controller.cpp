@@ -1,0 +1,316 @@
+#include "bmp/control/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bmp::control {
+
+Controller::Controller(ControllerConfig config) : config_(config) {
+  if (!(config.sample_interval > 0.0) || !std::isfinite(config.sample_interval)) {
+    throw std::invalid_argument("Controller: sample_interval must be > 0");
+  }
+  if (!(config.ewma_alpha > 0.0) || config.ewma_alpha > 1.0) {
+    throw std::invalid_argument("Controller: ewma_alpha in (0, 1]");
+  }
+  if (config.capacity_classes < 1) {
+    throw std::invalid_argument("Controller: capacity_classes must be >= 1");
+  }
+  if (!(config.demote_floor > 0.0) || config.demote_floor > 1.0) {
+    throw std::invalid_argument("Controller: demote_floor in (0, 1]");
+  }
+  if (config.action_cooldown < 0.0 || config.restore_cooldown < 0.0) {
+    throw std::invalid_argument("Controller: cooldowns must be >= 0");
+  }
+  if (!(config.replan_drift > 0.0)) {
+    throw std::invalid_argument("Controller: replan_drift must be > 0");
+  }
+  if (config.restore_grid < 1) {
+    throw std::invalid_argument("Controller: restore_grid must be >= 1");
+  }
+  // Detector configs validate themselves on first construction.
+  (void)HysteresisDetector(config.straggler);
+  (void)HysteresisDetector(config.egress);
+  (void)HysteresisDetector(config.edge);
+}
+
+double Controller::quantize(double value) const {
+  const double classes = static_cast<double>(config_.capacity_classes);
+  double q = std::floor(value * classes + 1e-9) / classes;
+  return std::clamp(q, config_.demote_floor, 1.0);
+}
+
+double Controller::factor(int id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? 1.0 : it->second.factor;
+}
+
+NodeHealth Controller::node_health(int id) const {
+  NodeHealth health;
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return health;
+  const NodeState& node = it->second;
+  health.known = true;
+  health.factor = node.factor;
+  health.egress_ewma = node.egress.value();
+  health.sustained_ewma = node.sustained.value();
+  health.egress_degraded = node.egress_health.degraded();
+  health.straggler = node.straggler.degraded();
+  health.egress_trips = node.egress_health.trips();
+  health.straggler_trips = node.straggler.trips();
+  health.straggler_recoveries = node.straggler.recoveries();
+  return health;
+}
+
+Directive Controller::tick(const TickInputs& inputs) {
+  ++ticks_;
+  Directive out;
+
+  // ---- ingest per-edge telemetry; aggregate goodput per sender ----------
+  // Node-level egress health aggregates the raw deltas across *all* of a
+  // sender's pipes before judging: a browned-out node whose upload is
+  // spread over many thin pipes still accumulates enough transmissions per
+  // window at the node level, where each pipe alone would be unjudgeable.
+  struct SenderAcc {
+    double completed = 0.0;
+    double busy = 0.0;
+    double busy_rate = 0.0;  ///< sum of busy_i x rate_i (expected data)
+    double planned = 0.0;    ///< sum of active pipe rates (egress load)
+    std::uint64_t sent = 0;
+    std::uint64_t lost = 0;
+  };
+  std::map<int, SenderAcc> by_sender;
+  for (const EdgeSample& sample : inputs.edges) {
+    const auto key = std::make_pair(sample.from, sample.to);
+    auto edge_it = edges_.find(key);
+    if (edge_it == edges_.end()) {
+      EdgeState fresh;
+      fresh.health = HysteresisDetector(config_.edge);
+      edge_it = edges_.emplace(key, std::move(fresh)).first;
+    }
+    EdgeState& edge = edge_it->second;
+    edge.tripped = false;
+    double busy_delta = sample.busy_time - edge.prev_busy;
+    double completed_delta = sample.completed - edge.prev_completed;
+    std::uint64_t sent_delta = sample.sent - edge.prev_sent;
+    std::uint64_t lost_delta = sample.lost - edge.prev_lost;
+    if (busy_delta < 0.0 || completed_delta < 0.0 ||
+        sample.sent < edge.prev_sent || sample.lost < edge.prev_lost) {
+      // The pipe was respliced by a re-plan; its counters restarted.
+      busy_delta = sample.busy_time;
+      completed_delta = sample.completed;
+      sent_delta = sample.sent;
+      lost_delta = sample.lost;
+    }
+    edge.prev_busy = sample.busy_time;
+    edge.prev_completed = sample.completed;
+    edge.prev_sent = sample.sent;
+    edge.prev_lost = sample.lost;
+    if (sample.rate > 0.0 && inputs.window > 0.0) {
+      SenderAcc& acc = by_sender[sample.from];
+      acc.completed += completed_delta;
+      acc.busy += busy_delta;
+      acc.busy_rate += busy_delta * sample.rate;
+      acc.planned += sample.rate;
+      acc.sent += sent_delta;
+      acc.lost += lost_delta;
+      // The per-edge detector (reroute trigger): service is judged from a
+      // couple of sends (each transmission's duration is individually
+      // informative); the loss EWMA only moves on well-sampled windows.
+      if (sent_delta >= static_cast<std::uint64_t>(config_.min_edge_sends)) {
+        edge.loss.observe(static_cast<double>(lost_delta) /
+                              static_cast<double>(sent_delta),
+                          config_.ewma_alpha);
+      }
+      if (sent_delta >=
+              static_cast<std::uint64_t>(config_.min_service_sends) &&
+          busy_delta >= config_.min_edge_utilization * inputs.window) {
+        const double service = (completed_delta / busy_delta) / sample.rate;
+        const double goodput = service * (1.0 - edge.loss.value(0.0));
+        edge.goodput.observe(goodput, config_.ewma_alpha);
+        if (edge.health.update(edge.goodput.value()) &&
+            edge.health.degraded()) {
+          edge.tripped = true;
+          ++out.edge_trips;
+        }
+      }
+    }
+    if (edge.health.degraded()) ++out.degraded_edges;
+  }
+
+  // ---- ingest per-node telemetry ----------------------------------------
+  std::vector<std::pair<int, double>> judged;  // (id, raw window ratio)
+  for (const NodeSample& sample : inputs.nodes) {
+    auto node_it = nodes_.find(sample.id);
+    if (node_it == nodes_.end()) {
+      NodeState fresh;
+      fresh.straggler = HysteresisDetector(config_.straggler);
+      fresh.egress_health = HysteresisDetector(config_.egress);
+      node_it = nodes_.emplace(sample.id, std::move(fresh)).first;
+    }
+    NodeState& node = node_it->second;
+    node.egress_tripped = false;
+    node.straggler_tripped = false;
+    double delivered_delta = sample.delivered - node.prev_delivered;
+    if (delivered_delta < 0.0) delivered_delta = sample.delivered;
+    node.prev_delivered = sample.delivered;
+    const auto acc_it = by_sender.find(sample.id);
+    if (acc_it != by_sender.end() && acc_it->second.busy_rate > 0.0) {
+      const SenderAcc& acc = acc_it->second;
+      if (acc.sent >= static_cast<std::uint64_t>(config_.min_edge_sends)) {
+        node.loss.observe(static_cast<double>(acc.lost) /
+                              static_cast<double>(acc.sent),
+                          config_.ewma_alpha);
+      }
+      if (acc.sent >=
+              static_cast<std::uint64_t>(config_.min_service_sends) &&
+          acc.busy >= config_.min_edge_utilization * inputs.window) {
+        const double service = acc.completed / acc.busy_rate;
+        node.last_egress_raw = service * (1.0 - node.loss.value(0.0));
+        node.egress.observe(node.last_egress_raw, config_.ewma_alpha);
+        if (sample.nominal > 0.0) {
+          // Under proportional throttling the observed ratio is
+          // effective / planned_load, so ratio x planned_load / nominal
+          // recovers the *absolute* capacity fraction — exact whether or
+          // not the current plan saturates the node, which is what lets
+          // one demotion land on the right class instead of iterating.
+          node.last_estimate = std::min(
+              1.0, node.last_egress_raw * acc.planned / sample.nominal);
+        }
+        if (node.egress_health.update(node.egress.value()) &&
+            node.egress_health.degraded()) {
+          node.egress_tripped = true;
+        }
+      }
+    }
+    // Judge the sustained ratio only in windows wide enough that chunk
+    // granularity is not the signal; the detector update itself waits for
+    // the cohort median (second pass below).
+    if (sample.judgeable && inputs.window > 0.0 &&
+        inputs.expected_delta >=
+            config_.min_expected_chunks * inputs.chunk_size) {
+      judged.emplace_back(sample.id, delivered_delta / inputs.expected_delta);
+    }
+  }
+  // Cohort-relative straggling: normalize each node's window ratio by the
+  // median ratio, so the chunk engine's generic few-percent slack under
+  // the fluid plan cancels out and only *relative* victims trip.
+  if (!judged.empty()) {
+    std::vector<double> ratios;
+    ratios.reserve(judged.size());
+    for (const auto& [id, ratio] : judged) ratios.push_back(ratio);
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                     ratios.end());
+    const double median = std::max(ratios[ratios.size() / 2], 1e-9);
+    for (const auto& [id, ratio] : judged) {
+      NodeState& node = nodes_.find(id)->second;
+      // Catch-up bursts are capped: being twice ahead this window must
+      // not bank credit against falling behind later.
+      const double normalized = std::min(ratio / median, 2.0);
+      node.sustained.observe(normalized, config_.ewma_alpha);
+      if (node.straggler.update(node.sustained.value()) &&
+          node.straggler.degraded()) {
+        node.straggler_tripped = true;
+        ++out.straggler_trips;
+      }
+    }
+  }
+  for (const NodeSample& sample : inputs.nodes) {
+    if (nodes_.find(sample.id)->second.straggler.degraded()) ++out.stragglers;
+  }
+
+  // ---- decide: demotions and restores (ascending node id) ---------------
+  const double step = 1.0 / static_cast<double>(config_.capacity_classes);
+  for (const NodeSample& sample : inputs.nodes) {
+    NodeState& node = nodes_.find(sample.id)->second;
+    // Actions fire on detector *transitions* — one demote per trip — plus
+    // an escalation path while degraded when the latest reading sits well
+    // below the current class (a deepening brownout, or the first demote
+    // under-shooting on an unsaturated sender).
+    double desired = node.factor;
+    if (node.egress_health.degraded()) {
+      const double target = quantize(node.last_estimate);
+      if (node.egress_tripped || target <= node.factor - 1.5 * step) {
+        desired = std::min(desired, target);
+      }
+    }
+    if (node.straggler_tripped) {
+      // A straggler can only relay what it receives — but its upload is
+      // the symptom, not the cause (the browned-out *senders* are caught
+      // by the egress path). Step it down one class, gently: mass-demoting
+      // victims would shrink the platform and cascade.
+      desired = std::min(desired, quantize(node.factor - step));
+    }
+    const double probe_interval = node.probe_interval > 0.0
+                                      ? node.probe_interval
+                                      : config_.restore_cooldown;
+    if (desired < node.factor - 1e-12) {
+      if (inputs.now - node.last_action >= config_.action_cooldown) {
+        node.factor = desired;
+        node.last_action = inputs.now;
+        // A demotion on the heels of a restore is a failed probe: back the
+        // probe off exponentially so a persistent degradation goes quiet
+        // instead of re-splicing the overlay forever.
+        if (inputs.now - node.last_restore <= 2.0 * probe_interval) {
+          node.probe_interval =
+              std::min(2.0 * probe_interval,
+                       config_.restore_backoff_max * config_.restore_cooldown);
+        } else {
+          node.probe_interval = 0.0;  // fresh degradation: fresh probes
+        }
+        ++out.demotions;
+      }
+    } else if (node.factor < 1.0 && !node.egress_health.degraded() &&
+               !node.straggler.degraded() &&
+               ticks_ % config_.restore_grid == 0 &&
+               inputs.now - node.last_action >= probe_interval) {
+      // Restores are *probes*: a demoted node's pipes run inside its cap,
+      // so telemetry cannot show headroom — step the class up (doubling,
+      // never past nominal) and let the detectors demote again if the
+      // degradation persists. The probe interval bounds the flap rate.
+      const double up = quantize(std::min(1.0, node.factor * 2.0));
+      if (up > node.factor + 1e-12) {
+        node.factor = up;
+        node.last_action = inputs.now;
+        node.last_restore = inputs.now;
+        ++out.restores;
+      }
+    }
+    if (node.factor < 1.0) out.factors.emplace(sample.id, node.factor);
+  }
+
+  // ---- decide: reroutes around degraded edges ---------------------------
+  for (const EdgeSample& sample : inputs.edges) {
+    EdgeState& edge =
+        edges_.find(std::make_pair(sample.from, sample.to))->second;
+    if (!edge.health.degraded()) continue;
+    // A demoted sender is already being routed around as a whole.
+    if (factor(sample.from) < 1.0) continue;
+    if (inputs.now - edge.last_action < config_.action_cooldown) continue;
+    const double limit =
+        sample.rate * std::clamp(edge.goodput.value(), 0.02, 1.0);
+    // Clamp on the trip; afterwards only when it still buys a meaningful
+    // cut (a lossy edge ratchets toward zero, i.e. gets routed around).
+    if (!edge.tripped && limit >= sample.rate * 0.9) continue;
+    if (limit >= sample.rate * (1.0 - 1e-9)) continue;
+    edge.last_action = inputs.now;
+    out.edge_limits.emplace_back(sample.from, sample.to, limit);
+    ++out.reroutes;
+  }
+
+  // ---- escalate: drift past the fingerprint-distance bound --------------
+  out.act = out.demotions + out.restores + out.reroutes > 0;
+  if (out.act) {
+    double granted_total = 0.0;
+    double delta = 0.0;
+    for (const NodeSample& sample : inputs.nodes) {
+      granted_total += sample.granted;
+      delta += std::abs(sample.nominal * factor(sample.id) - sample.granted);
+    }
+    out.drift = granted_total > 0.0 ? delta / granted_total : 0.0;
+    out.force_replan = out.drift > config_.replan_drift;
+  }
+  return out;
+}
+
+}  // namespace bmp::control

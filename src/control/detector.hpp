@@ -1,0 +1,74 @@
+// Threshold-with-hysteresis detection, the anti-flap core of the control
+// plane. A detector watches one ratio signal (a node's sustained ratio, an
+// edge's goodput ratio) and maintains a two-state machine:
+//
+//   healthy  --[value < enter for `windows` consecutive updates]-->  degraded
+//   degraded --[value > exit  for `windows` consecutive updates]-->  healthy
+//
+// with enter < exit, so a signal oscillating *between* the two thresholds
+// changes nothing, and one oscillating *around* a threshold needs several
+// consecutive windows on the far side to flip the state. Combined with the
+// controller's per-target action cooldowns this bounds flapping to at most
+// one demote/restore cycle per cooldown — the property the no-flap tests
+// pin down.
+#pragma once
+
+#include <stdexcept>
+
+namespace bmp::control {
+
+struct DetectorConfig {
+  double enter = 0.8;  ///< degrade when the signal stays below this
+  double exit = 0.92;  ///< recover when the signal stays above this
+  int windows = 2;     ///< consecutive windows required for either flip
+};
+
+class HysteresisDetector {
+ public:
+  HysteresisDetector() : HysteresisDetector(DetectorConfig{}) {}
+  explicit HysteresisDetector(const DetectorConfig& config) : config_(config) {
+    if (!(config.enter <= config.exit)) {
+      throw std::invalid_argument("HysteresisDetector: enter must be <= exit");
+    }
+    if (config.windows < 1) {
+      throw std::invalid_argument("HysteresisDetector: windows must be >= 1");
+    }
+  }
+
+  /// Feeds one window's signal value; returns true iff the state flipped.
+  bool update(double value) {
+    if (!degraded_) {
+      below_ = value < config_.enter ? below_ + 1 : 0;
+      if (below_ >= config_.windows) {
+        degraded_ = true;
+        below_ = 0;
+        ++trips_;
+        return true;
+      }
+    } else {
+      above_ = value > config_.exit ? above_ + 1 : 0;
+      if (above_ >= config_.windows) {
+        degraded_ = false;
+        above_ = 0;
+        ++recoveries_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  [[nodiscard]] int trips() const { return trips_; }
+  [[nodiscard]] int recoveries() const { return recoveries_; }
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+  bool degraded_ = false;
+  int below_ = 0;
+  int above_ = 0;
+  int trips_ = 0;
+  int recoveries_ = 0;
+};
+
+}  // namespace bmp::control

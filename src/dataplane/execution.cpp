@@ -10,6 +10,16 @@ namespace {
 /// Below this a pipe rate is treated as edge removal (mirrors the scheme's
 /// kZeroTol: planned overlays never carry meaningful rates this small).
 constexpr double kMinRate = 1e-12;
+/// A busy pipe re-rated upward by more than this factor restarts its
+/// in-flight transmission at the new rate: the old (slow) transmission
+/// would otherwise squat the wire — a pipe re-planned from a trickle to a
+/// main artery could stay "busy" for minutes of virtual time while its
+/// receiver starves on a planned inflow that never materializes.
+constexpr double kRerateRestartFactor = 2.0;
+/// Eligibility probes the indexed rarest-first scan may spend before
+/// falling back to the linear window scan (which is the semantics of
+/// record — both paths pick the identical chunk).
+constexpr int kIndexProbeBudget = 96;
 }  // namespace
 
 Execution::Execution(ExecutionConfig config) : config_(config) {
@@ -35,6 +45,12 @@ Execution::Execution(ExecutionConfig config) : config_(config) {
   if (config_.overtake_factor < 0.0 || config_.overtake_factor >= 1.0 ||
       !std::isfinite(config_.overtake_factor)) {
     throw std::invalid_argument("Execution: overtake_factor in [0, 1)");
+  }
+  if (config_.rescue_factor < 0.0 || config_.rescue_factor >= 1.0 ||
+      !std::isfinite(config_.rescue_factor) ||
+      config_.rescue_factor_hard < 0.0 || config_.rescue_factor_hard >= 1.0 ||
+      !std::isfinite(config_.rescue_factor_hard)) {
+    throw std::invalid_argument("Execution: rescue factors in [0, 1)");
   }
   now_ = config_.start_time;
   last_emit_time_ = config_.start_time;
@@ -95,6 +111,9 @@ int Execution::add_node(double upload_budget) {
   Node node;
   node.budget = upload_budget;
   node.alive = true;
+  // Until a WAN class is assigned, the node's egress behaves per the
+  // config-wide defaults (the pre-LinkProfile semantics).
+  node.egress = LinkProfile{config_.loss_rate, config_.latency, 0.0};
   node.joined = now_;
   node.skip_before = emitted_;  // live-edge join: no catch-up of old chunks
   node.next_missing = emitted_;
@@ -128,7 +147,10 @@ void Execution::remove_node(int id) {
   --alive_nodes_;
   // The departed copies stop counting toward rarity.
   for (int chunk = node.skip_before; chunk < emitted_; ++chunk) {
-    if (bit(node.have, chunk)) --replicas_[static_cast<std::size_t>(chunk)];
+    if (bit(node.have, chunk)) {
+      const int old = replicas_[static_cast<std::size_t>(chunk)]--;
+      rarity_move(chunk, old, old - 1);
+    }
   }
   std::vector<int> doomed = node.in;
   doomed.insert(doomed.end(), node.out.begin(), node.out.end());
@@ -173,8 +195,28 @@ void Execution::set_edge(int from, int to, double rate) {
   }
   if (it != pipe_of_.end()) {
     // Re-rate in place; an in-flight transmission keeps its old timing, the
-    // next one uses the new rate.
-    pipes_[static_cast<std::size_t>(it->second)].rate = rate;
+    // next one uses the new rate — unless the new rate is sharply higher,
+    // in which case the slow transmission is cancelled (reservations
+    // released, chunks re-requested) and the pipe restarts immediately.
+    Pipe& pipe = pipes_[static_cast<std::size_t>(it->second)];
+    const bool restart =
+        pipe.busy && rate > pipe.rate * kRerateRestartFactor;
+    nodes_[static_cast<std::size_t>(pipe.from)].planned_out +=
+        rate - pipe.rate;
+    pipe.rate = rate;
+    if (restart) {
+      for (const int chunk : pipe.in_flight) {
+        release_reservation(pipe.to, chunk);
+      }
+      pipe.in_flight.clear();
+      ++pipe.generation;  // strands the cancelled transmission's events
+      pipe.busy = false;
+      pipe.pending_duration = 0.0;
+      const int receiver = pipe.to;
+      try_send(it->second);
+      // The released window slots may unblock other in-pipes too.
+      activate_receiver(receiver);
+    }
     return;
   }
   Node& sender = node_at(from, "Execution::set_edge");
@@ -197,10 +239,20 @@ void Execution::set_edge(int from, int to, double rate) {
   pipe.active = true;
   pipe.busy = false;
   pipe.in_flight.clear();  // a recycled slot starts with a clean wire
+  pipe.busy_time = 0.0;
+  pipe.completed = 0.0;
+  pipe.pending_duration = 0.0;
+  pipe.sent = 0;
+  pipe.delivered = 0;
+  pipe.lost = 0;
+  pipe.attempts = 0;
+  pipe.window_stalls = 0;
+  pipe.no_chunk = 0;
   // One independent, replay-stable loss stream per pipe creation: the
   // stream index is a deterministic function of the operation sequence.
   pipe.rng = util::Xoshiro256(config_.seed).fork(++pipe_streams_);
   pipe_of_.emplace(key, slot);
+  sender.planned_out += rate;
   sender.out.insert(
       std::upper_bound(sender.out.begin(), sender.out.end(), slot,
                        [this](int a, int b) {
@@ -262,6 +314,92 @@ void Execution::set_emission_rate(double rate) {
   queue_.push(next);
 }
 
+// --------------------------------------------------------- effective world
+
+void Execution::set_effective_capacity(int id, double capacity) {
+  // Accept strictly negative (uncap) or positive-finite; reject 0, NaN, inf.
+  if (!(capacity < 0.0) && (!(capacity > 0.0) || !std::isfinite(capacity))) {
+    throw std::invalid_argument(
+        "Execution::set_effective_capacity: capacity must be > 0 (or < 0 to "
+        "remove the cap)");
+  }
+  node_at(id, "Execution::set_effective_capacity").effective_capacity =
+      capacity < 0.0 ? -1.0 : capacity;
+}
+
+double Execution::effective_capacity(int id) const {
+  if (id < 0 || id >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("Execution::effective_capacity: unknown node");
+  }
+  return nodes_[static_cast<std::size_t>(id)].effective_capacity;
+}
+
+void Execution::set_egress_profile(int id, const LinkProfile& profile) {
+  check_link_profile(profile, "Execution::set_egress_profile");
+  node_at(id, "Execution::set_egress_profile").egress = profile;
+}
+
+const LinkProfile& Execution::egress_profile(int id) const {
+  if (id < 0 || id >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("Execution::egress_profile: unknown node");
+  }
+  return nodes_[static_cast<std::size_t>(id)].egress;
+}
+
+void Execution::set_edge_profile(int from, int to, const LinkProfile& profile) {
+  check_link_profile(profile, "Execution::set_edge_profile");
+  edge_profiles_[std::make_pair(from, to)] = profile;
+}
+
+void Execution::clear_edge_profile(int from, int to) {
+  edge_profiles_.erase(std::make_pair(from, to));
+}
+
+const LinkProfile& Execution::profile_for(const Pipe& pipe) const {
+  const auto it = edge_profiles_.find(std::make_pair(pipe.from, pipe.to));
+  if (it != edge_profiles_.end()) return it->second;
+  return nodes_[static_cast<std::size_t>(pipe.from)].egress;
+}
+
+std::vector<EdgeStats> Execution::edge_stats() const {
+  std::vector<EdgeStats> stats;
+  stats.reserve(pipe_of_.size());
+  for (const auto& [key, slot] : pipe_of_) {
+    const Pipe& pipe = pipes_[static_cast<std::size_t>(slot)];
+    EdgeStats entry;
+    entry.from = key.first;
+    entry.to = key.second;
+    entry.rate = pipe.rate;
+    entry.busy_time = pipe.busy_time;
+    entry.completed = pipe.completed;
+    entry.sent = pipe.sent;
+    entry.delivered = pipe.delivered;
+    entry.lost = pipe.lost;
+    entry.busy = pipe.busy;
+    entry.pending_duration = pipe.busy ? pipe.pending_duration : 0.0;
+    entry.attempts = pipe.attempts;
+    entry.window_stalls = pipe.window_stalls;
+    entry.no_chunk = pipe.no_chunk;
+    stats.push_back(entry);
+  }
+  return stats;
+}
+
+// ------------------------------------------------------------- scan index
+
+void Execution::rarity_insert(int chunk, int replicas) {
+  if (!config_.use_scan_index) return;
+  const auto bucket = static_cast<std::size_t>(replicas);
+  if (bucket >= by_rarity_.size()) by_rarity_.resize(bucket + 1);
+  by_rarity_[bucket].insert(chunk);
+}
+
+void Execution::rarity_move(int chunk, int old_replicas, int new_replicas) {
+  if (!config_.use_scan_index) return;
+  by_rarity_[static_cast<std::size_t>(old_replicas)].erase(chunk);
+  rarity_insert(chunk, new_replicas);
+}
+
 void Execution::remove_pipe(int slot) {
   Pipe& pipe = pipes_[static_cast<std::size_t>(slot)];
   if (!pipe.active) return;
@@ -276,6 +414,7 @@ void Execution::remove_pipe(int slot) {
   ++pipe.generation;  // strands the pipe's queued events
   pipe.active = false;
   pipe.busy = false;
+  nodes_[static_cast<std::size_t>(pipe.from)].planned_out -= pipe.rate;
   pipe_of_.erase(std::make_pair(pipe.from, pipe.to));
   auto detach = [slot](std::vector<int>& list) {
     list.erase(std::remove(list.begin(), list.end(), slot), list.end());
@@ -350,6 +489,7 @@ void Execution::emit_chunks() {
     last_emit_time_ = now_;
     emit_time_.push_back(now_);
     replicas_.push_back(source.alive ? 1 : 0);
+    rarity_insert(chunk, replicas_.back());
     set_bit(source.have, chunk);
   }
   activate_sender(0);
@@ -370,6 +510,9 @@ void Execution::on_send_complete(const ChunkEvent& event) {
   Pipe& pipe = pipes_[static_cast<std::size_t>(event.pipe)];
   if (!pipe.active || pipe.generation != event.generation) return;
   pipe.busy = false;
+  pipe.busy_time += pipe.pending_duration;
+  pipe.completed += config_.chunk_size;
+  ++pipe.sent;
   try_send(event.pipe);
 }
 
@@ -381,6 +524,7 @@ void Execution::on_arrival(const ChunkEvent& event) {
   const int receiver_id = pipe.to;
   Node& receiver = nodes_[static_cast<std::size_t>(receiver_id)];
   --receiver.window_used;
+  if (event.lost) ++pipe.lost; else ++pipe.delivered;
   if (event.lost) {
     const auto it = receiver.inflight.find(event.chunk);
     if (it != receiver.inflight.end() && --it->second.count <= 0) {
@@ -409,7 +553,8 @@ void Execution::deliver(Node& node, int node_id, int chunk) {
   (void)node_id;
   set_bit(node.have, chunk);
   ++node.delivered;
-  ++replicas_[static_cast<std::size_t>(chunk)];
+  const int replicas = ++replicas_[static_cast<std::size_t>(chunk)];
+  rarity_move(chunk, replicas - 1, replicas);
   ++delivered_chunks_;
   while (node.next_missing < emitted_ && bit(node.have, node.next_missing)) {
     ++node.next_missing;
@@ -429,38 +574,29 @@ void Execution::deliver(Node& node, int node_id, int chunk) {
   }
 }
 
-void Execution::try_send(int pipe_slot) {
-  Pipe& pipe = pipes_[static_cast<std::size_t>(pipe_slot)];
-  if (!pipe.active || pipe.busy) return;
-  Node& sender = nodes_[static_cast<std::size_t>(pipe.from)];
-  Node& receiver = nodes_[static_cast<std::size_t>(pipe.to)];
-  if (!sender.alive || !receiver.alive) return;
-  // Backpressure: the effective window grants at least one outstanding
-  // chunk per in-pipe so a wide fan-in is never throttled structurally.
-  const int window = std::max(config_.receiver_window,
-                              static_cast<int>(receiver.in.size()));
-  if (receiver.window_used >= window) {
-    ++hol_stalls_;  // one head-of-line stall per denied send opportunity
-    return;
-  }
-  // Rarest-first within the scan horizon: the eligible unreserved chunk
-  // held by the fewest alive nodes; ties break to the oldest (smallest
-  // id), which the ascending scan gives for free. Chunks already in flight
-  // to this receiver are only considered for *overtaking* — and only when
-  // no unreserved chunk is available — to keep duplicates rare.
-  const double my_eta = now_ + config_.chunk_size / pipe.rate + config_.latency;
-  const int start = receiver.next_missing;
-  const int end = std::min(emitted_, start + config_.scan_limit);
-  int best = -1;
+// Rarest-first candidate selection, linear form — the semantics of record:
+// the eligible unreserved chunk held by the fewest alive nodes; ties break
+// to the oldest (smallest id), which the ascending scan gives for free.
+// Chunks already in flight to this receiver are only considered for
+// *overtaking* — and only when no unreserved chunk is available — to keep
+// duplicates rare.
+void Execution::pick_linear(const Node& sender, const Node& receiver,
+                            double my_eta, double rescue, int start, int end,
+                            int& best, int& overtake) const {
+  best = -1;
+  overtake = -1;
   int best_replicas = std::numeric_limits<int>::max();
-  int overtake = -1;
   int overtake_replicas = std::numeric_limits<int>::max();
   for (int chunk = start; chunk < end; ++chunk) {
     if (bit(receiver.have, chunk)) continue;
     if (!node_has(sender, chunk)) continue;
     const auto reserved = receiver.inflight.find(chunk);
     const int rep = replicas_[static_cast<std::size_t>(chunk)];
-    if (reserved == receiver.inflight.end()) {
+    if (reserved == receiver.inflight.end() ||
+        (rescue > 0.0 &&
+         my_eta - now_ < rescue * (reserved->second.eta - now_))) {
+      // Unreserved, or reserved on a pipe so slow this sender can rescue
+      // it: both compete in rarest-first order.
       if (rep < best_replicas) {
         best = chunk;
         best_replicas = rep;
@@ -472,8 +608,97 @@ void Execution::try_send(int pipe_slot) {
       overtake_replicas = rep;
     }
   }
+}
+
+// Indexed form: probes chunks in ascending (replica count, id) order via
+// the per-rarity buckets, so the first eligible unreserved chunk *is* the
+// linear scan's pick and a deep backlog costs a handful of probes instead
+// of a scan_limit-wide sweep. Returns false when the probe budget runs out
+// (pathological eligibility patterns) — the caller falls back to the
+// linear scan, keeping the picked chunk identical either way.
+bool Execution::pick_indexed(const Node& sender, const Node& receiver,
+                             double my_eta, double rescue, int start, int end,
+                             int& best, int& overtake) const {
+  best = -1;
+  overtake = -1;
+  int probes = 0;
+  for (const std::set<int>& bucket : by_rarity_) {
+    if (bucket.empty()) continue;
+    for (auto it = bucket.lower_bound(start); it != bucket.end() && *it < end;
+         ++it) {
+      if (++probes > kIndexProbeBudget) return false;
+      const int chunk = *it;
+      if (bit(receiver.have, chunk)) continue;
+      if (!node_has(sender, chunk)) continue;
+      const auto reserved = receiver.inflight.find(chunk);
+      if (reserved == receiver.inflight.end() ||
+          (rescue > 0.0 &&
+           my_eta - now_ < rescue * (reserved->second.eta - now_))) {
+        best = chunk;  // min (replicas, id) over all eligible: done
+        return true;
+      }
+      if (overtake < 0 && config_.overtake_factor > 0.0 &&
+          my_eta - now_ <
+              config_.overtake_factor * (reserved->second.eta - now_)) {
+        overtake = chunk;  // first in (replicas, id) order = linear's pick
+      }
+    }
+  }
+  return true;
+}
+
+void Execution::try_send(int pipe_slot) {
+  Pipe& pipe = pipes_[static_cast<std::size_t>(pipe_slot)];
+  if (!pipe.active || pipe.busy) return;
+  Node& sender = nodes_[static_cast<std::size_t>(pipe.from)];
+  Node& receiver = nodes_[static_cast<std::size_t>(pipe.to)];
+  if (!sender.alive || !receiver.alive) return;
+  ++pipe.attempts;
+  // Backpressure: the effective window grants at least one outstanding
+  // chunk per in-pipe so a wide fan-in is never throttled structurally.
+  const int window = std::max(config_.receiver_window,
+                              static_cast<int>(receiver.in.size()));
+  if (receiver.window_used >= window) {
+    ++hol_stalls_;  // one head-of-line stall per denied send opportunity
+    ++pipe.window_stalls;
+    return;
+  }
+  // The *effective* send rate: when the sender's planned out-rates exceed
+  // its browned-out capacity, every transmission shares the shortfall
+  // proportionally. Jitter is drawn per transmission below; the ETA
+  // estimate stays pre-jitter (a conservative reservation estimate).
+  const LinkProfile& profile = profile_for(pipe);
+  double throttle = 1.0;
+  if (sender.effective_capacity >= 0.0 &&
+      sender.planned_out > sender.effective_capacity) {
+    throttle = sender.effective_capacity / sender.planned_out;
+  }
+  const double send_rate = pipe.rate * throttle;
+  const double my_eta =
+      now_ + config_.chunk_size / send_rate + profile.latency;
+  const int start = receiver.next_missing;
+  const int end = std::min(emitted_, start + config_.scan_limit);
+  // Rescue arms only under a pinned in-order frontier (bloated backlog):
+  // a healthy stream never pays rescue duplicates.
+  const int buffered =
+      receiver.delivered - (receiver.next_missing - receiver.skip_before);
+  const double rescue =
+      config_.rescue_factor > 0.0 &&
+              buffered >= config_.rescue_buffer_windows * window
+          ? config_.rescue_factor
+          : config_.rescue_factor_hard;
+  int best = -1;
+  int overtake = -1;
+  if (!config_.use_scan_index ||
+      !pick_indexed(sender, receiver, my_eta, rescue, start, end, best,
+                    overtake)) {
+    pick_linear(sender, receiver, my_eta, rescue, start, end, best, overtake);
+  }
   if (best < 0) best = overtake;
-  if (best < 0) return;
+  if (best < 0) {
+    ++pipe.no_chunk;
+    return;
+  }
   pipe.busy = true;
   pipe.in_flight.push_back(best);
   auto& reservation = receiver.inflight[best];
@@ -481,9 +706,15 @@ void Execution::try_send(int pipe_slot) {
       reservation.count == 0 ? my_eta : std::min(reservation.eta, my_eta);
   ++reservation.count;
   ++receiver.window_used;
-  const double done = now_ + config_.chunk_size / pipe.rate;
+  double wire_rate = send_rate;
+  if (profile.rate_jitter > 0.0) {
+    wire_rate *= 1.0 - profile.rate_jitter * pipe.rng.uniform();
+  }
+  const double duration = config_.chunk_size / wire_rate;
+  pipe.pending_duration = duration;
+  const double done = now_ + duration;
   const bool lost =
-      config_.loss_rate > 0.0 && pipe.rng.uniform() < config_.loss_rate;
+      profile.loss_rate > 0.0 && pipe.rng.uniform() < profile.loss_rate;
   ChunkEvent freed;
   freed.time = done;
   freed.kind = ChunkEventKind::kSendComplete;
@@ -491,7 +722,7 @@ void Execution::try_send(int pipe_slot) {
   freed.generation = pipe.generation;
   queue_.push(freed);  // before the arrival: at zero latency the pipe frees first
   ChunkEvent arrival;
-  arrival.time = done + config_.latency;
+  arrival.time = done + profile.latency;
   arrival.kind = ChunkEventKind::kArrival;
   arrival.pipe = pipe_slot;
   arrival.generation = pipe.generation;

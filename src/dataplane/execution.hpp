@@ -40,9 +40,12 @@
 #include <utility>
 #include <vector>
 
+#include <set>
+
 #include "bmp/core/instance.hpp"
 #include "bmp/core/scheme.hpp"
 #include "bmp/dataplane/event_queue.hpp"
+#include "bmp/dataplane/link_profile.hpp"
 #include "bmp/util/rng.hpp"
 
 namespace bmp::dataplane {
@@ -69,15 +72,49 @@ struct ExecutionConfig {
   /// the whole receiver hostage; with it, duplicates stay rare and bounded.
   /// 0 disables overtaking (strictly exclusive reservations).
   double overtake_factor = 0.5;
+  /// Hostage rescue: a *reserved* chunk competes with unreserved ones
+  /// (rarest-first order) for senders that can land a copy within this
+  /// fraction of the current copy's remaining transfer time. Without it, a
+  /// near-zero-rate pipe (re-planned overlays carry such residue edges)
+  /// that grabs a rare chunk pins the receiver's in-order frontier for the
+  /// whole glacial transmission — buffers balloon and the delivered-rate
+  /// integral stalls even though every other pipe is healthy. 1/8 means
+  /// the rescuer must be at least 8x faster, so near-peer pipes never
+  /// duplicate each other. 0 disables rescue (endgame overtaking only).
+  double rescue_factor = 0.125;
+  /// Rescue at `rescue_factor` arms only while the receiver's out-of-order
+  /// backlog exceeds this many effective windows — the signature of a
+  /// pinned frontier. A healthy stream idles at a benign backlog of a few
+  /// windows (each slow-but-productive in-pipe holds up to one in-flight
+  /// chunk), so the threshold sits well above that: arming rescue at the
+  /// benign level would just duplicate productive transmissions.
+  double rescue_buffer_windows = 8.0;
+  /// Hard rescue, always armed: reservations held by *extremely* slow
+  /// copies (the rescuer at least 32x faster) are contested regardless of
+  /// backlog. Planned overlays rarely spread same-receiver pipe rates that
+  /// far, but re-planned ones carry residue trickle edges that do — and a
+  /// trickle reservation is a multi-second hostage. 0 disables.
+  double rescue_factor_hard = 0.03125;
+  /// Default link behaviour — seeds every node's egress LinkProfile. Edges
+  /// resolve their profile per transmission: explicit set_edge_profile
+  /// override first, then the sender's egress profile (set_egress_profile,
+  /// how WAN edge classes are assigned), then these defaults.
   double latency = 0.0;       ///< propagation delay per pipe, seconds
   double loss_rate = 0.0;     ///< i.i.d. per-transmission loss in [0, 0.95]
-  std::uint64_t seed = 1;     ///< loss-stream seed (per-pipe forked streams)
+  std::uint64_t seed = 1;     ///< loss/jitter-stream seed (per-pipe forked)
   /// Deliveries per node excluded from the steady-rate window (startup
   /// transient: pipeline fill, rarest-first warm-up).
   int warmup_chunks = 16;
   /// Rarest-first scan horizon past a receiver's first missing chunk; caps
   /// scheduler cost when a slow node accumulates a deep backlog.
   int scan_limit = 4096;
+  /// Per-rarity bucket index over the emitted window: the scheduler probes
+  /// chunks in ascending (replica count, id) order and usually finds the
+  /// pick within a handful of probes instead of scanning the whole backlog
+  /// window linearly. Picks are bit-identical with the index off (the
+  /// linear scan remains the semantics of record and the fallback when a
+  /// probe budget is exhausted); the flag exists for differential tests.
+  bool use_scan_index = true;
   /// Keep per-delivery chunk latencies for drain_latencies() (the runtime
   /// feeds them into its dataplane.chunk_latency histogram).
   bool collect_latencies = false;
@@ -117,6 +154,29 @@ struct ExecutionReport {
   std::vector<NodeProgress> nodes;
 };
 
+/// Cumulative per-pipe telemetry, the raw signal the control plane's
+/// capacity estimators difference across sampling windows. `busy_time` and
+/// `completed` only count *finished* transmissions, so completed/busy_time
+/// is the pipe's observed service rate — degradation shows up as that
+/// ratio falling below `rate` while losses show up in lost/sent.
+struct EdgeStats {
+  int from = 0;
+  int to = 0;
+  double rate = 0.0;           ///< current planned pipe rate
+  double busy_time = 0.0;      ///< summed transmission durations completed
+  double completed = 0.0;      ///< data that finished transmitting
+  std::uint64_t sent = 0;      ///< transmissions completed (lost included)
+  std::uint64_t delivered = 0; ///< arrivals that were not lost
+  std::uint64_t lost = 0;      ///< arrivals flagged lost (retransmitted)
+  bool busy = false;           ///< a transmission is in the wire right now
+  double pending_duration = 0.0;  ///< its full transmission time
+  // Scheduling outcomes: how often the idle pipe was offered work and why
+  // it declined (window backpressure vs nothing eligible to send).
+  std::uint64_t attempts = 0;
+  std::uint64_t window_stalls = 0;
+  std::uint64_t no_chunk = 0;
+};
+
 class Execution {
  public:
   explicit Execution(ExecutionConfig config);
@@ -147,6 +207,31 @@ class Execution {
   /// otherwise the next emission is rescheduled at the new cadence.
   void set_emission_rate(double rate);
   void stop_emission() { set_emission_rate(0.0); }
+
+  // -------------------------------------------------------- effective world
+  // The planned overlay keeps its nominal rates; these knobs model what the
+  // network *actually* does underneath — the degradations the adaptive
+  // control plane detects from telemetry and re-plans around.
+  /// Caps the node's *effective* egress capacity (a brownout): while the
+  /// planned rates of its active out-pipes sum past the cap, every
+  /// transmission is throttled by cap / planned_out_total — proportional
+  /// sharing of the reduced capacity. A plan re-fitted inside the cap runs
+  /// at full planned rate again, which is exactly the lever the control
+  /// plane pulls. `capacity` < 0 removes the cap (the default).
+  void set_effective_capacity(int id, double capacity);
+  [[nodiscard]] double effective_capacity(int id) const;
+  /// Assigns the node's egress WAN class: every pipe out of `id` without an
+  /// explicit per-edge override uses this profile (current and future pipes
+  /// alike — re-planned edges inherit it).
+  void set_egress_profile(int id, const LinkProfile& profile);
+  [[nodiscard]] const LinkProfile& egress_profile(int id) const;
+  /// Per-edge override, stronger than the sender's egress profile; persists
+  /// across reconcile_edges (a re-planned edge re-acquires it).
+  void set_edge_profile(int from, int to, const LinkProfile& profile);
+  void clear_edge_profile(int from, int to);
+
+  /// Cumulative per-pipe counters, ordered by (from, to) — deterministic.
+  [[nodiscard]] std::vector<EdgeStats> edge_stats() const;
 
   // ------------------------------------------------------------ advance
   /// Processes every event with time <= t and advances the clock to t.
@@ -187,6 +272,13 @@ class Execution {
   struct Node {
     double budget = 0.0;
     bool alive = false;
+    /// Effective egress cap (brownout; < 0 = uncapped) and WAN class.
+    double effective_capacity = -1.0;
+    /// Summed planned rates of the node's active out-pipes, maintained at
+    /// every pipe add/re-rate/remove — the throttle denominator, so the
+    /// hot send path never re-sums the adjacency list.
+    double planned_out = 0.0;
+    LinkProfile egress;
     double joined = 0.0;
     int skip_before = 0;   ///< chunks < this id are outside the window
     int next_missing = 0;  ///< smallest wanted chunk id not yet received
@@ -222,6 +314,16 @@ class Execution {
     /// generation bump strands the queued arrivals.
     std::vector<int> in_flight;
     util::Xoshiro256 rng{0};
+    // Telemetry (cumulative over the pipe's life; dies with the pipe).
+    double busy_time = 0.0;
+    double completed = 0.0;
+    double pending_duration = 0.0;  ///< duration of the transmission in wire
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t window_stalls = 0;
+    std::uint64_t no_chunk = 0;
   };
 
   static bool bit(const std::vector<std::uint64_t>& bits, int i);
@@ -230,12 +332,28 @@ class Execution {
   [[nodiscard]] bool node_has(const Node& node, int chunk) const;
   Node& node_at(int id, const char* who);
 
+  [[nodiscard]] const LinkProfile& profile_for(const Pipe& pipe) const;
+  /// Keeps the per-rarity bucket index in sync with replicas_.
+  void rarity_insert(int chunk, int replicas);
+  void rarity_move(int chunk, int old_replicas, int new_replicas);
+
   void process(const ChunkEvent& event);
   void emit_chunks();
   void schedule_next_emission();
   void on_send_complete(const ChunkEvent& event);
   void on_arrival(const ChunkEvent& event);
   void deliver(Node& node, int node_id, int chunk);
+  /// Rarest-first candidate selection: `pick_linear` is the semantics of
+  /// record (ascending window scan); `pick_indexed` probes the per-rarity
+  /// buckets in ascending (replicas, id) order and returns false when its
+  /// probe budget runs out (caller falls back to the linear scan). Both
+  /// produce the identical pick.
+  void pick_linear(const Node& sender, const Node& receiver, double my_eta,
+                   double rescue, int start, int end, int& best,
+                   int& overtake) const;
+  bool pick_indexed(const Node& sender, const Node& receiver, double my_eta,
+                    double rescue, int start, int end, int& best,
+                    int& overtake) const;
   /// Rarest-first pick + transmission start for one idle pipe.
   void try_send(int pipe_slot);
   void activate_sender(int node_id);
@@ -263,6 +381,12 @@ class Execution {
 
   std::vector<double> emit_time_;  ///< per chunk, for latency measurement
   std::vector<int> replicas_;      ///< per chunk, alive holders (rarest-first)
+  /// Scan index: bucket r holds the emitted chunks with exactly r alive
+  /// holders, ordered by id — the scheduler's ascending-(rarity, id) probe
+  /// order. Maintained on every replicas_ change; empty when disabled.
+  std::vector<std::set<int>> by_rarity_;
+  /// (from, to) -> explicit LinkProfile override (outlives the pipe).
+  std::map<std::pair<int, int>, LinkProfile> edge_profiles_;
 
   std::uint64_t delivered_chunks_ = 0;
   std::uint64_t losses_ = 0;

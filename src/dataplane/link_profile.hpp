@@ -1,0 +1,54 @@
+// Per-edge WAN behaviour under the chunk engine. A LinkProfile bundles the
+// three degradation knobs a real wide-area path adds on top of the planned
+// fluid rate — i.i.d. per-transmission loss (with retransmit), propagation
+// latency, and downward rate jitter — so that edges can be classed (LAN,
+// regional WAN, intercontinental, ...) instead of sharing one global loss
+// rate. Profiles resolve per transmission in this order: explicit per-edge
+// override, the sender's egress profile (how runtime node classes assign
+// them), then the ExecutionConfig defaults.
+//
+// This header is deliberately tiny: runtime::NodeSpec and the scenario
+// builder embed LinkProfiles without pulling the whole execution engine in.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace bmp::dataplane {
+
+struct LinkProfile {
+  double loss_rate = 0.0;    ///< i.i.d. per-transmission loss in [0, 0.95]
+  double latency = 0.0;      ///< propagation delay, seconds (>= 0)
+  /// Downward-only multiplicative rate jitter in [0, 1): each transmission
+  /// runs at rate * (1 - rate_jitter * u), u ~ U[0, 1). Jitter never
+  /// *exceeds* the planned rate, so the bounded multi-port audit holds.
+  double rate_jitter = 0.0;
+
+  friend bool operator==(const LinkProfile& a, const LinkProfile& b) {
+    return a.loss_rate == b.loss_rate && a.latency == b.latency &&
+           a.rate_jitter == b.rate_jitter;
+  }
+  friend bool operator!=(const LinkProfile& a, const LinkProfile& b) {
+    return !(a == b);
+  }
+};
+
+/// The one validity contract every consumer (execution, scenario, runtime
+/// degrade events) enforces: loss in [0, 0.95] (1.0 would retransmit
+/// forever), finite latency >= 0, jitter in [0, 1) — all NaN-rejecting.
+/// Throws std::invalid_argument prefixed with `who`.
+inline void check_link_profile(const LinkProfile& profile, const char* who) {
+  if (!(profile.loss_rate >= 0.0) || !(profile.loss_rate <= 0.95)) {
+    throw std::invalid_argument(std::string(who) + ": loss_rate in [0, 0.95]");
+  }
+  if (!(profile.latency >= 0.0) || !std::isfinite(profile.latency)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": latency must be finite, >= 0");
+  }
+  if (!(profile.rate_jitter >= 0.0) || !(profile.rate_jitter < 1.0)) {
+    throw std::invalid_argument(std::string(who) + ": rate_jitter in [0, 1)");
+  }
+}
+
+}  // namespace bmp::dataplane

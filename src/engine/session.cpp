@@ -64,19 +64,46 @@ RepairResult repair_scheme(const Instance& survivors,
       if (!survivors.is_guarded(i)) sender_order.push_back(i);
     }
     sender_order.push_back(0);
+    // Dust consolidation: an edge carrying under 2% of the target is
+    // scheduling residue — in a chunk-level execution one transmission on
+    // it takes dozens of chunk periods, squatting receiver window slots
+    // and taking rare chunks hostage. Drop such edges outright; the patch
+    // pass below re-sources the freed inflow from senders with real
+    // residual capacity, as few, fat edges.
+    const double dust = 0.02 * target_rate;
+    std::vector<std::tuple<int, int, double>> dust_edges;
+    for (int sender = 0; sender < num_nodes; ++sender) {
+      for (const auto& [to, rate] : scheme.out_edges(sender)) {
+        if (rate > tol && rate < dust) dust_edges.emplace_back(sender, to, rate);
+      }
+    }
+    for (const auto& [sender, to, rate] : dust_edges) {
+      scheme.add(sender, to, -rate);
+      out[static_cast<std::size_t>(sender)] -= rate;
+      in[static_cast<std::size_t>(to)] -= rate;
+    }
     // Trim pass: when repairing toward a *reduced* target, survivors still
     // fed at the old (higher) design rate hold upload hostage. Cut their
     // inflow down to the target, releasing open/source upload first — it
-    // is the only class guarded receivers can draw from.
+    // is the only class guarded receivers can draw from. Within a class,
+    // cut the *smallest* edges first: the receiver's main arteries survive
+    // repeated repairs untouched (a live stream keeps its in-flight pipes)
+    // and residue trickle edges are garbage-collected before real ones.
+    std::vector<std::pair<double, int>> cuttable;
     for (int receiver = 1; receiver < num_nodes; ++receiver) {
       double excess = in[static_cast<std::size_t>(receiver)] - target_rate;
       if (excess <= tol) continue;
       for (int cls = 0; cls < 2 && excess > tol; ++cls) {
-        for (int sender = 0; sender < num_nodes && excess > tol; ++sender) {
+        cuttable.clear();
+        for (int sender = 0; sender < num_nodes; ++sender) {
           const bool sender_guarded = survivors.is_guarded(sender);
           if ((cls == 0) == sender_guarded) continue;  // open first, then guarded
           const double rate = scheme.rate(sender, receiver);
-          if (rate <= tol) continue;
+          if (rate > tol) cuttable.emplace_back(rate, sender);
+        }
+        std::sort(cuttable.begin(), cuttable.end());
+        for (const auto& [rate, sender] : cuttable) {
+          if (excess <= tol) break;
           const double cut = std::min(excess, rate);
           scheme.add(sender, receiver, -cut);
           out[static_cast<std::size_t>(sender)] -= cut;
@@ -188,6 +215,7 @@ Session::Session(Planner& planner, Instance instance, SessionConfig config)
       instance_, config_.algorithm, config_.max_out_degree, instance_fp_.value());
   scheme_ = response.scheme;
   design_rate_ = response.throughput;
+  design_total_ = instance_.total_sum();
   current_rate_ = response.throughput;
   initial_plan_verified_ =
       !response.cache_hit && response.verified_throughput >= 0.0;
@@ -228,7 +256,162 @@ void Session::rescale(double factor) {
                                         planner_.config().fingerprint_bucket);
   scheme_ = std::make_shared<const BroadcastScheme>(std::move(scheme));
   design_rate_ *= factor;
+  design_total_ *= factor;
   current_rate_ *= factor;
+}
+
+ChurnOutcome Session::adapt(const AdaptationRequest& request) {
+  ChurnOutcome outcome;
+  outcome.design_rate = design_rate_;
+  const int size = instance_.size();
+  if (static_cast<int>(request.capacities.size()) != size) {
+    throw std::invalid_argument("Session::adapt: capacities size mismatch");
+  }
+  for (const double cap : request.capacities) {
+    if (!is_valid_bandwidth(cap)) {
+      throw std::invalid_argument("Session::adapt: invalid capacity");
+    }
+  }
+  // Validate everything up front: once the fingerprint starts absorbing
+  // capacity deltas below, a throw would leave it desynced from instance_.
+  for (const auto& [from, to, limit] : request.edge_limits) {
+    if (from < 0 || from >= size || to < 0 || to >= size || from == to ||
+        limit < 0.0 || !std::isfinite(limit)) {
+      throw std::invalid_argument("Session::adapt: bad edge limit");
+    }
+  }
+  outcome.survivors = size - 1;
+  if (size <= 1) {
+    outcome.achieved_rate = current_rate_;
+    return outcome;
+  }
+
+  // Effective platform in the *current slot* caller numbering: class sizes
+  // are unchanged, so the new instance's original_id(j) is directly the old
+  // slot the (possibly re-sorted) node j came from.
+  std::vector<double> open;
+  std::vector<double> guarded;
+  for (int i = 1; i < size; ++i) {
+    (instance_.is_guarded(i) ? guarded : open).push_back(request.capacities[
+        static_cast<std::size_t>(i)]);
+  }
+  Instance effective(request.capacities[0], std::move(open),
+                     std::move(guarded));
+  // The fingerprint follows the capacity deltas node by node (most
+  // adaptations touch a handful of nodes, not the platform).
+  for (int i = 1; i < size; ++i) {
+    const double before = instance_.b(i);
+    const double after = request.capacities[static_cast<std::size_t>(i)];
+    if (before == after) continue;
+    if (instance_.is_guarded(i)) {
+      instance_fp_.remove_guarded(before);
+      instance_fp_.add_guarded(after);
+    } else {
+      instance_fp_.remove_open(before);
+      instance_fp_.add_open(after);
+    }
+  }
+  if (instance_.b(0) != request.capacities[0]) {
+    instance_fp_.set_source(request.capacities[0]);
+  }
+
+  // Permute the live overlay into the effective numbering.
+  std::vector<int> new_of_old(static_cast<std::size_t>(size), 0);
+  for (int j = 0; j < size; ++j) {
+    new_of_old[static_cast<std::size_t>(effective.original_id(j))] = j;
+  }
+  BroadcastScheme permuted(size);
+  for (int i = 0; i < size; ++i) {
+    for (const auto& [to, rate] : scheme_->out_edges(i)) {
+      permuted.add(new_of_old[static_cast<std::size_t>(i)],
+                   new_of_old[static_cast<std::size_t>(to)], rate);
+    }
+  }
+  // Degraded-edge clamps: cut each named edge down to the goodput the wire
+  // actually honors, so the repair pulls the receiver's deficit from
+  // healthier senders instead.
+  for (const auto& [from, to, limit] : request.edge_limits) {
+    const int nf = new_of_old[static_cast<std::size_t>(from)];
+    const int nt = new_of_old[static_cast<std::size_t>(to)];
+    const double rate = permuted.rate(nf, nt);
+    if (rate > limit) permuted.add(nf, nt, -(rate - limit));
+  }
+  // Sender clamp: a demoted node's planned out-rate may exceed what it can
+  // push now — scale its out-edges proportionally into the effective cap.
+  for (int i = 0; i < size; ++i) {
+    const double out = permuted.out_rate(i);
+    const double cap = effective.b(i);
+    if (out <= cap || out <= 0.0) continue;
+    const double scale = cap / out;
+    const std::vector<std::pair<int, double>> edges(
+        permuted.out_edges(i).begin(), permuted.out_edges(i).end());
+    for (const auto& [to, rate] : edges) {
+      permuted.add(i, to, -(rate * (1.0 - scale)));
+    }
+  }
+
+  const flow::VerifyStats before = verifier_.stats();
+  outcome.degraded_rate = verifier_.verify(permuted).throughput;
+  // The reference the adaptation is judged by: the design rate scaled by
+  // the capacity ratio against the *design* platform total (uniformly
+  // rescaling every cap by f rescales the optimum by exactly f, so this
+  // is the natural first-order target — a 4x brownout of 10% of the
+  // platform targets ~0.925x design, and a later restore back to nominal
+  // targets exactly the design rate again instead of compounding ratios
+  // of already-adapted totals).
+  const double new_total = effective.total_sum();
+  const double target = design_total_ > 0.0
+                            ? design_rate_ * (new_total / design_total_)
+                            : design_rate_;
+  const double tol = 1e-9 * std::max(1.0, design_rate_);
+  const double bar = config_.replan_threshold * target;
+  bool replan_verified = false;
+  flow::VerifyTier replan_tier = flow::VerifyTier::kOracle;
+  bool patched = false;
+  if (!request.force_replan) {
+    const double fractions[] = {1.0, (1.0 + config_.replan_threshold) / 2.0,
+                                config_.replan_threshold};
+    RepairResult repair = repair_scheme(effective, permuted, target, &verifier_);
+    for (std::size_t f = 1; f < 3 && repair.throughput + tol < bar; ++f) {
+      RepairResult attempt =
+          repair_scheme(effective, permuted, fractions[f] * target, &verifier_);
+      if (attempt.throughput > repair.throughput) repair = std::move(attempt);
+    }
+    outcome.repaired_rate = repair.throughput;
+    if (repair.throughput + tol >= bar) {
+      scheme_ = std::make_shared<const BroadcastScheme>(std::move(repair.scheme));
+      current_rate_ = repair.throughput;
+      ++incremental_replans_;
+      patched = true;
+    }
+  }
+  if (!patched) {
+    const PlanResponse response =
+        planner_.plan(effective, config_.algorithm, config_.max_out_degree,
+                      instance_fp_.value());
+    replan_verified = !response.cache_hit && response.verified_throughput >= 0.0;
+    replan_tier = response.verified_tier;
+    scheme_ = response.scheme;
+    design_rate_ = response.throughput;
+    design_total_ = new_total;
+    current_rate_ = response.throughput;
+    ++full_replans_;
+    outcome.full_replan = true;
+  }
+  instance_ = std::move(effective);
+  const flow::VerifyStats& after = verifier_.stats();
+  outcome.verify_calls = static_cast<int>(after.calls - before.calls);
+  outcome.verify_sweep = static_cast<int>(after.tier_sweep - before.tier_sweep);
+  outcome.verify_maxflow =
+      static_cast<int>(after.tier_maxflow - before.tier_maxflow);
+  outcome.verify_us = after.total_us - before.total_us;
+  if (replan_verified) {
+    ++outcome.verify_calls;
+    (replan_tier == flow::VerifyTier::kAcyclicSweep ? outcome.verify_sweep
+                                                    : outcome.verify_maxflow) += 1;
+  }
+  outcome.achieved_rate = current_rate_;
+  return outcome;
 }
 
 ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
@@ -299,6 +482,7 @@ ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
     instance_ = std::move(survivors);
     scheme_ = response.scheme;
     design_rate_ = response.throughput;
+    design_total_ = instance_.total_sum();
     current_rate_ = response.throughput;
     ++full_replans_;
     outcome.full_replan = true;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "bmp/core/instance.hpp"
@@ -56,6 +57,23 @@ struct SessionConfig {
   /// Options for the session-owned verification engine (timing collection,
   /// parallel sweep pool, tier forcing).
   flow::VerifyOptions verify{};
+};
+
+/// A capacity-override adaptation of a live session, issued by the control
+/// plane when telemetry shows nominal capacities are no longer real.
+struct AdaptationRequest {
+  /// Effective upload capacity per *current* slot (index 0 = source); size
+  /// must equal instance().size(). Values at or above the nominal cap mean
+  /// "restored"; below, "demoted".
+  std::vector<double> capacities;
+  /// (from, to, max_rate) clamps in current slot numbering — degraded
+  /// edges (lossy WAN paths) the repair should route around rather than
+  /// keep loading at a rate the wire no longer honors.
+  std::vector<std::tuple<int, int, double>> edge_limits;
+  /// Skip the incremental patch: re-plan the effective instance through
+  /// the planner cache directly (the controller escalates to this when the
+  /// effective platform drifts past its fingerprint-distance bound).
+  bool force_replan = false;
 };
 
 struct ChurnOutcome {
@@ -118,6 +136,17 @@ class Session {
   /// and overlay and reports what happened.
   ChurnOutcome on_departure(const std::vector<int>& departed);
 
+  /// Re-plans the session on *effective* capacities (the control plane's
+  /// telemetry-derived view of what each node can actually push). Same
+  /// node set, new caps: the overlay is first permuted into the effective
+  /// instance's sorted order, clamped to the per-edge limits and the new
+  /// sender caps, then patched incrementally toward the capacity-scaled
+  /// design rate — falling back to a full (cached) re-plan when the patch
+  /// misses the replan threshold or `force_replan` demands it. Slot order
+  /// may change (caps re-sort); callers remap through
+  /// instance().original_id exactly as after on_departure.
+  ChurnOutcome adapt(const AdaptationRequest& request);
+
   /// Capacity renegotiation: multiplies every node's upload cap by `factor`
   /// (> 0, finite). Scaling all caps uniformly scales the optimal overlay by
   /// the same factor, so the current scheme and rates are rescaled exactly —
@@ -137,6 +166,10 @@ class Session {
   flow::Verifier verifier_;
   std::shared_ptr<const BroadcastScheme> scheme_;
   double design_rate_ = 0.0;
+  /// Total capacity of the platform design_rate_ was planned on — the
+  /// denominator of adapt()'s capacity-ratio target, so repeated repair-
+  /// path adaptations never compound against an already-adapted total.
+  double design_total_ = 0.0;
   double current_rate_ = 0.0;
   int incremental_replans_ = 0;
   int full_replans_ = 0;

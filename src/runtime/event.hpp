@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "bmp/dataplane/link_profile.hpp"
+
 namespace bmp::runtime {
 
 enum class EventType {
@@ -18,14 +20,34 @@ enum class EventType {
   kNodeJoin,      ///< peers enter the population (ids assigned sequentially)
   kNodeLeave,     ///< peers depart — every hosting channel repairs/replans
   kRenegotiate,   ///< rebalance all grants to weighted fair shares
+  kDegrade,       ///< effective-world change: brownouts / WAN profiles shift
 };
 
 [[nodiscard]] const char* to_string(EventType type);
 
-/// A peer entering the population: upload budget + firewall class.
+/// A peer entering the population: upload budget + firewall class, plus an
+/// optional egress WAN class (per-edge LinkProfile every pipe out of the
+/// node inherits in execution mode).
 struct NodeSpec {
   double bandwidth = 0.0;
   bool guarded = false;
+  bool wan = false;  ///< apply `profile` instead of the config defaults
+  dataplane::LinkProfile profile;
+};
+
+/// One node's effective-world change. The planner is deliberately *not*
+/// told: plans keep using nominal capacities, the dataplane delivers less,
+/// and only the adaptive control plane — watching achieved-rate telemetry —
+/// can close the gap. capacity_factor 1.0 + set_profile false is a restore.
+struct Degradation {
+  int node = 0;                  ///< runtime node id (never 0, the source)
+  bool set_factor = false;       ///< apply `capacity_factor` (1.0 restores)
+  double capacity_factor = 1.0;  ///< effective egress multiplier in (0, 1]
+  bool set_profile = false;      ///< (re)assign the egress WAN profile
+  dataplane::LinkProfile profile;
+  /// Drop the explicit WAN profile: the node falls back to the execution
+  /// config's default loss/latency (mutually exclusive with set_profile).
+  bool clear_profile = false;
 };
 
 struct Event {
@@ -42,6 +64,8 @@ struct Event {
   std::vector<NodeSpec> joins;
   // kNodeLeave — runtime node ids (never 0, the source)
   std::vector<int> leaves;
+  // kDegrade — effective capacity / WAN profile changes
+  std::vector<Degradation> degrades;
 
   // kRenegotiate: fraction of broker capacity the fair shares sum to;
   // keeping it < 1 leaves admission headroom for future channels.

@@ -15,6 +15,7 @@ const char* to_string(EventType type) {
     case EventType::kNodeJoin: return "node_join";
     case EventType::kNodeLeave: return "node_leave";
     case EventType::kRenegotiate: return "renegotiate";
+    case EventType::kDegrade: return "degrade";
   }
   throw std::invalid_argument("unknown event type");
 }
@@ -31,13 +32,26 @@ Runtime::Runtime(RuntimeConfig config, double source_bandwidth,
   if (!is_valid_bandwidth(source_bandwidth)) {
     throw std::invalid_argument("Runtime: invalid source bandwidth");
   }
+  if (config_.control.enabled && !config_.dataplane.execute) {
+    throw std::invalid_argument(
+        "Runtime: the control plane needs execution mode (its telemetry "
+        "source) — set dataplane.execute");
+  }
   nodes_.reserve(1 + initial_peers.size());
-  nodes_.push_back(Node{source_bandwidth, false, true});
+  Node source;
+  source.bandwidth = source_bandwidth;
+  nodes_.push_back(source);
   for (const NodeSpec& spec : initial_peers) {
     if (!is_valid_bandwidth(spec.bandwidth)) {
       throw std::invalid_argument("Runtime: invalid peer bandwidth");
     }
-    nodes_.push_back(Node{spec.bandwidth, spec.guarded, true});
+    if (spec.wan) dataplane::check_link_profile(spec.profile, "Runtime: peer");
+    Node node;
+    node.bandwidth = spec.bandwidth;
+    node.guarded = spec.guarded;
+    node.wan = spec.wan;
+    node.profile = spec.profile;
+    nodes_.push_back(node);
   }
   alive_peers_ = static_cast<int>(initial_peers.size());
   metrics_.set("population.alive", static_cast<double>(alive_peers_));
@@ -70,6 +84,7 @@ void Runtime::step(const Event& event) {
     case EventType::kNodeJoin: on_node_join(event); break;
     case EventType::kNodeLeave: on_node_leave(event); break;
     case EventType::kRenegotiate: on_renegotiate(event); break;
+    case EventType::kDegrade: on_degrade(event); break;
   }
   metrics_.inc("events.total");
   metrics_.inc(std::string("events.") + to_string(event.type));
@@ -175,6 +190,11 @@ void Runtime::on_channel_open(const Event& event) {
           static_cast<std::uint64_t>(event.channel) * 0x9E3779B97F4A7C15ULL);
       channel.open_time = now_;
       channel.execution = std::make_unique<dataplane::Execution>(exec_config);
+      if (config_.control.enabled) {
+        channel.controller =
+            std::make_unique<control::Controller>(config_.control.controller);
+        channel.last_control_time = now_;
+      }
     }
     build_session(event.channel, channel);
   } catch (...) {
@@ -203,6 +223,9 @@ void Runtime::on_channel_close(const Event& event) {
   metrics_.erase(channel_metric(event.channel, "fraction"));
   metrics_.erase(channel_metric(event.channel, "design_rate"));
   metrics_.erase(channel_metric(event.channel, "achieved_rate"));
+  metrics_.erase(channel_metric(event.channel, "control.stragglers"));
+  metrics_.erase(channel_metric(event.channel, "control.degraded_edges"));
+  metrics_.erase(channel_metric(event.channel, "control.overrides"));
   channels_.erase(it);
 }
 
@@ -213,9 +236,15 @@ void Runtime::on_node_join(const Event& event) {
     if (!is_valid_bandwidth(spec.bandwidth)) {
       throw std::invalid_argument("Runtime: invalid join bandwidth");
     }
+    if (spec.wan) dataplane::check_link_profile(spec.profile, "Runtime: join");
   }
   for (const NodeSpec& spec : event.joins) {
-    nodes_.push_back(Node{spec.bandwidth, spec.guarded, true});
+    Node node;
+    node.bandwidth = spec.bandwidth;
+    node.guarded = spec.guarded;
+    node.wan = spec.wan;
+    node.profile = spec.profile;
+    nodes_.push_back(node);
     ++alive_peers_;
   }
   if (event.joins.empty() || config_.join_policy == JoinPolicy::kIgnore) {
@@ -346,6 +375,66 @@ void Runtime::on_renegotiate(const Event& event) {
   }
 }
 
+void Runtime::on_degrade(const Event& event) {
+  // Validate the whole batch before mutating (mirrors join/leave).
+  for (const Degradation& degrade : event.degrades) {
+    if (degrade.node <= 0 ||
+        degrade.node >= static_cast<int>(nodes_.size()) ||
+        !nodes_[static_cast<std::size_t>(degrade.node)].alive) {
+      throw std::invalid_argument("Runtime: degradation of unknown/dead node");
+    }
+    if (degrade.set_factor &&
+        (!(degrade.capacity_factor > 0.0) || degrade.capacity_factor > 1.0)) {
+      throw std::invalid_argument("Runtime: capacity_factor in (0, 1]");
+    }
+    if (degrade.set_profile && degrade.clear_profile) {
+      throw std::invalid_argument(
+          "Runtime: set_profile and clear_profile are exclusive");
+    }
+    if (degrade.set_profile) {
+      dataplane::check_link_profile(degrade.profile, "Runtime: degradation");
+    }
+  }
+  const dataplane::LinkProfile defaults{
+      config_.dataplane.execution.loss_rate,
+      config_.dataplane.execution.latency, 0.0};
+  for (const Degradation& degrade : event.degrades) {
+    Node& info = nodes_[static_cast<std::size_t>(degrade.node)];
+    if (degrade.set_factor) info.capacity_factor = degrade.capacity_factor;
+    if (degrade.set_profile) {
+      info.wan = true;
+      info.profile = degrade.profile;
+    } else if (degrade.clear_profile) {
+      info.wan = false;
+      info.profile = dataplane::LinkProfile{};
+    }
+    metrics_.inc("degrade.nodes");
+  }
+  if (!config_.dataplane.execute) return;
+  // The planner is deliberately not told; only the live executions change.
+  for (auto& [id, channel] : channels_) {
+    (void)id;
+    if (!channel.execution) continue;
+    for (const Degradation& degrade : event.degrades) {
+      const auto it = channel.dp_of_node.find(degrade.node);
+      if (it == channel.dp_of_node.end()) continue;
+      const Node& info = nodes_[static_cast<std::size_t>(degrade.node)];
+      if (degrade.set_factor) {
+        channel.execution->set_effective_capacity(
+            it->second, info.capacity_factor < 1.0
+                            ? info.capacity_factor * info.bandwidth *
+                                  channel.grant.fraction
+                            : -1.0);
+      }
+      if (degrade.set_profile) {
+        channel.execution->set_egress_profile(it->second, degrade.profile);
+      } else if (degrade.clear_profile) {
+        channel.execution->set_egress_profile(it->second, defaults);
+      }
+    }
+  }
+}
+
 const engine::Session* Runtime::session(int channel) const {
   const auto it = channels_.find(channel);
   return it == channels_.end() ? nullptr : it->second.session.get();
@@ -356,8 +445,33 @@ const dataplane::Execution* Runtime::execution(int channel) const {
   return it == channels_.end() ? nullptr : it->second.execution.get();
 }
 
+const control::Controller* Runtime::controller(int channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? nullptr : it->second.controller.get();
+}
+
 void Runtime::advance_executions(double t) {
   if (!config_.dataplane.execute) return;
+  if (!config_.control.enabled) {
+    advance_streams_to(t);
+    return;
+  }
+  // Stop at every sampling boundary on the global interval grid so each
+  // channel's controller observes its stream at deterministic instants,
+  // regardless of how event times fall between them.
+  const double interval = config_.control.controller.sample_interval;
+  while (true) {
+    const double boundary =
+        static_cast<double>(control_ticks_done_ + 1) * interval;
+    if (boundary > t) break;
+    advance_streams_to(boundary);
+    ++control_ticks_done_;
+    control_tick(boundary);
+  }
+  advance_streams_to(t);
+}
+
+void Runtime::advance_streams_to(double t) {
   const double dt = t - dp_clock_;
   for (auto& [id, channel] : channels_) {
     (void)id;
@@ -367,10 +481,171 @@ void Runtime::advance_executions(double t) {
       // StreamReport's sustained_ratio is measured against this.
       channel.design_integral += channel.session->design_rate() * dt /
                                  config_.dataplane.execution.chunk_size;
+      // ... and the *emission* promise (the controller's straggler
+      // reference: what the stream actually tried to deliver).
+      channel.control_expected += channel.session->current_rate() * dt;
     }
     channel.execution->run_until(t);
   }
   dp_clock_ = t;
+}
+
+void Runtime::control_tick(double t) {
+  for (auto& [id, channel] : channels_) {
+    if (!channel.execution || !channel.controller) continue;
+    const dataplane::Execution& exec = *channel.execution;
+    const engine::Session& session = *channel.session;
+    const double chunk = config_.dataplane.execution.chunk_size;
+    metrics_.inc("control.samples");
+
+    control::TickInputs inputs;
+    inputs.now = t;
+    inputs.window = t - channel.last_control_time;
+    channel.last_control_time = t;
+    inputs.expected_delta = channel.control_expected;
+    inputs.chunk_size = chunk;
+    channel.control_expected = 0.0;
+
+    // Per-node samples in ascending runtime-id order (dp_of_node is an
+    // ordered map); capacities come from the session's current slots.
+    const std::vector<double> caps = session.capacities();
+    std::map<int, double> granted;
+    for (std::size_t slot = 0; slot < caps.size(); ++slot) {
+      granted[channel.node_of_slot[slot]] = caps[slot];
+    }
+    const double warmup_grace = config_.control.controller.warmup_grace;
+    std::map<int, int> rid_of_dp;
+    for (const auto& [rid, dp] : channel.dp_of_node) {
+      rid_of_dp[dp] = rid;
+      control::NodeSample sample;
+      sample.id = rid;
+      sample.nominal = nodes_[static_cast<std::size_t>(rid)].bandwidth *
+                       channel.grant.fraction;
+      const auto grant_it = granted.find(rid);
+      sample.granted = grant_it == granted.end() ? 0.0 : grant_it->second;
+      sample.delivered = exec.delivered(dp) * chunk;
+      const dataplane::NodeProgress progress = exec.progress(dp);
+      sample.judgeable = dp != 0 && progress.alive &&
+                         progress.joined + warmup_grace <= t - inputs.window;
+      inputs.nodes.push_back(sample);
+    }
+    // Per-edge samples, re-keyed from execution ids to runtime ids and
+    // re-sorted so the controller's iteration order is stable.
+    for (const dataplane::EdgeStats& stats : exec.edge_stats()) {
+      const auto from_it = rid_of_dp.find(stats.from);
+      const auto to_it = rid_of_dp.find(stats.to);
+      if (from_it == rid_of_dp.end() || to_it == rid_of_dp.end()) continue;
+      control::EdgeSample sample;
+      sample.from = from_it->second;
+      sample.to = to_it->second;
+      sample.rate = stats.rate;
+      sample.busy_time = stats.busy_time;
+      sample.completed = stats.completed;
+      sample.sent = stats.sent;
+      sample.lost = stats.lost;
+      inputs.edges.push_back(sample);
+    }
+    std::sort(inputs.edges.begin(), inputs.edges.end(),
+              [](const control::EdgeSample& a, const control::EdgeSample& b) {
+                return std::make_pair(a.from, a.to) <
+                       std::make_pair(b.from, b.to);
+              });
+
+    const control::Directive directive = channel.controller->tick(inputs);
+    metrics_.inc("control.straggler_detections",
+                 static_cast<std::uint64_t>(directive.straggler_trips));
+    metrics_.inc("control.edge_detections",
+                 static_cast<std::uint64_t>(directive.edge_trips));
+    metrics_.set(channel_metric(id, "control.stragglers"),
+                 static_cast<double>(directive.stragglers));
+    metrics_.set(channel_metric(id, "control.degraded_edges"),
+                 static_cast<double>(directive.degraded_edges));
+    metrics_.set(channel_metric(id, "control.overrides"),
+                 static_cast<double>(directive.factors.size()));
+    if (directive.act) apply_directive(id, channel, directive, t);
+  }
+}
+
+void Runtime::apply_directive(int id, Channel& channel,
+                              const control::Directive& directive, double t) {
+  const double rate_before = channel.session->current_rate();
+  const Instance& instance = channel.session->instance();
+  engine::AdaptationRequest request;
+  request.force_replan = directive.force_replan;
+  // Effective caps per current slot: the broker-granted nominal scaled by
+  // the controller's capacity-class factor.
+  request.capacities.resize(static_cast<std::size_t>(instance.size()));
+  std::map<int, int> slot_of_node;
+  for (int slot = 0; slot < instance.size(); ++slot) {
+    const int rid = channel.node_of_slot[static_cast<std::size_t>(slot)];
+    slot_of_node[rid] = slot;
+    double factor = 1.0;
+    const auto it = directive.factors.find(rid);
+    if (it != directive.factors.end()) factor = it->second;
+    request.capacities[static_cast<std::size_t>(slot)] =
+        nodes_[static_cast<std::size_t>(rid)].bandwidth *
+        channel.grant.fraction * factor;
+  }
+  for (const auto& [from, to, limit] : directive.edge_limits) {
+    const auto from_it = slot_of_node.find(from);
+    const auto to_it = slot_of_node.find(to);
+    if (from_it == slot_of_node.end() || to_it == slot_of_node.end()) continue;
+    request.edge_limits.emplace_back(from_it->second, to_it->second, limit);
+  }
+
+  const engine::ChurnOutcome outcome = channel.session->adapt(request);
+  // Same node set, new sorted order: remap slots through original_id.
+  const Instance& updated = channel.session->instance();
+  std::vector<int> remapped(static_cast<std::size_t>(updated.size()));
+  for (int slot = 0; slot < updated.size(); ++slot) {
+    remapped[static_cast<std::size_t>(slot)] =
+        channel.node_of_slot[static_cast<std::size_t>(
+            updated.original_id(slot))];
+  }
+  channel.node_of_slot = std::move(remapped);
+
+  metrics_.inc("control.demotions",
+               static_cast<std::uint64_t>(directive.demotions));
+  metrics_.inc("control.restores",
+               static_cast<std::uint64_t>(directive.restores));
+  metrics_.inc("control.reroutes",
+               static_cast<std::uint64_t>(directive.reroutes));
+  metrics_.inc(outcome.full_replan ? "control.replans" : "control.repairs");
+  metrics_.observe("control.drift", directive.drift);
+  // Every adapted overlay went through flow verification (repair_scheme's
+  // verifier or the planner's verify_plans) — fold into the verify.* view.
+  metrics_.inc("verify.calls",
+               static_cast<std::uint64_t>(outcome.verify_calls));
+  metrics_.inc("verify.tier_sweep",
+               static_cast<std::uint64_t>(outcome.verify_sweep));
+  metrics_.inc("verify.tier_maxflow",
+               static_cast<std::uint64_t>(outcome.verify_maxflow));
+  if (config_.collect_timing) {
+    metrics_.observe("timing.verify.us", outcome.verify_us);
+  }
+  if (rate_before > 0.0) {
+    metrics_.observe("control.recovered_ratio",
+                     outcome.achieved_rate / rate_before);
+  }
+  set_channel_gauges(id, channel);
+  // The adapted overlay splices into the running stream — no restart; the
+  // source re-paces to the newly verified rate.
+  sync_execution(id, channel);
+
+  ControlReport report;
+  report.time = t;
+  report.channel = id;
+  report.demotions = directive.demotions;
+  report.restores = directive.restores;
+  report.reroutes = directive.reroutes;
+  report.stragglers = directive.stragglers;
+  report.degraded_edges = directive.degraded_edges;
+  report.drift = directive.drift;
+  report.replan = directive.force_replan;
+  report.full_replan = outcome.full_replan;
+  report.rate_before = rate_before;
+  report.rate_after = outcome.achieved_rate;
+  control_log_.push_back(report);
 }
 
 void Runtime::sync_execution(int id, Channel& channel) {
@@ -398,15 +673,27 @@ void Runtime::sync_execution(int id, Channel& channel) {
   for (int slot = 0; slot < instance.size(); ++slot) {
     const int node = channel.node_of_slot[static_cast<std::size_t>(slot)];
     const auto it = channel.dp_of_node.find(node);
+    const Node& info = nodes_[static_cast<std::size_t>(node)];
+    int dp;
     if (it == channel.dp_of_node.end()) {
-      const int dp = exec.add_node(instance.b(slot));
+      dp = exec.add_node(instance.b(slot));
       channel.dp_of_node.emplace(node, dp);
       // A live-edge joiner is only on the hook for chunks emitted after it
       // arrived.
       channel.expected_at_join.emplace(dp, channel.design_integral);
+      // The effective world follows the node into this stream: an already
+      // WAN-classed peer joins on its class profile.
+      if (info.wan) exec.set_egress_profile(dp, info.profile);
     } else {
-      exec.set_node_budget(it->second, instance.b(slot));
+      dp = it->second;
+      exec.set_node_budget(dp, instance.b(slot));
     }
+    // Brownout caps are absolute (a fraction of the *nominal* channel
+    // grant), so they survive demotions and follow renegotiations.
+    exec.set_effective_capacity(
+        dp, info.capacity_factor < 1.0
+                ? info.capacity_factor * info.bandwidth * channel.grant.fraction
+                : -1.0);
   }
   // Pipes: splice the session's current overlay in, preserving in-flight
   // transmissions on edges that survived.

@@ -24,11 +24,13 @@
 // metrics snapshots (timing.* excluded) and churn logs.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bmp/control/controller.hpp"
 #include "bmp/dataplane/execution.hpp"
 #include "bmp/engine/planner.hpp"
 #include "bmp/engine/session.hpp"
@@ -70,6 +72,18 @@ struct DataPlaneConfig {
   }();
 };
 
+/// Opt-in adaptive control plane (requires execution mode): one
+/// control::Controller per channel samples its stream's telemetry on the
+/// scenario clock, detects stragglers and degraded edges, and closes the
+/// loop — demotions / reroutes / full re-plans flow through
+/// engine::Session::adapt (every adapted scheme flow-verified) and are
+/// live-patched into the running execution. Deterministic: control.*
+/// metrics and the control log replay byte-identically.
+struct ControlConfig {
+  bool enabled = false;
+  control::ControllerConfig controller;
+};
+
 struct RuntimeConfig {
   engine::PlannerConfig planner;  ///< shared cache / thread pool knobs
   engine::SessionConfig session;  ///< repair-vs-replan policy per channel
@@ -77,6 +91,7 @@ struct RuntimeConfig {
   JoinPolicy join_policy = JoinPolicy::kReplan;
   bool collect_timing = true;     ///< record timing.* event-loop latency
   DataPlaneConfig dataplane;      ///< chunk-level execution mode
+  ControlConfig control;          ///< telemetry-driven adaptation
 };
 
 /// One line of the runtime's churn audit trail: how a channel fared at one
@@ -119,6 +134,23 @@ struct StreamReport {
   bool rate_within_verified = true;
 };
 
+/// One line of the adaptation audit trail: what a channel's controller did
+/// at one sampling boundary (only boundaries with actions are logged).
+struct ControlReport {
+  double time = 0.0;
+  int channel = -1;
+  int demotions = 0;
+  int restores = 0;
+  int reroutes = 0;
+  int stragglers = 0;      ///< straggler count at decision time
+  int degraded_edges = 0;
+  double drift = 0.0;      ///< L1 capacity drift of the directive
+  bool replan = false;     ///< controller escalated past the drift bound
+  bool full_replan = false;///< session actually re-planned (incl. fallback)
+  double rate_before = 0.0;
+  double rate_after = 0.0; ///< flow-verified rate of the adapted overlay
+};
+
 class Runtime {
  public:
   /// `initial_peers[k]` becomes runtime node id k + 1; id 0 is the source.
@@ -145,9 +177,16 @@ class Runtime {
   /// The live chunk execution of `channel`; nullptr unless execution mode
   /// is on and the channel is open (and not yet drained).
   [[nodiscard]] const dataplane::Execution* execution(int channel) const;
+  /// The channel's controller (keyed by runtime node ids); nullptr unless
+  /// the control plane is on and the channel is open.
+  [[nodiscard]] const control::Controller* controller(int channel) const;
   /// Stream outcomes of closed (or drained) channels, in close order.
   [[nodiscard]] const std::vector<StreamReport>& stream_log() const {
     return stream_log_;
+  }
+  /// Adaptation actions taken by per-channel controllers, in tick order.
+  [[nodiscard]] const std::vector<ControlReport>& control_log() const {
+    return control_log_;
   }
   /// Execution mode: advances every live chunk stream to time `t`
   /// (>= now()), lets their tails drain, and finalizes a StreamReport per
@@ -166,6 +205,11 @@ class Runtime {
     double bandwidth = 0.0;
     bool guarded = false;
     bool alive = true;
+    // Effective-world state (kDegrade events): applied to every channel's
+    // execution, invisible to the planner — the control plane's problem.
+    double capacity_factor = 1.0;
+    bool wan = false;  ///< `profile` overrides the execution-config default
+    dataplane::LinkProfile profile;
   };
   struct Channel {
     Grant grant;
@@ -181,6 +225,10 @@ class Runtime {
     double open_time = 0.0;
     double design_integral = 0.0;  ///< integral of design rate / chunk_size
     double max_verified = 0.0;     ///< peak verified rate over the life
+    // ---- control plane ----
+    std::unique_ptr<control::Controller> controller;
+    double control_expected = 0.0;   ///< emission integral since last tick
+    double last_control_time = 0.0;  ///< previous sampling boundary
     // counter snapshots for delta export into the metrics registry
     std::uint64_t seen_delivered = 0;
     std::uint64_t seen_losses = 0;
@@ -194,10 +242,20 @@ class Runtime {
   void on_node_join(const Event& event);
   void on_node_leave(const Event& event);
   void on_renegotiate(const Event& event);
+  void on_degrade(const Event& event);
 
   /// Execution mode: run every live stream up to `t` on the scenario clock
-  /// and accumulate each channel's design-rate integral.
+  /// and accumulate each channel's design-rate integral. With the control
+  /// plane on, the advance stops at every sampling boundary on the global
+  /// interval grid and ticks each channel's controller there.
   void advance_executions(double t);
+  /// One contiguous segment of stream time (no control boundary inside).
+  void advance_streams_to(double t);
+  /// Samples every live channel's telemetry at boundary `t`, runs its
+  /// controller, and applies any resulting directive.
+  void control_tick(double t);
+  void apply_directive(int id, Channel& channel,
+                       const control::Directive& directive, double t);
   /// Reconciles a channel's execution with its (re)planned session: nodes
   /// added/removed, pipes spliced to the current overlay, emission paced at
   /// the verified current rate. Called after every session change.
@@ -222,8 +280,13 @@ class Runtime {
   std::map<int, Channel> channels_;  // ordered: deterministic event handling
   std::vector<ChurnReport> churn_log_;
   std::vector<StreamReport> stream_log_;
+  std::vector<ControlReport> control_log_;
   double now_ = 0.0;
   double dp_clock_ = 0.0;  ///< time every live execution has reached
+  /// Sampling boundaries processed so far: boundary k + 1 sits at
+  /// (k + 1) * sample_interval on the scenario clock (an integer counter,
+  /// so the grid never accumulates floating-point drift).
+  std::int64_t control_ticks_done_ = 0;
 };
 
 }  // namespace bmp::runtime

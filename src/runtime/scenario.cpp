@@ -19,6 +19,7 @@ void check_class(const NodeClassSpec& spec, const char* where) {
     throw std::invalid_argument(std::string(where) +
                                 ": bandwidth_scale must be > 0");
   }
+  if (spec.wan) dataplane::check_link_profile(spec.profile, where);
 }
 
 /// One peer draw from a class template.
@@ -26,6 +27,8 @@ NodeSpec draw_node(const NodeClassSpec& spec, util::Xoshiro256& rng) {
   NodeSpec node;
   node.bandwidth = spec.bandwidth_scale * gen::sample(spec.dist, rng);
   node.guarded = rng.uniform() >= spec.p_open;
+  node.wan = spec.wan;
+  node.profile = spec.profile;
   return node;
 }
 
@@ -37,7 +40,17 @@ double exponential(double rate, util::Xoshiro256& rng) {
 /// An intermediate record: either a fully resolved event, or a population
 /// action whose node picks are deferred to the time-ordered sweep.
 struct Tick {
-  enum class Kind { kEvent, kCrowdJoin, kCrowdLeave, kDiurnal, kFailure };
+  enum class Kind {
+    kEvent,
+    kCrowdJoin,
+    kCrowdLeave,
+    kDiurnal,
+    kFailure,
+    kBrownoutStart,
+    kBrownoutEnd,
+    kLinkStart,
+    kLinkEnd,
+  };
   double time = 0.0;
   std::uint64_t order = 0;  ///< creation order, tie-break
   Kind kind = Kind::kEvent;
@@ -126,6 +139,26 @@ Scenario& Scenario::correlated_failure(const CorrelatedFailureSpec& spec) {
   return *this;
 }
 
+Scenario& Scenario::brownout(const BrownoutSpec& spec) {
+  if (spec.time < 0.0 || spec.fraction < 0.0 || spec.fraction > 1.0 ||
+      !(spec.capacity_factor > 0.0) || spec.capacity_factor > 1.0 ||
+      spec.population_class < -1) {
+    throw std::invalid_argument("Scenario::brownout: bad spec");
+  }
+  brownouts_.push_back(spec);
+  return *this;
+}
+
+Scenario& Scenario::degrade_links(const LinkDegradeSpec& spec) {
+  if (spec.time < 0.0 || spec.fraction < 0.0 || spec.fraction > 1.0 ||
+      spec.population_class < -1) {
+    throw std::invalid_argument("Scenario::degrade_links: bad spec");
+  }
+  dataplane::check_link_profile(spec.profile, "Scenario::degrade_links");
+  link_degrades_.push_back(spec);
+  return *this;
+}
+
 Scenario& Scenario::renegotiate_every(double interval, double utilization) {
   if (!(interval > 0.0) || !(utilization > 0.0) || utilization > 1.0) {
     throw std::invalid_argument("Scenario::renegotiate_every: bad spec");
@@ -139,16 +172,33 @@ ScenarioScript Scenario::build() const {
   ScenarioScript script;
   script.source_bandwidth = source_bandwidth_;
 
-  // Initial population: class by class, bandwidth draws then firewall flags.
+  for (const BrownoutSpec& spec : brownouts_) {
+    if (spec.population_class >= static_cast<int>(population_.size())) {
+      throw std::invalid_argument("Scenario::brownout: unknown class");
+    }
+  }
+  for (const LinkDegradeSpec& spec : link_degrades_) {
+    if (spec.population_class >= static_cast<int>(population_.size())) {
+      throw std::invalid_argument("Scenario::degrade_links: unknown class");
+    }
+  }
+
+  // Initial population: class by class, bandwidth draws then firewall
+  // flags; each peer remembers its class ("region") for the adaptive layer.
+  std::vector<int> initial_class;
   util::Xoshiro256 pop = root.fork(1);
-  for (const NodeClassSpec& cls : population_) {
+  for (std::size_t c = 0; c < population_.size(); ++c) {
+    const NodeClassSpec& cls = population_[c];
     const std::vector<double> bandwidths =
         gen::sample_many(cls.dist, cls.count, pop);
     for (const double bw : bandwidths) {
       NodeSpec node;
       node.bandwidth = cls.bandwidth_scale * bw;
       node.guarded = pop.uniform() >= cls.p_open;
+      node.wan = cls.wan;
+      node.profile = cls.profile;
       script.initial_peers.push_back(node);
+      initial_class.push_back(static_cast<int>(c));
     }
   }
 
@@ -245,6 +295,24 @@ ScenarioScript Scenario::build() const {
       push(failures_[f].time, Tick::Kind::kFailure, static_cast<int>(f));
     }
   }
+  for (std::size_t b = 0; b < brownouts_.size(); ++b) {
+    const BrownoutSpec& spec = brownouts_[b];
+    if (spec.time > horizon_) continue;
+    push(spec.time, Tick::Kind::kBrownoutStart, static_cast<int>(b));
+    if (spec.duration >= 0.0 && spec.time + spec.duration <= horizon_) {
+      push(spec.time + spec.duration, Tick::Kind::kBrownoutEnd,
+           static_cast<int>(b));
+    }
+  }
+  for (std::size_t d = 0; d < link_degrades_.size(); ++d) {
+    const LinkDegradeSpec& spec = link_degrades_[d];
+    if (spec.time > horizon_) continue;
+    push(spec.time, Tick::Kind::kLinkStart, static_cast<int>(d));
+    if (spec.duration >= 0.0 && spec.time + spec.duration <= horizon_) {
+      push(spec.time + spec.duration, Tick::Kind::kLinkEnd,
+           static_cast<int>(d));
+    }
+  }
   for (const Renegotiation& renegotiation : renegotiations_) {
     Event event;
     event.type = EventType::kRenegotiate;
@@ -266,11 +334,19 @@ ScenarioScript Scenario::build() const {
   util::Xoshiro256 sweep = root.fork(4);
   std::vector<int> alive;
   std::vector<char> is_alive(1, 0);  // id-indexed; source id 0 never alive here
+  // Per-id adaptive-layer state: the initial-population class ("region",
+  // -1 for later joiners) and the base WAN profile restores fall back to.
+  std::vector<int> class_of(1, -1);
+  std::vector<std::pair<bool, dataplane::LinkProfile>> base_profile(
+      1, {false, dataplane::LinkProfile{}});
   int next_id = 1;
-  const auto add_peer = [&]() {
+  const auto add_peer = [&](int cls, bool wan,
+                            const dataplane::LinkProfile& profile) {
     const int id = next_id++;
     alive.push_back(id);
     is_alive.push_back(1);
+    class_of.push_back(cls);
+    base_profile.emplace_back(wan, profile);
     return id;
   };
   const auto remove_peer = [&](int id) {
@@ -279,9 +355,24 @@ ScenarioScript Scenario::build() const {
     alive.pop_back();
     is_alive[static_cast<std::size_t>(id)] = 0;
   };
-  for (std::size_t k = 0; k < script.initial_peers.size(); ++k) add_peer();
+  for (std::size_t k = 0; k < script.initial_peers.size(); ++k) {
+    const NodeSpec& peer = script.initial_peers[k];
+    add_peer(initial_class[k], peer.wan, peer.profile);
+  }
+  /// Alive peers a degradation may pick from (one class or everyone).
+  const auto eligible = [&](int cls) {
+    std::vector<int> out;
+    for (const int id : alive) {
+      if (cls < 0 || class_of[static_cast<std::size_t>(id)] == cls) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  };
 
   std::vector<std::vector<int>> crowd_ids(crowds_.size());
+  std::vector<std::vector<int>> brownout_ids(brownouts_.size());
+  std::vector<std::vector<int>> link_ids(link_degrades_.size());
   for (const Tick& tick : ticks) {
     switch (tick.kind) {
       case Tick::Kind::kEvent: {
@@ -296,8 +387,10 @@ ScenarioScript Scenario::build() const {
         event.type = EventType::kNodeJoin;
         event.time = tick.time;
         for (int j = 0; j < spec.joins; ++j) {
-          event.joins.push_back(draw_node(spec.node_class, sweep));
-          crowd_ids[static_cast<std::size_t>(tick.index)].push_back(add_peer());
+          const NodeSpec node = draw_node(spec.node_class, sweep);
+          event.joins.push_back(node);
+          crowd_ids[static_cast<std::size_t>(tick.index)].push_back(
+              add_peer(-1, node.wan, node.profile));
         }
         script.events.push_back(std::move(event));
         break;
@@ -331,8 +424,9 @@ ScenarioScript Scenario::build() const {
         event.time = tick.time;
         if (sweep.uniform() < spec.rejoin_probability) {
           event.type = EventType::kNodeJoin;
-          event.joins.push_back(draw_node(spec.node_class, sweep));
-          add_peer();
+          const NodeSpec node = draw_node(spec.node_class, sweep);
+          event.joins.push_back(node);
+          add_peer(-1, node.wan, node.profile);
         } else {
           if (alive.empty()) break;
           event.type = EventType::kNodeLeave;
@@ -362,6 +456,91 @@ ScenarioScript Scenario::build() const {
           remove_peer(id);
         }
         script.events.push_back(std::move(event));
+        break;
+      }
+      case Tick::Kind::kBrownoutStart: {
+        const BrownoutSpec& spec =
+            brownouts_[static_cast<std::size_t>(tick.index)];
+        const std::vector<int> candidates = eligible(spec.population_class);
+        const auto want = static_cast<std::size_t>(
+            spec.fraction * static_cast<double>(candidates.size()));
+        const std::vector<int> picks = sim::sample_departures(
+            static_cast<int>(candidates.size()),
+            std::min(want, candidates.size()), sweep);
+        if (picks.empty()) break;
+        Event event;
+        event.type = EventType::kDegrade;
+        event.time = tick.time;
+        for (const int pick : picks) {
+          const int id = candidates[static_cast<std::size_t>(pick - 1)];
+          Degradation degrade;
+          degrade.node = id;
+          degrade.set_factor = true;
+          degrade.capacity_factor = spec.capacity_factor;
+          event.degrades.push_back(degrade);
+          brownout_ids[static_cast<std::size_t>(tick.index)].push_back(id);
+        }
+        script.events.push_back(std::move(event));
+        break;
+      }
+      case Tick::Kind::kBrownoutEnd: {
+        Event event;
+        event.type = EventType::kDegrade;
+        event.time = tick.time;
+        for (const int id : brownout_ids[static_cast<std::size_t>(tick.index)]) {
+          if (!is_alive[static_cast<std::size_t>(id)]) continue;
+          Degradation degrade;
+          degrade.node = id;
+          degrade.set_factor = true;
+          degrade.capacity_factor = 1.0;
+          event.degrades.push_back(degrade);
+        }
+        if (!event.degrades.empty()) script.events.push_back(std::move(event));
+        break;
+      }
+      case Tick::Kind::kLinkStart: {
+        const LinkDegradeSpec& spec =
+            link_degrades_[static_cast<std::size_t>(tick.index)];
+        const std::vector<int> candidates = eligible(spec.population_class);
+        const auto want = static_cast<std::size_t>(
+            spec.fraction * static_cast<double>(candidates.size()));
+        const std::vector<int> picks = sim::sample_departures(
+            static_cast<int>(candidates.size()),
+            std::min(want, candidates.size()), sweep);
+        if (picks.empty()) break;
+        Event event;
+        event.type = EventType::kDegrade;
+        event.time = tick.time;
+        for (const int pick : picks) {
+          const int id = candidates[static_cast<std::size_t>(pick - 1)];
+          Degradation degrade;
+          degrade.node = id;
+          degrade.set_profile = true;
+          degrade.profile = spec.profile;
+          event.degrades.push_back(degrade);
+          link_ids[static_cast<std::size_t>(tick.index)].push_back(id);
+        }
+        script.events.push_back(std::move(event));
+        break;
+      }
+      case Tick::Kind::kLinkEnd: {
+        Event event;
+        event.type = EventType::kDegrade;
+        event.time = tick.time;
+        for (const int id : link_ids[static_cast<std::size_t>(tick.index)]) {
+          if (!is_alive[static_cast<std::size_t>(id)]) continue;
+          Degradation degrade;
+          degrade.node = id;
+          const auto& base = base_profile[static_cast<std::size_t>(id)];
+          if (base.first) {
+            degrade.set_profile = true;
+            degrade.profile = base.second;
+          } else {
+            degrade.clear_profile = true;
+          }
+          event.degrades.push_back(degrade);
+        }
+        if (!event.degrades.empty()) script.events.push_back(std::move(event));
         break;
       }
     }

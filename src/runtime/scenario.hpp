@@ -25,12 +25,17 @@
 namespace bmp::runtime {
 
 /// A heterogeneous class of peers: `count` draws from `dist` (scaled),
-/// each open with probability `p_open`.
+/// each open with probability `p_open`. A class may carry an egress WAN
+/// LinkProfile (loss / latency / rate jitter) — in execution mode every
+/// pipe out of a member inherits it, so edge behaviour is classed instead
+/// of sharing one global loss rate.
 struct NodeClassSpec {
   int count = 0;
   double p_open = 0.5;
   gen::Dist dist = gen::Dist::kUnif100;
   double bandwidth_scale = 1.0;
+  bool wan = false;  ///< assign `profile` to members' egress
+  dataplane::LinkProfile profile;
 };
 
 /// A channel with scripted open/close times. `close_time < 0` keeps it
@@ -80,6 +85,36 @@ struct CorrelatedFailureSpec {
   double fraction = 0.1;
 };
 
+// ------------------------------------------------------ adaptive scenarios
+// Mid-stream degradations of the *effective* world: the planner keeps its
+// nominal capacities, the dataplane delivers less, and the adaptive
+// control plane has to detect and re-plan around it. Both specs pick a
+// correlated set of alive peers at one instant (optionally restricted to
+// one initial-population class — a "region"), degrade them together, and
+// restore them together `duration` later (duration < 0 = permanent).
+
+/// A capacity brownout: the picked peers' effective egress capacity drops
+/// to `capacity_factor` of nominal.
+struct BrownoutSpec {
+  double time = 0.0;
+  double duration = -1.0;        ///< < 0: never restored
+  double fraction = 0.1;         ///< of the eligible alive peers at `time`
+  double capacity_factor = 0.25; ///< effective multiplier in (0, 1]
+  /// Restrict picks to initial-population class k (index into the order
+  /// population() was called); -1 = the whole alive population.
+  int population_class = -1;
+};
+
+/// A WAN degradation: the picked peers' egress LinkProfile switches to
+/// `profile` (restored to their class profile / defaults afterwards).
+struct LinkDegradeSpec {
+  double time = 0.0;
+  double duration = -1.0;
+  double fraction = 0.1;
+  dataplane::LinkProfile profile;
+  int population_class = -1;
+};
+
 /// The compiled scenario: initial population plus the replayable stream.
 struct ScenarioScript {
   double source_bandwidth = 0.0;
@@ -98,6 +133,10 @@ class Scenario {
   Scenario& flash_crowd(const FlashCrowdSpec& spec);
   Scenario& diurnal_churn(const DiurnalChurnSpec& spec);
   Scenario& correlated_failure(const CorrelatedFailureSpec& spec);
+  /// Adaptive layer: a correlated effective-capacity brownout.
+  Scenario& brownout(const BrownoutSpec& spec);
+  /// Adaptive layer: a correlated WAN-profile degradation.
+  Scenario& degrade_links(const LinkDegradeSpec& spec);
   /// Rebalances grants every `interval`, fair shares summing to
   /// `utilization` of broker capacity.
   Scenario& renegotiate_every(double interval, double utilization = 1.0);
@@ -115,6 +154,8 @@ class Scenario {
   std::vector<FlashCrowdSpec> crowds_;
   std::vector<DiurnalChurnSpec> diurnal_;
   std::vector<CorrelatedFailureSpec> failures_;
+  std::vector<BrownoutSpec> brownouts_;
+  std::vector<LinkDegradeSpec> link_degrades_;
   struct Renegotiation {
     double interval;
     double utilization;

@@ -227,6 +227,130 @@ TEST(Execution, LateJoinerStartsAtTheLiveEdge) {
   EXPECT_EQ(exec.delivered(a), 20);
 }
 
+// ------------------------------------------------------- effective world
+
+TEST(Execution, EffectiveCapacityThrottlesProportionally) {
+  // Nominal plan: two rate-1 pipes out of the source. A brownout capping
+  // the source at 1.0 halves every transmission's wire rate, so the run
+  // takes twice as long — and removing the cap restores nominal timing.
+  const auto run = [](double cap) {
+    Execution exec(file_config(4));
+    const int source = exec.add_node(2.0);
+    const int a = exec.add_node(0.0);
+    const int b = exec.add_node(0.0);
+    exec.set_edge(source, a, 1.0);
+    exec.set_edge(source, b, 1.0);
+    if (cap > 0.0) exec.set_effective_capacity(source, cap);
+    exec.run_to_completion();
+    return std::max(exec.completion_time(a), exec.completion_time(b));
+  };
+  EXPECT_DOUBLE_EQ(run(-1.0), 4.0);
+  EXPECT_DOUBLE_EQ(run(1.0), 8.0);
+  // A plan refitted inside the cap is not throttled at all: that is the
+  // lever the adaptive control plane pulls.
+  Execution refit(file_config(4));
+  const int source = refit.add_node(2.0);
+  const int a = refit.add_node(0.0);
+  refit.set_effective_capacity(source, 1.0);
+  refit.set_edge(source, a, 1.0);  // planned egress == effective capacity
+  refit.run_to_completion();
+  EXPECT_DOUBLE_EQ(refit.completion_time(a), 4.0);
+}
+
+TEST(Execution, EgressProfileClassesAndEdgeOverride) {
+  ExecutionConfig config = file_config(60);
+  config.seed = 17;
+  const auto run = [&](bool lossy_egress, bool clean_override) {
+    Execution exec(config);
+    const int source = exec.add_node(1.0);
+    const int a = exec.add_node(0.0);
+    if (lossy_egress) exec.set_egress_profile(source, {0.3, 0.0, 0.0});
+    if (clean_override) exec.set_edge_profile(source, a, LinkProfile{});
+    exec.set_edge(source, a, 1.0);
+    exec.run_to_completion();
+    return exec;
+  };
+  const Execution clean = run(false, false);
+  EXPECT_EQ(clean.losses(), 0u);
+  const Execution lossy = run(true, false);
+  EXPECT_GT(lossy.losses(), 0u);
+  const std::vector<EdgeStats> stats = lossy.edge_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].lost, lossy.losses());
+  EXPECT_EQ(stats[0].delivered, 60u);
+  EXPECT_EQ(stats[0].sent, 60u + lossy.losses());
+  // A per-edge override beats the sender's egress class.
+  const Execution overridden = run(true, true);
+  EXPECT_EQ(overridden.losses(), 0u);
+}
+
+TEST(Execution, RateJitterSlowsButReplaysDeterministically) {
+  ExecutionConfig config = file_config(50);
+  config.seed = 23;
+  const auto run = [&] {
+    Execution exec(config);
+    const int source = exec.add_node(1.0);
+    const int a = exec.add_node(0.0);
+    exec.set_egress_profile(source, {0.0, 0.0, 0.5});
+    exec.set_edge(source, a, 1.0);
+    exec.run_to_completion();
+    return exec.completion_time(1);
+  };
+  const double jittered = run();
+  EXPECT_GT(jittered, 50.0);       // strictly slower than nominal
+  EXPECT_LT(jittered, 2.0 * 50.0); // jitter is bounded below 2x
+  EXPECT_DOUBLE_EQ(jittered, run());
+}
+
+TEST(Execution, ScanIndexPicksMatchTheLinearScan) {
+  // Differential: the per-rarity bucket index must pick the identical
+  // chunk as the linear window scan at every send — identical event
+  // streams, to the bit, loss and all.
+  util::Xoshiro256 rng(9);
+  const Instance platform =
+      gen::random_instance({60, 0.6, gen::Dist::kUnif100}, rng);
+  const AcyclicSolution solution = solve_acyclic(platform);
+  ExecutionConfig config;
+  config.chunk_size = solution.throughput * 0.05;
+  config.total_chunks = 200;
+  config.emission_rate = solution.throughput;
+  config.loss_rate = 0.05;
+  config.seed = 77;
+  const auto run = [&](bool indexed) {
+    config.use_scan_index = indexed;
+    Execution exec(platform, solution.scheme, config);
+    exec.run_to_completion();
+    return exec;
+  };
+  const Execution with_index = run(true);
+  const Execution without = run(false);
+  ASSERT_EQ(with_index.num_nodes(), without.num_nodes());
+  for (int node = 1; node < with_index.num_nodes(); ++node) {
+    EXPECT_DOUBLE_EQ(with_index.completion_time(node),
+                     without.completion_time(node))
+        << "node " << node;
+  }
+  EXPECT_EQ(with_index.losses(), without.losses());
+  EXPECT_EQ(with_index.duplicates(), without.duplicates());
+  EXPECT_EQ(with_index.hol_stalls(), without.hol_stalls());
+}
+
+TEST(Execution, SharpUpwardRerateRestartsTheInFlightTransmission) {
+  ExecutionConfig config = file_config(5);
+  Execution exec(config);
+  const int source = exec.add_node(10.0);
+  const int a = exec.add_node(0.0);
+  exec.set_edge(source, a, 0.01);  // a trickle: 100 s per chunk
+  exec.run_until(1.0);             // mid-glacial-transmission
+  EXPECT_EQ(exec.delivered(a), 0);
+  // Re-planned as an artery: the squatting transmission restarts at the
+  // new rate instead of blocking the wire for another 99 virtual seconds.
+  exec.set_edge(source, a, 10.0);
+  exec.run_to_completion();
+  EXPECT_EQ(exec.delivered(a), 5);
+  EXPECT_LT(exec.completion_time(a), 2.0);
+}
+
 // ------------------------------------------- acceptance: plan vs achieved
 
 TEST(DataPlaneAcceptance, Achieves95PercentOfVerifiedThroughputOn500Nodes) {
