@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bmp/engine/planner.hpp"
+#include "bmp/obs/export.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
 #include "bmp/util/table.hpp"
@@ -54,6 +55,7 @@ struct LoopResult {
   std::uint64_t restores = 0;
   std::uint64_t samples = 0;
   double first_action = -1.0;  ///< scenario time of the first adaptation
+  std::string metrics_json;    ///< final snapshot (timing.* excluded)
 };
 
 LoopResult run_loop(const bmp::runtime::ScenarioScript& script, bool adaptive,
@@ -112,6 +114,8 @@ LoopResult run_loop(const bmp::runtime::ScenarioScript& script, bool adaptive,
   if (!rt.control_log().empty()) {
     result.first_action = rt.control_log().front().time;
   }
+  result.metrics_json =
+      bmp::obs::to_json(rt.metrics().snapshot(), /*include_timing=*/false);
   return result;
 }
 
@@ -207,6 +211,7 @@ int main(int argc, char** argv) {
   json.add("first_action_time", adaptive.first_action);
   json.add("adaptive_wall_seconds", adaptive.seconds);
   json.add_string("status", ok ? "ok" : "warn");
+  json.add_raw("metrics", adaptive.metrics_json);
   if (!json_path.empty()) {
     if (json.write(json_path)) {
       std::cout << "json written to " << json_path << "\n";

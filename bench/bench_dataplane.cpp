@@ -19,6 +19,8 @@
 #include "bmp/core/acyclic_search.hpp"
 #include "bmp/dataplane/execution.hpp"
 #include "bmp/flow/verify.hpp"
+#include "bmp/obs/export.hpp"
+#include "bmp/obs/trace.hpp"
 #include "bmp/gen/generator.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
   const bool quick = bmp::benchutil::has_flag(argc, argv, "--quick") ||
                      bmp::benchutil::env_int("BMP_DATAPLANE_QUICK", 0) != 0;
   const std::string json_path = bmp::benchutil::json_path_arg(argc, argv);
+  const std::string trace_path = bmp::benchutil::trace_path_arg(argc, argv);
   const int peers =
       bmp::benchutil::env_int("BMP_DATAPLANE_PEERS", quick ? 150 : 500);
   const int chunks = quick ? 200 : 300;
@@ -184,6 +187,8 @@ int main(int argc, char** argv) {
   runtime_config.collect_timing = false;
   runtime_config.dataplane.execute = true;
   runtime_config.dataplane.execution.chunk_size = quick ? 4.0 : 20.0;
+  bmp::obs::TraceSink trace;
+  if (!trace_path.empty()) runtime_config.trace = &trace;
 
   const auto churn_start = std::chrono::steady_clock::now();
   bmp::runtime::Runtime runtime(runtime_config, script.source_bandwidth,
@@ -191,6 +196,12 @@ int main(int argc, char** argv) {
   runtime.run(script.events);
   runtime.drain(horizon);
   const double churn_s = seconds_since(churn_start);
+  if (!trace_path.empty()) {
+    std::cout << (trace.write(trace_path) ? "trace written to "
+                                          : "[WARN] could not write ")
+              << trace_path << " (" << trace.events() << " events, "
+              << trace.spans() << " spans)\n";
+  }
 
   double worst_sustained = 1.0;
   int judged = 0;
@@ -234,6 +245,8 @@ int main(int argc, char** argv) {
   json.add("churn_chunks_per_sec", static_cast<double>(churn_delivered) / churn_s);
   json.add("rate_audit_failures", audit_failures);
   json.add_string("status", ok ? "ok" : "warn");
+  json.add_raw("metrics", bmp::obs::to_json(runtime.metrics().snapshot(),
+                                            /*include_timing=*/false));
   if (!json_path.empty()) {
     if (json.write(json_path)) {
       std::cout << "json written to " << json_path << "\n";

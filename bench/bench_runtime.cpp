@@ -12,6 +12,8 @@
 #include <iostream>
 #include <string>
 
+#include "bmp/obs/export.hpp"
+#include "bmp/obs/trace.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
 #include "bmp/util/table.hpp"
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   const bool quick = bmp::benchutil::has_flag(argc, argv, "--quick") ||
                      bmp::benchutil::env_int("BMP_RUNTIME_QUICK", 0) != 0;
   const std::string json_path = bmp::benchutil::json_path_arg(argc, argv);
+  const std::string trace_path = bmp::benchutil::trace_path_arg(argc, argv);
   const int peers =
       bmp::benchutil::env_int("BMP_RUNTIME_PEERS", quick ? 120 : 500);
   const double horizon = quick ? 6.0 : 20.0;
@@ -67,9 +70,17 @@ int main(int argc, char** argv) {
 
   bmp::runtime::RuntimeConfig config;
   config.broker_headroom = 0.05;
+  bmp::obs::TraceSink trace;
+  if (!trace_path.empty()) config.trace = &trace;
   bmp::runtime::Runtime runtime(config, script.source_bandwidth,
                                 script.initial_peers);
   const double elapsed = run_once(script, runtime);
+  if (!trace_path.empty()) {
+    std::cout << (trace.write(trace_path) ? "trace written to "
+                                          : "[WARN] could not write ")
+              << trace_path << " (" << trace.events() << " events, "
+              << trace.spans() << " spans)\n";
+  }
 
   const auto& metrics = runtime.metrics();
   bmp::util::Table t({"metric", "value"});
@@ -163,6 +174,10 @@ int main(int argc, char** argv) {
       json.add("verify_p99_us", vlat->quantile(0.99));
     }
     json.add_string("status", ok ? "ok" : "warn");
+    // The final metrics snapshot rides along whole, so a BENCH artifact is
+    // self-describing without a re-run (timing.* excluded: not replayable).
+    json.add_raw("metrics",
+                 bmp::obs::to_json(metrics.snapshot(), /*include_timing=*/false));
     if (json.write(json_path)) {
       std::cout << "json written to " << json_path << "\n";
     } else {

@@ -67,6 +67,11 @@ class JsonReport {
   void add_string(const std::string& key, const std::string& value) {
     fields_.emplace_back(key, "\"" + escaped(value) + "\"");
   }
+  /// Embeds an already-serialized JSON value verbatim (e.g. the final
+  /// obs::to_json metrics snapshot) — the caller vouches for validity.
+  void add_raw(const std::string& key, const std::string& json) {
+    fields_.emplace_back(key, json);
+  }
 
   [[nodiscard]] std::string to_string() const {
     std::string out = "{\n";
@@ -109,12 +114,22 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Parses `--json <path>` from argv; empty string when absent.
-inline std::string json_path_arg(int argc, char** argv) {
+/// Parses `--<name> <value>` from argv; empty string when absent.
+inline std::string arg_value(int argc, char** argv, const char* flag) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   }
   return {};
+}
+
+/// Parses `--json <path>` from argv; empty string when absent.
+inline std::string json_path_arg(int argc, char** argv) {
+  return arg_value(argc, argv, "--json");
+}
+
+/// Parses `--trace <path>` from argv; empty string when absent.
+inline std::string trace_path_arg(int argc, char** argv) {
+  return arg_value(argc, argv, "--trace");
 }
 
 /// True when `flag` (e.g. "--quick") appears in argv.

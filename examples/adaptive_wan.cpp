@@ -19,10 +19,13 @@
 // adaptation buys: during the brownout the frozen plan's worst node falls
 // far below the post-brownout optimum, the adaptive one stays near it.
 #include <algorithm>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bmp/engine/planner.hpp"
+#include "bmp/obs/trace.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
 #include "bmp/util/table.hpp"
@@ -69,7 +72,8 @@ struct Run {
   std::vector<bmp::runtime::ControlReport> log;
 };
 
-Run run(const bmp::runtime::ScenarioScript& script, bool adaptive) {
+Run run(const bmp::runtime::ScenarioScript& script, bool adaptive,
+        bmp::obs::TraceSink* trace = nullptr) {
   bmp::runtime::RuntimeConfig config;
   config.collect_timing = false;
   config.broker_headroom = 0.05;
@@ -77,6 +81,7 @@ Run run(const bmp::runtime::ScenarioScript& script, bool adaptive) {
   config.dataplane.execution.chunk_size = kChunk;
   config.dataplane.execution.receiver_window = 16;
   config.control.enabled = adaptive;
+  config.trace = trace;
 
   bmp::runtime::Runtime runtime(config, script.source_bandwidth,
                                 script.initial_peers);
@@ -136,7 +141,14 @@ Run run(const bmp::runtime::ScenarioScript& script, bool adaptive) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `--trace <path>`: record the adaptive run's cross-layer timeline
+  // (plan / verify / repair / broker / chunk stream / control decisions)
+  // as Chrome trace-event JSON — load it in Perfetto or chrome://tracing.
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
   const bmp::runtime::ScenarioScript script = build_script();
 
   // The reference: the best any planner could do *during* the brownout —
@@ -171,8 +183,16 @@ int main() {
             << browned.size() << " peers) upload capacity for t in [4, 9)\n"
             << "post-brownout optimum rate: " << optimum << "\n\n";
 
-  const Run adaptive = run(script, true);
+  bmp::obs::TraceSink trace;
+  const Run adaptive =
+      run(script, true, trace_path.empty() ? nullptr : &trace);
   const Run frozen = run(script, false);
+  if (!trace_path.empty()) {
+    std::cout << (trace.write(trace_path) ? "trace written to "
+                                          : "[WARN] could not write ")
+              << trace_path << " (" << trace.events() << " events, "
+              << trace.spans() << " spans)\n\n";
+  }
 
   std::cout << "controller actions (channel 0):\n";
   for (const bmp::runtime::ControlReport& entry : adaptive.log) {
@@ -182,6 +202,20 @@ int main() {
               << (entry.full_replan ? "  [full re-plan]" : "  [patched]")
               << "  verified rate " << entry.rate_before << " -> "
               << entry.rate_after << "\n";
+    // The causal audit: which detector judged what, and the move it drove.
+    for (const bmp::control::Evidence& ev : entry.evidence) {
+      std::cout << "      " << ev.action << " (" << ev.detector << ")";
+      if (ev.node >= 0) std::cout << " node " << ev.node;
+      if (ev.from >= 0) std::cout << " edge " << ev.from << "->" << ev.to;
+      if (std::strcmp(ev.action, "replan") == 0) {
+        std::cout << ": drift " << ev.drift << " > " << ev.threshold;
+      } else {
+        std::cout << ": ewma " << ev.ewma << " vs threshold " << ev.threshold
+                  << ", factor " << ev.factor_before << " -> "
+                  << ev.factor_after;
+      }
+      std::cout << "\n";
+    }
   }
 
   bmp::util::Table table({"runtime", "worst node (brownout)",

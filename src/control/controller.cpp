@@ -127,6 +127,7 @@ Directive Controller::tick(const TickInputs& inputs) {
           busy_delta >= config_.min_edge_utilization * inputs.window) {
         const double service = (completed_delta / busy_delta) / sample.rate;
         const double goodput = service * (1.0 - edge.loss.value(0.0));
+        edge.last_raw = goodput;
         edge.goodput.observe(goodput, config_.ewma_alpha);
         if (edge.health.update(edge.goodput.value()) &&
             edge.health.degraded()) {
@@ -207,6 +208,7 @@ Directive Controller::tick(const TickInputs& inputs) {
       // Catch-up bursts are capped: being twice ahead this window must
       // not bank credit against falling behind later.
       const double normalized = std::min(ratio / median, 2.0);
+      node.last_sustained_raw = normalized;
       node.sustained.observe(normalized, config_.ewma_alpha);
       if (node.straggler.update(node.sustained.value()) &&
           node.straggler.degraded()) {
@@ -228,9 +230,11 @@ Directive Controller::tick(const TickInputs& inputs) {
     // below the current class (a deepening brownout, or the first demote
     // under-shooting on an unsaturated sender).
     double desired = node.factor;
+    bool egress_cause = false;  // which detector drove the demotion
     if (node.egress_health.degraded()) {
       const double target = quantize(node.last_estimate);
       if (node.egress_tripped || target <= node.factor - 1.5 * step) {
+        if (target < desired) egress_cause = true;
         desired = std::min(desired, target);
       }
     }
@@ -239,13 +243,35 @@ Directive Controller::tick(const TickInputs& inputs) {
       // the symptom, not the cause (the browned-out *senders* are caught
       // by the egress path). Step it down one class, gently: mass-demoting
       // victims would shrink the platform and cascade.
-      desired = std::min(desired, quantize(node.factor - step));
+      const double target = quantize(node.factor - step);
+      if (target < desired) egress_cause = false;
+      desired = std::min(desired, target);
     }
     const double probe_interval = node.probe_interval > 0.0
                                       ? node.probe_interval
                                       : config_.restore_cooldown;
     if (desired < node.factor - 1e-12) {
       if (inputs.now - node.last_action >= config_.action_cooldown) {
+        Evidence ev;
+        ev.action = "demote";
+        ev.node = sample.id;
+        if (egress_cause) {
+          ev.detector = "egress";
+          ev.window_value = node.last_egress_raw;
+          ev.ewma = node.egress.value();
+          ev.threshold = config_.egress.enter;
+          ev.trips = node.egress_health.trips();
+        } else {
+          ev.detector = "straggler";
+          ev.window_value = node.last_sustained_raw;
+          ev.ewma = node.sustained.value();
+          ev.threshold = config_.straggler.enter;
+          ev.trips = node.straggler.trips();
+        }
+        ev.estimate = node.last_estimate;
+        ev.factor_before = node.factor;
+        ev.factor_after = desired;
+        out.evidence.push_back(ev);
         node.factor = desired;
         node.last_action = inputs.now;
         // A demotion on the heels of a restore is a failed probe: back the
@@ -270,6 +296,18 @@ Directive Controller::tick(const TickInputs& inputs) {
       // degradation persists. The probe interval bounds the flap rate.
       const double up = quantize(std::min(1.0, node.factor * 2.0));
       if (up > node.factor + 1e-12) {
+        Evidence ev;
+        ev.detector = "restore";
+        ev.action = "restore";
+        ev.node = sample.id;
+        ev.window_value = node.last_egress_raw;
+        ev.ewma = node.egress.value();
+        ev.threshold = config_.egress.exit;
+        ev.estimate = node.last_estimate;
+        ev.factor_before = node.factor;
+        ev.factor_after = up;
+        ev.trips = node.egress_health.trips();
+        out.evidence.push_back(ev);
         node.factor = up;
         node.last_action = inputs.now;
         node.last_restore = inputs.now;
@@ -295,6 +333,19 @@ Directive Controller::tick(const TickInputs& inputs) {
     if (limit >= sample.rate * (1.0 - 1e-9)) continue;
     edge.last_action = inputs.now;
     out.edge_limits.emplace_back(sample.from, sample.to, limit);
+    Evidence ev;
+    ev.detector = "edge";
+    ev.action = "clamp";
+    ev.from = sample.from;
+    ev.to = sample.to;
+    ev.window_value = edge.last_raw;
+    ev.ewma = edge.goodput.value();
+    ev.threshold = config_.edge.enter;
+    ev.estimate = limit;
+    ev.factor_before = sample.rate;
+    ev.factor_after = limit;
+    ev.trips = edge.health.trips();
+    out.evidence.push_back(ev);
     ++out.reroutes;
   }
 
@@ -309,6 +360,14 @@ Directive Controller::tick(const TickInputs& inputs) {
     }
     out.drift = granted_total > 0.0 ? delta / granted_total : 0.0;
     out.force_replan = out.drift > config_.replan_drift;
+    if (out.force_replan) {
+      Evidence ev;
+      ev.detector = "drift";
+      ev.action = "replan";
+      ev.drift = out.drift;
+      ev.threshold = config_.replan_drift;
+      out.evidence.push_back(ev);
+    }
   }
   return out;
 }

@@ -96,6 +96,30 @@ struct ControllerConfig {
   double warmup_grace = 1.0;
 };
 
+/// Causal audit record: *why* the controller acted. One entry per
+/// demotion, restore, edge clamp and re-plan escalation in a Directive —
+/// the telemetry window, the smoothed signal the detector judged, the
+/// threshold it crossed and the capacity estimate behind the new class.
+/// The host links these into the trace and exports them in ControlReport,
+/// so every overlay change is explainable without a re-run. Detector and
+/// action names are string literals (stable, cheap to copy).
+struct Evidence {
+  const char* detector = "";  ///< "egress"|"straggler"|"edge"|"restore"|"drift"
+  const char* action = "";    ///< "demote"|"restore"|"clamp"|"replan"
+  int node = -1;              ///< subject node (demote/restore), else -1
+  int from = -1;              ///< subject edge (clamp), else -1
+  int to = -1;
+  double window_value = 1.0;  ///< last raw per-window sample of the signal
+  double ewma = 1.0;          ///< smoothed signal the detector judged
+  double threshold = 0.0;     ///< detector bound crossed (enter; exit for restores)
+  double estimate = 1.0;      ///< estimated capacity fraction vs nominal (nodes)
+                              ///< or clamped goodput rate (edges)
+  double factor_before = 1.0; ///< capacity factor (nodes) / planned rate (edges)
+  double factor_after = 1.0;  ///< ... after the action
+  double drift = 0.0;         ///< directive L1 drift (replan evidence only)
+  int trips = 0;              ///< detector episode count at decision time
+};
+
 /// What the controller wants done after a tick. The host applies it via
 /// engine::Session::adapt (mapping stable ids to plan slots) and
 /// live-patches the running stream.
@@ -117,6 +141,9 @@ struct Directive {
   int straggler_trips = 0;  ///< fresh healthy->degraded flips this tick
   int edge_trips = 0;       ///< fresh degraded-edge detections this tick
   double drift = 0.0;       ///< L1 capacity drift fraction of this directive
+  /// One audit record per action above (plus one for a replan escalation);
+  /// non-empty whenever `act` is set.
+  std::vector<Evidence> evidence;
 };
 
 /// Introspection snapshot of one node's controller state (tests and
@@ -154,6 +181,7 @@ class Controller {
     Ewma loss;          ///< egress loss fraction (well-sampled windows only)
     Ewma sustained;     ///< delivered / expected ratio
     double last_egress_raw = 1.0;
+    double last_sustained_raw = 1.0;  ///< last cohort-normalized window ratio
     /// Absolute effective-capacity estimate (fraction of nominal): goodput
     /// ratio x planned egress load / nominal — exact under proportional
     /// throttling whether or not the plan saturates the node.
@@ -174,6 +202,7 @@ class Controller {
   struct EdgeState {
     Ewma goodput;
     Ewma loss;  ///< loss fraction (well-sampled windows only)
+    double last_raw = 1.0;  ///< last raw per-window goodput ratio
     HysteresisDetector health;
     bool tripped = false;
     double last_action = -1e300;

@@ -4,9 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "bmp/obs/flight_recorder.hpp"
+#include "bmp/obs/trace.hpp"
+
 namespace bmp::dataplane {
 
 namespace {
+/// Chunk-lifecycle sampling gate: id stride keeps sampled chunks traceable
+/// end to end (every hop of chunk k appears, or none of them).
+bool traced_chunk(const ExecutionConfig& config, int chunk) {
+  return config.trace != nullptr && config.trace_sample > 0 &&
+         chunk % config.trace_sample == 0;
+}
 /// Below this a pipe rate is treated as edge removal (mirrors the scheme's
 /// kZeroTol: planned overlays never carry meaningful rates this small).
 constexpr double kMinRate = 1e-12;
@@ -491,6 +500,12 @@ void Execution::emit_chunks() {
     replicas_.push_back(source.alive ? 1 : 0);
     rarity_insert(chunk, replicas_.back());
     set_bit(source.have, chunk);
+    if (traced_chunk(config_, chunk)) {
+      config_.trace->instant_at(obs::Lane::kExecution, "dataplane", "emit",
+                                now_,
+                                {{"channel", config_.trace_id},
+                                 {"chunk", chunk}});
+    }
   }
   activate_sender(0);
   schedule_next_emission();
@@ -534,6 +549,14 @@ void Execution::on_arrival(const ChunkEvent& event) {
     // The loss notice re-opens the chunk for scheduling; every loss leads
     // to exactly one fresh transmission attempt somewhere.
     ++retransmits_;
+    if (traced_chunk(config_, event.chunk)) {
+      config_.trace->instant_at(obs::Lane::kExecution, "dataplane", "loss",
+                                now_,
+                                {{"channel", config_.trace_id},
+                                 {"chunk", event.chunk},
+                                 {"from", pipe.from},
+                                 {"to", receiver_id}});
+    }
     activate_receiver(receiver_id);
     return;
   }
@@ -550,12 +573,19 @@ void Execution::on_arrival(const ChunkEvent& event) {
 }
 
 void Execution::deliver(Node& node, int node_id, int chunk) {
-  (void)node_id;
   set_bit(node.have, chunk);
   ++node.delivered;
   const int replicas = ++replicas_[static_cast<std::size_t>(chunk)];
   rarity_move(chunk, replicas - 1, replicas);
   ++delivered_chunks_;
+  if (traced_chunk(config_, chunk)) {
+    config_.trace->instant_at(obs::Lane::kExecution, "dataplane", "deliver",
+                              now_,
+                              {{"channel", config_.trace_id},
+                               {"chunk", chunk},
+                               {"node", node_id},
+                               {"replicas", replicas}});
+  }
   while (node.next_missing < emitted_ && bit(node.have, node.next_missing)) {
     ++node.next_missing;
   }
@@ -837,6 +867,10 @@ std::vector<std::string> Execution::validate(double tol) const {
                            " uploading at " + std::to_string(active[id]) +
                            " over budget " + std::to_string(budget));
     }
+  }
+  if (!violations.empty() && config_.recorder != nullptr) {
+    config_.recorder->record_failure(now_, config_.trace_id,
+                                     "Execution::validate", violations);
   }
   return violations;
 }

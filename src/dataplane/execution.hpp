@@ -48,6 +48,11 @@
 #include "bmp/dataplane/link_profile.hpp"
 #include "bmp/util/rng.hpp"
 
+namespace bmp::obs {
+class TraceSink;
+class FlightRecorder;
+}  // namespace bmp::obs
+
 namespace bmp::dataplane {
 
 struct ExecutionConfig {
@@ -118,6 +123,16 @@ struct ExecutionConfig {
   /// Keep per-delivery chunk latencies for drain_latencies() (the runtime
   /// feeds them into its dataplane.chunk_latency histogram).
   bool collect_latencies = false;
+  /// Sampled chunk-lifecycle tracing (null = off): chunks whose id is a
+  /// multiple of `trace_sample` log their emission, losses and every
+  /// delivery as instant events on the execution lane — enough to follow a
+  /// chunk through the overlay without one event per delivery.
+  obs::TraceSink* trace = nullptr;
+  int trace_sample = 64;  ///< chunk-id sampling stride; <= 0 disables
+  /// Flight recorder for validate() failures: each violation is recorded
+  /// and the recorder's configured dump is written (null = off).
+  obs::FlightRecorder* recorder = nullptr;
+  int trace_id = -1;  ///< channel label in trace/recorder output
 };
 
 /// Per-node outcome of a run (ids are Execution node ids; node 0 = source).

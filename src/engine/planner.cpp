@@ -11,6 +11,7 @@
 #include "bmp/core/cyclic_open.hpp"
 #include "bmp/engine/plan_cache.hpp"
 #include "bmp/flow/verify.hpp"
+#include "bmp/obs/trace.hpp"
 #include "bmp/util/thread_pool.hpp"
 
 namespace bmp::engine {
@@ -186,10 +187,26 @@ PlanResponse Planner::plan(const Instance& instance, Algorithm algorithm,
   if (std::shared_ptr<const PlanResponse> cached = cache_->lookup(key)) {
     PlanResponse response = *cached;
     response.cache_hit = true;
+    if (config_.trace != nullptr) {
+      config_.trace->complete(obs::Lane::kPlanner, "engine", "plan",
+                              {{"alg", to_string(algorithm)},
+                               {"n", instance.size()},
+                               {"cache_hit", true},
+                               {"throughput", response.throughput}});
+    }
     return response;
   }
+  const obs::WallTimer timer(config_.trace);
   PlanResponse response = plan_verified(instance, algorithm, max_out_degree);
   cache_->insert(key, std::make_shared<const PlanResponse>(response));
+  if (config_.trace != nullptr) {
+    config_.trace->complete(obs::Lane::kPlanner, "engine", "plan",
+                            {{"alg", to_string(response.algorithm)},
+                             {"n", instance.size()},
+                             {"cache_hit", false},
+                             {"throughput", response.throughput}},
+                            timer.elapsed_us());
+  }
   return response;
 }
 
@@ -209,6 +226,7 @@ std::vector<PlanResponse> Planner::plan_batch(
     std::size_t first_index = 0;
     std::shared_ptr<const PlanResponse> plan;
     bool from_cache = false;
+    double wall_us = -1.0;  ///< per-item plan time, read post-barrier
   };
   std::vector<WorkItem> work;
   std::vector<std::size_t> item_of(requests.size());
@@ -228,18 +246,46 @@ std::vector<PlanResponse> Planner::plan_batch(
     item.from_cache = item.plan != nullptr;
   }
 
+  const obs::WallTimer batch_timer(config_.trace);
   util::parallel_for(
       *pool_, 0, work.size(),
       [&](std::size_t w) {
         WorkItem& item = work[w];
         if (item.plan != nullptr) return;
         const PlanRequest& request = requests[item.first_index];
+        const obs::WallTimer timer(config_.trace);
         auto plan = std::make_shared<const PlanResponse>(plan_verified(
             request.instance, request.algorithm, request.max_out_degree));
+        item.wall_us = timer.elapsed_us();
         cache_->insert(item.key, plan);
         item.plan = std::move(plan);
       },
       /*chunk=*/1);
+
+  if (config_.trace != nullptr) {
+    // Emitted after the barrier, from this thread, in work-item order:
+    // append order (and the sequence numbers) never depends on which
+    // worker finished first.
+    std::size_t computed = 0;
+    for (const WorkItem& item : work) {
+      if (!item.from_cache) ++computed;
+    }
+    config_.trace->complete(
+        obs::Lane::kPlanner, "engine", "plan_batch",
+        {{"requests", static_cast<std::uint64_t>(requests.size())},
+         {"distinct", static_cast<std::uint64_t>(work.size())},
+         {"computed", static_cast<std::uint64_t>(computed)}},
+        batch_timer.elapsed_us());
+    for (const WorkItem& item : work) {
+      const PlanRequest& request = requests[item.first_index];
+      config_.trace->complete(obs::Lane::kPlanner, "engine", "plan",
+                              {{"alg", to_string(item.plan->algorithm)},
+                               {"n", request.instance.size()},
+                               {"cache_hit", item.from_cache},
+                               {"throughput", item.plan->throughput}},
+                              item.wall_us);
+    }
+  }
 
   std::vector<PlanResponse> responses(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {

@@ -20,6 +20,10 @@ namespace bmp::util {
 class ThreadPool;
 }  // namespace bmp::util
 
+namespace bmp::obs {
+class TraceSink;
+}  // namespace bmp::obs
+
 namespace bmp::engine {
 
 class PlanCache;
@@ -73,6 +77,11 @@ struct PlannerConfig {
   /// before caching it. Near-free since the tiered verifier sweeps the
   /// acyclic constructions in O(V + E) with zero max-flow solves.
   bool verify_plans = true;
+  /// Span per plan()/plan_batch() (null = off). Worker threads never touch
+  /// the sink: plan_batch emits its per-item spans after the pool barrier
+  /// in work-item index order, so the trace is byte-identical for any
+  /// thread count.
+  obs::TraceSink* trace = nullptr;
 };
 
 class Planner {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "bmp/flow/maxflow.hpp"
+#include "bmp/obs/trace.hpp"
 #include "bmp/sim/churn.hpp"
 
 namespace bmp::engine {
@@ -260,7 +261,23 @@ void Session::rescale(double factor) {
   current_rate_ *= factor;
 }
 
+void Session::trace_churn(const char* name, const ChurnOutcome& outcome,
+                          double wall_us) const {
+  if (config_.trace == nullptr) return;
+  config_.trace->complete(obs::Lane::kSession, "engine", name,
+                          {{"channel", config_.trace_id},
+                           {"departed", outcome.departed},
+                           {"survivors", outcome.survivors},
+                           {"degraded_rate", outcome.degraded_rate},
+                           {"repaired_rate", outcome.repaired_rate},
+                           {"achieved_rate", outcome.achieved_rate},
+                           {"full_replan", outcome.full_replan},
+                           {"verify_calls", outcome.verify_calls}},
+                          wall_us);
+}
+
 ChurnOutcome Session::adapt(const AdaptationRequest& request) {
+  const obs::WallTimer timer(config_.trace);
   ChurnOutcome outcome;
   outcome.design_rate = design_rate_;
   const int size = instance_.size();
@@ -411,10 +428,12 @@ ChurnOutcome Session::adapt(const AdaptationRequest& request) {
                                                     : outcome.verify_maxflow) += 1;
   }
   outcome.achieved_rate = current_rate_;
+  trace_churn("adapt", outcome, timer.elapsed_us());
   return outcome;
 }
 
 ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
+  const obs::WallTimer timer(config_.trace);
   ChurnOutcome outcome;
   outcome.design_rate = design_rate_;
   if (departed.empty()) {
@@ -503,6 +522,7 @@ ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
                                                     : outcome.verify_maxflow) += 1;
   }
   outcome.achieved_rate = current_rate_;
+  trace_churn("repair", outcome, timer.elapsed_us());
   return outcome;
 }
 

@@ -18,6 +18,10 @@
 #include "bmp/engine/planner.hpp"
 #include "bmp/flow/verify.hpp"
 
+namespace bmp::obs {
+class TraceSink;
+}  // namespace bmp::obs
+
 namespace bmp::engine {
 
 struct RepairResult {
@@ -57,6 +61,10 @@ struct SessionConfig {
   /// Options for the session-owned verification engine (timing collection,
   /// parallel sweep pool, tier forcing).
   flow::VerifyOptions verify{};
+  /// Span per repair/adapt outcome (null = off); `trace_id` labels the
+  /// channel this session serves in multi-channel hosts.
+  obs::TraceSink* trace = nullptr;
+  int trace_id = -1;
 };
 
 /// A capacity-override adaptation of a live session, issued by the control
@@ -154,6 +162,11 @@ class Session {
   void rescale(double factor);
 
  private:
+  /// Emits the span for one absorbed churn/adaptation event (no-op when
+  /// tracing is off).
+  void trace_churn(const char* name, const ChurnOutcome& outcome,
+                   double wall_us) const;
+
   Planner& planner_;
   SessionConfig config_;
   Instance instance_;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "bmp/obs/trace.hpp"
 #include "bmp/util/thread_pool.hpp"
 
 namespace bmp::flow {
@@ -208,6 +209,17 @@ VerifyResult Verifier::verify(const BroadcastScheme& scheme) {
                          std::chrono::steady_clock::now() - start)
                          .count();
     stats_.total_us += stats_.last_us;
+  }
+  if (options_.trace != nullptr) {
+    const double wall_us =
+        options_.collect_timing ? stats_.last_us : -1.0;
+    options_.trace->complete(
+        obs::Lane::kVerify, "flow", "verify",
+        {{"tier", to_string(result.tier)},
+         {"n", scheme.num_nodes()},
+         {"solves", result.maxflow_solves},
+         {"throughput", result.throughput}},
+        wall_us);
   }
   return result;
 }

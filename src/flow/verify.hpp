@@ -41,6 +41,10 @@ namespace bmp::util {
 class ThreadPool;
 }  // namespace bmp::util
 
+namespace bmp::obs {
+class TraceSink;
+}  // namespace bmp::obs
+
 namespace bmp::flow {
 
 enum class VerifyTier : std::uint8_t {
@@ -83,6 +87,11 @@ struct VerifyOptions {
   /// Collect wall-clock timings into stats() (two steady_clock reads per
   /// verify; the measurement itself never affects the returned value).
   bool collect_timing = true;
+  /// Emit one span per verify (tier, solves, throughput). Only set this on
+  /// verifiers that run on the event-loop thread — the thread-local
+  /// verifiers inside the planner pool stay untraced so trace append order
+  /// is independent of thread count.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Reusable verification engine: owns the topological/inflow scratch and

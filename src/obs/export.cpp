@@ -1,0 +1,98 @@
+#include "bmp/obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace bmp::obs {
+
+namespace {
+
+std::string render_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+std::string sanitize(std::string_view prefix, const std::string& name) {
+  std::string out(prefix);
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    out += (std::isalnum(u) != 0 || c == '_') ? c : '_';
+  }
+  return out;
+}
+
+bool skip(const std::string& name, bool include_timing) {
+  return !include_timing && runtime::MetricsRegistry::is_timing(name);
+}
+
+}  // namespace
+
+std::string to_prometheus(const runtime::MetricsSnapshot& snap,
+                          bool include_timing, std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    if (skip(name, include_timing)) continue;
+    const std::string metric = sanitize(prefix, name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (skip(name, include_timing)) continue;
+    const std::string metric = sanitize(prefix, name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + render_double(value) + "\n";
+  }
+  for (const auto& [name, stats] : snap.histograms) {
+    if (skip(name, include_timing)) continue;
+    const std::string metric = sanitize(prefix, name);
+    out += "# TYPE " + metric + " summary\n";
+    out += metric + "{quantile=\"0.5\"} " + render_double(stats.p50) + "\n";
+    out += metric + "{quantile=\"0.9\"} " + render_double(stats.p90) + "\n";
+    out += metric + "{quantile=\"0.99\"} " + render_double(stats.p99) + "\n";
+    out += metric + "_sum " + render_double(stats.sum) + "\n";
+    out += metric + "_count " + std::to_string(stats.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const runtime::MetricsSnapshot& snap,
+                    bool include_timing) {
+  // Metric names are dot-separated identifiers (no quotes/backslashes to
+  // escape); keys render verbatim.
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (skip(name, include_timing)) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (skip(name, include_timing)) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + render_double(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, stats] : snap.histograms) {
+    if (skip(name, include_timing)) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(stats.count) +
+           ",\"sum\":" + render_double(stats.sum) +
+           ",\"min\":" + render_double(stats.min) +
+           ",\"max\":" + render_double(stats.max) +
+           ",\"mean\":" + render_double(stats.mean) +
+           ",\"p50\":" + render_double(stats.p50) +
+           ",\"p90\":" + render_double(stats.p90) +
+           ",\"p99\":" + render_double(stats.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace bmp::obs

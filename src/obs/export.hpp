@@ -1,0 +1,29 @@
+// Metrics exporters: Prometheus text exposition and compact JSON for
+// MetricsSnapshot. Both honour the `timing.*` exclusion convention
+// (MetricsRegistry::is_timing) so the default export of a timed run is
+// still deterministic; the JSON form is single-line-per-section so
+// bench_util::JsonReport can embed it verbatim in BENCH_*.json files.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "bmp/runtime/metrics.hpp"
+
+namespace bmp::obs {
+
+/// Prometheus text exposition (# TYPE lines, counters as `<name>_total`,
+/// histograms as summaries with quantile labels). Metric names are
+/// sanitized (`.` and other non-[a-zA-Z0-9_] become `_`) and prefixed.
+[[nodiscard]] std::string to_prometheus(const runtime::MetricsSnapshot& snap,
+                                        bool include_timing = false,
+                                        std::string_view prefix = "bmp_");
+
+/// Compact JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{"x":{"count":..}}}`.
+/// Keys stay in registry (name-sorted) order; values use %.12g formatting,
+/// matching MetricsSnapshot::to_string precision.
+[[nodiscard]] std::string to_json(const runtime::MetricsSnapshot& snap,
+                                  bool include_timing = false);
+
+}  // namespace bmp::obs

@@ -1,0 +1,69 @@
+// FlightRecorder — per-channel ring buffers of recent structured events,
+// dumped to JSON automatically when an invariant trips (Execution::validate
+// mismatch, budget audit failure) and on demand. The point is post-mortems
+// without a re-run: when a 30-minute scenario fails its final audit, the
+// last N decisions per channel are already on disk.
+//
+// Entries are sequence-numbered at record time; since every producer sits
+// on the runtime's single-threaded event loop, two identical runs produce
+// identical recorder contents (asserted by the replay-determinism tests).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bmp::obs {
+
+struct FlightRecorderConfig {
+  std::size_t per_channel = 256;  ///< ring capacity per channel lane
+  /// Where automatic dumps land; empty disables auto-dump-to-file (the
+  /// failure is still recorded and `to_json()` still works).
+  std::string dump_path;
+};
+
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  double time = 0.0;  ///< sim time
+  int channel = -1;   ///< -1 = global lane (scenario events, audits)
+  std::string kind;   ///< "event", "control", "churn", "admit", "failure", ...
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config = {});
+
+  void record(double time, int channel, std::string kind, std::string detail);
+
+  /// Records each violation on the global lane and, if a dump path is
+  /// configured, writes the full recorder state there. Returns true when a
+  /// dump file was written. This is the hook Runtime::validate(),
+  /// Execution::validate() and the stream rate audit call on failure.
+  bool record_failure(double time, int channel, const char* what,
+                      const std::vector<std::string>& violations);
+
+  [[nodiscard]] std::size_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  [[nodiscard]] int dumps() const { return dumps_; }
+
+  /// Events for one channel lane, oldest first (empty if never written).
+  [[nodiscard]] std::vector<FlightEvent> channel_events(int channel) const;
+
+  /// Whole recorder as JSON: `{"channels":{"-1":[...],"0":[...]},...}`.
+  /// Deterministic: lanes render in channel order, entries oldest-first.
+  [[nodiscard]] std::string to_json() const;
+  bool dump(const std::string& path) const;
+
+ private:
+  FlightRecorderConfig config_;
+  std::map<int, std::deque<FlightEvent>> channels_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t recorded_ = 0;
+  std::uint64_t evicted_ = 0;
+  mutable int dumps_ = 0;
+};
+
+}  // namespace bmp::obs

@@ -81,8 +81,7 @@ HistogramStats WindowedHistogram::stats() const {
 
 std::string MetricsSnapshot::to_string(bool include_timing) const {
   const auto timed = [&](const std::string& name) {
-    return !include_timing &&
-           name.rfind(MetricsRegistry::kTimingPrefix, 0) == 0;
+    return !include_timing && MetricsRegistry::is_timing(name);
   };
   std::ostringstream out;
   out.precision(12);

@@ -77,6 +77,13 @@ class MetricsRegistry {
   /// Nondeterministic (wall-clock) metrics live under this prefix.
   static constexpr std::string_view kTimingPrefix = "timing.";
 
+  /// The one place the `timing.*` exclusion convention is spelled out:
+  /// snapshot export, the Prometheus/JSON exporters and the tests all call
+  /// this instead of string-matching the prefix themselves.
+  [[nodiscard]] static constexpr bool is_timing(std::string_view name) {
+    return name.substr(0, kTimingPrefix.size()) == kTimingPrefix;
+  }
+
   void inc(std::string_view name, std::uint64_t delta = 1);
   /// Mirror an externally tracked monotonic count (e.g. broker totals).
   void set_counter(std::string_view name, std::uint64_t value);

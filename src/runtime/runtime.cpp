@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "bmp/obs/flight_recorder.hpp"
+#include "bmp/obs/trace.hpp"
+
 namespace bmp::runtime {
 
 const char* to_string(EventType type) {
@@ -20,15 +23,35 @@ const char* to_string(EventType type) {
   throw std::invalid_argument("unknown event type");
 }
 
+namespace {
+
+// The trace sink rides into the planner through its config; the planner is
+// constructed in the member-init list, so the splice happens in a value
+// helper rather than in the constructor body.
+engine::PlannerConfig with_trace(engine::PlannerConfig planner,
+                                 obs::TraceSink* trace) {
+  planner.trace = trace;
+  return planner;
+}
+
+}  // namespace
+
 Runtime::Runtime(RuntimeConfig config, double source_bandwidth,
                  const std::vector<NodeSpec>& initial_peers)
     : config_(config),
-      planner_(config.planner),
+      planner_(with_trace(config.planner, config.trace)),
       broker_(config.broker_headroom) {
   // One timing switch for the whole loop: a runtime that opts out of
   // timing.* metrics must not pay the per-verify clock reads inside its
   // sessions either.
   config_.session.verify.collect_timing = config_.collect_timing;
+  // One trace switch likewise: the runtime's sink reaches every session
+  // (and its event-loop verifier) and every chunk stream. Planner-pool
+  // thread-local verifiers stay untraced by design — see VerifyOptions.
+  config_.session.trace = config_.trace;
+  config_.session.verify.trace = config_.trace;
+  config_.dataplane.execution.trace = config_.trace;
+  config_.dataplane.execution.recorder = config_.recorder;
   if (!is_valid_bandwidth(source_bandwidth)) {
     throw std::invalid_argument("Runtime: invalid source bandwidth");
   }
@@ -78,6 +101,26 @@ void Runtime::step(const Event& event) {
   // Execution mode: every live chunk stream catches up to this instant on
   // the pre-event overlays before the event reshapes them.
   advance_executions(event.time);
+  // After the catch-up (control ticks pin the clock to their boundaries):
+  // everything the handlers emit is stamped with this event's sim-time.
+  if (config_.trace != nullptr) config_.trace->set_clock(event.time);
+  if (config_.recorder != nullptr) {
+    std::string detail = to_string(event.type);
+    if (event.channel >= 0) {
+      detail += " channel=" + std::to_string(event.channel);
+    }
+    if (!event.joins.empty()) {
+      detail += " joins=" + std::to_string(event.joins.size());
+    }
+    if (!event.leaves.empty()) {
+      detail += " leaves=" + std::to_string(event.leaves.size());
+    }
+    if (!event.degrades.empty()) {
+      detail += " degrades=" + std::to_string(event.degrades.size());
+    }
+    config_.recorder->record(event.time, event.channel, "event",
+                             std::move(detail));
+  }
   switch (event.type) {
     case EventType::kChannelOpen: on_channel_open(event); break;
     case EventType::kChannelClose: on_channel_close(event); break;
@@ -106,6 +149,20 @@ void Runtime::step(const Event& event) {
                           std::chrono::steady_clock::now() - start)
                           .count();
     metrics_.observe("timing.event_loop_us", us);
+    if (config_.trace != nullptr) {
+      config_.trace->complete(
+          obs::Lane::kRuntime, "runtime", to_string(event.type),
+          {{"channel", event.channel},
+           {"channels_open", static_cast<int>(channels_.size())},
+           {"alive", alive_peers_}},
+          config_.trace->wall_durations() ? us : -1.0);
+    }
+  } else if (config_.trace != nullptr) {
+    config_.trace->complete(obs::Lane::kRuntime, "runtime",
+                            to_string(event.type),
+                            {{"channel", event.channel},
+                             {"channels_open", static_cast<int>(channels_.size())},
+                             {"alive", alive_peers_}});
   }
 }
 
@@ -142,8 +199,10 @@ void Runtime::build_session(int id, Channel& channel) {
   }
   Instance scaled(nodes_[0].bandwidth * fraction, std::move(open_bw),
                   std::move(guarded_bw));
+  engine::SessionConfig session_config = config_.session;
+  session_config.trace_id = id;  // repair/adapt spans name their channel
   channel.session = std::make_unique<engine::Session>(planner_, scaled,
-                                                      config_.session);
+                                                      session_config);
   if (channel.session->initial_plan_verified()) {
     // Channel opens and join replans verify their computed plans too —
     // without this the verify.* counters would only see leave events.
@@ -174,6 +233,26 @@ void Runtime::on_channel_open(const Event& event) {
   }
   const std::optional<Grant> granted =
       broker_.admit(event.channel, event.weight, event.fraction);
+  if (config_.trace != nullptr) {
+    if (granted) {
+      config_.trace->instant(obs::Lane::kBroker, "runtime", "admit",
+                             {{"channel", event.channel},
+                              {"fraction", granted->fraction},
+                              {"weight", event.weight}});
+    } else {
+      config_.trace->instant(obs::Lane::kBroker, "runtime", "reject",
+                             {{"channel", event.channel},
+                              {"requested", event.fraction}});
+    }
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(now_, event.channel,
+                             granted ? "admit" : "reject",
+                             granted ? "fraction=" +
+                                           std::to_string(granted->fraction)
+                                     : "requested=" +
+                                           std::to_string(event.fraction));
+  }
   if (!granted) return;  // counted via broker_.rejections()
   Channel channel;
   channel.grant = *granted;
@@ -188,6 +267,7 @@ void Runtime::on_channel_open(const Event& event) {
       exec_config.seed = engine::mix64(
           config_.dataplane.execution.seed ^
           static_cast<std::uint64_t>(event.channel) * 0x9E3779B97F4A7C15ULL);
+      exec_config.trace_id = event.channel;
       channel.open_time = now_;
       channel.execution = std::make_unique<dataplane::Execution>(exec_config);
       if (config_.control.enabled) {
@@ -264,6 +344,11 @@ void Runtime::on_node_join(const Event& event) {
     report.design_rate = channel.session->design_rate();
     report.achieved_rate = channel.session->current_rate();
     churn_log_.push_back(report);
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(
+          now_, id, "churn",
+          "join replan design=" + std::to_string(report.design_rate));
+    }
   }
 }
 
@@ -351,6 +436,13 @@ void Runtime::on_node_leave(const Event& event) {
     report.design_rate = channel.session->design_rate();
     report.achieved_rate = outcome.achieved_rate;
     churn_log_.push_back(report);
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(
+          now_, id, "churn",
+          std::string(outcome.full_replan ? "replan" : "repair") +
+              " departed=" + std::to_string(outcome.departed) +
+              " achieved=" + std::to_string(outcome.achieved_rate));
+    }
     if (report.design_rate > 0.0) {
       metrics_.observe("channel.recovery_ratio",
                        report.achieved_rate / report.design_rate);
@@ -368,6 +460,17 @@ void Runtime::on_renegotiate(const Event& event) {
     channel.session->rescale(factor);
     channel.grant = grant;
     metrics_.inc("broker.renegotiated");
+    if (config_.trace != nullptr) {
+      config_.trace->instant(obs::Lane::kBroker, "runtime", "renegotiate",
+                             {{"channel", grant.channel},
+                              {"fraction", grant.fraction},
+                              {"factor", factor}});
+    }
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(
+          now_, grant.channel, "renegotiate",
+          "fraction=" + std::to_string(grant.fraction));
+    }
     set_channel_gauges(grant.channel, channel);
     // Renegotiated rates reach the stream live: pipes re-rate in place,
     // the source re-paces its emission.
@@ -491,6 +594,9 @@ void Runtime::advance_streams_to(double t) {
 }
 
 void Runtime::control_tick(double t) {
+  // Everything downstream (session adapt spans, directive audit) is
+  // stamped at this sampling boundary, not the triggering event's time.
+  if (config_.trace != nullptr) config_.trace->set_clock(t);
   for (auto& [id, channel] : channels_) {
     if (!channel.execution || !channel.controller) continue;
     const dataplane::Execution& exec = *channel.execution;
@@ -645,6 +751,50 @@ void Runtime::apply_directive(int id, Channel& channel,
   report.full_replan = outcome.full_replan;
   report.rate_before = rate_before;
   report.rate_after = outcome.achieved_rate;
+  report.evidence = directive.evidence;
+  if (config_.trace != nullptr) {
+    config_.trace->complete_at(
+        obs::Lane::kControl, "control", "directive", t, 0.0,
+        {{"channel", id},
+         {"demotions", directive.demotions},
+         {"restores", directive.restores},
+         {"reroutes", directive.reroutes},
+         {"drift", directive.drift},
+         {"replan", directive.force_replan},
+         {"rate_before", rate_before},
+         {"rate_after", outcome.achieved_rate}});
+    // The causal audit, event by event: each record names the detector
+    // that judged, the signal it saw and the capacity move it drove.
+    for (const control::Evidence& ev : directive.evidence) {
+      config_.trace->instant_at(obs::Lane::kControl, "control", ev.action, t,
+                                {{"channel", id},
+                                 {"detector", ev.detector},
+                                 {"node", ev.node},
+                                 {"from", ev.from},
+                                 {"to", ev.to},
+                                 {"window", ev.window_value},
+                                 {"ewma", ev.ewma},
+                                 {"threshold", ev.threshold},
+                                 {"estimate", ev.estimate},
+                                 {"factor_before", ev.factor_before},
+                                 {"factor_after", ev.factor_after},
+                                 {"drift", ev.drift},
+                                 {"trips", ev.trips}});
+    }
+  }
+  if (config_.recorder != nullptr) {
+    for (const control::Evidence& ev : directive.evidence) {
+      std::string detail = std::string(ev.detector);
+      if (ev.node >= 0) detail += " node=" + std::to_string(ev.node);
+      if (ev.from >= 0) {
+        detail += " edge=" + std::to_string(ev.from) + "->" +
+                  std::to_string(ev.to);
+      }
+      detail += " ewma=" + std::to_string(ev.ewma) +
+                " threshold=" + std::to_string(ev.threshold);
+      config_.recorder->record(t, id, ev.action, std::move(detail));
+    }
+  }
   control_log_.push_back(report);
 }
 
@@ -776,8 +926,32 @@ StreamReport Runtime::finalize_stream(int id, Channel& channel) {
   report.rate_within_verified =
       report.achieved_rate <= report.verified_rate * 1.02 + 1e-9;
   metrics_.inc("dataplane.streams_finalized");
+  if (config_.trace != nullptr) {
+    config_.trace->complete_at(obs::Lane::kExecution, "dataplane",
+                               "stream_end", now_, 0.0,
+                               {{"channel", id},
+                                {"emitted", report.emitted},
+                                {"delivered", report.delivered_chunks},
+                                {"achieved", report.achieved_rate},
+                                {"verified", report.verified_rate},
+                                {"audit_ok", report.rate_within_verified}});
+  }
+  if (config_.recorder != nullptr) {
+    config_.recorder->record(
+        now_, id, "stream_end",
+        "achieved=" + std::to_string(report.achieved_rate) +
+            " verified=" + std::to_string(report.verified_rate));
+  }
   if (!report.rate_within_verified) {
     metrics_.inc("dataplane.rate_audit_failures");
+    // Budget audit failed: snapshot the channel's recent history to disk
+    // (if a dump path is configured) while the cause is still in the ring.
+    if (config_.recorder != nullptr) {
+      config_.recorder->record_failure(
+          now_, id, "Runtime::finalize_stream",
+          {"achieved rate " + std::to_string(report.achieved_rate) +
+           " exceeds verified " + std::to_string(report.verified_rate)});
+    }
   }
   metrics_.observe("dataplane.sustained_ratio", report.sustained_ratio);
   metrics_.observe("dataplane.achieved_rate", report.achieved_rate);
@@ -794,6 +968,7 @@ std::vector<StreamReport> Runtime::drain(double t) {
   }
   now_ = std::max(now_, t);
   advance_executions(t);
+  if (config_.trace != nullptr) config_.trace->set_clock(now_);
   for (auto& [id, channel] : channels_) {
     if (!channel.execution) continue;
     reports.push_back(finalize_stream(id, channel));
@@ -821,6 +996,12 @@ std::vector<std::string> Runtime::validate(double tol) const {
                            std::to_string(allocated[node]) + " > budget " +
                            std::to_string(budget));
     }
+  }
+  // An invariant breach is exactly when the flight recorder earns its keep:
+  // capture the violations beside the recent history (and auto-dump).
+  if (!violations.empty() && config_.recorder != nullptr) {
+    config_.recorder->record_failure(now_, -1, "Runtime::validate",
+                                     violations);
   }
   return violations;
 }

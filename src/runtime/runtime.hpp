@@ -38,6 +38,11 @@
 #include "bmp/runtime/event.hpp"
 #include "bmp/runtime/metrics.hpp"
 
+namespace bmp::obs {
+class TraceSink;
+class FlightRecorder;
+}  // namespace bmp::obs
+
 namespace bmp::runtime {
 
 /// What live channels do when peers join the population.
@@ -92,6 +97,14 @@ struct RuntimeConfig {
   bool collect_timing = true;     ///< record timing.* event-loop latency
   DataPlaneConfig dataplane;      ///< chunk-level execution mode
   ControlConfig control;          ///< telemetry-driven adaptation
+  /// Cross-layer tracing (null = off): the runtime threads this sink into
+  /// its planner, every session/verifier, every execution and the control
+  /// plane, and stamps it with the scenario clock — a whole run lands in
+  /// one Perfetto-loadable timeline. Non-owning; must outlive the runtime.
+  obs::TraceSink* trace = nullptr;
+  /// Flight recorder (null = off): recent scenario/control/churn events per
+  /// channel, auto-dumped when validate() or a stream's rate audit fails.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// One line of the runtime's churn audit trail: how a channel fared at one
@@ -149,6 +162,9 @@ struct ControlReport {
   bool full_replan = false;///< session actually re-planned (incl. fallback)
   double rate_before = 0.0;
   double rate_after = 0.0; ///< flow-verified rate of the adapted overlay
+  /// Causal audit: one record per demotion/restore/clamp/replan in the
+  /// directive — why the controller acted (control::Evidence).
+  std::vector<control::Evidence> evidence;
 };
 
 class Runtime {

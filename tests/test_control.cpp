@@ -20,6 +20,8 @@
 #include "bmp/control/detector.hpp"
 #include "bmp/engine/planner.hpp"
 #include "bmp/engine/session.hpp"
+#include "bmp/obs/flight_recorder.hpp"
+#include "bmp/obs/trace.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
 
@@ -494,9 +496,14 @@ struct ClosedLoopOutcome {
 ClosedLoopOutcome run_closed_loop(const runtime::ScenarioScript& script,
                                   bool adaptive, double chunk,
                                   std::size_t planner_threads, double probe_at,
-                                  double horizon) {
-  runtime::Runtime rt(adaptive_config(adaptive, chunk, planner_threads),
-                      script.source_bandwidth, script.initial_peers);
+                                  double horizon,
+                                  obs::TraceSink* trace = nullptr,
+                                  obs::FlightRecorder* recorder = nullptr) {
+  runtime::RuntimeConfig config =
+      adaptive_config(adaptive, chunk, planner_threads);
+  config.trace = trace;
+  config.recorder = recorder;
+  runtime::Runtime rt(config, script.source_bandwidth, script.initial_peers);
   std::size_t next = 0;
   const auto run_until = [&](double t) {
     while (next < script.events.size() && script.events[next].time <= t) {
@@ -564,6 +571,74 @@ TEST(ControlAcceptance, BrownoutRecoveryBeats85PercentOfPostBrownoutOptimum) {
   // The frozen runtime took no control actions at all.
   EXPECT_EQ(frozen.adaptations, 0u);
   EXPECT_TRUE(frozen.log.empty());
+
+  // Causal audit: every acting directive explains itself — one evidence
+  // record per demotion/restore/reroute (plus one for a replan
+  // escalation), each naming its detector and a crossed threshold.
+  for (const runtime::ControlReport& report : adaptive.log) {
+    const std::size_t expected =
+        static_cast<std::size_t>(report.demotions + report.restores +
+                                 report.reroutes) +
+        (report.replan ? 1u : 0u);
+    ASSERT_FALSE(report.evidence.empty());
+    EXPECT_EQ(report.evidence.size(), expected);
+    for (const control::Evidence& ev : report.evidence) {
+      EXPECT_STRNE(ev.detector, "");
+      EXPECT_STRNE(ev.action, "");
+      EXPECT_GT(ev.threshold, 0.0);
+      if (std::string(ev.action) == "demote") {
+        EXPECT_GE(ev.node, 0);
+        EXPECT_LT(ev.factor_after, ev.factor_before);
+        EXPECT_GT(ev.estimate, 0.0);
+      } else if (std::string(ev.action) == "restore") {
+        EXPECT_GE(ev.node, 0);
+        EXPECT_GT(ev.factor_after, ev.factor_before);
+      } else if (std::string(ev.action) == "clamp") {
+        EXPECT_GE(ev.from, 0);
+        EXPECT_GE(ev.to, 0);
+        EXPECT_LE(ev.estimate, ev.factor_before);
+      } else {
+        EXPECT_STREQ(ev.action, "replan");
+        EXPECT_GT(ev.drift, ev.threshold);
+      }
+    }
+  }
+}
+
+TEST(ControlAcceptance, TraceAndRecorderReplayByteIdentically) {
+  // ISSUE 6: two runs of the 500-node acceptance scenario must produce
+  // byte-identical traces and identical flight-recorder contents — the
+  // cross-layer observability sits entirely on the deterministic side.
+  const runtime::ScenarioScript script = adaptive_script(500, 24.0, 2026);
+  const double optimum = post_brownout_optimum(script, 0.5);
+  const double chunk = optimum / 40.0;
+
+  obs::TraceSink trace_a;
+  obs::FlightRecorder recorder_a;
+  obs::TraceSink trace_b;
+  obs::FlightRecorder recorder_b;
+  const ClosedLoopOutcome a =
+      run_closed_loop(script, true, chunk, 0, 16.0, 24.0, &trace_a,
+                      &recorder_a);
+  const ClosedLoopOutcome b =
+      run_closed_loop(script, true, chunk, 0, 16.0, 24.0, &trace_b,
+                      &recorder_b);
+  EXPECT_EQ(a.snapshot, b.snapshot);
+
+  // The trace saw every layer act and replays to the byte.
+  EXPECT_GT(trace_a.spans(), 0u);
+  EXPECT_EQ(trace_a.dropped(), 0u);
+  const std::string json_a = trace_a.to_json();
+  EXPECT_EQ(json_a, trace_b.to_json());
+  EXPECT_NE(json_a.find("\"verify\""), std::string::npos);
+  EXPECT_NE(json_a.find("\"adapt\""), std::string::npos);
+  EXPECT_NE(json_a.find("\"directive\""), std::string::npos);
+  EXPECT_NE(json_a.find("\"demote\""), std::string::npos);
+
+  // Same for the flight recorder: same decisions, same rings, same bytes.
+  EXPECT_GT(recorder_a.recorded(), 0u);
+  EXPECT_EQ(recorder_a.to_json(), recorder_b.to_json());
+  EXPECT_FALSE(recorder_a.channel_events(0).empty());
 }
 
 TEST(ControlAcceptance, ReplaysBitIdenticallyAcrossRunsAndThreadCounts) {

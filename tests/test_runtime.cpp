@@ -157,13 +157,20 @@ TEST(Metrics, SetCounterMirrorsAndEraseDrops) {
 }
 
 TEST(Metrics, TimingMetricsExcludedFromDeterministicView) {
+  // The convention is centralized in MetricsRegistry::is_timing — the
+  // snapshot export and the obs exporters all defer to it.
+  EXPECT_TRUE(MetricsRegistry::is_timing("timing.event_loop_us"));
+  EXPECT_FALSE(MetricsRegistry::is_timing("events.total"));
+  EXPECT_FALSE(MetricsRegistry::is_timing("tim"));
   MetricsRegistry metrics;
   metrics.inc("events.total");
   metrics.observe("timing.event_loop_us", 123.0);
   metrics.set("timing.last", 9.0);
   const MetricsSnapshot snap = metrics.snapshot();
-  EXPECT_NE(snap.to_string(true).find("timing."), std::string::npos);
-  EXPECT_EQ(snap.to_string(false).find("timing."), std::string::npos);
+  EXPECT_NE(snap.to_string(true).find(MetricsRegistry::kTimingPrefix),
+            std::string::npos);
+  EXPECT_EQ(snap.to_string(false).find(MetricsRegistry::kTimingPrefix),
+            std::string::npos);
   EXPECT_NE(snap.to_string(false).find("events.total"), std::string::npos);
 }
 
