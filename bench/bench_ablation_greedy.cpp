@@ -16,7 +16,9 @@
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/ablation_greedy");
   using bmp::GreedyPolicy;
   using bmp::util::Table;
   const int reps = bmp::benchutil::env_int("BMP_ABLATION_REPS", 500);
@@ -96,5 +98,5 @@ int main() {
   std::cout << (paper_always_optimal
                     ? "[OK] the full Algorithm 2 is exact; ablations lose throughput\n"
                     : "[WARN] the paper policy missed an optimum\n");
-  return paper_always_optimal ? 0 : 1;
+  return bmp::benchutil::finish(cli, "ablation_greedy", paper_always_optimal);
 }

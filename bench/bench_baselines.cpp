@@ -15,7 +15,9 @@
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/baselines");
   using bmp::util::Table;
   const int reps = bmp::benchutil::env_int("BMP_BASELINE_REPS", 100);
   const int size = bmp::benchutil::env_int("BMP_BASELINE_SIZE", 40);
@@ -76,5 +78,5 @@ int main() {
                     ? "[OK] the optimal acyclic scheme dominates every baseline "
                       "on every instance\n"
                     : "[WARN] a baseline beat the optimal acyclic scheme\n");
-  return ours_always_best ? 0 : 1;
+  return bmp::benchutil::finish(cli, "baselines", ours_always_best);
 }

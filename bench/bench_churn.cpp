@@ -10,7 +10,9 @@
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/churn");
   using bmp::util::Table;
   const int reps = bmp::benchutil::env_int("BMP_CHURN_REPS", 12);
   const int size = bmp::benchutil::env_int("BMP_CHURN_SIZE", 30);
@@ -58,5 +60,5 @@ int main() {
   std::cout << (ok ? "[OK] fixed overlays starve survivors under churn; "
                      "replanning with the paper's algorithm recovers\n"
                    : "[WARN] unexpected churn behavior\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "churn", ok);
 }

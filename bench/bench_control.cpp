@@ -8,7 +8,10 @@
 //   * detection-to-action latency and the controller's action ledger;
 //   * wall-clock cost of running the loop (events/s with control on).
 // `--quick` (or BMP_CONTROL_QUICK=1) shrinks the platform for CI smoke.
-// `--json <path>` writes the machine-readable report (git SHA stamped).
+// Observability CLI (benchutil::CommonCli): `--json` machine-readable
+// report with the final metrics snapshot embedded, `--trace` timeline,
+// `--profile` work attribution, `--metrics` Prometheus snapshot — all on
+// the adaptive run (the headline the perf gate tracks).
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -17,6 +20,7 @@
 
 #include "bmp/engine/planner.hpp"
 #include "bmp/obs/export.hpp"
+#include "bmp/obs/trace.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
 #include "bmp/util/table.hpp"
@@ -55,11 +59,15 @@ struct LoopResult {
   std::uint64_t restores = 0;
   std::uint64_t samples = 0;
   double first_action = -1.0;  ///< scenario time of the first adaptation
+  std::uint64_t events = 0;    ///< events the loop processed
   std::string metrics_json;    ///< final snapshot (timing.* excluded)
+  std::string prometheus;      ///< final snapshot, Prometheus exposition
 };
 
 LoopResult run_loop(const bmp::runtime::ScenarioScript& script, bool adaptive,
-                    double optimum, double probe_at, double horizon) {
+                    double optimum, double probe_at, double horizon,
+                    bmp::obs::TraceSink* trace = nullptr,
+                    bmp::obs::Profiler* profiler = nullptr) {
   bmp::runtime::RuntimeConfig config;
   config.collect_timing = false;
   config.broker_headroom = 0.05;
@@ -67,6 +75,8 @@ LoopResult run_loop(const bmp::runtime::ScenarioScript& script, bool adaptive,
   config.dataplane.execution.chunk_size = optimum / 40.0;
   config.dataplane.execution.receiver_window = 16;
   config.control.enabled = adaptive;
+  config.trace = trace;
+  config.profiler = profiler;
 
   const auto start = std::chrono::steady_clock::now();
   bmp::runtime::Runtime rt(config, script.source_bandwidth,
@@ -75,6 +85,9 @@ LoopResult run_loop(const bmp::runtime::ScenarioScript& script, bool adaptive,
   const auto run_until = [&](double t) {
     while (next < script.events.size() && script.events[next].time <= t) {
       rt.step(script.events[next++]);
+      // Perf-gate self-test hook: a no-op unless CI injects a deliberate
+      // per-event slowdown to prove bench_diff catches wall regressions.
+      bmp::benchutil::selftest_sleep();
     }
     bmp::runtime::Event marker;
     marker.type = bmp::runtime::EventType::kNodeJoin;  // clock only
@@ -114,17 +127,19 @@ LoopResult run_loop(const bmp::runtime::ScenarioScript& script, bool adaptive,
   if (!rt.control_log().empty()) {
     result.first_action = rt.control_log().front().time;
   }
-  result.metrics_json =
-      bmp::obs::to_json(rt.metrics().snapshot(), /*include_timing=*/false);
+  result.events = rt.metrics().counter("events.total");
+  const bmp::runtime::MetricsSnapshot snap = rt.metrics().snapshot();
+  result.metrics_json = bmp::obs::to_json(snap, /*include_timing=*/false);
+  result.prometheus = bmp::obs::to_prometheus(snap);
   return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bmp::benchutil::has_flag(argc, argv, "--quick") ||
-                     bmp::benchutil::env_int("BMP_CONTROL_QUICK", 0) != 0;
-  const std::string json_path = bmp::benchutil::json_path_arg(argc, argv);
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bool quick =
+      cli.quick || bmp::benchutil::env_int("BMP_CONTROL_QUICK", 0) != 0;
   const int peers =
       bmp::benchutil::env_int("BMP_CONTROL_PEERS", quick ? 150 : 500);
   const double horizon = quick ? 14.0 : 24.0;
@@ -161,8 +176,10 @@ int main(int argc, char** argv) {
                                           bmp::engine::Algorithm::kAcyclic, 0)
           .throughput;
 
+  bmp::obs::TraceSink trace;
   const LoopResult adaptive =
-      run_loop(script, true, optimum, probe_at, horizon);
+      run_loop(script, true, optimum, probe_at, horizon,
+               cli.trace.empty() ? nullptr : &trace, cli.profiler());
   const LoopResult frozen = run_loop(script, false, optimum, probe_at, horizon);
 
   bmp::util::Table table({"runtime", "worst/optimum", "p5/optimum",
@@ -197,7 +214,7 @@ int main(int argc, char** argv) {
             << adaptive.first_action << " (brownout at t = 3)\n";
 
   bmp::benchutil::JsonReport json;
-  json.add_string("git_sha", bmp::benchutil::git_sha());
+  bmp::benchutil::add_header(json, "control");
   json.add("peers", peers);
   json.add("post_brownout_optimum", optimum);
   json.add("recovered_worst_ratio", adaptive.worst_ratio);
@@ -210,15 +227,31 @@ int main(int argc, char** argv) {
   json.add("control_restores", adaptive.restores);
   json.add("first_action_time", adaptive.first_action);
   json.add("adaptive_wall_seconds", adaptive.seconds);
+  json.add("events_per_s", adaptive.seconds > 0.0
+                               ? static_cast<double>(adaptive.events) /
+                                     adaptive.seconds
+                               : 0.0);
   json.add_string("status", ok ? "ok" : "warn");
+  bmp::benchutil::add_profile(json, cli.prof);
   json.add_raw("metrics", adaptive.metrics_json);
-  if (!json_path.empty()) {
-    if (json.write(json_path)) {
-      std::cout << "json written to " << json_path << "\n";
+  if (!cli.json.empty()) {
+    if (json.write(cli.json)) {
+      std::cout << "json written to " << cli.json << "\n";
     } else {
-      std::cout << "[WARN] could not write " << json_path << "\n";
+      std::cout << "[WARN] could not write " << cli.json << "\n";
       ok = false;
     }
   }
+  if (!cli.trace.empty()) {
+    ok = trace.write(cli.trace) && ok;
+    std::cout << "trace written to " << cli.trace << " (" << trace.spans()
+              << " spans)\n";
+  }
+  if (!cli.metrics.empty()) {
+    std::ofstream out(cli.metrics);
+    out << adaptive.prometheus;
+    ok = static_cast<bool>(out) && ok;
+  }
+  ok = cli.write_profile() && ok;
   return ok ? 0 : 1;
 }

@@ -57,10 +57,11 @@ bmp::runtime::ScenarioScript churn_script(int peers, double horizon,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bmp::benchutil::has_flag(argc, argv, "--quick") ||
-                     bmp::benchutil::env_int("BMP_DATAPLANE_QUICK", 0) != 0;
-  const std::string json_path = bmp::benchutil::json_path_arg(argc, argv);
-  const std::string trace_path = bmp::benchutil::trace_path_arg(argc, argv);
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bool quick =
+      cli.quick || bmp::benchutil::env_int("BMP_DATAPLANE_QUICK", 0) != 0;
+  const std::string& json_path = cli.json;
+  const std::string& trace_path = cli.trace;
   const int peers =
       bmp::benchutil::env_int("BMP_DATAPLANE_PEERS", quick ? 150 : 500);
   const int chunks = quick ? 200 : 300;
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
             << (quick ? "  [quick]\n\n" : "\n\n");
 
   bmp::benchutil::JsonReport json;
-  json.add_string("git_sha", bmp::benchutil::git_sha());
+  bmp::benchutil::add_header(json, "dataplane");
   json.add("peers", peers);
   json.add("chunks", chunks);
   bool ok = true;
@@ -89,6 +90,7 @@ int main(int argc, char** argv) {
   config.total_chunks = chunks;
   config.emission_rate = solution.throughput;
   config.warmup_chunks = chunks / 5;
+  config.profiler = cli.profiler();
 
   const auto lossless_start = std::chrono::steady_clock::now();
   bmp::dataplane::Execution lossless(platform, solution.scheme, config);
@@ -100,6 +102,7 @@ int main(int argc, char** argv) {
       static_cast<double>(clean.delivered_chunks) / lossless_s;
 
   // ------------------------------------------------ loss + latency variant
+  config.profiler = nullptr;  // attribution covers the headline lossless run
   config.loss_rate = 0.02;
   config.latency = 0.01;
   config.seed = 7;
@@ -189,6 +192,7 @@ int main(int argc, char** argv) {
   runtime_config.dataplane.execution.chunk_size = quick ? 4.0 : 20.0;
   bmp::obs::TraceSink trace;
   if (!trace_path.empty()) runtime_config.trace = &trace;
+  runtime_config.profiler = cli.profiler();
 
   const auto churn_start = std::chrono::steady_clock::now();
   bmp::runtime::Runtime runtime(runtime_config, script.source_bandwidth,
@@ -228,6 +232,7 @@ int main(int argc, char** argv) {
             << " achieved-above-verified audit failures\n";
 
   // Replay determinism, execution mode included.
+  runtime_config.profiler = nullptr;  // attribution covers the measured run
   bmp::runtime::Runtime replay(runtime_config, script.source_bandwidth,
                                script.initial_peers);
   replay.run(script.events);
@@ -245,6 +250,7 @@ int main(int argc, char** argv) {
   json.add("churn_chunks_per_sec", static_cast<double>(churn_delivered) / churn_s);
   json.add("rate_audit_failures", audit_failures);
   json.add_string("status", ok ? "ok" : "warn");
+  bmp::benchutil::add_profile(json, cli.prof);
   json.add_raw("metrics", bmp::obs::to_json(runtime.metrics().snapshot(),
                                             /*include_timing=*/false));
   if (!json_path.empty()) {
@@ -255,5 +261,11 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+  if (!cli.metrics.empty()) {
+    std::ofstream out(cli.metrics);
+    out << bmp::obs::to_prometheus(runtime.metrics().snapshot());
+    ok = static_cast<bool>(out) && ok;
+  }
+  ok = cli.write_profile() && ok;
   return ok ? 0 : 1;
 }

@@ -48,7 +48,9 @@ std::vector<std::string> row(const std::string& name, const Audit& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/degree_audit");
   using bmp::util::Table;
   const int reps = bmp::benchutil::env_int("BMP_AUDIT_REPS", 400);
   bmp::util::Xoshiro256 rng(0xDE6);
@@ -126,5 +128,5 @@ int main() {
       plus3_nodes <= lemma46_schemes;
   std::cout << (ok ? "[OK] all additive degree guarantees hold empirically\n"
                    : "[WARN] a degree guarantee was violated\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "degree_audit", ok);
 }

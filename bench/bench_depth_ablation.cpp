@@ -16,7 +16,9 @@
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/depth_ablation");
   using bmp::util::Table;
   const int reps = bmp::benchutil::env_int("BMP_DEPTH_REPS", 60);
   const int size = bmp::benchutil::env_int("BMP_DEPTH_SIZE", 40);
@@ -80,5 +82,5 @@ int main() {
   std::cout << (ok ? "[OK] depth-greedy <= paper <= latest-first in depth; "
                      "the paper's rule keeps degrees smallest\n"
                    : "[WARN] unexpected depth ordering\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "depth_ablation", ok);
 }

@@ -5,6 +5,9 @@
 //     >= 5x on a 1000-request stream of ~100-node platforms;
 //   * churn sessions must recover >= 90% of the design rate by incremental
 //     repair (no full re-plan) on small departures.
+// Observability CLI (benchutil::CommonCli): --json report, --profile work
+// attribution of the max-thread warm batch (counters are thread-count
+// independent, so the profile is comparable across machines).
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -29,7 +32,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
   using bmp::util::Table;
   const int requests = bmp::benchutil::env_int("BMP_ENGINE_REQUESTS", 1000);
   const int size = bmp::benchutil::env_int("BMP_ENGINE_SIZE", 100);
@@ -74,9 +78,13 @@ int main() {
   Table t({"threads", "cold batch s", "warm batch s", "plans/s warm",
            "speedup vs cold-1t"});
   double best_warm = 0.0;
+  double warm_plans_per_s = 0.0;
   for (int threads = 1; threads <= max_threads; threads *= 2) {
     bmp::engine::PlannerConfig config;
     config.threads = static_cast<std::size_t>(threads);
+    // Attribute the widest configuration only, so the profile reflects one
+    // run rather than summing the thread ladder.
+    if (threads * 2 > max_threads) config.profiler = cli.profiler();
     bmp::engine::Planner planner(config);
 
     const auto cold_batch_start = std::chrono::steady_clock::now();
@@ -95,6 +103,8 @@ int main() {
 
     const double speedup = cold_s / warm_s;
     best_warm = std::max(best_warm, speedup);
+    warm_plans_per_s =
+        std::max(warm_plans_per_s, static_cast<double>(requests) / warm_s);
     t.add_row({Table::num(threads), Table::num(cold_batch_s, 3),
                Table::num(warm_s, 4),
                Table::num(static_cast<double>(requests) / warm_s, 0),
@@ -152,5 +162,29 @@ int main() {
   std::cout << (churn_ok
                     ? "[OK] small departures absorbed incrementally at >= 90%\n"
                     : "[WARN] incremental repair under-recovered\n");
+
+  if (!cli.json.empty()) {
+    bmp::benchutil::JsonReport json;
+    bmp::benchutil::add_header(json, "engine");
+    json.add("requests", requests);
+    json.add("distinct", distinct);
+    json.add("cold_seconds", cold_s);
+    json.add("cold_plans_per_s", static_cast<double>(requests) / cold_s);
+    json.add("warm_plans_per_s", warm_plans_per_s);
+    json.add("warm_speedup_vs_cold", best_warm);
+    json.add("churn_incremental", incremental);
+    json.add("churn_full", full);
+    json.add("churn_recovery_min",
+             recovery.count() > 0 ? recovery.min() : 0.0);
+    json.add_string("status", ok ? "ok" : "warn");
+    bmp::benchutil::add_profile(json, cli.prof);
+    if (json.write(cli.json)) {
+      std::cout << "json written to " << cli.json << "\n";
+    } else {
+      std::cout << "[WARN] could not write " << cli.json << "\n";
+      ok = false;
+    }
+  }
+  ok = cli.write_profile() && ok;
   return ok ? 0 : 1;
 }

@@ -75,7 +75,9 @@ CellResult run_cell(bmp::gen::Dist dist, double p_open, int size, int reps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/fig19_average");
   using bmp::util::Table;
   const int reps = bmp::benchutil::env_int("BMP_FIG19_REPS", 1000);
   const std::vector<int> sizes{10, 100, 1000};
@@ -127,5 +129,5 @@ int main() {
   const bool ok = global_min_mean >= 0.90 && max_blue_gap < 0.05;
   std::cout << (ok ? "[OK] shape matches the paper\n"
                    : "[WARN] shape deviates from the paper\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "fig19_average", ok);
 }

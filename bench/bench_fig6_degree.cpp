@@ -13,7 +13,9 @@
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/fig6_degree");
   using bmp::util::Table;
   const int max_m = bmp::benchutil::env_int("BMP_FIG6_MAXM", 64);
 
@@ -31,7 +33,7 @@ int main() {
     // LP oracle only for small sizes (O(N^3) variables).
     std::string lp_value = "-";
     if (m <= 8) {
-      const auto lp = bmp::lp::cyclic_optimal_lp(inst);
+      const auto lp = bmp::lp::cyclic_optimal_lp(inst, cli.profiler());
       lp_value = Table::num(lp.throughput, 4);
       ok = ok && std::abs(lp.throughput - 1.0) < 1e-5;
     }
@@ -63,5 +65,5 @@ int main() {
                "throughput below 1 (but above 5/7).\n";
   std::cout << (ok ? "[OK] matches the Figure 6 statement\n"
                    : "[WARN] deviates from Figure 6\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "fig6_degree", ok);
 }

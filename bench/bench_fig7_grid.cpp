@@ -46,7 +46,9 @@ double cell_ratio(int n, int m, int delta_steps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/fig7_grid");
   using bmp::util::Table;
   const int max_n = bmp::benchutil::env_int("BMP_FIG7_MAX", 100);
   const int delta_steps = bmp::benchutil::env_int("BMP_FIG7_DELTA_STEPS", 8);
@@ -138,5 +140,5 @@ int main() {
   const bool ok = global_min >= 5.0 / 7.0 - 1e-6 && valley < 0.99;
   std::cout << (ok ? "[OK] shape matches the paper\n"
                    : "[WARN] shape deviates from the paper\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "fig7_grid", ok);
 }

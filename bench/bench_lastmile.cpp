@@ -14,7 +14,9 @@
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/lastmile");
   using bmp::util::Table;
   const int reps = bmp::benchutil::env_int("BMP_LASTMILE_REPS", 30);
 
@@ -71,5 +73,5 @@ int main() {
   std::cout << (ok ? "[OK] noiseless recovery exact; <=10% throughput error "
                      "up to 5% measurement noise\n"
                    : "[WARN] estimation accuracy below expectation\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "lastmile", ok);
 }

@@ -12,8 +12,11 @@
 #include "bmp/flow/maxflow.hpp"
 #include "bmp/theory/np_gadget.hpp"
 #include "bmp/util/table.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/np_gadget");
   using bmp::util::Table;
   using bmp::theory::ThreePartition;
 
@@ -75,5 +78,5 @@ int main() {
 
   std::cout << (ok ? "[OK] reduction behaves as Theorem 3.1 predicts\n"
                    : "[WARN] reduction mismatch\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "np_gadget", ok);
 }

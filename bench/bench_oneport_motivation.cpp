@@ -91,7 +91,9 @@ double one_port_makespan(const std::vector<double>& bw) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/oneport_motivation");
   using bmp::util::Table;
   const int peers = bmp::benchutil::env_int("BMP_ONEPORT_PEERS", 63);
 
@@ -126,5 +128,5 @@ int main() {
                "overlaps those transfers (the paper's premise).\n";
   std::cout << (ok ? "[OK] one-port penalty grows with heterogeneity\n"
                    : "[WARN] no one-port penalty observed\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "oneport_motivation", ok);
 }

@@ -7,6 +7,8 @@
 //   * the shared-capacity invariant: no node oversubscribed, ever;
 //   * replay determinism: identical seed => identical metrics snapshot.
 // `--quick` (or BMP_RUNTIME_QUICK=1) shrinks the scenario for CI smoke.
+// Observability CLI (benchutil::CommonCli): --json / --trace / --profile /
+// --metrics, all attributing the measured (first) run.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -52,10 +54,11 @@ double run_once(const bmp::runtime::ScenarioScript& script,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bmp::benchutil::has_flag(argc, argv, "--quick") ||
-                     bmp::benchutil::env_int("BMP_RUNTIME_QUICK", 0) != 0;
-  const std::string json_path = bmp::benchutil::json_path_arg(argc, argv);
-  const std::string trace_path = bmp::benchutil::trace_path_arg(argc, argv);
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bool quick =
+      cli.quick || bmp::benchutil::env_int("BMP_RUNTIME_QUICK", 0) != 0;
+  const std::string& json_path = cli.json;
+  const std::string& trace_path = cli.trace;
   const int peers =
       bmp::benchutil::env_int("BMP_RUNTIME_PEERS", quick ? 120 : 500);
   const double horizon = quick ? 6.0 : 20.0;
@@ -72,6 +75,7 @@ int main(int argc, char** argv) {
   config.broker_headroom = 0.05;
   bmp::obs::TraceSink trace;
   if (!trace_path.empty()) config.trace = &trace;
+  config.profiler = cli.profiler();
   bmp::runtime::Runtime runtime(config, script.source_bandwidth,
                                 script.initial_peers);
   const double elapsed = run_once(script, runtime);
@@ -142,6 +146,7 @@ int main(int argc, char** argv) {
   // Replay determinism: same seed, fresh runtime, identical snapshot.
   bmp::runtime::RuntimeConfig replay_config = config;
   replay_config.collect_timing = false;
+  replay_config.profiler = nullptr;  // attribution covers the measured run
   bmp::runtime::Runtime replay(replay_config, script.source_bandwidth,
                                script.initial_peers);
   replay.run(script.events);
@@ -154,7 +159,7 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     bmp::benchutil::JsonReport json;
-    json.add_string("git_sha", bmp::benchutil::git_sha());
+    bmp::benchutil::add_header(json, "runtime");
     json.add("peers", peers);
     json.add("events", static_cast<std::uint64_t>(script.events.size()));
     json.add("elapsed_s", elapsed);
@@ -174,6 +179,7 @@ int main(int argc, char** argv) {
       json.add("verify_p99_us", vlat->quantile(0.99));
     }
     json.add_string("status", ok ? "ok" : "warn");
+    bmp::benchutil::add_profile(json, cli.prof);
     // The final metrics snapshot rides along whole, so a BENCH artifact is
     // self-describing without a re-run (timing.* excluded: not replayable).
     json.add_raw("metrics",
@@ -185,5 +191,11 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+  if (!cli.metrics.empty()) {
+    std::ofstream out(cli.metrics);
+    out << bmp::obs::to_prometheus(metrics.snapshot());
+    ok = static_cast<bool>(out) && ok;
+  }
+  ok = cli.write_profile() && ok;
   return ok ? 0 : 1;
 }

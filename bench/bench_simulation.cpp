@@ -16,7 +16,9 @@
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/simulation");
   using bmp::util::Table;
   const int size = bmp::benchutil::env_int("BMP_SIM_SIZE", 24);
   const double duration = bmp::benchutil::env_int("BMP_SIM_DURATION", 400);
@@ -87,5 +89,5 @@ int main() {
   t.maybe_write_csv("simulation");
   std::cout << (ok ? "[OK] overlays sustain >=85% of the offered rate at 80% load\n"
                    : "[WARN] streaming efficiency below expectation\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "simulation", ok);
 }

@@ -12,8 +12,11 @@
 #include "bmp/flow/maxflow.hpp"
 #include "bmp/theory/instances.hpp"
 #include "bmp/util/table.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/table1");
   using bmp::util::Table;
   const bmp::Instance inst = bmp::theory::fig1_instance();
 
@@ -83,5 +86,5 @@ int main() {
             << bmp::to_string(sol.word) << " (ratio to cyclic T*: "
             << Table::num(sol.throughput / bmp::cyclic_upper_bound(inst), 4)
             << ")\n";
-  return 0;
+  return bmp::benchutil::finish(cli, "table1", true);
 }

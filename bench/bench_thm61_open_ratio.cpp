@@ -11,7 +11,9 @@
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/thm61_open_ratio");
   using bmp::util::Table;
   const int reps = bmp::benchutil::env_int("BMP_THM61_REPS", 2000);
 
@@ -44,5 +46,5 @@ int main() {
   t.maybe_write_csv("thm61_open_ratio");
   std::cout << (ok ? "[OK] bound holds everywhere; ratio -> 1 as n grows\n"
                    : "[WARN] bound violated\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "thm61_open_ratio", ok);
 }

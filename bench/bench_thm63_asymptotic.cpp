@@ -11,7 +11,9 @@
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/thm63_asymptotic");
   using bmp::util::Table;
   const int max_k = bmp::benchutil::env_int("BMP_THM63_MAXK", 16);
 
@@ -70,5 +72,5 @@ int main() {
                   std::abs(valley_alpha - bmp::theory::thm63_alpha()) < 0.06;
   std::cout << (ok ? "[OK] ratio converges to ~0.925 and the valley sits at alpha*\n"
                    : "[WARN] deviates from Theorem 6.3\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "thm63_asymptotic", ok);
 }

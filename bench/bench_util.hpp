@@ -1,18 +1,29 @@
 // Shared helpers for the experiment binaries.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "bmp/obs/profiler.hpp"
+
 namespace bmp::benchutil {
+
+/// BENCH_*.json schema version. tools/bench_diff refuses to compare
+/// reports across schema versions, so bump this whenever a field changes
+/// meaning (adding fields is backward-compatible — the comparator walks
+/// the intersection).
+inline constexpr int kBenchSchema = 2;
 
 /// Integer env override with default (e.g. BMP_FIG19_REPS).
 inline int env_int(const char* name, int fallback) {
@@ -114,6 +125,34 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Stamps a report with the trajectory header every BENCH_*.json carries:
+/// schema version, bench name, commit, and the machine fields bench_diff
+/// uses to warn when two reports came from different hardware or build
+/// flavors. Call first so the header leads the artifact.
+inline void add_header(JsonReport& report, const std::string& bench_name) {
+  report.add("schema", kBenchSchema);
+  report.add_string("bench", bench_name);
+  report.add_string("git_sha", git_sha());
+  report.add("machine_cores",
+             static_cast<int>(std::thread::hardware_concurrency()));
+#if defined(NDEBUG)
+  report.add_string("build_type", "release");
+#else
+  report.add_string("build_type", "debug");
+#endif
+#if defined(__VERSION__)
+  report.add_string("compiler", __VERSION__);
+#else
+  report.add_string("compiler", "unknown");
+#endif
+}
+
+/// Embeds the profiler's flat per-phase summary under "profile" — the
+/// deterministic counters bench_diff gates exactly (never wall time).
+inline void add_profile(JsonReport& report, const obs::Profiler& profiler) {
+  if (!profiler.empty()) report.add_raw("profile", profiler.summary_json());
+}
+
 /// Parses `--<name> <value>` from argv; empty string when absent.
 inline std::string arg_value(int argc, char** argv, const char* flag) {
   for (int i = 1; i + 1 < argc; ++i) {
@@ -138,6 +177,95 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+/// The observability CLI every bench/example binary shares:
+///   --quick            reduced problem sizes (bench-specific meaning)
+///   --json <path>      machine-readable BENCH_*.json report
+///   --trace <path>     Perfetto/Chrome trace of the run
+///   --profile <path>   attribution profile: JSON report at <path>, a
+///                      flamegraph-ready collapsed stack beside it, and a
+///                      top-N table on stdout
+///   --metrics <path>   final metrics snapshot in Prometheus exposition
+///                      format (binaries with a metrics registry)
+///   --profile-wall     also record wall time per phase (off by default so
+///                      --profile artifacts stay byte-identical per build)
+/// Binaries parse once up front and thread `cli.profiler()` into their
+/// configs; a null return keeps every hook on its disabled branch.
+struct CommonCli {
+  bool quick = false;
+  std::string json;
+  std::string trace;
+  std::string profile;
+  std::string metrics;
+  obs::Profiler prof;
+
+  // The profiler member makes this non-copyable; parse in place.
+  CommonCli(int argc, char** argv)
+      : quick(has_flag(argc, argv, "--quick")),
+        json(arg_value(argc, argv, "--json")),
+        trace(arg_value(argc, argv, "--trace")),
+        profile(arg_value(argc, argv, "--profile")),
+        metrics(arg_value(argc, argv, "--metrics")),
+        prof(obs::ProfilerConfig{has_flag(argc, argv, "--profile-wall")}) {}
+
+  /// The profiler to thread into configs; null when --profile is absent so
+  /// disabled runs pay nothing but the null checks.
+  [[nodiscard]] obs::Profiler* profiler() {
+    return profile.empty() ? nullptr : &prof;
+  }
+
+  /// Writes the --profile artifacts (JSON + "<path>.collapsed") and prints
+  /// the attribution table. No-op without --profile. Returns false on IO
+  /// failure.
+  bool write_profile() {
+    if (profile.empty()) return true;
+    bool ok = prof.write_json(profile);
+    ok = prof.write_collapsed(collapsed_path()) && ok;
+    std::cout << prof.attribution_table();
+    if (!ok) std::cerr << "failed to write profile to " << profile << "\n";
+    return ok;
+  }
+
+  /// "<profile>.collapsed", with a ".json" suffix swapped out first.
+  [[nodiscard]] std::string collapsed_path() const {
+    std::string base = profile;
+    const std::string suffix = ".json";
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      base.resize(base.size() - suffix.size());
+    }
+    return base + ".collapsed";
+  }
+};
+
+/// Wrap-up for binaries without a bespoke report: writes the minimal
+/// BENCH_*.json (header + status + profile) when --json was given, emits
+/// the --profile artifacts, and folds IO failures into the exit code.
+inline int finish(CommonCli& cli, const std::string& name, bool ok) {
+  if (!cli.json.empty()) {
+    JsonReport json;
+    add_header(json, name);
+    json.add_string("status", ok ? "ok" : "warn");
+    add_profile(json, cli.prof);
+    if (json.write(cli.json)) {
+      std::cout << "json written to " << cli.json << "\n";
+    } else {
+      std::cout << "[WARN] could not write " << cli.json << "\n";
+      ok = false;
+    }
+  }
+  if (!cli.write_profile()) ok = false;
+  return ok ? 0 : 1;
+}
+
+/// CI regression-gate self-test hook: sleeps BMP_PERF_SELFTEST_SLEEP_US
+/// microseconds (default none) inside one bench phase, so the perf-gate
+/// job can inject a deliberate slowdown and assert that tools/bench_diff
+/// catches it. Never set outside that self-test.
+inline void selftest_sleep() {
+  static const int us = env_int("BMP_PERF_SELFTEST_SLEEP_US", 0);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
 }  // namespace bmp::benchutil

@@ -55,9 +55,10 @@ double time_reps(int reps, Fn&& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bmp::benchutil::has_flag(argc, argv, "--quick") ||
-                     bmp::benchutil::env_int("BMP_VERIFY_QUICK", 0) != 0;
-  const std::string json_path = bmp::benchutil::json_path_arg(argc, argv);
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bool quick =
+      cli.quick || bmp::benchutil::env_int("BMP_VERIFY_QUICK", 0) != 0;
+  const std::string& json_path = cli.json;
   const int acyclic_peers =
       bmp::benchutil::env_int("BMP_VERIFY_PEERS", quick ? 500 : 2000);
   const int cyclic_peers = quick ? 150 : 500;
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
             << "-node cyclic overlays" << (quick ? "  [quick]\n\n" : "\n\n");
 
   bmp::benchutil::JsonReport json;
-  json.add_string("git_sha", bmp::benchutil::git_sha());
+  bmp::benchutil::add_header(json, "verify");
   json.add("acyclic_peers", acyclic_peers);
   json.add("cyclic_peers", cyclic_peers);
   bmp::util::Table table({"case", "oracle ms", "fast ms", "speedup", "value"});
@@ -82,7 +83,9 @@ int main(int argc, char** argv) {
   const double oracle_s = time_reps(1, [&] {
     (void)bmp::flow::scheme_throughput_oracle(solution.scheme);
   });
-  bmp::flow::Verifier verifier;
+  bmp::flow::VerifyOptions profiled_options;
+  profiled_options.profiler = cli.profiler();
+  bmp::flow::Verifier verifier(profiled_options);
   const double sweep_s = time_reps(quick ? 50 : 100, [&] {
     (void)verifier.verify(solution.scheme);
   });
@@ -114,10 +117,16 @@ int main(int argc, char** argv) {
   const double cyclic_oracle_s = time_reps(1, [&] {
     (void)bmp::flow::scheme_throughput_oracle(cyclic);
   });
+  // Strictly serial reference: the parallel auto-pool default is measured
+  // separately below, so the serial baseline stays a baseline.
+  bmp::flow::VerifyOptions serial_options;
+  serial_options.auto_pool = false;
+  serial_options.profiler = cli.profiler();
+  bmp::flow::Verifier serial_verifier(serial_options);
   const double warm_s = time_reps(quick ? 5 : 10, [&] {
-    (void)verifier.verify(cyclic);
+    (void)serial_verifier.verify(cyclic);
   });
-  const bmp::flow::VerifyResult cyclic_result = verifier.verify(cyclic);
+  const bmp::flow::VerifyResult cyclic_result = serial_verifier.verify(cyclic);
   const double cyclic_speedup = cyclic_oracle_s / warm_s;
   table.add_row({cyclic.is_acyclic() ? "cyclic (degenerated: acyclic)"
                                      : "cyclic tier-2 warm sweep",
@@ -129,10 +138,31 @@ int main(int argc, char** argv) {
   json.add("cyclic_warm_ms", warm_s * 1e3);
   json.add("cyclic_speedup", cyclic_speedup);
 
-  bmp::util::ThreadPool pool;
+  // The shipping default: auto_pool sweeps on the shared verify pool when
+  // the host has more than one core. Same throughput; no profiler on this
+  // row — whether the chunked sweep engages depends on the host's core
+  // count, and the embedded profile must stay machine-independent so the
+  // perf gate can diff it exactly against the committed baseline.
+  bmp::flow::Verifier default_verifier{bmp::flow::VerifyOptions{}};
+  const double default_s = time_reps(quick ? 5 : 10, [&] {
+    (void)default_verifier.verify(cyclic);
+  });
+  table.add_row({"cyclic tier-2 default (auto pool)",
+                 bmp::util::Table::num(cyclic_oracle_s * 1e3, 2),
+                 bmp::util::Table::num(default_s * 1e3, 2),
+                 bmp::util::Table::num(cyclic_oracle_s / default_s, 1),
+                 bmp::util::Table::num(
+                     default_verifier.verify(cyclic).throughput, 4)});
+  json.add("cyclic_default_ms", default_s * 1e3);
+
+  // Explicit 2-thread pool (not hardware-sized): the chunked sweep then
+  // engages on any host, and with the fixed chunk split its work counters
+  // are byte-identical across machines — baseline-gateable.
+  bmp::util::ThreadPool pool(2);
   bmp::flow::VerifyOptions parallel_options;
   parallel_options.pool = &pool;
   parallel_options.parallel_min_sinks = 64;
+  parallel_options.profiler = cli.profiler();
   bmp::flow::Verifier parallel_verifier(parallel_options);
   const double parallel_s = time_reps(quick ? 5 : 10, [&] {
     (void)parallel_verifier.verify(cyclic);
@@ -180,6 +210,7 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     json.add_string("status", ok ? "ok" : "warn");
+    bmp::benchutil::add_profile(json, cli.prof);
     if (json.write(json_path)) {
       std::cout << "json written to " << json_path << "\n";
     } else {
@@ -187,5 +218,6 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+  ok = cli.write_profile() && ok;
   return ok ? 0 : 1;
 }

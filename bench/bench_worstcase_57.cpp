@@ -10,8 +10,11 @@
 #include "bmp/core/word_throughput.hpp"
 #include "bmp/theory/instances.hpp"
 #include "bmp/util/table.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope bench_scope(cli.profiler(), "bench/worstcase_57");
   using bmp::util::Rational;
   using bmp::util::Table;
 
@@ -48,5 +51,5 @@ int main() {
   const bool ok = worst == Rational(5, 7) && worst_eps == Rational(1, 14);
   std::cout << (ok ? "[OK] exactly reproduces Theorem 6.2's tight instance\n"
                    : "[WARN] deviates from Theorem 6.2\n");
-  return ok ? 0 : 1;
+  return bmp::benchutil::finish(cli, "worstcase_57", ok);
 }

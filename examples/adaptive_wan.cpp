@@ -25,10 +25,12 @@
 #include <vector>
 
 #include "bmp/engine/planner.hpp"
+#include "bmp/obs/export.hpp"
 #include "bmp/obs/trace.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
 #include "bmp/util/table.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -73,7 +75,9 @@ struct Run {
 };
 
 Run run(const bmp::runtime::ScenarioScript& script, bool adaptive,
-        bmp::obs::TraceSink* trace = nullptr) {
+        bmp::obs::TraceSink* trace = nullptr,
+        bmp::obs::Profiler* profiler = nullptr,
+        std::string* prometheus = nullptr) {
   bmp::runtime::RuntimeConfig config;
   config.collect_timing = false;
   config.broker_headroom = 0.05;
@@ -82,6 +86,7 @@ Run run(const bmp::runtime::ScenarioScript& script, bool adaptive,
   config.dataplane.execution.receiver_window = 16;
   config.control.enabled = adaptive;
   config.trace = trace;
+  config.profiler = profiler;
 
   bmp::runtime::Runtime runtime(config, script.source_bandwidth,
                                 script.initial_peers);
@@ -136,19 +141,25 @@ Run run(const bmp::runtime::ScenarioScript& script, bool adaptive,
   result.replans =
       static_cast<int>(runtime.metrics().counter("control.replans"));
   result.log = runtime.control_log();
+  if (prometheus != nullptr) {
+    *prometheus = bmp::obs::to_prometheus(runtime.metrics().snapshot());
+  }
   return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // `--trace <path>`: record the adaptive run's cross-layer timeline
-  // (plan / verify / repair / broker / chunk stream / control decisions)
-  // as Chrome trace-event JSON — load it in Perfetto or chrome://tracing.
-  std::string trace_path;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
-  }
+  // Shared observability CLI (benchutil::CommonCli):
+  //   --trace <path>    the adaptive run's cross-layer timeline (plan /
+  //                     verify / repair / broker / chunk stream / control
+  //                     decisions) as Chrome trace-event JSON — load it in
+  //                     Perfetto or chrome://tracing;
+  //   --profile <path>  deterministic work attribution of the same run
+  //                     (JSON + flamegraph-ready .collapsed + top-N table);
+  //   --metrics <path>  the final metrics snapshot, Prometheus exposition.
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const std::string& trace_path = cli.trace;
   const bmp::runtime::ScenarioScript script = build_script();
 
   // The reference: the best any planner could do *during* the brownout —
@@ -184,8 +195,10 @@ int main(int argc, char** argv) {
             << "post-brownout optimum rate: " << optimum << "\n\n";
 
   bmp::obs::TraceSink trace;
+  std::string prometheus;
   const Run adaptive =
-      run(script, true, trace_path.empty() ? nullptr : &trace);
+      run(script, true, trace_path.empty() ? nullptr : &trace, cli.profiler(),
+          cli.metrics.empty() ? nullptr : &prometheus);
   const Run frozen = run(script, false);
   if (!trace_path.empty()) {
     std::cout << (trace.write(trace_path) ? "trace written to "
@@ -240,5 +253,12 @@ int main(int argc, char** argv) {
             << "% of the post-brownout optimum (frozen plan: "
             << 100.0 * frozen.worst_rate_brownout / optimum
             << "%) — live patches only, the stream never restarted\n";
-  return adaptive.worst_rate_brownout > frozen.worst_rate_brownout ? 0 : 1;
+  bool ok = adaptive.worst_rate_brownout > frozen.worst_rate_brownout;
+  if (!cli.metrics.empty()) {
+    std::ofstream out(cli.metrics);
+    out << prometheus;
+    ok = static_cast<bool>(out) && ok;
+  }
+  ok = cli.write_profile() && ok;
+  return ok ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include "bmp/core/depth.hpp"
 #include "bmp/net/instance_io.hpp"
 #include "bmp/util/table.hpp"
+#include "bench_util.hpp"
 
 namespace {
 
@@ -99,6 +100,7 @@ int run(const bmp::net::PlatformFile& platform, bool cyclic, double rate,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
   bool cyclic = false;
   bool dot = false;
   bool edges = false;
@@ -114,9 +116,14 @@ int main(int argc, char** argv) {
       edges = true;
     } else if (arg == "--rate" && a + 1 < argc) {
       rate = std::stod(argv[++a]);
+    } else if (arg == "--quick" || arg == "--profile-wall") {
+      // observability flags, already consumed by CommonCli
+    } else if (arg == "--json" || arg == "--trace" || arg == "--profile" ||
+               arg == "--metrics") {
+      ++a;  // flag + value pair, consumed by CommonCli
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: bmp_plan <platform-file> [--cyclic] [--rate R] "
-                   "[--dot] [--edges]\n";
+                   "[--dot] [--edges] [--json P] [--profile P]\n";
       return 0;
     } else {
       path = arg;
@@ -124,17 +131,26 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (path.empty()) {
-      std::cout << "(no platform file given; planning the built-in demo)\n\n";
-      return run(bmp::net::parse_platform_string(kDemoPlatform), cyclic, rate,
+    int rc = 0;
+    {
+      const bmp::obs::PhaseScope plan_scope(cli.profiler(), "example/bmp_plan");
+      if (path.empty()) {
+        std::cout << "(no platform file given; planning the built-in demo)\n\n";
+        rc = run(bmp::net::parse_platform_string(kDemoPlatform), cyclic, rate,
                  dot, /*edges=*/true);
+      } else {
+        std::ifstream in(path);
+        if (!in) {
+          std::cerr << "cannot open " << path << "\n";
+          return 2;
+        }
+        rc = run(bmp::net::parse_platform(in), cyclic, rate, dot, edges);
+      }
     }
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "cannot open " << path << "\n";
-      return 2;
+    if (!cli.json.empty() || !cli.profile.empty()) {
+      bmp::benchutil::finish(cli, "bmp_plan", rc == 0);
     }
-    return run(bmp::net::parse_platform(in), cyclic, rate, dot, edges);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -10,8 +10,11 @@
 #include "bmp/bmp.hpp"
 #include "bmp/trees/arborescence.hpp"
 #include "bmp/util/table.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope example_scope(cli.profiler(), "example/cluster_broadcast");
   using bmp::util::Table;
 
   // Uplinks in Gbit/s: 8 fat nodes (25G), 24 mid nodes (10G), 32 thin
@@ -65,5 +68,5 @@ int main() {
   std::cout << "acyclic scheme = " << trees.trees.size()
             << " weighted broadcast trees; verified throughput "
             << bmp::flow::scheme_throughput(acyclic) << " Gbit/s\n";
-  return 0;
+  return bmp::benchutil::finish(cli, "cluster_broadcast", true);
 }

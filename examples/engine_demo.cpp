@@ -19,13 +19,23 @@
 #include "bmp/gen/generator.hpp"
 #include "bmp/net/instance_io.hpp"
 #include "bmp/util/rng.hpp"
+#include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace bmp;
+  benchutil::CommonCli cli(argc, argv);
+  const obs::PhaseScope example_scope(cli.profiler(), "example/engine_demo");
 
   // 1. Collect base platforms: files from the command line, or synthetic.
   std::vector<Instance> platforms;
   for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--quick" || arg == "--profile-wall") continue;
+    if (arg == "--json" || arg == "--trace" || arg == "--profile" ||
+        arg == "--metrics") {
+      ++a;  // flag + value pair, consumed by CommonCli
+      continue;
+    }
     std::ifstream in(argv[a]);
     if (!in) {
       std::cerr << "cannot open " << argv[a] << "\n";
@@ -55,6 +65,7 @@ int main(int argc, char** argv) {
   //    repeated LastMile estimates of the same platform would look.
   engine::PlannerConfig planner_config;
   planner_config.fingerprint_bucket = 1e-3;
+  planner_config.profiler = cli.profiler();
   engine::Planner planner(planner_config);
 
   std::vector<engine::PlanRequest> stream;
@@ -114,5 +125,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "  " << session.incremental_replans() << " incremental / "
             << session.full_replans() << " full replans\n";
-  return 0;
+  return benchutil::finish(cli, "engine_demo", true);
 }

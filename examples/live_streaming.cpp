@@ -21,8 +21,11 @@
 #include "bmp/sim/massoulie.hpp"
 #include "bmp/trees/arborescence.hpp"
 #include "bmp/util/table.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope example_scope(cli.profiler(), "example/live_streaming");
   using bmp::util::Table;
   bmp::util::Xoshiro256 rng(2026);
 
@@ -89,6 +92,7 @@ int main() {
   exec_config.total_chunks = 240;
   exec_config.emission_rate = sol.throughput;
   exec_config.warmup_chunks = 48;
+  exec_config.profiler = cli.profiler();
   bmp::dataplane::Execution exec(swarm, sol.scheme, exec_config);
   exec.run_to_completion();
   const bmp::dataplane::ExecutionReport clean = exec.report(sol.throughput);
@@ -114,5 +118,5 @@ int main() {
   std::cout << "chunk execution (2% loss, 30ms): achieved "
             << noisy.achieved_rate << " Mbit/s, " << noisy.retransmits
             << " retransmits, " << noisy.hol_stalls << " head-of-line stalls\n";
-  return 0;
+  return bmp::benchutil::finish(cli, "live_streaming", true);
 }

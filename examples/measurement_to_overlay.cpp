@@ -19,8 +19,11 @@
 #include "bmp/net/overlay.hpp"
 #include "bmp/sim/massoulie.hpp"
 #include "bmp/util/table.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope example_scope(cli.profiler(), "example/measurement_to_overlay");
   using bmp::util::Table;
   bmp::util::Xoshiro256 rng(404);
   const int N = 20;           // platform size (node 0 will be the source)
@@ -108,5 +111,5 @@ int main() {
   t.print(std::cout);
   std::cout << "end-to-end efficiency: "
             << 100.0 * sim.min_rate / optimal << "% of the true optimum\n";
-  return 0;
+  return bmp::benchutil::finish(cli, "measurement_to_overlay", true);
 }

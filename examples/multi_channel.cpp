@@ -7,8 +7,11 @@
 
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope example_scope(cli.profiler(), "example/multi_channel");
   using namespace bmp::runtime;
 
   // A day-long (10 time units) scenario on ~60 heterogeneous peers.
@@ -27,6 +30,7 @@ int main() {
 
   RuntimeConfig config;
   config.broker_headroom = 0.05;
+  config.profiler = cli.profiler();
   Runtime runtime(config, script.source_bandwidth, script.initial_peers);
   runtime.run(script.events);
 
@@ -51,5 +55,5 @@ int main() {
 
   std::cout << "\nmetrics snapshot (deterministic view):\n"
             << runtime.metrics().snapshot().to_string(/*include_timing=*/false);
-  return violations.empty() ? 0 : 1;
+  return bmp::benchutil::finish(cli, "multi_channel", violations.empty());
 }

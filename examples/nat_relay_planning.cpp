@@ -10,8 +10,11 @@
 #include "bmp/bmp.hpp"
 #include "bmp/net/overlay.hpp"
 #include "bmp/util/table.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope example_scope(cli.profiler(), "example/nat_relay_planning");
   using bmp::util::Table;
 
   // Platform: strong source, two open nodes, four guarded nodes.
@@ -92,5 +95,5 @@ int main() {
             << deployable.connections().size() << " connections; T = "
             << aware.throughput << " (" << 100.0 * aware.throughput / t_star
             << "% of the cyclic bound, >= 5/7 guaranteed)\n";
-  return 0;
+  return bmp::benchutil::finish(cli, "nat_relay_planning", true);
 }

@@ -10,8 +10,11 @@
 #include <iostream>
 
 #include "bmp/bmp.hpp"
+#include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bmp::benchutil::CommonCli cli(argc, argv);
+  const bmp::obs::PhaseScope example_scope(cli.profiler(), "example/quickstart");
   // A small heterogeneous platform: a well-provisioned source, two open
   // nodes, three guarded (NAT'd) nodes — the paper's Figure 1 instance.
   const bmp::Instance platform(/*source_bw=*/6.0,
@@ -54,5 +57,5 @@ int main() {
   std::cout << "\nopen-only example: acyclic "
             << bmp::acyclic_open_optimal(open_only) << " vs cyclic " << t_cyc
             << " (max degree " << cyclic.max_out_degree() << ")\n";
-  return 0;
+  return bmp::benchutil::finish(cli, "quickstart", true);
 }

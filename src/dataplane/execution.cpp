@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "bmp/obs/flight_recorder.hpp"
+#include "bmp/obs/profiler.hpp"
 #include "bmp/obs/trace.hpp"
 
 namespace bmp::dataplane {
@@ -449,12 +450,15 @@ void Execution::run_until(double t) {
   if (t < now_) {
     throw std::invalid_argument("Execution::run_until: time went backwards");
   }
+  std::uint64_t events = 0;
   while (!queue_.empty() && queue_.top().time <= t) {
     const ChunkEvent event = queue_.pop();
     now_ = event.time;
     process(event);
+    ++events;
   }
   now_ = t;
+  if (config_.profiler != nullptr) flush_profile(events);
 }
 
 void Execution::run_to_completion() {
@@ -463,11 +467,47 @@ void Execution::run_to_completion() {
         "Execution::run_to_completion: unbounded stream (set total_chunks or "
         "stop_emission first)");
   }
+  std::uint64_t events = 0;
   while (!queue_.empty()) {
     const ChunkEvent event = queue_.pop();
     now_ = event.time;
     process(event);
+    ++events;
   }
+  if (config_.profiler != nullptr) flush_profile(events);
+}
+
+void Execution::flush_profile(std::uint64_t events) {
+  obs::Profiler& prof = *config_.profiler;
+  ProfileMark& mark = profile_mark_;
+  prof.enter("dataplane/advance");
+  prof.count("dataplane/advance", "events", events);
+  prof.count("dataplane/advance", "emitted",
+             static_cast<std::uint64_t>(emitted_ - mark.emitted));
+  prof.count("dataplane/advance", "delivered", delivered_chunks_ - mark.delivered);
+  prof.count("dataplane/advance", "losses", losses_ - mark.losses);
+  prof.count("dataplane/advance", "retransmits", retransmits_ - mark.retransmits);
+  prof.count("dataplane/advance", "duplicates", duplicates_ - mark.duplicates);
+  prof.count("dataplane/advance", "hol_stalls", hol_stalls_ - mark.hol_stalls);
+  prof.enter("dataplane/scheduler");
+  prof.count("dataplane/scheduler", "attempts", sched_attempts_ - mark.attempts);
+  prof.count("dataplane/scheduler", "window_stalls",
+             hol_stalls_ - mark.hol_stalls);
+  prof.count("dataplane/scheduler", "no_chunk", sched_no_chunk_ - mark.no_chunk);
+  prof.count("dataplane/scheduler", "index_picks",
+             sched_index_picks_ - mark.index_picks);
+  prof.count("dataplane/scheduler", "linear_scans",
+             sched_linear_scans_ - mark.linear_scans);
+  mark.emitted = emitted_;
+  mark.delivered = delivered_chunks_;
+  mark.losses = losses_;
+  mark.retransmits = retransmits_;
+  mark.duplicates = duplicates_;
+  mark.hol_stalls = hol_stalls_;
+  mark.attempts = sched_attempts_;
+  mark.no_chunk = sched_no_chunk_;
+  mark.index_picks = sched_index_picks_;
+  mark.linear_scans = sched_linear_scans_;
 }
 
 void Execution::process(const ChunkEvent& event) {
@@ -684,6 +724,7 @@ void Execution::try_send(int pipe_slot) {
   Node& receiver = nodes_[static_cast<std::size_t>(pipe.to)];
   if (!sender.alive || !receiver.alive) return;
   ++pipe.attempts;
+  if (config_.profiler != nullptr) ++sched_attempts_;
   // Backpressure: the effective window grants at least one outstanding
   // chunk per in-pipe so a wide fan-in is never throttled structurally.
   const int window = std::max(config_.receiver_window,
@@ -719,14 +760,20 @@ void Execution::try_send(int pipe_slot) {
           : config_.rescue_factor_hard;
   int best = -1;
   int overtake = -1;
-  if (!config_.use_scan_index ||
-      !pick_indexed(sender, receiver, my_eta, rescue, start, end, best,
-                    overtake)) {
+  const bool indexed =
+      config_.use_scan_index &&
+      pick_indexed(sender, receiver, my_eta, rescue, start, end, best,
+                   overtake);
+  if (!indexed) {
     pick_linear(sender, receiver, my_eta, rescue, start, end, best, overtake);
+  }
+  if (config_.profiler != nullptr) {
+    indexed ? ++sched_index_picks_ : ++sched_linear_scans_;
   }
   if (best < 0) best = overtake;
   if (best < 0) {
     ++pipe.no_chunk;
+    if (config_.profiler != nullptr) ++sched_no_chunk_;
     return;
   }
   pipe.busy = true;

@@ -49,6 +49,7 @@
 #include "bmp/util/rng.hpp"
 
 namespace bmp::obs {
+class Profiler;
 class TraceSink;
 class FlightRecorder;
 }  // namespace bmp::obs
@@ -133,6 +134,12 @@ struct ExecutionConfig {
   /// and the recorder's configured dump is written (null = off).
   obs::FlightRecorder* recorder = nullptr;
   int trace_id = -1;  ///< channel label in trace/recorder output
+  /// Performance attribution (null = off): event/delivery counters under
+  /// "dataplane/advance" and scheduler pick telemetry under
+  /// "dataplane/scheduler", flushed once per run_until — the per-event hot
+  /// path never touches the profiler, and pays one predictable branch per
+  /// site when profiling is off.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Per-node outcome of a run (ids are Execution node ids; node 0 = source).
@@ -409,6 +416,29 @@ class Execution {
   std::uint64_t hol_stalls_ = 0;
   std::uint64_t duplicates_ = 0;
   std::vector<double> pending_latencies_;
+
+  // Profiling only (maintained iff config_.profiler != nullptr): scheduler
+  // pick telemetry plus the last-flushed counter snapshot, so run_until
+  // records deltas without per-event profiler calls.
+  std::uint64_t sched_attempts_ = 0;
+  std::uint64_t sched_no_chunk_ = 0;
+  std::uint64_t sched_index_picks_ = 0;
+  std::uint64_t sched_linear_scans_ = 0;
+  struct ProfileMark {
+    std::uint64_t delivered = 0;
+    std::uint64_t losses = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t hol_stalls = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t no_chunk = 0;
+    std::uint64_t index_picks = 0;
+    std::uint64_t linear_scans = 0;
+    int emitted = 0;
+  };
+  ProfileMark profile_mark_;
+  /// Flushes counter deltas since the last flush into the profiler.
+  void flush_profile(std::uint64_t events);
 };
 
 }  // namespace bmp::dataplane

@@ -11,6 +11,7 @@
 #include "bmp/core/cyclic_open.hpp"
 #include "bmp/engine/plan_cache.hpp"
 #include "bmp/flow/verify.hpp"
+#include "bmp/obs/profiler.hpp"
 #include "bmp/obs/trace.hpp"
 #include "bmp/util/thread_pool.hpp"
 
@@ -132,6 +133,10 @@ PlanResponse Planner::plan_uncached(const PlanRequest& request) {
 PlanResponse Planner::plan_verified(const Instance& instance,
                                     Algorithm algorithm,
                                     int max_out_degree) const {
+  // The compute scope covers construction *and* verification; both the
+  // one-shot path and the plan_batch workers land here, so the profiler's
+  // "computed" counter equals the cache-miss count for any thread count.
+  obs::PhaseScope scope(config_.profiler, "planner/compute");
   PlanResponse response = plan_uncached(instance, algorithm, max_out_degree);
   if (config_.verify_plans && response.scheme != nullptr &&
       response.scheme->num_nodes() > 1) {
@@ -140,6 +145,20 @@ PlanResponse Planner::plan_verified(const Instance& instance,
     const flow::VerifyResult verified = flow::verify_throughput(*response.scheme);
     response.verified_throughput = verified.throughput;
     response.verified_tier = verified.tier;
+    if (config_.profiler != nullptr) {
+      config_.profiler->enter("planner/compute/verify");
+      config_.profiler->count("planner/compute/verify",
+                              verified.tier == flow::VerifyTier::kAcyclicSweep
+                                  ? "tier1_sweeps"
+                                  : "tier2_verifies");
+      if (verified.maxflow_solves > 0) {
+        config_.profiler->count(
+            "planner/compute/verify", "solves",
+            static_cast<std::uint64_t>(verified.maxflow_solves));
+        config_.profiler->count("planner/compute/verify", "bfs_rounds",
+                                verified.bfs_rounds);
+      }
+    }
   }
   return response;
 }
@@ -187,6 +206,10 @@ PlanResponse Planner::plan(const Instance& instance, Algorithm algorithm,
   if (std::shared_ptr<const PlanResponse> cached = cache_->lookup(key)) {
     PlanResponse response = *cached;
     response.cache_hit = true;
+    if (config_.profiler != nullptr) {
+      config_.profiler->enter("planner/plan");
+      config_.profiler->count("planner/plan", "cache_hits");
+    }
     if (config_.trace != nullptr) {
       config_.trace->complete(obs::Lane::kPlanner, "engine", "plan",
                               {{"alg", to_string(algorithm)},
@@ -195,6 +218,10 @@ PlanResponse Planner::plan(const Instance& instance, Algorithm algorithm,
                                {"throughput", response.throughput}});
     }
     return response;
+  }
+  if (config_.profiler != nullptr) {
+    config_.profiler->enter("planner/plan");
+    config_.profiler->count("planner/plan", "cache_misses");
   }
   const obs::WallTimer timer(config_.trace);
   PlanResponse response = plan_verified(instance, algorithm, max_out_degree);
@@ -262,6 +289,21 @@ std::vector<PlanResponse> Planner::plan_batch(
       },
       /*chunk=*/1);
 
+  if (config_.profiler != nullptr) {
+    // Post-barrier, like the trace spans: batch totals are recorded once
+    // from this thread (the per-item compute/verify counters were summed
+    // commutatively by the workers).
+    std::size_t cached = 0;
+    for (const WorkItem& item : work) {
+      if (item.from_cache) ++cached;
+    }
+    config_.profiler->enter("planner/plan_batch");
+    config_.profiler->count("planner/plan_batch", "requests", requests.size());
+    config_.profiler->count("planner/plan_batch", "distinct", work.size());
+    config_.profiler->count("planner/plan_batch", "cache_hits", cached);
+    config_.profiler->count("planner/plan_batch", "computed",
+                            work.size() - cached);
+  }
   if (config_.trace != nullptr) {
     // Emitted after the barrier, from this thread, in work-item order:
     // append order (and the sequence numbers) never depends on which

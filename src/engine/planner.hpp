@@ -21,6 +21,7 @@ class ThreadPool;
 }  // namespace bmp::util
 
 namespace bmp::obs {
+class Profiler;
 class TraceSink;
 }  // namespace bmp::obs
 
@@ -82,6 +83,11 @@ struct PlannerConfig {
   /// in work-item index order, so the trace is byte-identical for any
   /// thread count.
   obs::TraceSink* trace = nullptr;
+  /// Performance attribution (null = off): cache hits/misses, computed
+  /// plans and their verification work under "planner/...". Worker threads
+  /// record commutative counter sums, so reports are byte-identical for
+  /// any thread count (wall time only when the profiler opted in).
+  obs::Profiler* profiler = nullptr;
 };
 
 class Planner {

@@ -19,6 +19,7 @@ void MaxFlowGraph::assign(int num_nodes) {
   original_.clear();
   finalized_ = false;
   max_capacity_ = 0.0;
+  bfs_rounds_ = 0;
 }
 
 int MaxFlowGraph::add_edge(int from, int to, double capacity) {
@@ -77,6 +78,7 @@ void MaxFlowGraph::finalize() {
 }
 
 bool MaxFlowGraph::bfs_levels(int source, int sink) {
+  ++bfs_rounds_;
   std::fill(level_.begin(), level_.end(), -1);
   int head = 0;
   int tail = 0;

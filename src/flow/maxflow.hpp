@@ -12,6 +12,7 @@
 // later sink.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "bmp/core/instance.hpp"
@@ -67,6 +68,11 @@ class MaxFlowGraph {
   /// Flow currently pushed through edge id (cap_original - cap_residual).
   [[nodiscard]] double flow_on(int edge_id) const;
 
+  /// Cumulative BFS level-graph rebuilds across every solve since assign()
+  /// — the Dinic work counter the profiler attributes tier-2 cost by.
+  /// Deterministic: a pure function of the solve sequence.
+  [[nodiscard]] std::uint64_t bfs_rounds() const { return bfs_rounds_; }
+
  private:
   bool bfs_levels(int source, int sink);
   double dfs_push(int vertex, int sink, double limit);
@@ -92,6 +98,7 @@ class MaxFlowGraph {
   int num_nodes_ = 0;
   bool finalized_ = false;
   double max_capacity_ = 0.0;
+  std::uint64_t bfs_rounds_ = 0;
 };
 
 /// Throughput of a broadcast scheme: min over all non-source nodes of the

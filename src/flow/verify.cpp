@@ -4,11 +4,27 @@
 #include <chrono>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
+#include "bmp/obs/profiler.hpp"
 #include "bmp/obs/trace.hpp"
 #include "bmp/util/thread_pool.hpp"
 
 namespace bmp::flow {
+
+namespace {
+
+/// The process-shared pool behind VerifyOptions::auto_pool: sized to the
+/// hardware, constructed on first use, shared by every verifier that did
+/// not bring its own pool. Safe to share across verifiers on different
+/// threads (planner workers included): sweep tasks are pure — they never
+/// re-enter a verifier or submit to any pool — so no wait cycle can form.
+util::ThreadPool* shared_verify_pool() {
+  static util::ThreadPool pool;  // ThreadPool(0): hardware_concurrency
+  return &pool;
+}
+
+}  // namespace
 
 const char* to_string(VerifyTier tier) {
   switch (tier) {
@@ -103,12 +119,23 @@ VerifyResult Verifier::warm_maxflow(const BroadcastScheme& scheme) {
   }
 
   const auto sinks = sink_order_.size();
+  // The parallel sweep is the default on multi-core hosts: an explicit
+  // pool wins, else the shared verify pool when auto_pool allows it.
+  util::ThreadPool* pool = options_.pool;
+  if (pool == nullptr && options_.auto_pool &&
+      static_cast<int>(sinks) >= options_.parallel_min_sinks &&
+      std::thread::hardware_concurrency() > 1) {
+    pool = shared_verify_pool();
+  }
   const bool parallel =
-      options_.pool != nullptr && options_.pool->size() > 1 &&
-      static_cast<int>(sinks) >= options_.parallel_min_sinks;
+      pool != nullptr && pool->size() > 1 &&
+      static_cast<int>(sinks) >= options_.parallel_min_sinks &&
+      options_.parallel_chunks > 1;
   if (!parallel) {
+    const std::uint64_t bfs_base = graph_.bfs_rounds();
     result.throughput = limit_bounded_sink_sweep(graph_, 0, sink_order_,
                                                  &result.maxflow_solves);
+    result.bfs_rounds = graph_.bfs_rounds() - bfs_base;
     return result;
   }
 
@@ -116,17 +143,21 @@ VerifyResult Verifier::warm_maxflow(const BroadcastScheme& scheme) {
   // private running minimum per chunk. Every per-sink value is
   // min(flow_k, local_limit) with local_limit >= the true global minimum
   // (it starts at `bound` and only drops through values that are
-  // themselves >= the minimum), so min over chunks is exact — identical
-  // for any pool size, chunk split, or scheduling.
+  // themselves >= the minimum), so min over chunks is exact. The chunk
+  // count is a fixed option, never pool-derived: the split, the per-chunk
+  // minima, and every work counter are identical for any pool size or
+  // scheduling.
   std::sort(sink_order_.begin(), sink_order_.end());
   graph_.finalize();  // chunks copy the built CSR index, not the edge list
   const std::size_t chunk_count =
-      std::min(sinks, 2 * options_.pool->size());
+      std::min(sinks, static_cast<std::size_t>(options_.parallel_chunks));
   const std::size_t chunk_size = (sinks + chunk_count - 1) / chunk_count;
   std::vector<double> chunk_min(chunk_count, bound);
   std::vector<int> chunk_solves(chunk_count, 0);
+  std::vector<std::uint64_t> chunk_bfs(chunk_count, 0);
+  const std::uint64_t bfs_base = graph_.bfs_rounds();
   util::parallel_for(
-      *options_.pool, 0, chunk_count,
+      *pool, 0, chunk_count,
       [&](std::size_t c) {
         MaxFlowGraph local = graph_;
         double best = bound;
@@ -138,11 +169,19 @@ VerifyResult Verifier::warm_maxflow(const BroadcastScheme& scheme) {
           ++chunk_solves[c];
         }
         chunk_min[c] = best;
+        chunk_bfs[c] = local.bfs_rounds() - bfs_base;
       },
       /*chunk=*/1);
   for (const int solves : chunk_solves) result.maxflow_solves += solves;
+  for (const std::uint64_t bfs : chunk_bfs) result.bfs_rounds += bfs;
   result.throughput =
       std::max(*std::min_element(chunk_min.begin(), chunk_min.end()), 0.0);
+  if (options_.profiler != nullptr) {
+    options_.profiler->count("verify/tier2_maxflow", "parallel_sweeps");
+    options_.profiler->count("verify/tier2_maxflow", "graph_copies",
+                             chunk_count);
+  }
+  ++stats_.parallel_sweeps;
   return result;
 }
 
@@ -161,12 +200,14 @@ VerifyResult Verifier::dispatch(const BroadcastScheme& scheme) {
       }
     }
     double best = std::numeric_limits<double>::infinity();
+    const std::uint64_t bfs_base = graph_.bfs_rounds();
     for (int sink = 1; sink < num_nodes; ++sink) {
       graph_.reset();
       best = std::min(best, graph_.max_flow(0, sink));
       ++result.maxflow_solves;
       if (best <= 0.0) break;
     }
+    result.bfs_rounds = graph_.bfs_rounds() - bfs_base;
     result.throughput = std::max(best, 0.0);
     return result;
   }
@@ -204,11 +245,43 @@ VerifyResult Verifier::verify(const BroadcastScheme& scheme) {
     ++stats_.tier_maxflow;
   }
   stats_.maxflow_solves += static_cast<std::uint64_t>(result.maxflow_solves);
+  stats_.bfs_rounds += result.bfs_rounds;
+  if (options_.profiler != nullptr) {
+    obs::Profiler& profiler = *options_.profiler;
+    switch (result.tier) {
+      case VerifyTier::kAcyclicSweep:
+        profiler.enter("verify/tier1_sweep");
+        profiler.count("verify/tier1_sweep", "nodes",
+                       static_cast<std::uint64_t>(scheme.num_nodes()));
+        break;
+      case VerifyTier::kWarmMaxFlow:
+        profiler.enter("verify/tier2_maxflow");
+        profiler.count("verify/tier2_maxflow", "solves",
+                       static_cast<std::uint64_t>(result.maxflow_solves));
+        profiler.count("verify/tier2_maxflow", "bfs_rounds",
+                       result.bfs_rounds);
+        break;
+      case VerifyTier::kOracle:
+        profiler.enter("verify/oracle");
+        profiler.count("verify/oracle", "solves",
+                       static_cast<std::uint64_t>(result.maxflow_solves));
+        profiler.count("verify/oracle", "bfs_rounds", result.bfs_rounds);
+        break;
+    }
+  }
   if (options_.collect_timing) {
     stats_.last_us = std::chrono::duration<double, std::micro>(
                          std::chrono::steady_clock::now() - start)
                          .count();
     stats_.total_us += stats_.last_us;
+    if (options_.profiler != nullptr && options_.profiler->wall_time()) {
+      options_.profiler->add_wall(result.tier == VerifyTier::kAcyclicSweep
+                                      ? "verify/tier1_sweep"
+                                      : result.tier == VerifyTier::kWarmMaxFlow
+                                            ? "verify/tier2_maxflow"
+                                            : "verify/oracle",
+                                  stats_.last_us);
+    }
   }
   if (options_.trace != nullptr) {
     const double wall_us =

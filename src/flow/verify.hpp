@@ -42,6 +42,7 @@ class ThreadPool;
 }  // namespace bmp::util
 
 namespace bmp::obs {
+class Profiler;
 class TraceSink;
 }  // namespace bmp::obs
 
@@ -59,6 +60,9 @@ struct VerifyResult {
   double throughput = 0.0;
   VerifyTier tier = VerifyTier::kAcyclicSweep;
   int maxflow_solves = 0;  ///< Dinic invocations (0 on the tier-1 path)
+  /// BFS level-graph rebuilds across those solves — the per-verify Dinic
+  /// work measure. Deterministic (pool-size-independent, like the solves).
+  std::uint64_t bfs_rounds = 0;
 };
 
 /// Cumulative per-verifier counters; wall-clock total under `total_us`
@@ -68,6 +72,8 @@ struct VerifyStats {
   std::uint64_t tier_sweep = 0;    ///< verifications served by tier 1
   std::uint64_t tier_maxflow = 0;  ///< verifications served by tier 2/3
   std::uint64_t maxflow_solves = 0;
+  std::uint64_t bfs_rounds = 0;
+  std::uint64_t parallel_sweeps = 0;  ///< tier-2 sweeps run on a pool
   double total_us = 0.0;
   double last_us = 0.0;
 };
@@ -78,12 +84,23 @@ struct VerifyOptions {
   /// to scheme_throughput_oracle.
   bool force_tier = false;
   VerifyTier tier = VerifyTier::kAcyclicSweep;
-  /// Parallel tier-2 sink sweep across this pool (nullptr = serial). The
-  /// result is identical for any pool size.
+  /// Parallel tier-2 sink sweep across this pool. The result — and, with a
+  /// fixed `parallel_chunks`, the solve/BFS counts — is identical for any
+  /// pool size. nullptr defers to `auto_pool`.
   util::ThreadPool* pool = nullptr;
+  /// With pool == nullptr, run the parallel sweep on the process-shared
+  /// verify pool whenever hardware_concurrency() > 1 — the deterministic
+  /// parallel sweep is the *default*. Set false to force the serial sweep
+  /// (single-core hosts always sweep serially).
+  bool auto_pool = true;
   /// Minimum sink count before the parallel sweep is worth the per-chunk
   /// graph copies.
   int parallel_min_sinks = 256;
+  /// Fixed chunk count of the parallel sweep (clamped to the sink count).
+  /// Fixed — not pool-derived — so the chunk split, the per-chunk running
+  /// minima, and therefore every profiler work counter are independent of
+  /// the pool size, not just the verified throughput.
+  int parallel_chunks = 16;
   /// Collect wall-clock timings into stats() (two steady_clock reads per
   /// verify; the measurement itself never affects the returned value).
   bool collect_timing = true;
@@ -92,6 +109,11 @@ struct VerifyOptions {
   /// verifiers inside the planner pool stay untraced so trace append order
   /// is independent of thread count.
   obs::TraceSink* trace = nullptr;
+  /// Performance attribution (null = off): per-tier phase counters —
+  /// sweeps, solves, BFS rounds, graph copies — under "verify/...". Safe
+  /// on any thread (counter sums are commutative); wall time rides along
+  /// only when the profiler opted in *and* collect_timing is on.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Reusable verification engine: owns the topological/inflow scratch and

@@ -50,7 +50,8 @@ class Tableau {
 /// Runs simplex iterations (minimization form: objective row holds reduced
 /// costs; entering column has reduced cost < -eps). Bland's rule.
 Status iterate(Tableau& t, std::vector<std::size_t>& basis,
-               std::size_t num_cols_eligible, std::size_t& budget) {
+               std::size_t num_cols_eligible, std::size_t& budget,
+               std::size_t& pivots) {
   const std::size_t rhs = t.cols() - 1;
   while (budget-- > 0) {
     // Entering variable: smallest index with negative reduced cost.
@@ -80,6 +81,7 @@ Status iterate(Tableau& t, std::vector<std::size_t>& basis,
     }
     if (leave == t.rows()) return Status::kUnbounded;
     t.pivot(leave, enter);
+    ++pivots;
     basis[leave] = enter;
   }
   return Status::kIterationLimit;
@@ -151,6 +153,13 @@ Solution LinearProgram::solve(std::size_t max_pivots) const {
   }
 
   std::size_t budget = max_pivots;
+  std::size_t pivots = 0;
+  const auto failed = [&pivots](Status status) {
+    Solution solution;
+    solution.status = status;
+    solution.pivots = pivots;
+    return solution;
+  };
 
   // ---- Phase 1: minimize the sum of artificials. ----
   bool any_artificial = false;
@@ -167,9 +176,9 @@ Solution LinearProgram::solve(std::size_t max_pivots) const {
         for (std::size_t c = 0; c <= rhs; ++c) t.obj(c) -= t.at(r, c);
       }
     }
-    const Status phase1 = iterate(t, basis, rhs, budget);
-    if (phase1 == Status::kIterationLimit) return {Status::kIterationLimit, 0.0, {}};
-    if (-t.obj(rhs) > 1e-6) return {Status::kInfeasible, 0.0, {}};
+    const Status phase1 = iterate(t, basis, rhs, budget, pivots);
+    if (phase1 == Status::kIterationLimit) return failed(Status::kIterationLimit);
+    if (-t.obj(rhs) > 1e-6) return failed(Status::kInfeasible);
     // Drive remaining artificials out of the basis (degenerate rows).
     for (std::size_t r = 0; r < m; ++r) {
       if (!is_artificial_col[basis[r]]) continue;
@@ -182,6 +191,7 @@ Solution LinearProgram::solve(std::size_t max_pivots) const {
       }
       if (pivot_col != rhs) {
         t.pivot(r, pivot_col);
+        ++pivots;
         basis[r] = pivot_col;
       }
       // else: the row is all-zero over real columns; harmless.
@@ -201,12 +211,13 @@ Solution LinearProgram::solve(std::size_t max_pivots) const {
       for (std::size_t c = 0; c <= rhs; ++c) t.obj(c) -= factor * t.at(r, c);
     }
   }
-  const Status phase2 = iterate(t, basis, art0, budget);
-  if (phase2 == Status::kIterationLimit) return {Status::kIterationLimit, 0.0, {}};
-  if (phase2 == Status::kUnbounded) return {Status::kUnbounded, 0.0, {}};
+  const Status phase2 = iterate(t, basis, art0, budget, pivots);
+  if (phase2 == Status::kIterationLimit) return failed(Status::kIterationLimit);
+  if (phase2 == Status::kUnbounded) return failed(Status::kUnbounded);
 
   Solution solution;
   solution.status = Status::kOptimal;
+  solution.pivots = pivots;
   solution.values.assign(n, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
     if (basis[r] < n) solution.values[basis[r]] = t.at(r, rhs);

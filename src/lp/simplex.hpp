@@ -21,6 +21,9 @@ struct Solution {
   Status status = Status::kInfeasible;
   double objective = 0.0;
   std::vector<double> values;  ///< one per structural variable
+  /// Pivot operations across both phases (drive-out pivots included) — the
+  /// deterministic work measure the profiler attributes LP cost by.
+  std::size_t pivots = 0;
 };
 
 class LinearProgram {

@@ -2,12 +2,15 @@
 
 #include <stdexcept>
 
+#include "bmp/obs/profiler.hpp"
+
 namespace bmp::lp {
 
 namespace {
 
 ThroughputLpResult solve_with_edges(const Instance& instance,
-                                    const std::vector<std::pair<int, int>>& edges) {
+                                    const std::vector<std::pair<int, int>>& edges,
+                                    obs::Profiler* profiler) {
   const int N = instance.size();
   LinearProgram lp;
   lp.set_maximize(true);
@@ -58,7 +61,16 @@ ThroughputLpResult solve_with_edges(const Instance& instance,
   }
 
   const Solution sol = lp.solve();
-  ThroughputLpResult result{sol.status, 0.0, BroadcastScheme(N)};
+  if (profiler != nullptr) {
+    profiler->enter("lp/solve");
+    profiler->count("lp/solve", "pivots",
+                    static_cast<std::uint64_t>(sol.pivots));
+    profiler->count("lp/solve", "variables",
+                    static_cast<std::uint64_t>(lp.num_variables()));
+    profiler->count("lp/solve", "constraints",
+                    static_cast<std::uint64_t>(lp.num_constraints()));
+  }
+  ThroughputLpResult result{sol.status, 0.0, BroadcastScheme(N), sol.pivots};
   if (sol.status != Status::kOptimal) return result;
   result.throughput = sol.values[static_cast<std::size_t>(var_T)];
   for (std::size_t e = 0; e < edges.size(); ++e) {
@@ -72,7 +84,8 @@ ThroughputLpResult solve_with_edges(const Instance& instance,
 
 }  // namespace
 
-ThroughputLpResult cyclic_optimal_lp(const Instance& instance) {
+ThroughputLpResult cyclic_optimal_lp(const Instance& instance,
+                                     obs::Profiler* profiler) {
   std::vector<std::pair<int, int>> edges;
   const int N = instance.size();
   for (int i = 0; i < N; ++i) {
@@ -82,11 +95,12 @@ ThroughputLpResult cyclic_optimal_lp(const Instance& instance) {
       edges.emplace_back(i, j);
     }
   }
-  return solve_with_edges(instance, edges);
+  return solve_with_edges(instance, edges, profiler);
 }
 
 ThroughputLpResult acyclic_order_optimal_lp(const Instance& instance,
-                                            const std::vector<int>& order) {
+                                            const std::vector<int>& order,
+                                            obs::Profiler* profiler) {
   if (static_cast<int>(order.size()) != instance.size() || order.empty() ||
       order.front() != 0) {
     throw std::invalid_argument(
@@ -101,11 +115,12 @@ ThroughputLpResult acyclic_order_optimal_lp(const Instance& instance,
       edges.emplace_back(i, j);
     }
   }
-  return solve_with_edges(instance, edges);
+  return solve_with_edges(instance, edges, profiler);
 }
 
 ThroughputLpResult acyclic_word_optimal_lp(const Instance& instance,
-                                           const Word& word) {
+                                           const Word& word,
+                                           obs::Profiler* profiler) {
   if (count_open(word) != instance.n() || count_guarded(word) != instance.m()) {
     throw std::invalid_argument("acyclic_word_optimal_lp: letter counts mismatch");
   }
@@ -120,7 +135,7 @@ ThroughputLpResult acyclic_word_optimal_lp(const Instance& instance,
       order.push_back(instance.n() + guardeds);
     }
   }
-  return acyclic_order_optimal_lp(instance, order);
+  return acyclic_order_optimal_lp(instance, order, profiler);
 }
 
 }  // namespace bmp::lp

@@ -23,25 +23,34 @@
 #include "bmp/core/word.hpp"
 #include "bmp/lp/simplex.hpp"
 
+namespace bmp::obs {
+class Profiler;
+}  // namespace bmp::obs
+
 namespace bmp::lp {
 
 struct ThroughputLpResult {
   Status status = Status::kInfeasible;
   double throughput = 0.0;
   BroadcastScheme scheme;  ///< optimal c_ij (valid when status == kOptimal)
+  std::size_t pivots = 0;  ///< simplex pivots spent (lp::Solution::pivots)
 };
 
 /// Optimal cyclic throughput (all edges except guarded->guarded and into
-/// the source).
-ThroughputLpResult cyclic_optimal_lp(const Instance& instance);
+/// the source). `profiler` (null = off) records calls / pivots / tableau
+/// size under "lp/solve".
+ThroughputLpResult cyclic_optimal_lp(const Instance& instance,
+                                     obs::Profiler* profiler = nullptr);
 
 /// Optimal acyclic throughput for the given serving order (node ids,
 /// source first). Edges only from earlier to later positions.
 ThroughputLpResult acyclic_order_optimal_lp(const Instance& instance,
-                                            const std::vector<int>& order);
+                                            const std::vector<int>& order,
+                                            obs::Profiler* profiler = nullptr);
 
 /// Convenience: order encoded by a coding word (increasing order semantics).
 ThroughputLpResult acyclic_word_optimal_lp(const Instance& instance,
-                                           const Word& word);
+                                           const Word& word,
+                                           obs::Profiler* profiler = nullptr);
 
 }  // namespace bmp::lp

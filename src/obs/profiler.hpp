@@ -1,0 +1,179 @@
+// Profiler — hierarchical performance attribution for the five-layer loop.
+//
+// Where TraceSink answers *when* (a timeline of spans), the Profiler answers
+// *where the work goes*: every instrumented site records deterministic work
+// counters (max-flow solves, BFS rounds, LP pivots, scheduler probes, cache
+// hits, graph copies, ...) under a phase path like
+// "runtime/session/churn" or "verify/tier2_maxflow". Phases aggregate into
+// a stable tree keyed by path; sums of counters are commutative, and the
+// exports walk a sorted map — so the JSON report and the collapsed-stack
+// text are byte-identical across runs *and across planner thread counts*.
+//
+// Wall-clock time is opt-in (`ProfilerConfig::wall_time`), mirroring the
+// `timing.*` metrics and `TraceConfig::wall_durations` conventions: wall
+// measurements deliberately break byte-identity and never appear in the
+// deterministic exports unless opted in.
+//
+// Hook convention (PR 6): call sites hold a raw null-by-default
+// `obs::Profiler*` and pay exactly one branch when profiling is off. Sites
+// pass the *full* phase path — there is no ambient thread-local stack, so
+// a worker-pool site attributes to the same path from any thread.
+//
+// Exports:
+//   * to_json()            nested phase tree (schema-versioned)
+//   * to_collapsed()       pprof collapsed-stack lines "a;b;c <work>",
+//                          flamegraph.pl / speedscope ready
+//   * summary_json()       flat per-phase object for BENCH_*.json embedding
+//   * attribution_table()  human top-N table for `--profile` binaries
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace bmp::obs {
+
+struct ProfilerConfig {
+  /// Accumulate wall-clock microseconds per phase (PhaseScope / add_wall).
+  /// Off by default: wall time is nondeterministic, and the determinism
+  /// tests assert byte-identical reports without it.
+  bool wall_time = false;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(ProfilerConfig config = {});
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// One entry into `phase` (increments its call count). Counters are
+  /// independent — a phase may have counts without calls and vice versa.
+  void enter(std::string_view phase);
+  /// Adds `delta` to `phase`'s named counter. Thread-safe; sums are
+  /// commutative, so concurrent sites aggregate deterministically.
+  void count(std::string_view phase, std::string_view counter,
+             std::uint64_t delta = 1);
+  /// Accumulates wall microseconds into `phase`; dropped (one branch)
+  /// unless the profiler opted into wall_time.
+  void add_wall(std::string_view phase, double us);
+
+  [[nodiscard]] bool wall_time() const { return config_.wall_time; }
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t phase_count() const;
+  [[nodiscard]] std::uint64_t calls(std::string_view phase) const;
+  [[nodiscard]] std::uint64_t counter(std::string_view phase,
+                                      std::string_view name) const;
+  /// Sum of one named counter across every phase.
+  [[nodiscard]] std::uint64_t total(std::string_view counter) const;
+  /// A phase's work units: the sum of its counter values, or its call
+  /// count when it has no counters — the weight the exports rank by.
+  [[nodiscard]] std::uint64_t work(std::string_view phase) const;
+  [[nodiscard]] std::uint64_t total_work() const;
+  /// Accumulated wall microseconds (0 unless wall_time).
+  [[nodiscard]] double wall_us(std::string_view phase) const;
+
+  /// Nested phase tree as JSON (sorted by path segment — deterministic).
+  /// Wall fields appear only when wall_time is on.
+  [[nodiscard]] std::string to_json() const;
+  /// pprof-style collapsed stacks: one line per recorded phase,
+  /// "seg1;seg2;seg3 <work>", sorted by path. Feed to flamegraph.pl or
+  /// paste into speedscope.
+  [[nodiscard]] std::string to_collapsed() const;
+  /// Flat {"phases":{path:{calls,work,counters}},"total_work":N} object for
+  /// embedding in BENCH_*.json; wall time is never included, so committed
+  /// baselines gate on it exactly across machines.
+  [[nodiscard]] std::string summary_json() const;
+  /// Human attribution table: top `top_n` phases by work share.
+  [[nodiscard]] std::string attribution_table(std::size_t top_n = 12) const;
+
+  bool write_json(const std::string& path) const;
+  bool write_collapsed(const std::string& path) const;
+
+  void clear();
+
+ private:
+  struct Phase {
+    std::uint64_t calls = 0;
+    double wall_us = 0.0;
+    std::map<std::string, std::uint64_t> counters;
+  };
+
+  [[nodiscard]] static std::uint64_t work_of(const Phase& phase);
+
+  ProfilerConfig config_;
+  mutable std::mutex mutex_;
+  /// Keyed by '/'-separated phase path; ordered so every export walk is
+  /// independent of insertion (and therefore scheduling) order.
+  std::map<std::string, Phase, std::less<>> phases_;
+};
+
+/// RAII phase scope, null-safe: `PhaseScope scope(profiler, "a/b")` counts
+/// one call on construction and, iff the profiler collects wall time, adds
+/// the scope's wall microseconds on destruction. With a null profiler the
+/// whole object is two branches.
+class PhaseScope {
+ public:
+  PhaseScope(Profiler* profiler, const char* phase)
+      : profiler_(profiler), phase_(phase) {
+    if (profiler_ == nullptr) return;
+    profiler_->enter(phase_);
+    if (profiler_->wall_time()) {
+      timed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~PhaseScope() {
+    if (!timed_) return;
+    profiler_->add_wall(
+        phase_, std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Profiler* profiler_;
+  const char* phase_;
+  std::chrono::steady_clock::time_point start_;
+  bool timed_ = false;
+};
+
+/// Scoped counter, null-safe: increments accumulate lock-free in the scope
+/// and flush to the profiler once at destruction. This is how hot loops
+/// (per-sink solves, scheduler probes, scratch allocations) count work
+/// without taking the profiler mutex per event — and how worker threads
+/// keep their counter sums commutative.
+class ScopedCounter {
+ public:
+  ScopedCounter(Profiler* profiler, const char* phase, const char* counter)
+      : profiler_(profiler), phase_(phase), counter_(counter) {}
+  ~ScopedCounter() {
+    if (profiler_ != nullptr && value_ != 0) {
+      profiler_->count(phase_, counter_, value_);
+    }
+  }
+
+  ScopedCounter(const ScopedCounter&) = delete;
+  ScopedCounter& operator=(const ScopedCounter&) = delete;
+
+  void add(std::uint64_t delta) { value_ += delta; }
+  ScopedCounter& operator++() {
+    ++value_;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  Profiler* profiler_;
+  const char* phase_;
+  const char* counter_;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace bmp::obs

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "bmp/obs/flight_recorder.hpp"
+#include "bmp/obs/profiler.hpp"
 #include "bmp/obs/trace.hpp"
 
 namespace bmp::runtime {
@@ -25,12 +26,14 @@ const char* to_string(EventType type) {
 
 namespace {
 
-// The trace sink rides into the planner through its config; the planner is
-// constructed in the member-init list, so the splice happens in a value
-// helper rather than in the constructor body.
-engine::PlannerConfig with_trace(engine::PlannerConfig planner,
-                                 obs::TraceSink* trace) {
+// The trace sink and profiler ride into the planner through its config;
+// the planner is constructed in the member-init list, so the splice
+// happens in a value helper rather than in the constructor body.
+engine::PlannerConfig with_obs(engine::PlannerConfig planner,
+                               obs::TraceSink* trace,
+                               obs::Profiler* profiler) {
   planner.trace = trace;
+  planner.profiler = profiler;
   return planner;
 }
 
@@ -39,7 +42,7 @@ engine::PlannerConfig with_trace(engine::PlannerConfig planner,
 Runtime::Runtime(RuntimeConfig config, double source_bandwidth,
                  const std::vector<NodeSpec>& initial_peers)
     : config_(config),
-      planner_(with_trace(config.planner, config.trace)),
+      planner_(with_obs(config.planner, config.trace, config.profiler)),
       broker_(config.broker_headroom) {
   // One timing switch for the whole loop: a runtime that opts out of
   // timing.* metrics must not pay the per-verify clock reads inside its
@@ -52,6 +55,10 @@ Runtime::Runtime(RuntimeConfig config, double source_bandwidth,
   config_.session.verify.trace = config_.trace;
   config_.dataplane.execution.trace = config_.trace;
   config_.dataplane.execution.recorder = config_.recorder;
+  // One profiler switch likewise: the event-loop verifier and every chunk
+  // stream attribute their work to the same tree the planner writes into.
+  config_.session.verify.profiler = config_.profiler;
+  config_.dataplane.execution.profiler = config_.profiler;
   if (!is_valid_bandwidth(source_bandwidth)) {
     throw std::invalid_argument("Runtime: invalid source bandwidth");
   }
@@ -131,6 +138,10 @@ void Runtime::step(const Event& event) {
   }
   metrics_.inc("events.total");
   metrics_.inc(std::string("events.") + to_string(event.type));
+  if (config_.profiler != nullptr) {
+    config_.profiler->enter("runtime/step");
+    config_.profiler->count("runtime/step", to_string(event.type));
+  }
   // The broker is the single source of truth for admission accounting;
   // mirror its totals instead of double-counting at every call site.
   metrics_.set_counter("broker.admitted", broker_.admissions());
@@ -149,6 +160,9 @@ void Runtime::step(const Event& event) {
                           std::chrono::steady_clock::now() - start)
                           .count();
     metrics_.observe("timing.event_loop_us", us);
+    if (config_.profiler != nullptr && config_.profiler->wall_time()) {
+      config_.profiler->add_wall("runtime/step", us);
+    }
     if (config_.trace != nullptr) {
       config_.trace->complete(
           obs::Lane::kRuntime, "runtime", to_string(event.type),
@@ -221,6 +235,11 @@ void Runtime::build_session(int id, Channel& channel) {
             ? open_ids[static_cast<std::size_t>(input_id - 1)]
             : guarded_ids[static_cast<std::size_t>(
                   input_id - 1 - static_cast<int>(open_ids.size()))];
+  }
+  if (config_.profiler != nullptr) {
+    config_.profiler->enter("runtime/session/build");
+    config_.profiler->count("runtime/session/build", "nodes",
+                            static_cast<std::uint64_t>(scaled.size()));
   }
   set_channel_gauges(id, channel);
   // A live chunk stream follows every re-plan without restarting.
@@ -423,6 +442,16 @@ void Runtime::on_node_leave(const Event& event) {
     if (config_.collect_timing) {
       metrics_.observe("timing.verify.us", outcome.verify_us);
     }
+    if (config_.profiler != nullptr) {
+      obs::Profiler& prof = *config_.profiler;
+      prof.enter("runtime/session/churn");
+      prof.count("runtime/session/churn", "departures",
+                 static_cast<std::uint64_t>(outcome.departed));
+      prof.count("runtime/session/churn",
+                 outcome.full_replan ? "full_replans" : "incremental_repairs");
+      prof.count("runtime/session/churn", "verify_calls",
+                 static_cast<std::uint64_t>(outcome.verify_calls));
+    }
     set_channel_gauges(id, channel);
     // Live-patch the running stream: the departed peers' in-flight chunks
     // drop, the repaired overlay's edges splice in — no restart.
@@ -460,6 +489,10 @@ void Runtime::on_renegotiate(const Event& event) {
     channel.session->rescale(factor);
     channel.grant = grant;
     metrics_.inc("broker.renegotiated");
+    if (config_.profiler != nullptr) {
+      config_.profiler->enter("runtime/broker/rebalance");
+      config_.profiler->count("runtime/broker/rebalance", "rescales");
+    }
     if (config_.trace != nullptr) {
       config_.trace->instant(obs::Lane::kBroker, "runtime", "renegotiate",
                              {{"channel", grant.channel},
@@ -658,6 +691,19 @@ void Runtime::control_tick(double t) {
               });
 
     const control::Directive directive = channel.controller->tick(inputs);
+    if (config_.profiler != nullptr) {
+      obs::Profiler& prof = *config_.profiler;
+      prof.enter("runtime/control/decide");
+      prof.count("runtime/control/decide", "node_samples",
+                 inputs.nodes.size());
+      prof.count("runtime/control/decide", "edge_samples",
+                 inputs.edges.size());
+      prof.count("runtime/control/decide", "straggler_trips",
+                 static_cast<std::uint64_t>(directive.straggler_trips));
+      prof.count("runtime/control/decide", "edge_trips",
+                 static_cast<std::uint64_t>(directive.edge_trips));
+      if (directive.act) prof.count("runtime/control/decide", "directives");
+    }
     metrics_.inc("control.straggler_detections",
                  static_cast<std::uint64_t>(directive.straggler_trips));
     metrics_.inc("control.edge_detections",
@@ -710,6 +756,20 @@ void Runtime::apply_directive(int id, Channel& channel,
   }
   channel.node_of_slot = std::move(remapped);
 
+  if (config_.profiler != nullptr) {
+    obs::Profiler& prof = *config_.profiler;
+    prof.enter("runtime/session/adapt");
+    prof.count("runtime/session/adapt", "demotions",
+               static_cast<std::uint64_t>(directive.demotions));
+    prof.count("runtime/session/adapt", "restores",
+               static_cast<std::uint64_t>(directive.restores));
+    prof.count("runtime/session/adapt", "reroutes",
+               static_cast<std::uint64_t>(directive.reroutes));
+    prof.count("runtime/session/adapt",
+               outcome.full_replan ? "replans" : "repairs");
+    prof.count("runtime/session/adapt", "verify_calls",
+               static_cast<std::uint64_t>(outcome.verify_calls));
+  }
   metrics_.inc("control.demotions",
                static_cast<std::uint64_t>(directive.demotions));
   metrics_.inc("control.restores",

@@ -39,6 +39,7 @@
 #include "bmp/runtime/metrics.hpp"
 
 namespace bmp::obs {
+class Profiler;
 class TraceSink;
 class FlightRecorder;
 }  // namespace bmp::obs
@@ -105,6 +106,13 @@ struct RuntimeConfig {
   /// Flight recorder (null = off): recent scenario/control/churn events per
   /// channel, auto-dumped when validate() or a stream's rate audit fails.
   obs::FlightRecorder* recorder = nullptr;
+  /// Performance attribution (null = off): the runtime threads this
+  /// profiler into its planner, every session verifier and every chunk
+  /// stream, and records its own loop phases (runtime/step, session
+  /// churn/adapt, broker rebalance, control decide). Counters are
+  /// deterministic; wall time only when the profiler opted in. Non-owning;
+  /// must outlive the runtime.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// One line of the runtime's churn audit trail: how a channel fared at one
