@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <stdexcept>
+#include <vector>
 
 namespace bmp::control {
 
@@ -28,6 +30,9 @@ Controller::Controller(ControllerConfig config) : config_(config) {
   if (config.restore_grid < 1) {
     throw std::invalid_argument("Controller: restore_grid must be >= 1");
   }
+  if (config.stale_ttl < 1) {
+    throw std::invalid_argument("Controller: stale_ttl must be >= 1");
+  }
   // Detector configs validate themselves on first construction.
   (void)HysteresisDetector(config.straggler);
   (void)HysteresisDetector(config.egress);
@@ -38,6 +43,37 @@ double Controller::quantize(double value) const {
   const double classes = static_cast<double>(config_.capacity_classes);
   double q = std::floor(value * classes + 1e-9) / classes;
   return std::clamp(q, config_.demote_floor, 1.0);
+}
+
+void Controller::forgive(int id) {
+  const auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    NodeState& node = it->second;
+    if (node.factor < 1.0 && node.pardon_from < 0.0) {
+      node.pardon_from = node.factor;
+    }
+    node.egress_health = HysteresisDetector(config_.egress);
+    node.straggler = HysteresisDetector(config_.straggler);
+    node.egress = Ewma();
+    node.loss = Ewma();
+    node.sustained = Ewma();
+    node.stale_windows = 0;
+    node.probe_interval = 0.0;
+    node.egress_tripped = false;
+    node.straggler_tripped = false;
+    // prev_delivered stays: the raw counter is still monotone, wiping it
+    // would turn the whole stream history into one giant first delta.
+  }
+  for (auto& [key, edge] : edges_) {
+    if (key.first != id && key.second != id) continue;
+    edge.health = HysteresisDetector(config_.edge);
+    edge.goodput = Ewma();
+    edge.loss = Ewma();
+    edge.stale_windows = 0;
+    edge.tripped = false;
+    edge.last_action = -1e300;
+    // prev_* counters stay, same reason as above.
+  }
 }
 
 double Controller::factor(int id) const {
@@ -59,6 +95,7 @@ NodeHealth Controller::node_health(int id) const {
   health.egress_trips = node.egress_health.trips();
   health.straggler_trips = node.straggler.trips();
   health.straggler_recoveries = node.straggler.recoveries();
+  health.stale_windows = node.stale_windows;
   return health;
 }
 
@@ -80,6 +117,25 @@ Directive Controller::tick(const TickInputs& inputs) {
     std::uint64_t lost = 0;
   };
   std::map<int, SenderAcc> by_sender;
+  // Stale-telemetry detection is node-centric: the collector substitutes a
+  // whole node's sample set at once (its node counters plus every adjacent
+  // edge), so an edge only counts as stale when one of its *endpoints* is a
+  // stale node. A merely glacial pipe — one transmission crawling across a
+  // whole window leaves both sent and attempts at zero — still has a live
+  // endpoint (deliveries or sibling pipes moving) and must keep weighing on
+  // its sender's egress ratio, or a deep brownout would read as health.
+  struct EdgeWork {
+    const EdgeSample* sample = nullptr;
+    EdgeState* edge = nullptr;
+    double busy_delta = 0.0;
+    double completed_delta = 0.0;
+    std::uint64_t sent_delta = 0;
+    std::uint64_t lost_delta = 0;
+  };
+  std::vector<EdgeWork> edge_work;
+  edge_work.reserve(inputs.edges.size());
+  std::map<int, int> adjacent_edges;
+  std::map<int, int> frozen_edges;
   for (const EdgeSample& sample : inputs.edges) {
     const auto key = std::make_pair(sample.from, sample.to);
     auto edge_it = edges_.find(key);
@@ -94,38 +150,108 @@ Directive Controller::tick(const TickInputs& inputs) {
     double completed_delta = sample.completed - edge.prev_completed;
     std::uint64_t sent_delta = sample.sent - edge.prev_sent;
     std::uint64_t lost_delta = sample.lost - edge.prev_lost;
+    std::uint64_t attempts_delta = sample.attempts - edge.prev_attempts;
     if (busy_delta < 0.0 || completed_delta < 0.0 ||
-        sample.sent < edge.prev_sent || sample.lost < edge.prev_lost) {
+        sample.sent < edge.prev_sent || sample.lost < edge.prev_lost ||
+        sample.attempts < edge.prev_attempts) {
       // The pipe was respliced by a re-plan; its counters restarted.
       busy_delta = sample.busy_time;
       completed_delta = sample.completed;
       sent_delta = sample.sent;
       lost_delta = sample.lost;
+      attempts_delta = sample.attempts;
     }
     edge.prev_busy = sample.busy_time;
     edge.prev_completed = sample.completed;
     edge.prev_sent = sample.sent;
     edge.prev_lost = sample.lost;
+    edge.prev_attempts = sample.attempts;
+    // Freeze signature: a live pipe's counters move nearly every window
+    // (even an idle pipe is offered work, bumping attempts); sent AND
+    // attempts standing still together is this edge's staleness vote for
+    // its endpoints. The vote alone proves nothing — see the census below.
+    const bool frozen = sent_delta == 0 && attempts_delta == 0;
+    ++adjacent_edges[sample.from];
+    ++adjacent_edges[sample.to];
+    if (frozen) {
+      ++frozen_edges[sample.from];
+      ++frozen_edges[sample.to];
+    }
+    EdgeWork work;
+    work.sample = &sample;
+    work.edge = &edge;
+    work.busy_delta = busy_delta;
+    work.completed_delta = completed_delta;
+    work.sent_delta = sent_delta;
+    work.lost_delta = lost_delta;
+    edge_work.push_back(work);
+  }
+
+  // ---- stale-node census ------------------------------------------------
+  // A node is dark when nothing about it moved this window: no delivery
+  // progress and every adjacent pipe frozen. "No data" is not "data says
+  // zero" — dark windows update no estimator and trip no detector, so a
+  // telemetry blackout cannot manufacture a brownout.
+  std::map<int, double> delivered_deltas;
+  std::set<int> dark;
+  for (const NodeSample& sample : inputs.nodes) {
+    auto node_it = nodes_.find(sample.id);
+    if (node_it == nodes_.end()) {
+      NodeState fresh;
+      fresh.straggler = HysteresisDetector(config_.straggler);
+      fresh.egress_health = HysteresisDetector(config_.egress);
+      node_it = nodes_.emplace(sample.id, std::move(fresh)).first;
+    }
+    NodeState& node = node_it->second;
+    double delivered_delta = sample.delivered - node.prev_delivered;
+    if (delivered_delta < 0.0) delivered_delta = sample.delivered;
+    node.prev_delivered = sample.delivered;
+    delivered_deltas.emplace(sample.id, delivered_delta);
+    const auto adj_it = adjacent_edges.find(sample.id);
+    if (adj_it != adjacent_edges.end() && delivered_delta <= 0.0 &&
+        frozen_edges[sample.id] == adj_it->second) {
+      dark.insert(sample.id);
+    }
+  }
+
+  for (const EdgeWork& work : edge_work) {
+    const EdgeSample& sample = *work.sample;
+    EdgeState& edge = *work.edge;
+    if (dark.count(sample.from) != 0 || dark.count(sample.to) != 0) {
+      ++edge.stale_windows;
+      ++out.stale_edges;
+      if (edge.health.degraded()) ++out.degraded_edges;
+      continue;
+    }
+    if (edge.stale_windows >= config_.stale_ttl) {
+      // The carried estimates outlived their TTL in the dark; re-seed from
+      // this first fresh window rather than trusting pre-blackout history.
+      edge.goodput = Ewma();
+      edge.loss = Ewma();
+    }
+    edge.stale_windows = 0;
     if (sample.rate > 0.0 && inputs.window > 0.0) {
       SenderAcc& acc = by_sender[sample.from];
-      acc.completed += completed_delta;
-      acc.busy += busy_delta;
-      acc.busy_rate += busy_delta * sample.rate;
+      acc.completed += work.completed_delta;
+      acc.busy += work.busy_delta;
+      acc.busy_rate += work.busy_delta * sample.rate;
       acc.planned += sample.rate;
-      acc.sent += sent_delta;
-      acc.lost += lost_delta;
+      acc.sent += work.sent_delta;
+      acc.lost += work.lost_delta;
       // The per-edge detector (reroute trigger): service is judged from a
       // couple of sends (each transmission's duration is individually
       // informative); the loss EWMA only moves on well-sampled windows.
-      if (sent_delta >= static_cast<std::uint64_t>(config_.min_edge_sends)) {
-        edge.loss.observe(static_cast<double>(lost_delta) /
-                              static_cast<double>(sent_delta),
+      if (work.sent_delta >=
+          static_cast<std::uint64_t>(config_.min_edge_sends)) {
+        edge.loss.observe(static_cast<double>(work.lost_delta) /
+                              static_cast<double>(work.sent_delta),
                           config_.ewma_alpha);
       }
-      if (sent_delta >=
+      if (work.sent_delta >=
               static_cast<std::uint64_t>(config_.min_service_sends) &&
-          busy_delta >= config_.min_edge_utilization * inputs.window) {
-        const double service = (completed_delta / busy_delta) / sample.rate;
+          work.busy_delta >= config_.min_edge_utilization * inputs.window) {
+        const double service =
+            (work.completed_delta / work.busy_delta) / sample.rate;
         const double goodput = service * (1.0 - edge.loss.value(0.0));
         edge.last_raw = goodput;
         edge.goodput.observe(goodput, config_.ewma_alpha);
@@ -142,19 +268,22 @@ Directive Controller::tick(const TickInputs& inputs) {
   // ---- ingest per-node telemetry ----------------------------------------
   std::vector<std::pair<int, double>> judged;  // (id, raw window ratio)
   for (const NodeSample& sample : inputs.nodes) {
-    auto node_it = nodes_.find(sample.id);
-    if (node_it == nodes_.end()) {
-      NodeState fresh;
-      fresh.straggler = HysteresisDetector(config_.straggler);
-      fresh.egress_health = HysteresisDetector(config_.egress);
-      node_it = nodes_.emplace(sample.id, std::move(fresh)).first;
-    }
-    NodeState& node = node_it->second;
+    NodeState& node = nodes_.find(sample.id)->second;
     node.egress_tripped = false;
     node.straggler_tripped = false;
-    double delivered_delta = sample.delivered - node.prev_delivered;
-    if (delivered_delta < 0.0) delivered_delta = sample.delivered;
-    node.prev_delivered = sample.delivered;
+    const double delivered_delta = delivered_deltas[sample.id];
+    if (dark.count(sample.id) != 0) {
+      ++node.stale_windows;
+      ++out.stale_nodes;
+      continue;  // the stragglers census below still sees the node
+    }
+    if (node.stale_windows >= config_.stale_ttl) {
+      // Carried estimates expired in the dark: re-seed from fresh data.
+      node.egress = Ewma();
+      node.loss = Ewma();
+      node.sustained = Ewma();
+    }
+    node.stale_windows = 0;
     const auto acc_it = by_sender.find(sample.id);
     if (acc_it != by_sender.end() && acc_it->second.busy_rate > 0.0) {
       const SenderAcc& acc = acc_it->second;
@@ -225,6 +354,33 @@ Directive Controller::tick(const TickInputs& inputs) {
   const double step = 1.0 / static_cast<double>(config_.capacity_classes);
   for (const NodeSample& sample : inputs.nodes) {
     NodeState& node = nodes_.find(sample.id)->second;
+    if (node.pardon_from >= 0.0) {
+      // A forgive() pardon outranks everything else this window: lift the
+      // demotion in one step (the probes' doubling climb is for *suspected*
+      // recoveries; a heal is a certainty the platform told us about).
+      Evidence ev;
+      ev.detector = "heal";
+      ev.action = "restore";
+      ev.node = sample.id;
+      ev.threshold = config_.egress.exit;
+      ev.estimate = node.last_estimate;
+      ev.factor_before = node.pardon_from;
+      ev.factor_after = 1.0;
+      out.evidence.push_back(ev);
+      node.factor = 1.0;
+      node.pardon_from = -1.0;
+      node.last_action = inputs.now;
+      node.last_restore = inputs.now;
+      ++out.restores;
+      continue;
+    }
+    if (node.stale_windows > 0) {
+      // No actions from frozen windows — neither demotions (no evidence of
+      // degradation) nor restore probes (no telemetry to judge the probe).
+      // The current override set is carried unchanged.
+      if (node.factor < 1.0) out.factors.emplace(sample.id, node.factor);
+      continue;
+    }
     // Actions fire on detector *transitions* — one demote per trip — plus
     // an escalation path while degraded when the latest reading sits well
     // below the current class (a deepening brownout, or the first demote
@@ -321,6 +477,7 @@ Directive Controller::tick(const TickInputs& inputs) {
   for (const EdgeSample& sample : inputs.edges) {
     EdgeState& edge =
         edges_.find(std::make_pair(sample.from, sample.to))->second;
+    if (edge.stale_windows > 0) continue;  // no clamps from frozen windows
     if (!edge.health.degraded()) continue;
     // A demoted sender is already being routed around as a whole.
     if (factor(sample.from) < 1.0) continue;

@@ -94,6 +94,16 @@ struct ControllerConfig {
   /// Nodes are only judged once their join is at least this many seconds
   /// old (pipeline fill + rarest-first warm-up grace).
   double warmup_grace = 1.0;
+  /// Stale-telemetry guard TTL. A window whose edge counters (sent AND
+  /// attempts) stand still is *frozen* — a telemetry blackout, not a
+  /// measurement of zero — so the controller skips judging and carries its
+  /// estimates instead of manufacturing a false brownout (a frozen window
+  /// would otherwise read as sustained ratio 0 and demote the node). After
+  /// stale_ttl consecutive frozen windows the carried estimates expire:
+  /// the smoothed signals are discarded and re-seed from the first fresh
+  /// window, so pre-blackout history cannot mask a degradation that
+  /// happened in the dark.
+  int stale_ttl = 6;
 };
 
 /// Causal audit record: *why* the controller acted. One entry per
@@ -140,6 +150,8 @@ struct Directive {
   int degraded_edges = 0;   ///< edges currently flagged as degraded
   int straggler_trips = 0;  ///< fresh healthy->degraded flips this tick
   int edge_trips = 0;       ///< fresh degraded-edge detections this tick
+  int stale_nodes = 0;      ///< nodes skipped this tick (frozen telemetry)
+  int stale_edges = 0;      ///< edges skipped this tick (frozen telemetry)
   double drift = 0.0;       ///< L1 capacity drift fraction of this directive
   /// One audit record per action above (plus one for a replan escalation);
   /// non-empty whenever `act` is set.
@@ -158,6 +170,7 @@ struct NodeHealth {
   int egress_trips = 0;
   int straggler_trips = 0;
   int straggler_recoveries = 0;
+  int stale_windows = 0;  ///< consecutive frozen windows (blackout length)
 };
 
 class Controller {
@@ -170,6 +183,16 @@ class Controller {
   Directive tick(const TickInputs& inputs);
 
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+  /// Voids everything measured about `id` while it was unreachable — a
+  /// partition heal makes every estimate taken across the cut an artifact
+  /// of the cut, not of the node. Detectors, estimators and probe backoff
+  /// restart (adjacent edges included); a pending demotion is pardoned on
+  /// the next tick through a regular restore action, so the host re-adapts
+  /// off an acting directive instead of a silent factor flip. No-op for
+  /// nodes the controller has never judged.
+  void forgive(int id);
+
   /// Current capacity factor of a node (1.0 when never demoted).
   [[nodiscard]] double factor(int id) const;
   [[nodiscard]] NodeHealth node_health(int id) const;
@@ -194,10 +217,17 @@ class Controller {
     bool egress_tripped = false;
     bool straggler_tripped = false;
     double factor = 1.0;
+    /// Factor the node held when forgive() pardoned it (< 0: no pardon
+    /// pending). The next tick lifts the demotion via a restore action.
+    double pardon_from = -1.0;
     double last_action = -1e300;
     double last_restore = -1e300;
     double probe_interval = 0.0;  ///< 0 = use restore_cooldown
     double prev_delivered = 0.0;
+    /// Consecutive windows in which every adjacent edge was frozen and no
+    /// delivery moved — the stale-telemetry guard's counter. While > 0 the
+    /// node is not judged; past stale_ttl its estimates expire.
+    int stale_windows = 0;
   };
   struct EdgeState {
     Ewma goodput;
@@ -210,6 +240,8 @@ class Controller {
     double prev_completed = 0.0;
     std::uint64_t prev_sent = 0;
     std::uint64_t prev_lost = 0;
+    std::uint64_t prev_attempts = 0;
+    int stale_windows = 0;  ///< consecutive frozen windows on this pipe
   };
 
   [[nodiscard]] double quantize(double value) const;

@@ -53,6 +53,11 @@ struct EdgeSample {
   double completed = 0.0;  ///< data that finished transmitting
   std::uint64_t sent = 0;
   std::uint64_t lost = 0;
+  /// Send opportunities offered to the pipe (EdgeStats::attempts). The
+  /// liveness signal behind the stale-telemetry guard: a window where both
+  /// sent and attempts stand still is *frozen* (collector blackout), not a
+  /// window that measured zero — the two must never be conflated.
+  std::uint64_t attempts = 0;
 };
 
 /// Everything the controller sees at one sampling boundary.

@@ -33,6 +33,11 @@ struct ChunkEvent {
   std::uint64_t generation = 0;  ///< stale-event guard (pipe or emission)
   int chunk = -1;                ///< chunk id in flight (arrival)
   bool lost = false;             ///< arrival carries a loss notice instead
+  /// The payload's checksum won't match on arrival: either the sender held
+  /// a corrupted copy (silent propagation) or the wire flipped bits in
+  /// flight (fault injection). Hardened receivers re-request; frozen ones
+  /// accept and forward the damage.
+  bool corrupted = false;
 };
 
 class EventQueue {

@@ -151,7 +151,23 @@ void Execution::remove_node(int id) {
   }
   Node& node = node_at(id, "Execution::remove_node");
   if (!node.alive) {
-    throw std::invalid_argument("Execution::remove_node: node already dead");
+    if (!node.crashed) {
+      throw std::invalid_argument("Execution::remove_node: node already dead");
+    }
+    // crash_node already tore down the chunk state and reservations but
+    // left the frozen pipes attached (their silence is the detection
+    // signal). The synthesized departure finishes the job: detach them.
+    node.crashed = false;
+    std::vector<int> doomed = node.in;
+    doomed.insert(doomed.end(), node.out.begin(), node.out.end());
+    std::vector<int> wake;
+    for (const int slot : doomed) {
+      const int receiver = pipes_[static_cast<std::size_t>(slot)].to;
+      remove_pipe(slot);
+      if (receiver != id) wake.push_back(receiver);
+    }
+    for (const int receiver : wake) activate_receiver(receiver);
+    return;
   }
   node.alive = false;
   --alive_nodes_;
@@ -177,6 +193,141 @@ void Execution::remove_node(int id) {
   node.inflight.clear();
   node.window_used = 0;
   for (const int receiver : wake) activate_receiver(receiver);
+}
+
+void Execution::crash_node(int id) {
+  Node& node = node_at(id, "Execution::crash_node");
+  if (!node.alive) return;  // a crash on a corpse is a no-op
+  node.alive = false;
+  node.crashed = true;
+  --alive_nodes_;
+  // The crashed copies stop counting toward rarity — survivors must
+  // re-spread anything the corpse alone held onward.
+  for (int chunk = node.skip_before; chunk < emitted_; ++chunk) {
+    if (bit(node.have, chunk)) {
+      const int old = replicas_[static_cast<std::size_t>(chunk)]--;
+      rarity_move(chunk, old, old - 1);
+    }
+  }
+  // Freeze every adjacent pipe *in place*: strand in-flight transmissions
+  // (generation bump), hand their window slots and reservations back to
+  // live receivers, but keep the pipes attached and active. try_send's
+  // aliveness check stops all future traffic, so the pipes' attempts/sent
+  // counters flatline — the exact silence signature crash detection reads.
+  std::vector<int> wake;
+  const auto freeze = [&](int slot) {
+    Pipe& pipe = pipes_[static_cast<std::size_t>(slot)];
+    for (const int chunk : pipe.in_flight) {
+      release_reservation(pipe.to, chunk);
+    }
+    pipe.in_flight.clear();
+    ++pipe.generation;
+    pipe.busy = false;
+    pipe.pending_duration = 0.0;
+    if (pipe.to != id) wake.push_back(pipe.to);
+  };
+  for (const int slot : node.out) freeze(slot);
+  for (const int slot : node.in) freeze(slot);
+  node.have.clear();
+  node.have.shrink_to_fit();
+  node.corrupt.clear();
+  node.corrupt.shrink_to_fit();
+  node.inflight.clear();
+  node.window_used = 0;
+  if (id == origin_) ++emission_generation_;  // emission pauses at the crash
+  for (const int receiver : wake) activate_receiver(receiver);
+}
+
+void Execution::set_partition_group(int id, int group) {
+  node_at(id, "Execution::set_partition_group").partition_group = group;
+}
+
+int Execution::partition_group(int id) const {
+  if (id < 0 || id >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("Execution::partition_group: unknown node");
+  }
+  return nodes_[static_cast<std::size_t>(id)].partition_group;
+}
+
+void Execution::set_corrupt_rate(int id, double rate) {
+  if (rate < 0.0 || rate > 1.0 || !std::isfinite(rate)) {
+    throw std::invalid_argument("Execution::set_corrupt_rate: rate in [0, 1]");
+  }
+  node_at(id, "Execution::set_corrupt_rate").corrupt_rate = rate;
+}
+
+bool Execution::chunk_corrupted(int id, int chunk) const {
+  if (id < 0 || id >= static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("Execution::chunk_corrupted: unknown node");
+  }
+  return bit(nodes_[static_cast<std::size_t>(id)].corrupt, chunk);
+}
+
+void Execution::write_off_chunk(int chunk) {
+  ++written_off_;
+  int holders = 0;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    Node& node = nodes_[id];
+    if (!node.alive || chunk < node.skip_before) continue;
+    ++holders;
+    if (bit(node.have, chunk)) continue;
+    set_bit(node.have, chunk);  // no delivered credit: the data is gone
+    while (node.next_missing < emitted_ && bit(node.have, node.next_missing)) {
+      ++node.next_missing;
+    }
+    if (config_.total_chunks > 0 && emitted_ == config_.total_chunks &&
+        node.next_missing >= config_.total_chunks &&
+        node.completion_time < 0.0) {
+      node.completion_time = now_;
+    }
+  }
+  const int old = replicas_[static_cast<std::size_t>(chunk)];
+  replicas_[static_cast<std::size_t>(chunk)] = holders;
+  rarity_move(chunk, old, holders);
+}
+
+int Execution::failover_source() {
+  const Node& old_origin = nodes_.at(static_cast<std::size_t>(origin_));
+  if (old_origin.alive) {
+    throw std::invalid_argument(
+        "Execution::failover_source: the origin is still alive");
+  }
+  int best = -1;
+  int best_delivered = -1;
+  for (int id = 0; id < static_cast<int>(nodes_.size()); ++id) {
+    const Node& node = nodes_[static_cast<std::size_t>(id)];
+    if (!node.alive) continue;
+    if (node.delivered > best_delivered) {
+      best = id;
+      best_delivered = node.delivered;
+    }
+  }
+  if (best < 0) {
+    throw std::invalid_argument("Execution::failover_source: no survivors");
+  }
+  origin_ = best;
+  // Chunks whose every replica died with the old origin are unrecoverable:
+  // write them off so survivors' completion doesn't wait forever.
+  for (int chunk = 0; chunk < emitted_; ++chunk) {
+    if (replicas_[static_cast<std::size_t>(chunk)] == 0) {
+      write_off_chunk(chunk);
+    }
+  }
+  // Re-arm emission from the new origin (the crash paused it).
+  ++emission_generation_;
+  if (emission_rate_ > 0.0 ||
+      (config_.total_chunks > 0 && emitted_ < config_.total_chunks)) {
+    ChunkEvent next;
+    next.time = emission_rate_ > 0.0 && emitted_ > 0
+                    ? std::max(now_, last_emit_time_ +
+                                         config_.chunk_size / emission_rate_)
+                    : std::max(now_, config_.start_time);
+    next.kind = ChunkEventKind::kEmission;
+    next.generation = emission_generation_;
+    queue_.push(next);
+  }
+  activate_sender(best);
+  return best;
 }
 
 void Execution::set_node_budget(int id, double budget) {
@@ -532,7 +683,7 @@ void Execution::emit_chunks() {
                          : (paced ? emitted_ + 1 : emitted_);
   // Paced: one chunk per event. File mode (rate <= 0): everything at once.
   int burst = paced ? 1 : target - emitted_;
-  Node& source = nodes_.front();
+  Node& source = nodes_[static_cast<std::size_t>(origin_)];
   while (burst-- > 0 && emitted_ < target) {
     const int chunk = emitted_++;
     last_emit_time_ = now_;
@@ -547,7 +698,7 @@ void Execution::emit_chunks() {
                                  {"chunk", chunk}});
     }
   }
-  activate_sender(0);
+  activate_sender(origin_);
   schedule_next_emission();
 }
 
@@ -579,19 +730,24 @@ void Execution::on_arrival(const ChunkEvent& event) {
   const int receiver_id = pipe.to;
   Node& receiver = nodes_[static_cast<std::size_t>(receiver_id)];
   --receiver.window_used;
-  if (event.lost) ++pipe.lost; else ++pipe.delivered;
-  if (event.lost) {
+  // A checksum mismatch on the hardened path is a loss with a different
+  // counter: the reservation opens back up and the chunk is re-requested
+  // from another holder.
+  const bool checksum_failed =
+      !event.lost && event.corrupted && config_.verify_payloads;
+  if (event.lost || checksum_failed) ++pipe.lost; else ++pipe.delivered;
+  if (event.lost || checksum_failed) {
     const auto it = receiver.inflight.find(event.chunk);
     if (it != receiver.inflight.end() && --it->second.count <= 0) {
       receiver.inflight.erase(it);
     }
-    ++losses_;
+    if (checksum_failed) ++corruptions_; else ++losses_;
     // The loss notice re-opens the chunk for scheduling; every loss leads
     // to exactly one fresh transmission attempt somewhere.
     ++retransmits_;
     if (traced_chunk(config_, event.chunk)) {
-      config_.trace->instant_at(obs::Lane::kExecution, "dataplane", "loss",
-                                now_,
+      config_.trace->instant_at(obs::Lane::kExecution, "dataplane",
+                                checksum_failed ? "corrupt" : "loss", now_,
                                 {{"channel", config_.trace_id},
                                  {"chunk", event.chunk},
                                  {"from", pipe.from},
@@ -607,6 +763,12 @@ void Execution::on_arrival(const ChunkEvent& event) {
     return;
   }
   receiver.inflight.erase(event.chunk);  // later copies arrive as duplicates
+  if (event.corrupted) {
+    // Frozen path (verify_payloads off): the damage is silently accepted —
+    // and, worse, forwarded — the failure mode the hardened path closes.
+    set_bit(receiver.corrupt, event.chunk);
+    ++corrupted_accepted_;
+  }
   deliver(receiver, receiver_id, event.chunk);
   activate_receiver(receiver_id);
   activate_sender(receiver_id);
@@ -790,8 +952,21 @@ void Execution::try_send(int pipe_slot) {
   const double duration = config_.chunk_size / wire_rate;
   pipe.pending_duration = duration;
   const double done = now_ + duration;
+  // A partitioned wire eats everything: the sender keeps transmitting (its
+  // counters keep moving — which is what tells the crash detector this is
+  // *not* a crash) but nothing lands until the groups merge.
+  const bool partitioned =
+      sender.partition_group != receiver.partition_group;
   const bool lost =
-      profile.loss_rate > 0.0 && pipe.rng.uniform() < profile.loss_rate;
+      partitioned ||
+      (profile.loss_rate > 0.0 && pipe.rng.uniform() < profile.loss_rate);
+  // Corruption: a sender holding a damaged copy forwards the damage
+  // deterministically; injected egress corruption flips clean payloads
+  // with probability corrupt_rate.
+  const bool corrupted =
+      !lost && (bit(sender.corrupt, best) ||
+                (sender.corrupt_rate > 0.0 &&
+                 pipe.rng.uniform() < sender.corrupt_rate));
   ChunkEvent freed;
   freed.time = done;
   freed.kind = ChunkEventKind::kSendComplete;
@@ -805,6 +980,7 @@ void Execution::try_send(int pipe_slot) {
   arrival.generation = pipe.generation;
   arrival.chunk = best;
   arrival.lost = lost;
+  arrival.corrupted = corrupted;
   queue_.push(arrival);
 }
 
@@ -902,17 +1078,88 @@ std::vector<double> Execution::drain_latencies() {
 
 std::vector<std::string> Execution::validate(double tol) const {
   std::vector<double> active(nodes_.size(), 0.0);
+  std::vector<double> planned(nodes_.size(), 0.0);
+  std::vector<int> copies_toward(nodes_.size(), 0);
+  std::map<std::pair<int, int>, int> copies;  // (receiver, chunk) -> count
   for (const auto& [key, slot] : pipe_of_) {
     const Pipe& pipe = pipes_[static_cast<std::size_t>(slot)];
     if (pipe.busy) active[static_cast<std::size_t>(key.first)] += pipe.rate;
+    planned[static_cast<std::size_t>(key.first)] += pipe.rate;
+    for (const int chunk : pipe.in_flight) {
+      ++copies_toward[static_cast<std::size_t>(key.second)];
+      ++copies[std::make_pair(key.second, chunk)];
+    }
   }
   std::vector<std::string> violations;
   for (std::size_t id = 0; id < nodes_.size(); ++id) {
-    const double budget = nodes_[id].budget;
-    if (active[id] > budget * (1.0 + tol) + tol) {
+    const Node& node = nodes_[id];
+    if (active[id] > node.budget * (1.0 + tol) + tol) {
       violations.push_back("node " + std::to_string(id) +
                            " uploading at " + std::to_string(active[id]) +
-                           " over budget " + std::to_string(budget));
+                           " over budget " + std::to_string(node.budget));
+    }
+    if (std::abs(planned[id] - node.planned_out) >
+        tol * (1.0 + std::abs(planned[id]))) {
+      violations.push_back("node " + std::to_string(id) + " planned_out " +
+                           std::to_string(node.planned_out) +
+                           " drifted from its out-pipes' sum " +
+                           std::to_string(planned[id]));
+    }
+    if (!node.alive) {
+      // Dead — politely or by crash — means *zero* dataplane residue; any
+      // leftover is a leak from a mid-fault teardown path.
+      if (node.window_used != 0) {
+        violations.push_back("dead node " + std::to_string(id) + " holds " +
+                             std::to_string(node.window_used) +
+                             " window slots");
+      }
+      if (!node.inflight.empty()) {
+        violations.push_back("dead node " + std::to_string(id) + " holds " +
+                             std::to_string(node.inflight.size()) +
+                             " reservations");
+      }
+      if (copies_toward[id] != 0) {
+        violations.push_back(std::to_string(copies_toward[id]) +
+                             " in-flight copies toward dead node " +
+                             std::to_string(id));
+      }
+      continue;
+    }
+    if (node.window_used != copies_toward[id]) {
+      violations.push_back("node " + std::to_string(id) + " window_used " +
+                           std::to_string(node.window_used) +
+                           " != in-flight copies " +
+                           std::to_string(copies_toward[id]));
+    }
+    for (const auto& [chunk, reservation] : node.inflight) {
+      if (bit(node.have, chunk)) {
+        violations.push_back("node " + std::to_string(id) +
+                             " holds a reservation for delivered chunk " +
+                             std::to_string(chunk));
+        continue;
+      }
+      const auto it = copies.find(std::make_pair(static_cast<int>(id), chunk));
+      const int in_flight = it == copies.end() ? 0 : it->second;
+      if (reservation.count != in_flight) {
+        violations.push_back("node " + std::to_string(id) + " chunk " +
+                             std::to_string(chunk) + " reservation count " +
+                             std::to_string(reservation.count) +
+                             " != in-flight copies " +
+                             std::to_string(in_flight));
+      }
+    }
+  }
+  // Copies without a reservation are legal only as doomed duplicates of a
+  // chunk the receiver already delivered.
+  for (const auto& [key, count] : copies) {
+    const Node& node = nodes_[static_cast<std::size_t>(key.first)];
+    if (!node.alive) continue;  // reported above
+    if (!bit(node.have, key.second) &&
+        node.inflight.find(key.second) == node.inflight.end()) {
+      violations.push_back(std::to_string(count) +
+                           " unreserved in-flight copies of chunk " +
+                           std::to_string(key.second) + " toward node " +
+                           std::to_string(key.first));
     }
   }
   if (!violations.empty() && config_.recorder != nullptr) {

@@ -124,6 +124,13 @@ struct ExecutionConfig {
   /// Keep per-delivery chunk latencies for drain_latencies() (the runtime
   /// feeds them into its dataplane.chunk_latency histogram).
   bool collect_latencies = false;
+  /// Payload checksum verification (the hardened path): an arrival whose
+  /// synthetic checksum mismatches is treated like a loss — reservation
+  /// released, chunk re-requested from another holder — and counted in
+  /// corruptions(). Off, a corrupted chunk is silently delivered, marked,
+  /// and *forwarded corrupted* (counted in corrupted_accepted()) — the
+  /// frozen-comparison failure mode the chaos tests contrast against.
+  bool verify_payloads = false;
   /// Sampled chunk-lifecycle tracing (null = off): chunks whose id is a
   /// multiple of `trace_sample` log their emission, losses and every
   /// delivery as instant events on the execution lane — enough to follow a
@@ -214,8 +221,41 @@ class Execution {
   int add_node(double upload_budget);
   /// Removes a node: its pipes vanish, chunks in flight from or to it are
   /// dropped, and reservations held on live receivers are released so the
-  /// scheduler re-requests those chunks from surviving senders.
+  /// scheduler re-requests those chunks from surviving senders. A node that
+  /// crash_node() already tore down may be removed again (the runtime's
+  /// crash detection synthesizes the departure later) — that second call
+  /// just detaches the frozen pipes.
   void remove_node(int id);
+  /// Abrupt crash — the impolite remove_node. The node dies *without*
+  /// leaving the overlay: its chunk state and reservations are torn down
+  /// (in-flight transmissions stranded, window slots handed back to live
+  /// receivers) but every adjacent pipe stays attached with its counters
+  /// frozen. Frozen attempts/sent deltas are exactly the silence signature
+  /// runtime crash detection reads from EdgeStats. Crashing the current
+  /// origin pauses emission until failover_source(). Idempotent on dead
+  /// nodes; the source rule is the origin's, not id 0's.
+  void crash_node(int id);
+  /// Moves the node to a partition group (default 0). Transmissions whose
+  /// endpoints sit in different groups are silently dropped on the wire:
+  /// the sender keeps sending (attempts/sent/lost keep counting — a
+  /// partition looks *different* from a crash to the detector), nothing
+  /// arrives until the groups merge again.
+  void set_partition_group(int id, int group);
+  [[nodiscard]] int partition_group(int id) const;
+  /// Egress corruption injection: each chunk the node sends corrupts in
+  /// flight with probability `rate` (plus deterministic propagation — a
+  /// node that silently accepted a corrupted copy forwards it corrupted).
+  void set_corrupt_rate(int id, double rate);
+  /// True when the node's stored copy of `chunk` is corrupted (only ever
+  /// true with verify_payloads off — hardened receivers never accept one).
+  [[nodiscard]] bool chunk_corrupted(int id, int chunk) const;
+  /// Source-crash failover: requires the current origin dead; promotes the
+  /// most-complete surviving node (max delivered, ties to lowest id) to
+  /// origin, writes off chunks with zero surviving replicas (they count in
+  /// written_off(), survivors' completion no longer waits on them), and
+  /// re-arms emission from the new origin. Returns the new origin id.
+  int failover_source();
+  [[nodiscard]] int origin() const { return origin_; }
   void set_node_budget(int id, double budget);
   /// Adds or re-rates the (from, to) pipe; rate <= 0 removes it. Re-rating
   /// a busy pipe applies to its next transmission.
@@ -276,6 +316,15 @@ class Execution {
   [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
   [[nodiscard]] std::uint64_t hol_stalls() const { return hol_stalls_; }
   [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  /// Corrupted arrivals caught by checksum verification (re-requested).
+  [[nodiscard]] std::uint64_t corruptions() const { return corruptions_; }
+  /// Corrupted arrivals silently accepted (verify_payloads off).
+  [[nodiscard]] std::uint64_t corrupted_accepted() const {
+    return corrupted_accepted_;
+  }
+  /// Chunks whose every replica died with crashed nodes (failover wrote
+  /// them off; survivors complete without them).
+  [[nodiscard]] std::uint64_t written_off() const { return written_off_; }
   [[nodiscard]] const ExecutionConfig& config() const { return config_; }
 
   [[nodiscard]] NodeProgress progress(int id) const;
@@ -285,15 +334,30 @@ class Execution {
   /// the last drain; empty unless config.collect_latencies.
   std::vector<double> drain_latencies();
 
-  /// Audits the bounded multi-port invariant: the summed rates of every
-  /// node's *concurrently transmitting* pipes must stay within its budget.
-  /// Returns human-readable violations (empty = ok).
+  /// Audits the execution's invariants. (1) Bounded multi-port: the summed
+  /// rates of every node's *concurrently transmitting* pipes stay within
+  /// its budget. (2) No orphans — the mid-fault teardown paths must leak
+  /// nothing: every in-flight copy toward a live receiver is backed by a
+  /// reservation (or the chunk was already delivered and the copy is a
+  /// doomed duplicate), every reservation counts exactly its in-flight
+  /// copies, window_used equals the total copies toward the node, dead
+  /// nodes hold zero window slots and reservations, and each node's
+  /// planned_out matches its active out-pipes. Returns human-readable
+  /// violations (empty = ok); failures auto-dump the flight recorder.
   [[nodiscard]] std::vector<std::string> validate(double tol = 1e-7) const;
 
  private:
   struct Node {
     double budget = 0.0;
     bool alive = false;
+    /// Dead by crash_node(): chunk state is torn down but the frozen pipes
+    /// are still attached, and a later remove_node() must be accepted (the
+    /// runtime's synthesized departure finishes the cleanup).
+    bool crashed = false;
+    /// Partition group; transmissions across groups drop on the wire.
+    int partition_group = 0;
+    /// Injected egress corruption probability per transmission.
+    double corrupt_rate = 0.0;
     /// Effective egress cap (brownout; < 0 = uncapped) and WAN class.
     double effective_capacity = -1.0;
     /// Summed planned rates of the node's active out-pipes, maintained at
@@ -310,7 +374,8 @@ class Execution {
     double completion_time = -1.0;
     double warmup_time = -1.0;  ///< time of the warmup-th delivery
     double last_time = -1.0;    ///< time of the latest delivery
-    std::vector<std::uint64_t> have;  // received bitset
+    std::vector<std::uint64_t> have;     // received bitset
+    std::vector<std::uint64_t> corrupt;  // received-but-damaged bitset
     /// chunk -> active transmissions toward this node. `eta` is the min
     /// arrival time among them (conservative under cancellations: a stale
     /// min only makes overtaking harder, never unsafe).
@@ -385,10 +450,16 @@ class Execution {
   /// live receiver so the chunk is re-requested elsewhere.
   void release_reservation(int receiver_id, int chunk);
 
+  /// Hands every alive node the chunk (no delivered credit) so completion
+  /// stops waiting on data nobody holds — failover's answer to chunks whose
+  /// last replica crashed.
+  void write_off_chunk(int chunk);
+
   ExecutionConfig config_;
   EventQueue queue_;
   double now_ = 0.0;
   int emitted_ = 0;
+  int origin_ = 0;  ///< emitting node; moves on failover_source()
   double last_emit_time_ = 0.0;
   std::uint64_t emission_generation_ = 0;
   double emission_rate_ = 0.0;
@@ -415,6 +486,9 @@ class Execution {
   std::uint64_t retransmits_ = 0;
   std::uint64_t hol_stalls_ = 0;
   std::uint64_t duplicates_ = 0;
+  std::uint64_t corruptions_ = 0;
+  std::uint64_t corrupted_accepted_ = 0;
+  std::uint64_t written_off_ = 0;
   std::vector<double> pending_latencies_;
 
   // Profiling only (maintained iff config_.profiler != nullptr): scheduler

@@ -202,6 +202,12 @@ PlanResponse Planner::plan(const Instance& instance, Algorithm algorithm,
 PlanResponse Planner::plan(const Instance& instance, Algorithm algorithm,
                            int max_out_degree,
                            const Fingerprint& instance_fp) {
+  if (config_.outage != nullptr && config_.outage->down) {
+    // Injected outage: the planning *service* is down (cache included —
+    // a real outage takes the whole endpoint, not just cold misses).
+    ++config_.outage->failures;
+    throw PlannerUnavailable();
+  }
   const Fingerprint key = request_key(instance_fp, algorithm, max_out_degree);
   if (std::shared_ptr<const PlanResponse> cached = cache_->lookup(key)) {
     PlanResponse response = *cached;
@@ -243,6 +249,10 @@ PlanResponse Planner::plan(const PlanRequest& request) {
 
 std::vector<PlanResponse> Planner::plan_batch(
     const std::vector<PlanRequest>& requests) {
+  if (config_.outage != nullptr && config_.outage->down) {
+    ++config_.outage->failures;
+    throw PlannerUnavailable();
+  }
   // One work item per distinct fingerprint, in first-occurrence order so the
   // dedup structure (and therefore every response) is independent of thread
   // count and timing. Requests are grouped purely by index: the Instance is

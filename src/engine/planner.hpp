@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "bmp/core/instance.hpp"
@@ -69,6 +71,25 @@ struct PlanResponse {
   bool cache_hit = false;  ///< served from cache (or deduped within a batch)
 };
 
+/// Thrown by the cached plan() paths while a fault-injected planner outage
+/// is active. Callers with a running overlay keep serving it: Session
+/// falls back to its incremental repair result (verified, bounded-stale),
+/// the runtime queues the request and retries with backoff.
+class PlannerUnavailable : public std::runtime_error {
+ public:
+  PlannerUnavailable() : std::runtime_error("planner unavailable (outage)") {}
+};
+
+/// Fault-injection hook for planner outages — same null-by-default
+/// convention as the obs:: hooks. The owner (the runtime, or a test)
+/// toggles `down`; while set, every cached plan() entry point throws
+/// PlannerUnavailable and counts the refusal. plan_uncached stays pure —
+/// outages model the *service* failing, not the algorithms.
+struct PlannerOutage {
+  bool down = false;
+  std::uint64_t failures = 0;  ///< plan() calls refused while down
+};
+
 struct PlannerConfig {
   std::size_t threads = 0;  ///< worker threads for plan_batch; 0 = hardware
   std::size_t cache_capacity = 4096;  ///< plans retained across requests
@@ -88,6 +109,8 @@ struct PlannerConfig {
   /// record commutative counter sums, so reports are byte-identical for
   /// any thread count (wall time only when the profiler opted in).
   obs::Profiler* profiler = nullptr;
+  /// Planner-failure injection (null = no outages ever).
+  PlannerOutage* outage = nullptr;
 };
 
 class Planner {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -272,6 +273,7 @@ void Session::trace_churn(const char* name, const ChurnOutcome& outcome,
                            {"repaired_rate", outcome.repaired_rate},
                            {"achieved_rate", outcome.achieved_rate},
                            {"full_replan", outcome.full_replan},
+                           {"planner_fault", outcome.planner_fault},
                            {"verify_calls", outcome.verify_calls}},
                           wall_us);
 }
@@ -385,6 +387,10 @@ ChurnOutcome Session::adapt(const AdaptationRequest& request) {
   bool replan_verified = false;
   flow::VerifyTier replan_tier = flow::VerifyTier::kOracle;
   bool patched = false;
+  // Best below-bar repair, held back in case the full re-plan finds the
+  // planner down (fault injection): verified, just not good enough — which
+  // beats serving nothing during an outage.
+  std::optional<RepairResult> kept_repair;
   if (!request.force_replan) {
     const double fractions[] = {1.0, (1.0 + config_.replan_threshold) / 2.0,
                                 config_.replan_threshold};
@@ -400,20 +406,38 @@ ChurnOutcome Session::adapt(const AdaptationRequest& request) {
       current_rate_ = repair.throughput;
       ++incremental_replans_;
       patched = true;
+    } else {
+      kept_repair.emplace(std::move(repair));
     }
   }
   if (!patched) {
-    const PlanResponse response =
-        planner_.plan(effective, config_.algorithm, config_.max_out_degree,
-                      instance_fp_.value());
-    replan_verified = !response.cache_hit && response.verified_throughput >= 0.0;
-    replan_tier = response.verified_tier;
-    scheme_ = response.scheme;
-    design_rate_ = response.throughput;
-    design_total_ = new_total;
-    current_rate_ = response.throughput;
-    ++full_replans_;
-    outcome.full_replan = true;
+    try {
+      const PlanResponse response =
+          planner_.plan(effective, config_.algorithm, config_.max_out_degree,
+                        instance_fp_.value());
+      replan_verified = !response.cache_hit && response.verified_throughput >= 0.0;
+      replan_tier = response.verified_tier;
+      scheme_ = response.scheme;
+      design_rate_ = response.throughput;
+      design_total_ = new_total;
+      current_rate_ = response.throughput;
+      ++full_replans_;
+      outcome.full_replan = true;
+    } catch (const PlannerUnavailable&) {
+      // Planner outage: keep serving on the incremental repair (computing
+      // one now if force_replan skipped it). The overlay is verified and at
+      // most one churn event stale; the host re-plans when the outage ends.
+      outcome.planner_fault = true;
+      if (!kept_repair) {
+        kept_repair.emplace(
+            repair_scheme(effective, permuted, target, &verifier_));
+        outcome.repaired_rate = kept_repair->throughput;
+      }
+      scheme_ = std::make_shared<const BroadcastScheme>(
+          std::move(kept_repair->scheme));
+      current_rate_ = kept_repair->throughput;
+      ++incremental_replans_;
+    }
   }
   instance_ = std::move(effective);
   const flow::VerifyStats& after = verifier_.stats();
@@ -491,20 +515,33 @@ ChurnOutcome Session::on_departure(const std::vector<int>& departed) {
     current_rate_ = repair.throughput;
     ++incremental_replans_;
   } else {
-    const PlanResponse response =
-        planner_.plan(survivors, config_.algorithm, config_.max_out_degree,
-                      instance_fp_.value());
-    // Cache hits reuse a plan whose verification already happened (and was
-    // already counted) when it was first computed.
-    replan_verified = !response.cache_hit && response.verified_throughput >= 0.0;
-    replan_tier = response.verified_tier;
-    instance_ = std::move(survivors);
-    scheme_ = response.scheme;
-    design_rate_ = response.throughput;
-    design_total_ = instance_.total_sum();
-    current_rate_ = response.throughput;
-    ++full_replans_;
-    outcome.full_replan = true;
+    try {
+      const PlanResponse response =
+          planner_.plan(survivors, config_.algorithm, config_.max_out_degree,
+                        instance_fp_.value());
+      // Cache hits reuse a plan whose verification already happened (and was
+      // already counted) when it was first computed.
+      replan_verified =
+          !response.cache_hit && response.verified_throughput >= 0.0;
+      replan_tier = response.verified_tier;
+      instance_ = std::move(survivors);
+      scheme_ = response.scheme;
+      design_rate_ = response.throughput;
+      design_total_ = instance_.total_sum();
+      current_rate_ = response.throughput;
+      ++full_replans_;
+      outcome.full_replan = true;
+    } catch (const PlannerUnavailable&) {
+      // Planner outage: the below-bar repair is still a verified overlay of
+      // exactly the survivor set — keep serving on it rather than stalling
+      // the stream. The host re-plans when the outage ends.
+      outcome.planner_fault = true;
+      instance_ = std::move(survivors);
+      scheme_ =
+          std::make_shared<const BroadcastScheme>(std::move(repair.scheme));
+      current_rate_ = repair.throughput;
+      ++incremental_replans_;
+    }
   }
   const flow::VerifyStats& after = verifier_.stats();
   outcome.verify_calls = static_cast<int>(after.calls - before.calls);

@@ -92,6 +92,11 @@ struct ChurnOutcome {
   double repaired_rate = 0.0; ///< after incremental patching
   double achieved_rate = 0.0; ///< after the chosen reaction
   bool full_replan = false;   ///< true when repair was not good enough
+  /// The event wanted a full re-plan but the planner was down
+  /// (PlannerUnavailable): the session kept its best verified incremental
+  /// repair instead — degraded but live, with bounded staleness. The host
+  /// decides whether to re-plan when the outage clears.
+  bool planner_fault = false;
   // Verification telemetry for this event: deltas of the session verifier's
   // stats, plus the planner-side verification when a full re-plan computes
   // (not cache-hits) its plan. Counts are deterministic; verify_us is wall

@@ -1,0 +1,77 @@
+// Deterministic fault-injection plans. A FaultPlan is a declarative list
+// of impolite failures on the scenario clock — abrupt crashes (no leave
+// event), region partitions with timed heals, per-chunk payload
+// corruption, telemetry blackouts, planner outages. The Injector
+// (injector.hpp) compiles a plan into runtime::Event records and merges
+// them into a built ScenarioScript, re-sequencing so the chaos stream
+// replays bit-for-bit like any other scenario. Same convention as
+// src/obs: faults are data, never wall-clock or thread-timing dependent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bmp::fault {
+
+/// Abrupt crash of one runtime node at `time`. No kNodeLeave is emitted:
+/// the node simply stops sending and acking, and the runtime has to
+/// detect the silence from frozen telemetry and synthesize the repair.
+struct CrashSpec {
+  double time = 0.0;
+  int node = 0;  ///< runtime node id (never 0, the global source)
+};
+
+/// A network partition: `group_b` is cut off from everyone else between
+/// `time` and `heal_time`. Traffic across the cut is silently dropped
+/// (counters keep moving — partition looks *different* from crash to the
+/// detector, which is the point). heal_time < 0 never heals.
+struct PartitionSpec {
+  double time = 0.0;
+  double heal_time = -1.0;
+  std::vector<int> group_b;  ///< runtime node ids on the far side
+};
+
+/// Payload corruption on one node's egress: between `time` and
+/// `end_time`, each chunk it sends corrupts with probability `rate`.
+/// Hardened receivers (verify_payloads) detect the bad checksum and
+/// re-request; frozen receivers silently accept and *propagate* it.
+struct CorruptionSpec {
+  double time = 0.0;
+  double end_time = -1.0;  ///< < 0: never ends
+  int node = 0;
+  double rate = 0.1;
+};
+
+/// Telemetry blackout: between `time` and `end_time` the listed nodes'
+/// samples freeze at their last value (EdgeStats deltas go to zero). The
+/// control plane must not mistake "no data" for "data says zero".
+struct BlackoutSpec {
+  double time = 0.0;
+  double end_time = -1.0;
+  std::vector<int> nodes;
+};
+
+/// Planner outage: between `time` and `end_time` every Planner::plan call
+/// throws PlannerUnavailable. Sessions fall back to incremental repair;
+/// the runtime queues failed opens/replans and retries with backoff.
+struct PlannerOutageSpec {
+  double time = 0.0;
+  double end_time = -1.0;
+};
+
+/// The full declarative chaos plan. Order within each list is free; the
+/// Injector sorts everything onto the scenario clock.
+struct FaultPlan {
+  std::vector<CrashSpec> crashes;
+  std::vector<PartitionSpec> partitions;
+  std::vector<CorruptionSpec> corruptions;
+  std::vector<BlackoutSpec> blackouts;
+  std::vector<PlannerOutageSpec> planner_outages;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && partitions.empty() && corruptions.empty() &&
+           blackouts.empty() && planner_outages.empty();
+  }
+};
+
+}  // namespace bmp::fault

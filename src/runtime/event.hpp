@@ -21,9 +21,43 @@ enum class EventType {
   kNodeLeave,     ///< peers depart — every hosting channel repairs/replans
   kRenegotiate,   ///< rebalance all grants to weighted fair shares
   kDegrade,       ///< effective-world change: brownouts / WAN profiles shift
+  kFault,         ///< impolite failure: crash / partition / corruption / ...
 };
 
 [[nodiscard]] const char* to_string(EventType type);
+
+/// One impolite failure. Unlike kNodeLeave/kDegrade, a fault carries *no*
+/// cooperation from the affected node: a crash sends no leave event (the
+/// runtime must detect the silence), a partition drops traffic without
+/// telling either side, corruption flips payload bits in flight, a
+/// blackout freezes the telemetry the control plane reads, and a planner
+/// outage makes `Planner::plan` throw until the outage ends. Faults are
+/// authored by `fault::FaultPlan` / `fault::Injector` (src/fault) and
+/// merged into the scenario stream, so chaos runs replay bit-identically.
+struct FaultAction {
+  enum class Kind {
+    kCrash,              ///< node dies abruptly; no leave event is emitted
+    kPartitionStart,     ///< nodes in `group` can no longer reach group 0
+    kPartitionHeal,      ///< all partition groups collapse back to one
+    kCorruptStart,       ///< node's egress corrupts payloads at `rate`
+    kCorruptEnd,         ///< egress corruption stops
+    kBlackoutStart,      ///< telemetry from `nodes` freezes (EdgeStats stale)
+    kBlackoutEnd,        ///< telemetry resumes
+    kPlannerOutageStart, ///< Planner::plan throws PlannerUnavailable
+    kPlannerOutageEnd,   ///< planner recovers; stale channels rebuild
+  };
+  Kind kind = Kind::kCrash;
+  /// kCrash / kCorruptStart / kCorruptEnd: the runtime node id (never 0).
+  int node = -1;
+  /// kPartitionStart: partition group the listed nodes move to (> 0).
+  int group = 1;
+  /// kCorruptStart: probability in [0, 1] a sent chunk corrupts in flight.
+  double rate = 0.0;
+  /// kPartitionStart / kBlackoutStart / kBlackoutEnd: affected node ids.
+  std::vector<int> nodes;
+};
+
+[[nodiscard]] const char* to_string(FaultAction::Kind kind);
 
 /// A peer entering the population: upload budget + firewall class, plus an
 /// optional egress WAN class (per-edge LinkProfile every pipe out of the
@@ -66,6 +100,8 @@ struct Event {
   std::vector<int> leaves;
   // kDegrade — effective capacity / WAN profile changes
   std::vector<Degradation> degrades;
+  // kFault — impolite failures applied in order at `time`
+  std::vector<FaultAction> faults;
 
   // kRenegotiate: fraction of broker capacity the fair shares sum to;
   // keeping it < 1 leaves admission headroom for future channels.

@@ -20,8 +20,24 @@ const char* to_string(EventType type) {
     case EventType::kNodeLeave: return "node_leave";
     case EventType::kRenegotiate: return "renegotiate";
     case EventType::kDegrade: return "degrade";
+    case EventType::kFault: return "fault";
   }
   throw std::invalid_argument("unknown event type");
+}
+
+const char* to_string(FaultAction::Kind kind) {
+  switch (kind) {
+    case FaultAction::Kind::kCrash: return "crash";
+    case FaultAction::Kind::kPartitionStart: return "partition_start";
+    case FaultAction::Kind::kPartitionHeal: return "partition_heal";
+    case FaultAction::Kind::kCorruptStart: return "corrupt_start";
+    case FaultAction::Kind::kCorruptEnd: return "corrupt_end";
+    case FaultAction::Kind::kBlackoutStart: return "blackout_start";
+    case FaultAction::Kind::kBlackoutEnd: return "blackout_end";
+    case FaultAction::Kind::kPlannerOutageStart: return "planner_outage_start";
+    case FaultAction::Kind::kPlannerOutageEnd: return "planner_outage_end";
+  }
+  throw std::invalid_argument("unknown fault kind");
 }
 
 namespace {
@@ -31,9 +47,13 @@ namespace {
 // happens in a value helper rather than in the constructor body.
 engine::PlannerConfig with_obs(engine::PlannerConfig planner,
                                obs::TraceSink* trace,
-                               obs::Profiler* profiler) {
+                               obs::Profiler* profiler,
+                               engine::PlannerOutage* outage) {
   planner.trace = trace;
   planner.profiler = profiler;
+  // Fault events toggle the runtime-owned outage unless the caller wired
+  // in an external one (tests driving the outage by hand).
+  if (planner.outage == nullptr) planner.outage = outage;
   return planner;
 }
 
@@ -42,8 +62,10 @@ engine::PlannerConfig with_obs(engine::PlannerConfig planner,
 Runtime::Runtime(RuntimeConfig config, double source_bandwidth,
                  const std::vector<NodeSpec>& initial_peers)
     : config_(config),
-      planner_(with_obs(config.planner, config.trace, config.profiler)),
+      planner_(with_obs(config.planner, config.trace, config.profiler,
+                        &planner_outage_)),
       broker_(config.broker_headroom) {
+  outage_ = planner_.config().outage;
   // One timing switch for the whole loop: a runtime that opts out of
   // timing.* metrics must not pay the per-verify clock reads inside its
   // sessions either.
@@ -125,16 +147,43 @@ void Runtime::step(const Event& event) {
     if (!event.degrades.empty()) {
       detail += " degrades=" + std::to_string(event.degrades.size());
     }
+    if (!event.faults.empty()) {
+      detail += " faults=" + std::to_string(event.faults.size());
+    }
     config_.recorder->record(event.time, event.channel, "event",
                              std::move(detail));
   }
+  // Deferred channel opens whose backoff expired get their retry before the
+  // event lands (the queue drains on the event clock, deterministically).
+  if (!pending_opens_.empty()) retry_pending_opens(event.time, false);
   switch (event.type) {
-    case EventType::kChannelOpen: on_channel_open(event); break;
+    case EventType::kChannelOpen:
+      try {
+        on_channel_open(event);
+      } catch (const engine::PlannerUnavailable&) {
+        if (!config_.fault.planner_fallback) throw;
+        // The broker grant was already released by on_channel_open's
+        // unwind; queue the open and retry once the planner may be back.
+        PendingOpen pending;
+        pending.event = event;
+        pending.backoff = config_.fault.planner_retry_initial;
+        pending.next_retry = now_ + pending.backoff;
+        pending_opens_.push_back(std::move(pending));
+        metrics_.inc("fault.opens_deferred");
+        if (config_.recorder != nullptr) {
+          config_.recorder->record(now_, event.channel, "open_deferred",
+                                   "planner outage; retry at " +
+                                       std::to_string(pending_opens_.back()
+                                                          .next_retry));
+        }
+      }
+      break;
     case EventType::kChannelClose: on_channel_close(event); break;
     case EventType::kNodeJoin: on_node_join(event); break;
     case EventType::kNodeLeave: on_node_leave(event); break;
     case EventType::kRenegotiate: on_renegotiate(event); break;
     case EventType::kDegrade: on_degrade(event); break;
+    case EventType::kFault: on_fault(event); break;
   }
   metrics_.inc("events.total");
   metrics_.inc(std::string("events.") + to_string(event.type));
@@ -306,6 +355,17 @@ void Runtime::on_channel_open(const Event& event) {
 }
 
 void Runtime::on_channel_close(const Event& event) {
+  // A close for a channel still waiting in the retry queue cancels the
+  // pending open — its lifetime ended before the planner came back.
+  for (auto pending = pending_opens_.begin();
+       pending != pending_opens_.end();) {
+    if (pending->event.channel == event.channel) {
+      metrics_.inc("fault.opens_abandoned");
+      pending = pending_opens_.erase(pending);
+    } else {
+      ++pending;
+    }
+  }
   const auto it = channels_.find(event.channel);
   if (it == channels_.end()) {
     // Scenarios emit open/close pairs without knowing whether the broker
@@ -353,7 +413,20 @@ void Runtime::on_node_join(const Event& event) {
   // platform. The shared cache dedupes channels whose scaled platforms
   // collide; the session's design rate resets to the new optimum.
   for (auto& [id, channel] : channels_) {
-    build_session(id, channel);
+    try {
+      build_session(id, channel);
+    } catch (const engine::PlannerUnavailable&) {
+      if (!config_.fault.planner_fallback) throw;
+      // Planner down: the channel keeps its pre-join overlay (the joiner
+      // is simply not recruited yet) and is rebuilt when the outage ends.
+      if (channel.plan_stale_since < 0.0) channel.plan_stale_since = now_;
+      metrics_.inc("fault.planner_faults");
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(now_, id, "plan_stale",
+                                 "join replan refused (planner outage)");
+      }
+      continue;
+    }
     metrics_.inc("replans.join");
     ChurnReport report;
     report.time = now_;
@@ -374,24 +447,34 @@ void Runtime::on_node_join(const Event& event) {
 void Runtime::on_node_leave(const Event& event) {
   // Validate the whole batch (range, aliveness, in-event duplicates)
   // before mutating: a rejected event must leave the population untouched.
-  std::unordered_set<int> departed;
+  // Exception: a node that already died by kCrash is *skipped silently* —
+  // a chaos plan may crash a peer whose scripted polite leave lands later,
+  // and the crash already was its departure.
+  std::set<int> departed;
+  std::unordered_set<int> seen;
   for (const int node : event.leaves) {
     if (node <= 0 || node >= static_cast<int>(nodes_.size())) {
       throw std::invalid_argument("Runtime: departure of unknown node");
     }
-    if (!nodes_[static_cast<std::size_t>(node)].alive) {
-      throw std::invalid_argument("Runtime: departure of dead node");
-    }
-    if (!departed.insert(node).second) {
+    if (!seen.insert(node).second) {
       throw std::invalid_argument("Runtime: duplicate departure");
     }
+    const Node& info = nodes_[static_cast<std::size_t>(node)];
+    if (!info.alive) {
+      if (info.crashed) continue;
+      throw std::invalid_argument("Runtime: departure of dead node");
+    }
+    departed.insert(node);
   }
   if (departed.empty()) return;
   for (const int node : departed) {
     nodes_[static_cast<std::size_t>(node)].alive = false;
     --alive_peers_;
   }
+  apply_departures(departed, now_);
+}
 
+void Runtime::apply_departures(const std::set<int>& departed, double when) {
   for (auto& [id, channel] : channels_) {
     // Translate runtime ids to this channel's session slots. Channels
     // opened after a joiner arrived include it; older ones may not.
@@ -430,6 +513,17 @@ void Runtime::on_node_leave(const Event& event) {
     }
     channel.node_of_slot = std::move(remapped);
 
+    if (outcome.planner_fault) {
+      // The session wanted a full re-plan but the planner was down; it kept
+      // its incremental repair. Mark the channel stale for the rebuild pass
+      // that runs when the outage ends.
+      if (channel.plan_stale_since < 0.0) channel.plan_stale_since = when;
+      metrics_.inc("fault.planner_faults");
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(when, id, "plan_stale",
+                                 "departure replan refused (planner outage)");
+      }
+    }
     metrics_.inc(outcome.full_replan ? "repairs.full" : "repairs.incremental");
     // Verification telemetry: tier counts are deterministic (structure
     // decides the tier), so they live beside the repair counters; the
@@ -457,7 +551,7 @@ void Runtime::on_node_leave(const Event& event) {
     // drop, the repaired overlay's edges splice in — no restart.
     sync_execution(id, channel);
     ChurnReport report;
-    report.time = now_;
+    report.time = when;
     report.channel = id;
     report.type = EventType::kNodeLeave;
     report.departed = outcome.departed;
@@ -467,7 +561,7 @@ void Runtime::on_node_leave(const Event& event) {
     churn_log_.push_back(report);
     if (config_.recorder != nullptr) {
       config_.recorder->record(
-          now_, id, "churn",
+          when, id, "churn",
           std::string(outcome.full_replan ? "replan" : "repair") +
               " departed=" + std::to_string(outcome.departed) +
               " achieved=" + std::to_string(outcome.achieved_rate));
@@ -475,6 +569,25 @@ void Runtime::on_node_leave(const Event& event) {
     if (report.design_rate > 0.0) {
       metrics_.observe("channel.recovery_ratio",
                        report.achieved_rate / report.design_rate);
+    }
+  }
+  // Departed peers carry no telemetry history forward: drop their
+  // crash-silence counters and cached (blackout) samples everywhere.
+  for (auto& [id, channel] : channels_) {
+    (void)id;
+    for (const int node : departed) {
+      channel.silence_activity.erase(node);
+      channel.silent_windows.erase(node);
+      channel.last_node_sample.erase(node);
+    }
+    for (auto it = channel.last_edge_sample.begin();
+         it != channel.last_edge_sample.end();) {
+      if (departed.count(it->first.first) != 0 ||
+          departed.count(it->first.second) != 0) {
+        it = channel.last_edge_sample.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -512,12 +625,17 @@ void Runtime::on_renegotiate(const Event& event) {
 }
 
 void Runtime::on_degrade(const Event& event) {
-  // Validate the whole batch before mutating (mirrors join/leave).
+  // Validate the whole batch before mutating (mirrors join/leave). A node
+  // dead by kCrash is tolerated — a chaos plan may schedule a brownout for
+  // a peer that crashed first; the degradation is simply moot.
   for (const Degradation& degrade : event.degrades) {
     if (degrade.node <= 0 ||
-        degrade.node >= static_cast<int>(nodes_.size()) ||
-        !nodes_[static_cast<std::size_t>(degrade.node)].alive) {
-      throw std::invalid_argument("Runtime: degradation of unknown/dead node");
+        degrade.node >= static_cast<int>(nodes_.size())) {
+      throw std::invalid_argument("Runtime: degradation of unknown node");
+    }
+    const Node& info = nodes_[static_cast<std::size_t>(degrade.node)];
+    if (!info.alive && !info.crashed) {
+      throw std::invalid_argument("Runtime: degradation of dead node");
     }
     if (degrade.set_factor &&
         (!(degrade.capacity_factor > 0.0) || degrade.capacity_factor > 1.0)) {
@@ -536,6 +654,7 @@ void Runtime::on_degrade(const Event& event) {
       config_.dataplane.execution.latency, 0.0};
   for (const Degradation& degrade : event.degrades) {
     Node& info = nodes_[static_cast<std::size_t>(degrade.node)];
+    if (!info.alive) continue;  // crashed first: nothing left to degrade
     if (degrade.set_factor) info.capacity_factor = degrade.capacity_factor;
     if (degrade.set_profile) {
       info.wan = true;
@@ -552,9 +671,10 @@ void Runtime::on_degrade(const Event& event) {
     (void)id;
     if (!channel.execution) continue;
     for (const Degradation& degrade : event.degrades) {
+      const Node& info = nodes_[static_cast<std::size_t>(degrade.node)];
+      if (!info.alive) continue;
       const auto it = channel.dp_of_node.find(degrade.node);
       if (it == channel.dp_of_node.end()) continue;
-      const Node& info = nodes_[static_cast<std::size_t>(degrade.node)];
       if (degrade.set_factor) {
         channel.execution->set_effective_capacity(
             it->second, info.capacity_factor < 1.0
@@ -568,6 +688,228 @@ void Runtime::on_degrade(const Event& event) {
         channel.execution->set_egress_profile(it->second, defaults);
       }
     }
+  }
+}
+
+void Runtime::on_fault(const Event& event) {
+  // Validate every action before mutating (mirrors the other handlers).
+  // The source (node 0) never faults: its crash would be a different paper.
+  const auto check_node = [this](int node, FaultAction::Kind kind) {
+    if (node <= 0 || node >= static_cast<int>(nodes_.size())) {
+      throw std::invalid_argument(std::string("Runtime: ") + to_string(kind) +
+                                  " of unknown node");
+    }
+  };
+  for (const FaultAction& fault : event.faults) {
+    switch (fault.kind) {
+      case FaultAction::Kind::kCrash:
+      case FaultAction::Kind::kCorruptEnd:
+        check_node(fault.node, fault.kind);
+        break;
+      case FaultAction::Kind::kCorruptStart:
+        check_node(fault.node, fault.kind);
+        if (!(fault.rate >= 0.0) || fault.rate > 1.0) {
+          throw std::invalid_argument("Runtime: corruption rate in [0, 1]");
+        }
+        break;
+      case FaultAction::Kind::kPartitionStart:
+        if (fault.group <= 0) {
+          throw std::invalid_argument("Runtime: partition group must be > 0");
+        }
+        [[fallthrough]];
+      case FaultAction::Kind::kBlackoutStart:
+      case FaultAction::Kind::kBlackoutEnd:
+        for (const int node : fault.nodes) check_node(node, fault.kind);
+        break;
+      case FaultAction::Kind::kPartitionHeal:
+      case FaultAction::Kind::kPlannerOutageStart:
+      case FaultAction::Kind::kPlannerOutageEnd:
+        break;
+    }
+  }
+
+  const auto note = [&](const FaultAction& fault, const std::string& detail) {
+    metrics_.inc(std::string("fault.") + to_string(fault.kind));
+    if (config_.trace != nullptr) {
+      config_.trace->instant(obs::Lane::kRuntime, "runtime",
+                             to_string(fault.kind),
+                             {{"node", fault.node},
+                              {"group", fault.group},
+                              {"rate", fault.rate}});
+    }
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(now_, -1, to_string(fault.kind), detail);
+    }
+  };
+
+  for (const FaultAction& fault : event.faults) {
+    switch (fault.kind) {
+      case FaultAction::Kind::kCrash: {
+        Node& info = nodes_[static_cast<std::size_t>(fault.node)];
+        if (!info.alive) break;  // idempotent: already dead (crash or leave)
+        info.alive = false;
+        info.crashed = true;
+        info.crash_time = now_;
+        --alive_peers_;
+        // The dataplane sees the crash instantly (in-flight transmissions
+        // from/to the peer die, its reservations release, pipes freeze);
+        // the *sessions* do not — they keep planning around a ghost until
+        // crash detection reads the silence off the telemetry.
+        for (auto& [id, channel] : channels_) {
+          (void)id;
+          if (!channel.execution) continue;
+          const auto it = channel.dp_of_node.find(fault.node);
+          if (it != channel.dp_of_node.end()) {
+            channel.execution->crash_node(it->second);
+          }
+        }
+        note(fault, "node=" + std::to_string(fault.node));
+        if (config_.fault.detect_crashes &&
+            (!config_.dataplane.execute || !config_.control.enabled)) {
+          // Detection is wanted but there is no telemetry path to read the
+          // silence from: degrade to an immediate synthesized departure so
+          // sessions stay consistent. With detection off the crash simply
+          // festers — that is the un-hardened baseline the chaos tests
+          // compare against.
+          apply_departures({fault.node}, now_);
+        }
+        break;
+      }
+      case FaultAction::Kind::kPartitionStart: {
+        for (const int node : fault.nodes) {
+          Node& info = nodes_[static_cast<std::size_t>(node)];
+          if (!info.alive) continue;
+          info.partition_group = fault.group;
+          for (auto& [id, channel] : channels_) {
+            (void)id;
+            if (!channel.execution) continue;
+            const auto it = channel.dp_of_node.find(node);
+            if (it != channel.dp_of_node.end()) {
+              channel.execution->set_partition_group(it->second, fault.group);
+            }
+          }
+        }
+        note(fault, "group=" + std::to_string(fault.group) +
+                        " nodes=" + std::to_string(fault.nodes.size()));
+        break;
+      }
+      case FaultAction::Kind::kPartitionHeal: {
+        std::vector<int> healed;
+        for (std::size_t n = 0; n < nodes_.size(); ++n) {
+          if (nodes_[n].partition_group != 0) {
+            healed.push_back(static_cast<int>(n));
+            nodes_[n].partition_group = 0;
+          }
+        }
+        for (auto& [id, channel] : channels_) {
+          if (channel.execution) {
+            for (const auto& [rid, dp] : channel.dp_of_node) {
+              (void)rid;
+              channel.execution->set_partition_group(dp, 0);
+            }
+          }
+          if (channel.controller) {
+            // Everything the controller measured about the island it
+            // measured across the cut — demotions, clamps and straggler
+            // verdicts get pardoned, not probed back over half an hour.
+            for (const int rid : healed) {
+              channel.controller->forgive(rid);
+              metrics_.inc("fault.heal_pardons");
+            }
+          }
+          // Reconcile immediately: re-splice pipes to the session overlay
+          // and re-pace emission so post-heal recovery starts this instant
+          // (receivers re-request everything the partition swallowed).
+          sync_execution(id, channel);
+        }
+        note(fault, "all groups collapse");
+        break;
+      }
+      case FaultAction::Kind::kCorruptStart:
+      case FaultAction::Kind::kCorruptEnd: {
+        Node& info = nodes_[static_cast<std::size_t>(fault.node)];
+        if (!info.alive) break;
+        info.corrupt_rate =
+            fault.kind == FaultAction::Kind::kCorruptStart ? fault.rate : 0.0;
+        for (auto& [id, channel] : channels_) {
+          (void)id;
+          if (!channel.execution) continue;
+          const auto it = channel.dp_of_node.find(fault.node);
+          if (it != channel.dp_of_node.end()) {
+            channel.execution->set_corrupt_rate(it->second, info.corrupt_rate);
+          }
+        }
+        note(fault, "node=" + std::to_string(fault.node) +
+                        " rate=" + std::to_string(info.corrupt_rate));
+        break;
+      }
+      case FaultAction::Kind::kBlackoutStart:
+      case FaultAction::Kind::kBlackoutEnd: {
+        const bool dark = fault.kind == FaultAction::Kind::kBlackoutStart;
+        for (const int node : fault.nodes) {
+          nodes_[static_cast<std::size_t>(node)].blackout = dark;
+        }
+        note(fault, "nodes=" + std::to_string(fault.nodes.size()));
+        break;
+      }
+      case FaultAction::Kind::kPlannerOutageStart: {
+        outage_->down = true;
+        note(fault, "planner down");
+        break;
+      }
+      case FaultAction::Kind::kPlannerOutageEnd: {
+        outage_->down = false;
+        note(fault, "planner back; failures=" +
+                        std::to_string(outage_->failures));
+        // The outage is over: deferred opens get their final retry now and
+        // channels serving a stale overlay rebuild through the planner.
+        retry_pending_opens(now_, true);
+        rebuild_stale_channels();
+        break;
+      }
+    }
+  }
+  metrics_.set("population.alive", static_cast<double>(alive_peers_));
+}
+
+void Runtime::retry_pending_opens(double t, bool force) {
+  for (auto it = pending_opens_.begin(); it != pending_opens_.end();) {
+    if (!force && it->next_retry > t) {
+      ++it;
+      continue;
+    }
+    try {
+      on_channel_open(it->event);
+      metrics_.inc("fault.opens_recovered");
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(t, it->event.channel, "open_retried",
+                                 "recovered after planner outage");
+      }
+      it = pending_opens_.erase(it);
+    } catch (const engine::PlannerUnavailable&) {
+      it->backoff = std::min(it->backoff * 2.0,
+                             config_.fault.planner_retry_max);
+      it->next_retry = t + it->backoff;
+      ++it;
+    }
+  }
+}
+
+void Runtime::rebuild_stale_channels() {
+  for (auto& [id, channel] : channels_) {
+    if (channel.plan_stale_since < 0.0) continue;
+    try {
+      build_session(id, channel);
+    } catch (const engine::PlannerUnavailable&) {
+      continue;  // overlapping outages: the next outage end retries
+    }
+    metrics_.inc("fault.stale_rebuilds");
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(
+          now_, id, "plan_rebuilt",
+          "stale since " + std::to_string(channel.plan_stale_since));
+    }
+    channel.plan_stale_since = -1.0;
   }
 }
 
@@ -630,6 +972,9 @@ void Runtime::control_tick(double t) {
   // Everything downstream (session adapt spans, directive audit) is
   // stamped at this sampling boundary, not the triggering event's time.
   if (config_.trace != nullptr) config_.trace->set_clock(t);
+  // Peers silent past the crash threshold in *any* hosting channel, applied
+  // once across all of them after the sampling sweep.
+  std::set<int> crash_candidates;
   for (auto& [id, channel] : channels_) {
     if (!channel.execution || !channel.controller) continue;
     const dataplane::Execution& exec = *channel.execution;
@@ -656,16 +1001,26 @@ void Runtime::control_tick(double t) {
     std::map<int, int> rid_of_dp;
     for (const auto& [rid, dp] : channel.dp_of_node) {
       rid_of_dp[dp] = rid;
+      const Node& info = nodes_[static_cast<std::size_t>(rid)];
       control::NodeSample sample;
       sample.id = rid;
-      sample.nominal = nodes_[static_cast<std::size_t>(rid)].bandwidth *
-                       channel.grant.fraction;
+      sample.nominal = info.bandwidth * channel.grant.fraction;
       const auto grant_it = granted.find(rid);
       sample.granted = grant_it == granted.end() ? 0.0 : grant_it->second;
       sample.delivered = exec.delivered(dp) * chunk;
       const dataplane::NodeProgress progress = exec.progress(dp);
       sample.judgeable = dp != 0 && progress.alive &&
                          progress.joined + warmup_grace <= t - inputs.window;
+      if (info.blackout) {
+        // Telemetry blackout: the collector is dark, so the controller
+        // sees the last sample it actually observed, frozen — the exact
+        // signature its stale-telemetry guard refuses to judge — never
+        // fresh data it could not have collected.
+        const auto cached = channel.last_node_sample.find(rid);
+        if (cached != channel.last_node_sample.end()) sample = cached->second;
+      } else {
+        channel.last_node_sample[rid] = sample;
+      }
       inputs.nodes.push_back(sample);
     }
     // Per-edge samples, re-keyed from execution ids to runtime ids and
@@ -682,6 +1037,15 @@ void Runtime::control_tick(double t) {
       sample.completed = stats.completed;
       sample.sent = stats.sent;
       sample.lost = stats.lost;
+      sample.attempts = stats.attempts;
+      const std::pair<int, int> key{sample.from, sample.to};
+      if (nodes_[static_cast<std::size_t>(sample.from)].blackout ||
+          nodes_[static_cast<std::size_t>(sample.to)].blackout) {
+        const auto cached = channel.last_edge_sample.find(key);
+        if (cached != channel.last_edge_sample.end()) sample = cached->second;
+      } else {
+        channel.last_edge_sample[key] = sample;
+      }
       inputs.edges.push_back(sample);
     }
     std::sort(inputs.edges.begin(), inputs.edges.end(),
@@ -689,6 +1053,50 @@ void Runtime::control_tick(double t) {
                 return std::make_pair(a.from, a.to) <
                        std::make_pair(b.from, b.to);
               });
+
+    if (config_.fault.detect_crashes && session.current_rate() > 0.0) {
+      // Crash detection. A crashed peer sends no leave event, but its
+      // signature is unmistakable: delivered stands still and every
+      // adjacent pipe's attempts + sent counters freeze (try_send bails on
+      // a dead endpoint *before* counting the attempt). A partitioned peer
+      // is the opposite — senders keep attempting and losing — so
+      // partitions never false-trigger. Counters are read raw from the
+      // execution (the failure detector is not behind the blackout's
+      // telemetry veil), but blacked-out peers still get the benefit of
+      // the doubt: their silence counters pause rather than accumulate.
+      std::map<int, std::uint64_t> activity;
+      for (const dataplane::EdgeStats& stats : exec.edge_stats()) {
+        const auto from_it = rid_of_dp.find(stats.from);
+        const auto to_it = rid_of_dp.find(stats.to);
+        if (from_it == rid_of_dp.end() || to_it == rid_of_dp.end()) continue;
+        activity[from_it->second] += stats.attempts + stats.sent;
+        activity[to_it->second] += stats.attempts + stats.sent;
+      }
+      const int source_rid = channel.node_of_slot[0];
+      for (const auto& [rid, dp] : channel.dp_of_node) {
+        if (rid == source_rid) continue;
+        if (nodes_[static_cast<std::size_t>(rid)].blackout) continue;
+        // Correlated silence across a whole region is a partition
+        // signature, not a crash — real failure detectors gate on quorum
+        // for exactly this reason. Pause the counter until the heal.
+        if (nodes_[static_cast<std::size_t>(rid)].partition_group != 0) {
+          continue;
+        }
+        const std::uint64_t observed =
+            activity[rid] + static_cast<std::uint64_t>(exec.delivered(dp));
+        const auto prev = channel.silence_activity.find(rid);
+        if (prev != channel.silence_activity.end() &&
+            prev->second == observed) {
+          if (++channel.silent_windows[rid] >=
+              config_.fault.crash_silence_windows) {
+            crash_candidates.insert(rid);
+          }
+        } else {
+          channel.silent_windows[rid] = 0;
+        }
+        channel.silence_activity[rid] = observed;
+      }
+    }
 
     const control::Directive directive = channel.controller->tick(inputs);
     if (config_.profiler != nullptr) {
@@ -714,8 +1122,48 @@ void Runtime::control_tick(double t) {
                  static_cast<double>(directive.degraded_edges));
     metrics_.set(channel_metric(id, "control.overrides"),
                  static_cast<double>(directive.factors.size()));
+    metrics_.inc("control.stale_nodes",
+                 static_cast<std::uint64_t>(directive.stale_nodes));
+    metrics_.inc("control.stale_edges",
+                 static_cast<std::uint64_t>(directive.stale_edges));
     if (directive.act) apply_directive(id, channel, directive, t);
   }
+  if (!crash_candidates.empty()) detect_crashes(crash_candidates, t);
+}
+
+void Runtime::detect_crashes(const std::set<int>& candidates, double t) {
+  std::set<int> departed;
+  for (const int node : candidates) {
+    Node& info = nodes_[static_cast<std::size_t>(node)];
+    if (info.alive) {
+      // The detector can evict a live-but-totally-silent peer too; after
+      // crash_silence_windows of nothing the distinction no longer pays
+      // its way — real failure detectors are exactly this ruthless.
+      info.alive = false;
+      --alive_peers_;
+    }
+    departed.insert(node);
+    metrics_.inc("fault.crashes_detected");
+    if (info.crashed) {
+      metrics_.observe("fault.detect_latency", t - info.crash_time);
+    }
+    if (config_.trace != nullptr) {
+      config_.trace->instant(obs::Lane::kRuntime, "runtime", "crash_detected",
+                             {{"node", node}});
+    }
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(
+          t, -1, "crash_detected",
+          "node=" + std::to_string(node) + " silent for " +
+              std::to_string(config_.fault.crash_silence_windows) +
+              " windows");
+    }
+  }
+  // One synthesized leave across *every* hosting channel at once: the
+  // crashed peer's grants reclaim everywhere in the same boundary instead
+  // of each channel's controller re-detecting on its own schedule.
+  apply_departures(departed, t);
+  metrics_.set("population.alive", static_cast<double>(alive_peers_));
 }
 
 void Runtime::apply_directive(int id, Channel& channel,
@@ -756,6 +1204,14 @@ void Runtime::apply_directive(int id, Channel& channel,
   }
   channel.node_of_slot = std::move(remapped);
 
+  if (outcome.planner_fault) {
+    if (channel.plan_stale_since < 0.0) channel.plan_stale_since = t;
+    metrics_.inc("fault.planner_faults");
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(t, id, "plan_stale",
+                               "adapt replan refused (planner outage)");
+    }
+  }
   if (config_.profiler != nullptr) {
     obs::Profiler& prof = *config_.profiler;
     prof.enter("runtime/session/adapt");
@@ -892,10 +1348,19 @@ void Runtime::sync_execution(int id, Channel& channel) {
       // arrived.
       channel.expected_at_join.emplace(dp, channel.design_integral);
       // The effective world follows the node into this stream: an already
-      // WAN-classed peer joins on its class profile.
+      // WAN-classed, partitioned or corrupting peer joins on its current
+      // fault state, not a clean slate.
       if (info.wan) exec.set_egress_profile(dp, info.profile);
+      if (info.partition_group != 0) {
+        exec.set_partition_group(dp, info.partition_group);
+      }
+      if (info.corrupt_rate > 0.0) exec.set_corrupt_rate(dp, info.corrupt_rate);
     } else {
       dp = it->second;
+      // An abruptly crashed node stays in the session's platform until the
+      // silence detector synthesizes its departure; until then its stream
+      // slot is a corpse — nothing to budget or cap.
+      if (!exec.node_alive(dp)) continue;
       exec.set_node_budget(dp, instance.b(slot));
     }
     // Brownout caps are absolute (a fraction of the *nominal* channel
@@ -913,12 +1378,14 @@ void Runtime::sync_execution(int id, Channel& channel) {
   for (int slot = 0; slot < scheme.num_nodes(); ++slot) {
     const int from = channel.dp_of_node.at(
         channel.node_of_slot[static_cast<std::size_t>(slot)]);
+    // Splice around crashed-but-undetected nodes: the plan still names
+    // them, but their pipes stay down until detection repairs the overlay.
+    if (!exec.node_alive(from)) continue;
     for (const auto& [to_slot, rate] : scheme.out_edges(slot)) {
-      desired.emplace_back(
-          from,
-          channel.dp_of_node.at(
-              channel.node_of_slot[static_cast<std::size_t>(to_slot)]),
-          rate);
+      const int to = channel.dp_of_node.at(
+          channel.node_of_slot[static_cast<std::size_t>(to_slot)]);
+      if (!exec.node_alive(to)) continue;
+      desired.emplace_back(from, to, rate);
     }
   }
   exec.reconcile_edges(desired);
@@ -1055,6 +1522,35 @@ std::vector<std::string> Runtime::validate(double tol) const {
                            " oversubscribed: allocated " +
                            std::to_string(allocated[node]) + " > budget " +
                            std::to_string(budget));
+    }
+  }
+  // Broker audit: granted fractions fit the usable pool even after faulty
+  // teardowns (a leaked grant from a mid-fault unwind would show up here).
+  if (broker_.allocated() > broker_.usable() * (1.0 + tol) + tol) {
+    violations.push_back(
+        "broker oversubscribed: allocated " +
+        std::to_string(broker_.allocated()) + " > usable " +
+        std::to_string(broker_.usable()));
+  }
+  for (const auto& [id, channel] : channels_) {
+    // Slot map <-> execution map consistency: every planned slot resolves
+    // to exactly one live dataplane node.
+    if (channel.execution) {
+      for (std::size_t slot = 0; slot < channel.node_of_slot.size(); ++slot) {
+        if (channel.dp_of_node.count(channel.node_of_slot[slot]) == 0) {
+          violations.push_back(
+              "channel " + std::to_string(id) + " slot " +
+              std::to_string(slot) + " (node " +
+              std::to_string(channel.node_of_slot[slot]) +
+              ") missing from its execution map");
+        }
+      }
+      // The stream's own no-orphan audit: windows, reservations and
+      // in-flight copies reconcile even mid-crash / mid-partition.
+      for (const std::string& violation : channel.execution->validate(tol)) {
+        violations.push_back("channel " + std::to_string(id) +
+                             " execution: " + violation);
+      }
     }
   }
   // An invariant breach is exactly when the flight recorder earns its keep:

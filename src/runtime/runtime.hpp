@@ -27,7 +27,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bmp/control/controller.hpp"
@@ -74,8 +76,34 @@ struct DataPlaneConfig {
   dataplane::ExecutionConfig execution = [] {
     dataplane::ExecutionConfig config;
     config.collect_latencies = true;
+    // Runtime streams are hardened by default: receivers checksum payloads
+    // and re-request corrupted chunks (standalone Executions default to the
+    // frozen comparison mode instead — see ExecutionConfig).
+    config.verify_payloads = true;
     return config;
   }();
+};
+
+/// Tolerance policy for injected faults (kFault events, src/fault). All
+/// reactions are deterministic functions of the scenario clock and the
+/// dataplane's counters, so chaos runs replay bit-identically.
+struct FaultToleranceConfig {
+  /// Crash detection: a crashed node sends no leave event, so the runtime
+  /// watches each stream's counters on the control grid — a peer whose
+  /// delivered count and adjacent pipe activity (attempts + sent) all stand
+  /// still for `crash_silence_windows` consecutive windows is declared dead
+  /// and a churn repair is synthesized across *every* hosting channel at
+  /// once. Requires execution + control mode (the telemetry source); crashes
+  /// degrade to immediate synthesized departures without it.
+  bool detect_crashes = true;
+  int crash_silence_windows = 3;
+  /// Planner-outage fallback: channels keep serving their last verified
+  /// plan (bounded staleness — rebuilt when the outage ends), and channel
+  /// opens that failed against a down planner are queued and retried with
+  /// exponential backoff instead of being dropped.
+  bool planner_fallback = true;
+  double planner_retry_initial = 0.5;  ///< first retry delay (seconds)
+  double planner_retry_max = 4.0;      ///< backoff ceiling (seconds)
 };
 
 /// Opt-in adaptive control plane (requires execution mode): one
@@ -98,6 +126,7 @@ struct RuntimeConfig {
   bool collect_timing = true;     ///< record timing.* event-loop latency
   DataPlaneConfig dataplane;      ///< chunk-level execution mode
   ControlConfig control;          ///< telemetry-driven adaptation
+  FaultToleranceConfig fault;     ///< reaction policy for injected faults
   /// Cross-layer tracing (null = off): the runtime threads this sink into
   /// its planner, every session/verifier, every execution and the control
   /// plane, and stamps it with the scenario clock — a whole run lands in
@@ -219,9 +248,14 @@ class Runtime {
   /// when execution mode is off.
   std::vector<StreamReport> drain(double t);
 
-  /// Audits the shared-capacity invariant through Session::capacities():
-  /// every node's summed per-channel allocation must stay within its
-  /// multi-port budget b_i. Returns human-readable violations (empty = ok).
+  /// Audits the cross-layer invariants: every node's summed per-channel
+  /// allocation (Session::capacities()) stays within its multi-port budget
+  /// b_i, the broker's granted fractions fit its usable pool, each
+  /// channel's slot map and execution node map agree, and every live
+  /// execution passes its own no-orphan audit (dataplane::Execution::
+  /// validate — windows, reservations and in-flight copies reconcile even
+  /// mid-fault). Returns human-readable violations (empty = ok); failures
+  /// auto-dump the flight recorder when one is configured.
   [[nodiscard]] std::vector<std::string> validate(double tol = 1e-7) const;
 
  private:
@@ -234,6 +268,14 @@ class Runtime {
     double capacity_factor = 1.0;
     bool wan = false;  ///< `profile` overrides the execution-config default
     dataplane::LinkProfile profile;
+    // ---- fault state (kFault events) ----
+    /// Died by kCrash: already dead in every execution, but the *sessions*
+    /// still plan around it until crash detection synthesizes the leave.
+    bool crashed = false;
+    double crash_time = 0.0;   ///< when the crash landed (detection latency)
+    int partition_group = 0;   ///< != group ⇒ traffic between them is lost
+    bool blackout = false;     ///< telemetry frozen: controller sees cached
+    double corrupt_rate = 0.0; ///< egress payload-corruption probability
   };
   struct Channel {
     Grant grant;
@@ -259,6 +301,27 @@ class Runtime {
     std::uint64_t seen_retransmits = 0;
     std::uint64_t seen_stalls = 0;
     std::uint64_t seen_duplicates = 0;
+    // ---- fault tolerance ----
+    /// Crash-silence tracking per runtime node id: the last observed
+    /// activity counter (delivered + adjacent attempts + sent) and how many
+    /// consecutive control windows it stood still.
+    std::map<int, std::uint64_t> silence_activity;
+    std::map<int, int> silent_windows;
+    /// Last telemetry actually observed per node/edge — substituted for
+    /// blacked-out nodes, so a blackout freezes what the controller sees
+    /// (the stale-telemetry guard's input) instead of leaking fresh data.
+    std::map<int, control::NodeSample> last_node_sample;
+    std::map<std::pair<int, int>, control::EdgeSample> last_edge_sample;
+    /// >= 0: the session wanted a full re-plan but the planner was down; it
+    /// kept serving the incremental repair since this instant. Rebuilt
+    /// through the planner when the outage ends.
+    double plan_stale_since = -1.0;
+  };
+  /// A channel open refused by a planner outage, queued for retry.
+  struct PendingOpen {
+    Event event;
+    double next_retry = 0.0;
+    double backoff = 0.0;
   };
 
   void on_channel_open(const Event& event);
@@ -267,6 +330,22 @@ class Runtime {
   void on_node_leave(const Event& event);
   void on_renegotiate(const Event& event);
   void on_degrade(const Event& event);
+  void on_fault(const Event& event);
+
+  /// The per-channel churn machinery of on_node_leave, callable on nodes
+  /// already marked dead: every hosting channel absorbs the departure
+  /// (repair / re-plan), slot maps remap, streams live-patch. `when` stamps
+  /// the reports (event time, or the control boundary that detected a
+  /// crash).
+  void apply_departures(const std::set<int>& departed, double when);
+  /// Declares nodes silent past the crash threshold dead and synthesizes
+  /// their departure across all hosting channels at once.
+  void detect_crashes(const std::set<int>& candidates, double t);
+  /// Retries channel opens deferred by a planner outage whose backoff
+  /// expired (`force` ignores the backoff — the outage just ended).
+  void retry_pending_opens(double t, bool force);
+  /// Re-plans channels serving a stale overlay once the planner is back.
+  void rebuild_stale_channels();
 
   /// Execution mode: run every live stream up to `t` on the scenario clock
   /// and accumulate each channel's design-rate integral. With the control
@@ -296,6 +375,11 @@ class Runtime {
   [[nodiscard]] std::string channel_metric(int id, const char* what) const;
 
   RuntimeConfig config_;
+  /// Planner-failure injection target, wired into the planner's config
+  /// (declared first: the planner copies the pointer at construction).
+  /// kPlannerOutageStart/End events toggle `outage_->down`.
+  engine::PlannerOutage planner_outage_;
+  engine::PlannerOutage* outage_ = nullptr;
   engine::Planner planner_;
   CapacityBroker broker_;
   MetricsRegistry metrics_;
@@ -305,6 +389,7 @@ class Runtime {
   std::vector<ChurnReport> churn_log_;
   std::vector<StreamReport> stream_log_;
   std::vector<ControlReport> control_log_;
+  std::vector<PendingOpen> pending_opens_;
   double now_ = 0.0;
   double dp_clock_ = 0.0;  ///< time every live execution has reached
   /// Sampling boundaries processed so far: boundary k + 1 sits at
