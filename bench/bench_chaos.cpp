@@ -25,6 +25,7 @@
 #include "bmp/fault/fault.hpp"
 #include "bmp/fault/injector.hpp"
 #include "bmp/obs/export.hpp"
+#include "bmp/obs/slo.hpp"
 #include "bmp/obs/trace.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
@@ -96,6 +97,17 @@ struct ChaosResult {
   std::string metrics_json;
   std::string prometheus;
   std::vector<std::string> violations;
+  // ---- straggler spread (scenario-time milestone latencies) ----
+  double milestone_p50 = 0.0;   ///< grid time to reach the milestone, median
+  double milestone_p99 = 0.0;
+  double straggler_ratio = 1.0; ///< worst / median milestone time
+  // ---- SLO monitor (hardened run only) ----
+  std::uint64_t slo_pages = 0;
+  std::uint64_t slo_warns = 0;
+  bool slo_paged_in_storm = false;  ///< a page alert landed during the storm
+  bool slo_ok_at_end = false;       ///< state returned to ok after the heal
+  std::string slo_state;
+  std::string slo_alerts_json;
 };
 
 ChaosResult run_storm(const bmp::runtime::ScenarioScript& script,
@@ -109,6 +121,7 @@ ChaosResult run_storm(const bmp::runtime::ScenarioScript& script,
   config.dataplane.execution.chunk_size = optimum / 40.0;
   config.dataplane.execution.receiver_window = 16;
   config.control.enabled = hardened;
+  config.control.slo_enabled = hardened;  // page during the storm, ok after
   if (!hardened) {
     config.dataplane.execution.verify_payloads = false;
     config.fault.detect_crashes = false;
@@ -166,6 +179,8 @@ ChaosResult run_storm(const bmp::runtime::ScenarioScript& script,
   run_until(0.0);  // channel opens at t = 0: execution exists from here on
   std::vector<int> window_prev = snapshot();
   std::vector<int> baseline;
+  std::vector<double> grid_times;
+  std::vector<std::vector<int>> history;  // grid snapshots, straggler spread
   for (double t = 0.5; t <= horizon + 1e-9; t += 0.5) {
     run_until(t);
     std::vector<int> now = snapshot();
@@ -174,9 +189,45 @@ ChaosResult run_storm(const bmp::runtime::ScenarioScript& script,
       result.recover_time = t - kStormStart;
     }
     if (std::abs(t - probe_at) < 1e-9) baseline = now;
+    grid_times.push_back(t);
+    history.push_back(now);
     window_prev = std::move(now);
   }
   const std::vector<int>& after = window_prev;  // final snapshot
+  // Straggler spread: scenario time for each survivor to reach half the
+  // worst survivor's final clean count (a milestone every survivor hits),
+  // read off the half-second grid. Worst/median is the tail the SLO pages
+  // on and the lineage analyzer attributes.
+  {
+    int min_final = -1;
+    for (std::size_t k = 1; k < after.size(); ++k) {
+      if (after[k] < 0) continue;
+      if (min_final < 0 || after[k] < min_final) min_final = after[k];
+    }
+    const int milestone = std::max(1, min_final / 2);
+    std::vector<double> times;
+    for (std::size_t k = 1; k < after.size(); ++k) {
+      if (after[k] < milestone) continue;
+      for (std::size_t i = 0; i < history.size(); ++i) {
+        if (history[i][k] >= milestone) {
+          times.push_back(grid_times[i]);
+          break;
+        }
+      }
+    }
+    std::sort(times.begin(), times.end());
+    if (!times.empty()) {
+      const auto at = [&](double q) {
+        return times[static_cast<std::size_t>(
+            q * static_cast<double>(times.size() - 1) + 0.5)];
+      };
+      result.milestone_p50 = at(0.50);
+      result.milestone_p99 = at(0.99);
+      result.straggler_ratio =
+          result.milestone_p50 > 0.0 ? times.back() / result.milestone_p50
+                                     : 1.0;
+    }
+  }
   {
     // Execution stats and the leak audit must be read before drain()
     // closes the channel and tears the stream down.
@@ -184,6 +235,19 @@ ChaosResult run_storm(const bmp::runtime::ScenarioScript& script,
     result.corrupt_dropped = exec->corruptions();
     result.corrupt_accepted = exec->corrupted_accepted();
     result.violations = rt.validate();
+  }
+  if (const bmp::obs::SloMonitor* slo = rt.slo_monitor(0)) {
+    result.slo_pages = slo->pages();
+    result.slo_warns = slo->warns();
+    result.slo_state = bmp::obs::to_string(slo->state());
+    result.slo_ok_at_end = slo->state() == bmp::obs::SloState::kOk;
+    for (const bmp::obs::SloAlert& alert : slo->alerts()) {
+      if (alert.to == bmp::obs::SloState::kPage &&
+          alert.time >= kStormStart && alert.time <= kHealTime + 2.0) {
+        result.slo_paged_in_storm = true;
+      }
+    }
+    result.slo_alerts_json = slo->alerts_json();
   }
   rt.drain(horizon);
 
@@ -304,6 +368,17 @@ int main(int argc, char** argv) {
             << "% — the tolerance machinery, not luck, held the stream\n"
             << "time-to-recover: " << hardened.recover_time
             << " s after the first fault (heal at t = " << kHealTime << ")\n";
+  // The SLO monitor must page while the storm rages and stand down once
+  // the stream recovers — deterministically, every run.
+  const bool slo_ok = hardened.slo_paged_in_storm && hardened.slo_ok_at_end;
+  ok = ok && slo_ok;
+  std::cout << (slo_ok ? "[OK] " : "[WARN] ") << "SLO monitor paged during "
+            << "the storm and returned to " << hardened.slo_state
+            << " after the heal (" << hardened.slo_pages << " pages, "
+            << hardened.slo_warns << " warns)\n"
+            << "straggler spread: milestone p50 " << hardened.milestone_p50
+            << "s, p99 " << hardened.milestone_p99 << "s, worst/median "
+            << hardened.straggler_ratio << "x\n";
 
   bmp::benchutil::JsonReport json;
   bmp::benchutil::add_header(json, "chaos");
@@ -320,6 +395,15 @@ int main(int argc, char** argv) {
   json.add("heal_pardons", hardened.heal_pardons);
   json.add("stale_windows", hardened.stale_windows);
   json.add("planner_faults", hardened.planner_faults);
+  json.add("latency.milestone_p50", hardened.milestone_p50);
+  json.add("latency.milestone_p99", hardened.milestone_p99);
+  json.add("latency.straggler_ratio", hardened.straggler_ratio);
+  json.add("slo_pages", hardened.slo_pages);
+  json.add("slo_warns", hardened.slo_warns);
+  json.add_string("slo_final_state", hardened.slo_state);
+  json.add_raw("slo_alerts", hardened.slo_alerts_json.empty()
+                                 ? "null"
+                                 : hardened.slo_alerts_json);
   json.add("hardened_wall_seconds", hardened.seconds);
   json.add("events_per_s",
            hardened.seconds > 0.0

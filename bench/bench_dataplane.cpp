@@ -20,6 +20,7 @@
 #include "bmp/dataplane/execution.hpp"
 #include "bmp/flow/verify.hpp"
 #include "bmp/obs/export.hpp"
+#include "bmp/obs/lineage.hpp"
 #include "bmp/obs/trace.hpp"
 #include "bmp/gen/generator.hpp"
 #include "bmp/runtime/runtime.hpp"
@@ -141,6 +142,107 @@ int main(int argc, char** argv) {
   json.add("lossy_achieved_over_planned", noisy.achieved_rate / verified);
   json.add("chunks_per_sec", chunks_per_sec);
   json.add("retransmits_lossy", noisy.retransmits);
+
+  // ----------------------------------------- straggler spread (tail shape)
+  // Per-node completion times of the lossless run: the spread between the
+  // median node and the worst straggler is the tail the lineage analyzer
+  // attributes. Scenario-time, fully deterministic — bench_diff gates these
+  // under its lower-better `latency.` class.
+  std::vector<double> completions;
+  for (int node = 0; node < lossless.num_nodes(); ++node) {
+    if (node == lossless.origin()) continue;
+    const double done = lossless.completion_time(node);
+    if (done >= 0.0) completions.push_back(done);
+  }
+  std::sort(completions.begin(), completions.end());
+  const auto at_quantile = [&](double q) {
+    if (completions.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(completions.size() - 1) + 0.5);
+    return completions[rank];
+  };
+  const double completion_p50 = at_quantile(0.50);
+  const double completion_p99 = at_quantile(0.99);
+  const double completion_worst =
+      completions.empty() ? 0.0 : completions.back();
+  const double straggler_ratio =
+      completion_p50 > 0.0 ? completion_worst / completion_p50 : 1.0;
+  std::cout << "\nstraggler spread: completion p50 " << completion_p50
+            << "s, p99 " << completion_p99 << "s, worst/median "
+            << straggler_ratio << "x\n";
+  json.add("latency.completion_p50", completion_p50);
+  json.add("latency.completion_p99", completion_p99);
+  json.add("latency.straggler_ratio", straggler_ratio);
+
+  // ------------------------------------------- lineage overhead, A/B wall
+  // The bench's lossy scenario with the lineage sink attached must cost
+  // <= 5% wall time over the disabled baseline (disabled cost: one branch
+  // per delivery; losses exercise the retry-tally path too). Estimator:
+  // the two variants run back-to-back within each of 21 rounds (run order
+  // flips every round so a within-round drift cannot systematically tax
+  // one variant), and the reported overhead is the ratio of the two *min*
+  // walls. Scheduler noise is additive — it only ever inflates a wall —
+  // so the per-variant min over 21 interleaved samples converges on the
+  // true cost even when ambient load swings the individual walls by tens
+  // of percent, where medians (or per-pair ratios) drift with the load.
+  // The on-runs rotate across three independently allocated sinks: a
+  // record buffer that happens to land on pages conflicting with the
+  // simulator's hot set taxes every run that reuses it, and the min can
+  // only discount that placement luck if the samples don't all share it.
+  const auto ab_run = [&](bmp::obs::LineageSink* sink) {
+    bmp::dataplane::ExecutionConfig ab_config = config;
+    ab_config.profiler = nullptr;
+    ab_config.lineage = sink;
+    const auto start = std::chrono::steady_clock::now();
+    bmp::dataplane::Execution exec(platform, solution.scheme, ab_config);
+    exec.run_to_completion();
+    return seconds_since(start);
+  };
+  std::vector<bmp::obs::LineageSink> sinks(3);
+  const auto ab_measure = [&] {
+    std::vector<double> ab_on_walls;
+    std::vector<double> ab_off_walls;
+    const int ab_rounds = 21;
+    for (int round = 0; round < ab_rounds; ++round) {
+      bmp::obs::LineageSink& lineage = sinks[round % sinks.size()];
+      if (round % 2 == 0) {
+        ab_off_walls.push_back(ab_run(nullptr));
+        lineage.clear();  // fresh records, warm buffers: same work per run
+        ab_on_walls.push_back(ab_run(&lineage));
+      } else {
+        lineage.clear();
+        ab_on_walls.push_back(ab_run(&lineage));
+        ab_off_walls.push_back(ab_run(nullptr));
+      }
+    }
+    const auto best = [](const std::vector<double>& walls) {
+      return *std::min_element(walls.begin(), walls.end());
+    };
+    return std::pair<double, double>(best(ab_on_walls), best(ab_off_walls));
+  };
+  auto [ab_on_wall, ab_off_wall] = ab_measure();
+  if (ab_on_wall > 1.05 * ab_off_wall) {
+    // One retry before declaring a regression: an ambient burst spanning a
+    // whole measurement occasionally inflates the estimate a few percent
+    // past the bar; a genuine recording regression fails both attempts.
+    const auto [retry_on, retry_off] = ab_measure();
+    if (retry_on * ab_off_wall < ab_on_wall * retry_off) {
+      ab_on_wall = retry_on;
+      ab_off_wall = retry_off;
+    }
+  }
+  const bmp::obs::LineageSink& lineage = sinks.front();
+  const double lineage_overhead =
+      ab_off_wall > 0.0 ? ab_on_wall / ab_off_wall : 1.0;
+  const bool lineage_cheap = lineage_overhead <= 1.05;
+  ok = ok && lineage_cheap && lineage.recorded() > 0;
+  std::cout << (lineage_cheap ? "[OK] " : "[WARN] ")
+            << "lineage recording costs " << lineage_overhead
+            << "x wall vs disabled (bar: <= 1.05x, "
+            << lineage.recorded() << " hops/run, baseline "
+            << ab_off_wall * 1e3 << "ms)\n";
+  json.add("lineage_overhead_ratio", lineage_overhead);
+  json.add("lineage_hops", lineage.recorded());
 
   // -------------------------- scheduler scan index vs linear deep backlog
   // A file-mode relay chain keeps every receiver's backlog window full

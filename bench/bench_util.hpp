@@ -188,6 +188,9 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
 ///                      top-N table on stdout
 ///   --metrics <path>   final metrics snapshot in Prometheus exposition
 ///                      format (binaries with a metrics registry)
+///   --lineage <path>   per-chunk delivery lineage dump plus the
+///                      critical-path blame table ("<path>.blame.json";
+///                      binaries that thread an obs::LineageSink)
 ///   --profile-wall     also record wall time per phase (off by default so
 ///                      --profile artifacts stay byte-identical per build)
 /// Binaries parse once up front and thread `cli.profiler()` into their
@@ -198,6 +201,7 @@ struct CommonCli {
   std::string trace;
   std::string profile;
   std::string metrics;
+  std::string lineage;
   obs::Profiler prof;
 
   // The profiler member makes this non-copyable; parse in place.
@@ -207,6 +211,7 @@ struct CommonCli {
         trace(arg_value(argc, argv, "--trace")),
         profile(arg_value(argc, argv, "--profile")),
         metrics(arg_value(argc, argv, "--metrics")),
+        lineage(arg_value(argc, argv, "--lineage")),
         prof(obs::ProfilerConfig{has_flag(argc, argv, "--profile-wall")}) {}
 
   /// The profiler to thread into configs; null when --profile is absent so

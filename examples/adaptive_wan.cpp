@@ -19,6 +19,7 @@
 // adaptation buys: during the brownout the frozen plan's worst node falls
 // far below the post-brownout optimum, the adaptive one stays near it.
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -26,6 +27,7 @@
 
 #include "bmp/engine/planner.hpp"
 #include "bmp/obs/export.hpp"
+#include "bmp/obs/lineage.hpp"
 #include "bmp/obs/trace.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
@@ -77,7 +79,8 @@ struct Run {
 Run run(const bmp::runtime::ScenarioScript& script, bool adaptive,
         bmp::obs::TraceSink* trace = nullptr,
         bmp::obs::Profiler* profiler = nullptr,
-        std::string* prometheus = nullptr) {
+        std::string* prometheus = nullptr,
+        bmp::obs::LineageSink* lineage = nullptr) {
   bmp::runtime::RuntimeConfig config;
   config.collect_timing = false;
   config.broker_headroom = 0.05;
@@ -87,6 +90,7 @@ Run run(const bmp::runtime::ScenarioScript& script, bool adaptive,
   config.control.enabled = adaptive;
   config.trace = trace;
   config.profiler = profiler;
+  config.lineage = lineage;
 
   bmp::runtime::Runtime runtime(config, script.source_bandwidth,
                                 script.initial_peers);
@@ -157,7 +161,11 @@ int main(int argc, char** argv) {
   //                     Perfetto or chrome://tracing;
   //   --profile <path>  deterministic work attribution of the same run
   //                     (JSON + flamegraph-ready .collapsed + top-N table);
-  //   --metrics <path>  the final metrics snapshot, Prometheus exposition.
+  //   --metrics <path>  the final metrics snapshot, Prometheus exposition;
+  //   --lineage <path>  per-chunk delivery lineage of the adaptive run as
+  //                     JSON, plus the critical-path blame table beside it
+  //                     ("<path>.blame.json") and on the trace's lineage
+  //                     lane.
   bmp::benchutil::CommonCli cli(argc, argv);
   const std::string& trace_path = cli.trace;
   const bmp::runtime::ScenarioScript script = build_script();
@@ -196,10 +204,43 @@ int main(int argc, char** argv) {
 
   bmp::obs::TraceSink trace;
   std::string prometheus;
+  bmp::obs::LineageSink lineage;
   const Run adaptive =
       run(script, true, trace_path.empty() ? nullptr : &trace, cli.profiler(),
-          cli.metrics.empty() ? nullptr : &prometheus);
+          cli.metrics.empty() ? nullptr : &prometheus,
+          cli.lineage.empty() ? nullptr : &lineage);
   const Run frozen = run(script, false);
+
+  // Tail-latency attribution: walk the delivery DAG back from the
+  // last-completing node and decompose its completion time into per-edge
+  // blame. The trace gains the path as instants on the lineage lane, so
+  // it must land before the trace file is written.
+  bool lineage_ok = true;
+  if (!cli.lineage.empty()) {
+    const bmp::obs::BlameTable blame =
+        bmp::obs::analyze_critical_path(lineage.hops());
+    bmp::obs::emit_blame_trace(blame, trace_path.empty() ? nullptr : &trace);
+    lineage_ok = lineage.write(cli.lineage);
+    const std::string blame_path = cli.lineage + ".blame.json";
+    {
+      std::ofstream out(blame_path);
+      out << blame.to_json() << "\n";
+      lineage_ok = static_cast<bool>(out) && lineage_ok;
+    }
+    const bool attributed =
+        blame.valid && !blame.path.empty() &&
+        std::fabs(blame.attributed_total - blame.completion_time) <= 1e-6;
+    lineage_ok = attributed && lineage_ok;
+    std::cout << "lineage: " << lineage.recorded() << " hops ("
+              << lineage.dropped() << " dropped) -> " << cli.lineage
+              << ", blame table -> " << blame_path << "\n";
+    std::cout << blame.to_text();
+    std::cout << (attributed ? "[OK] " : "[WARN] ")
+              << "blame segments sum to the last node's completion time "
+                 "(attributed "
+              << blame.attributed_total << " vs completion "
+              << blame.completion_time << ", tolerance 1e-6)\n\n";
+  }
   if (!trace_path.empty()) {
     std::cout << (trace.write(trace_path) ? "trace written to "
                                           : "[WARN] could not write ")
@@ -254,6 +295,7 @@ int main(int argc, char** argv) {
             << 100.0 * frozen.worst_rate_brownout / optimum
             << "%) — live patches only, the stream never restarted\n";
   bool ok = adaptive.worst_rate_brownout > frozen.worst_rate_brownout;
+  ok = ok && lineage_ok;
   if (!cli.metrics.empty()) {
     std::ofstream out(cli.metrics);
     out << prometheus;

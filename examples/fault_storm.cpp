@@ -31,7 +31,9 @@
 #include "bmp/engine/planner.hpp"
 #include "bmp/fault/fault.hpp"
 #include "bmp/fault/injector.hpp"
+#include "bmp/obs/export.hpp"
 #include "bmp/obs/flight_recorder.hpp"
+#include "bmp/obs/slo.hpp"
 #include "bmp/obs/trace.hpp"
 #include "bmp/runtime/runtime.hpp"
 #include "bmp/runtime/scenario.hpp"
@@ -83,6 +85,11 @@ struct Run {
   std::uint64_t opens_deferred = 0;
   std::uint64_t stale_windows = 0;     ///< controller windows skipped dark
   std::vector<std::string> violations;
+  std::uint64_t slo_pages = 0;
+  std::uint64_t slo_warns = 0;
+  bool slo_paged_in_storm = false;  ///< a page alert inside the fault window
+  bool slo_ok_at_end = false;       ///< state recovered to ok after the heal
+  std::string prometheus;           ///< final snapshot (--metrics)
 };
 
 Run run(const bmp::runtime::ScenarioScript& script, bool hardened,
@@ -95,6 +102,7 @@ Run run(const bmp::runtime::ScenarioScript& script, bool hardened,
   config.dataplane.execution.chunk_size = chunk;
   config.dataplane.execution.receiver_window = 16;
   config.control.enabled = hardened;
+  config.control.slo_enabled = hardened;
   if (!hardened) {
     config.dataplane.execution.verify_payloads = false;
     config.fault.detect_crashes = false;
@@ -149,6 +157,20 @@ Run run(const bmp::runtime::ScenarioScript& script, bool hardened,
   result.opens_deferred = rt.metrics().counter("fault.opens_deferred");
   result.stale_windows = rt.metrics().counter("control.stale_nodes");
   result.violations = rt.validate();
+  // The SLO verdict: the monitor must have paged while the faults were
+  // live (first crash at 3.5 through the heal) and be back to ok now.
+  if (const bmp::obs::SloMonitor* slo = rt.slo_monitor(0)) {
+    result.slo_pages = slo->pages();
+    result.slo_warns = slo->warns();
+    result.slo_ok_at_end = slo->state() == bmp::obs::SloState::kOk;
+    for (const bmp::obs::SloAlert& alert : slo->alerts()) {
+      if (alert.to == bmp::obs::SloState::kPage && alert.time >= 3.5 &&
+          alert.time <= kHealTime + 2.0) {
+        result.slo_paged_in_storm = true;
+      }
+    }
+  }
+  result.prometheus = bmp::obs::to_prometheus(rt.metrics().snapshot());
   return result;
 }
 
@@ -156,8 +178,9 @@ Run run(const bmp::runtime::ScenarioScript& script, bool hardened,
 
 int main(int argc, char** argv) {
   // Shared observability CLI (benchutil::CommonCli): --trace/--profile/
-  // --metrics as everywhere else, plus --dump <path> to write the flight
-  // recorder's post-storm state (CI archives both artifacts).
+  // --metrics as everywhere else (--metrics includes the slo.* series and
+  // per-channel slo.state gauge), plus --dump <path> to write the flight
+  // recorder's post-storm state (CI archives the artifacts).
   bmp::benchutil::CommonCli cli(argc, argv);
   const std::string dump_path = bmp::benchutil::arg_value(argc, argv, "--dump");
 
@@ -221,8 +244,21 @@ int main(int argc, char** argv) {
             << hardened.opens_deferred << " opens deferred through the "
             << "planner outage, " << hardened.stale_windows
             << " dark controller windows skipped (no blackout demotions)\n";
+  std::cout << "SLO monitor: " << hardened.slo_pages << " pages, "
+            << hardened.slo_warns << " warns"
+            << (hardened.slo_ok_at_end ? ", ok at end\n" : "\n");
 
   bool ok = true;
+  if (!hardened.slo_paged_in_storm) {
+    ok = false;
+    std::cout << "[FAIL] the SLO monitor never paged while the faults "
+              << "were live\n";
+  }
+  if (!hardened.slo_ok_at_end) {
+    ok = false;
+    std::cout << "[FAIL] the SLO monitor did not return to ok after "
+              << "the heal\n";
+  }
   if (!hardened.violations.empty()) {
     ok = false;
     std::cout << "[FAIL] hardened validate():\n";
@@ -259,6 +295,16 @@ int main(int argc, char** argv) {
     std::cout << (recorder.dump(dump_path) ? "flight recorder dumped to "
                                            : "[WARN] could not write ")
               << dump_path << "\n";
+  }
+  if (!cli.metrics.empty()) {
+    std::ofstream out(cli.metrics);
+    out << hardened.prometheus;
+    if (out) {
+      std::cout << "metrics written to " << cli.metrics << "\n";
+    } else {
+      std::cout << "[WARN] could not write " << cli.metrics << "\n";
+      ok = false;
+    }
   }
   ok = cli.write_profile() && ok;
   std::cout << (ok ? "\nOK\n" : "\nFAILED\n");

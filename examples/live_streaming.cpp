@@ -11,6 +11,7 @@
 //            -> chunk-level execution (dataplane::) of the same overlay:
 //               the planned rate, actually delivered chunk by chunk, then
 //               stress-tested under packet loss and propagation latency.
+#include <fstream>
 #include <iostream>
 
 #include "bmp/baselines/baselines.hpp"
@@ -18,12 +19,17 @@
 #include "bmp/dataplane/execution.hpp"
 #include "bmp/gen/generator.hpp"
 #include "bmp/net/overlay.hpp"
+#include "bmp/obs/export.hpp"
+#include "bmp/runtime/metrics.hpp"
 #include "bmp/sim/massoulie.hpp"
 #include "bmp/trees/arborescence.hpp"
 #include "bmp/util/table.hpp"
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
+  // Shared observability CLI (benchutil::CommonCli): --json/--profile as
+  // everywhere else, plus --metrics <path> for the final chunk-execution
+  // counters and latency histogram in Prometheus exposition format.
   bmp::benchutil::CommonCli cli(argc, argv);
   const bmp::obs::PhaseScope example_scope(cli.profiler(), "example/live_streaming");
   using bmp::util::Table;
@@ -93,6 +99,7 @@ int main(int argc, char** argv) {
   exec_config.emission_rate = sol.throughput;
   exec_config.warmup_chunks = 48;
   exec_config.profiler = cli.profiler();
+  exec_config.collect_latencies = !cli.metrics.empty();
   bmp::dataplane::Execution exec(swarm, sol.scheme, exec_config);
   exec.run_to_completion();
   const bmp::dataplane::ExecutionReport clean = exec.report(sol.throughput);
@@ -118,5 +125,28 @@ int main(int argc, char** argv) {
   std::cout << "chunk execution (2% loss, 30ms): achieved "
             << noisy.achieved_rate << " Mbit/s, " << noisy.retransmits
             << " retransmits, " << noisy.hol_stalls << " head-of-line stalls\n";
-  return bmp::benchutil::finish(cli, "live_streaming", true);
+
+  bool ok = true;
+  if (!cli.metrics.empty()) {
+    bmp::runtime::MetricsRegistry metrics;
+    metrics.set("dataplane.planned_rate", sol.throughput);
+    metrics.set("dataplane.achieved_rate", clean.achieved_rate);
+    metrics.set("dataplane.achieved_rate_lossy", noisy.achieved_rate);
+    metrics.set_counter("dataplane.delivered_chunks",
+                        static_cast<std::uint64_t>(clean.delivered_chunks));
+    metrics.set_counter("dataplane.retransmits_lossy", noisy.retransmits);
+    metrics.set_counter("dataplane.hol_stalls_lossy", noisy.hol_stalls);
+    for (const double latency : exec.drain_latencies()) {
+      metrics.observe("dataplane.chunk_latency", latency);
+    }
+    std::ofstream out(cli.metrics);
+    out << bmp::obs::to_prometheus(metrics.snapshot());
+    if (out) {
+      std::cout << "metrics written to " << cli.metrics << "\n";
+    } else {
+      std::cout << "[WARN] could not write " << cli.metrics << "\n";
+      ok = false;
+    }
+  }
+  return bmp::benchutil::finish(cli, "live_streaming", ok);
 }

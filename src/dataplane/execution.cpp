@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "bmp/obs/flight_recorder.hpp"
+#include "bmp/obs/lineage.hpp"
 #include "bmp/obs/profiler.hpp"
 #include "bmp/obs/trace.hpp"
 
@@ -221,6 +222,7 @@ void Execution::crash_node(int id) {
       release_reservation(pipe.to, chunk);
     }
     pipe.in_flight.clear();
+    pipe.lineage_inflight.clear();
     ++pipe.generation;
     pipe.busy = false;
     pipe.pending_duration = 0.0;
@@ -370,6 +372,7 @@ void Execution::set_edge(int from, int to, double rate) {
         release_reservation(pipe.to, chunk);
       }
       pipe.in_flight.clear();
+      pipe.lineage_inflight.clear();
       ++pipe.generation;  // strands the cancelled transmission's events
       pipe.busy = false;
       pipe.pending_duration = 0.0;
@@ -572,6 +575,7 @@ void Execution::remove_pipe(int slot) {
     release_reservation(pipe.to, chunk);
   }
   pipe.in_flight.clear();
+  pipe.lineage_inflight.clear();
   ++pipe.generation;  // strands the pipe's queued events
   pipe.active = false;
   pipe.busy = false;
@@ -691,6 +695,9 @@ void Execution::emit_chunks() {
     replicas_.push_back(source.alive ? 1 : 0);
     rarity_insert(chunk, replicas_.back());
     set_bit(source.have, chunk);
+    if (config_.lineage != nullptr) {
+      config_.lineage->record_emit(config_.trace_id, origin_, chunk, now_);
+    }
     if (traced_chunk(config_, chunk)) {
       config_.trace->instant_at(obs::Lane::kExecution, "dataplane", "emit",
                                 now_,
@@ -725,8 +732,15 @@ void Execution::on_send_complete(const ChunkEvent& event) {
 void Execution::on_arrival(const ChunkEvent& event) {
   Pipe& pipe = pipes_[static_cast<std::size_t>(event.pipe)];
   if (!pipe.active || pipe.generation != event.generation) return;
-  pipe.in_flight.erase(
-      std::find(pipe.in_flight.begin(), pipe.in_flight.end(), event.chunk));
+  const auto flight =
+      std::find(pipe.in_flight.begin(), pipe.in_flight.end(), event.chunk);
+  LineagePending pending;
+  if (config_.lineage != nullptr) {
+    const auto index = flight - pipe.in_flight.begin();
+    pending = pipe.lineage_inflight[static_cast<std::size_t>(index)];
+    pipe.lineage_inflight.erase(pipe.lineage_inflight.begin() + index);
+  }
+  pipe.in_flight.erase(flight);
   const int receiver_id = pipe.to;
   Node& receiver = nodes_[static_cast<std::size_t>(receiver_id)];
   --receiver.window_used;
@@ -745,6 +759,19 @@ void Execution::on_arrival(const ChunkEvent& event) {
     // The loss notice re-opens the chunk for scheduling; every loss leads
     // to exactly one fresh transmission attempt somewhere.
     ++retransmits_;
+    if (config_.lineage != nullptr) {
+      const auto [retry, inserted] =
+          lineage_retry_.try_emplace(lineage_key(receiver_id, event.chunk));
+      if (inserted) {
+        if (static_cast<std::size_t>(receiver_id) >=
+            lineage_retry_nodes_.size()) {
+          lineage_retry_nodes_.resize(receiver_id + 1, 0);
+        }
+        ++lineage_retry_nodes_[receiver_id];
+      }
+      ++retry->second.count;
+      retry->second.wasted += now_ - pending.start;
+    }
     if (traced_chunk(config_, event.chunk)) {
       config_.trace->instant_at(obs::Lane::kExecution, "dataplane",
                                 checksum_failed ? "corrupt" : "loss", now_,
@@ -770,6 +797,26 @@ void Execution::on_arrival(const ChunkEvent& event) {
     ++corrupted_accepted_;
   }
   deliver(receiver, receiver_id, event.chunk);
+  if (config_.lineage != nullptr) {
+    const bool kept = config_.lineage->record_hop(
+        config_.trace_id, pipe.from, receiver_id, event.chunk, pending.start,
+        now_, pending.hol, pending.overtake);
+    // Per-receiver outstanding-retry counter keeps the common (no prior
+    // loss for this receiver) delivery free of any hash lookup.
+    if (static_cast<std::size_t>(receiver_id) < lineage_retry_nodes_.size() &&
+        lineage_retry_nodes_[receiver_id] != 0) {
+      const auto retry =
+          lineage_retry_.find(lineage_key(receiver_id, event.chunk));
+      if (retry != lineage_retry_.end()) {
+        if (kept && retry->second.count > 0) {
+          config_.lineage->record_hop_retry(retry->second.count,
+                                            retry->second.wasted);
+        }
+        --lineage_retry_nodes_[receiver_id];
+        lineage_retry_.erase(retry);
+      }
+    }
+  }
   activate_receiver(receiver_id);
   activate_sender(receiver_id);
 }
@@ -932,6 +979,7 @@ void Execution::try_send(int pipe_slot) {
   if (config_.profiler != nullptr) {
     indexed ? ++sched_index_picks_ : ++sched_linear_scans_;
   }
+  const bool used_overtake = best < 0 && overtake >= 0;
   if (best < 0) best = overtake;
   if (best < 0) {
     ++pipe.no_chunk;
@@ -940,6 +988,16 @@ void Execution::try_send(int pipe_slot) {
   }
   pipe.busy = true;
   pipe.in_flight.push_back(best);
+  if (config_.lineage != nullptr) {
+    // HOL flag: this pipe ate at least one window stall since its last
+    // successful claim — the chunk spent scheduler time blocked, not queued.
+    LineagePending pending;
+    pending.start = now_;
+    pending.overtake = used_overtake;
+    pending.hol = pipe.window_stalls > pipe.lineage_stall_mark;
+    pipe.lineage_stall_mark = pipe.window_stalls;
+    pipe.lineage_inflight.push_back(pending);
+  }
   auto& reservation = receiver.inflight[best];
   reservation.eta =
       reservation.count == 0 ? my_eta : std::min(reservation.eta, my_eta);

@@ -37,6 +37,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -52,6 +53,7 @@ namespace bmp::obs {
 class Profiler;
 class TraceSink;
 class FlightRecorder;
+class LineageSink;
 }  // namespace bmp::obs
 
 namespace bmp::dataplane {
@@ -147,6 +149,11 @@ struct ExecutionConfig {
   /// path never touches the profiler, and pays one predictable branch per
   /// site when profiling is off.
   obs::Profiler* profiler = nullptr;
+  /// Chunk lineage (null = off): every delivery records a hop (edge, the
+  /// enqueue/start/finish scenario times, retransmit count, HOL-stall and
+  /// overtake flags) into the sink — the delivery DAG the critical-path
+  /// analyzer walks. Disabled, each delivery pays one branch.
+  obs::LineageSink* lineage = nullptr;
 };
 
 /// Per-node outcome of a run (ids are Execution node ids; node 0 = source).
@@ -387,6 +394,15 @@ class Execution {
     std::vector<int> out;  ///< pipe slots, kept sorted by receiver id
     std::vector<int> in;   ///< pipe slots, kept sorted by sender id
   };
+  /// Lineage bookkeeping for one pending transmission (filled iff
+  /// config_.lineage != nullptr): when the successful attempt started and
+  /// what the scheduler saw when it claimed the chunk.
+  struct LineagePending {
+    double start = 0.0;
+    bool hol = false;
+    bool overtake = false;
+  };
+
   struct Pipe {
     int from = -1;
     int to = -1;
@@ -400,6 +416,13 @@ class Execution {
     /// receiver's window slots and reservations would leak when the
     /// generation bump strands the queued arrivals.
     std::vector<int> in_flight;
+    /// Parallel to in_flight, same indices (maintained iff
+    /// config_.lineage != nullptr): per-transmission lineage state. A
+    /// vector, not a map — the hot path must not hash or allocate.
+    std::vector<LineagePending> lineage_inflight;
+    /// window_stalls watermark at this pipe's last successful claim; a
+    /// delta since then marks the next hop HOL-stalled.
+    std::uint64_t lineage_stall_mark = 0;
     util::Xoshiro256 rng{0};
     // Telemetry (cumulative over the pipe's life; dies with the pipe).
     double busy_time = 0.0;
@@ -490,6 +513,22 @@ class Execution {
   std::uint64_t corrupted_accepted_ = 0;
   std::uint64_t written_off_ = 0;
   std::vector<double> pending_latencies_;
+
+  // Lineage failed-attempt tally per (receiver, chunk) — touched only on
+  // losses/corruptions, so a map is fine off the hot path. The per-
+  // transmission state lives in Pipe::lineage_inflight.
+  struct LineageRetry {
+    int count = 0;
+    double wasted = 0.0;
+  };
+  static std::uint64_t lineage_key(int a, int b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+  std::unordered_map<std::uint64_t, LineageRetry> lineage_retry_;
+  /// Outstanding lineage_retry_ entries per receiver; lets the delivery
+  /// path skip the hash lookup for receivers with no pending retry tally.
+  std::vector<std::uint16_t> lineage_retry_nodes_;
 
   // Profiling only (maintained iff config_.profiler != nullptr): scheduler
   // pick telemetry plus the last-flushed counter snapshot, so run_until

@@ -52,6 +52,24 @@ std::string to_prometheus(const runtime::MetricsSnapshot& snap,
     out += metric + "{quantile=\"0.99\"} " + render_double(stats.p99) + "\n";
     out += metric + "_sum " + render_double(stats.sum) + "\n";
     out += metric + "_count " + std::to_string(stats.count) + "\n";
+    // The same metric additionally as a native Prometheus histogram:
+    // cumulative fixed-bound buckets over ALL observations (the summary's
+    // quantiles cover only the retained window). A distinct `_hist` family
+    // because one metric name cannot carry two TYPEs.
+    if (!stats.buckets.empty()) {
+      const std::string hist = metric + "_hist";
+      out += "# TYPE " + hist + " histogram\n";
+      for (std::size_t i = 0;
+           i < runtime::WindowedHistogram::kBucketBounds.size(); ++i) {
+        out += hist + "_bucket{le=\"" +
+               render_double(runtime::WindowedHistogram::kBucketBounds[i]) +
+               "\"} " + std::to_string(stats.buckets[i]) + "\n";
+      }
+      out += hist + "_bucket{le=\"+Inf\"} " + std::to_string(stats.count) +
+             "\n";
+      out += hist + "_sum " + render_double(stats.sum) + "\n";
+      out += hist + "_count " + std::to_string(stats.count) + "\n";
+    }
   }
   return out;
 }

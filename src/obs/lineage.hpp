@@ -1,0 +1,266 @@
+// Chunk lineage — per-chunk delivery paths as a first-class observable.
+//
+// A LineageSink collects one HopRecord per successful chunk delivery: which
+// edge carried the chunk, when the chunk became available at the sender
+// (enqueue), when the successful transmission started, when it arrived, how
+// many failed attempts preceded it and what stalled the sender. Records
+// arrive in event-loop order, so two runs of the same scenario fill the
+// sink with byte-identical contents regardless of planner thread count —
+// the PR-6 determinism convention (null-by-default raw-pointer hook,
+// scenario-clock timestamps, bounded ring with a drop counter).
+//
+// The records form per-node delivery DAGs: the hop that delivered chunk c
+// to node n is the unique parent of every later hop sending c *from* n.
+// analyze_critical_path() walks that DAG backwards from the last-completing
+// node and decomposes its completion time into per-edge queue-wait /
+// transmit / retransmit-loss / scheduler-stall segments — the "blame table"
+// that turns "p99 regressed" into "edge 17->42 queued 61% of the critical
+// path". tools/lineage_report renders the same analysis from a dumped
+// lineage JSON file.
+//
+// Node and chunk ids are dataplane Execution ids; `channel` is the
+// execution's trace_id, so one sink can serve every channel of a runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace bmp::obs {
+
+class TraceSink;
+
+/// One successful chunk delivery over one edge, in scenario time.
+struct HopRecord {
+  int chunk = 0;
+  int from = 0;
+  int to = 0;
+  int channel = -1;       ///< ExecutionConfig::trace_id of the execution
+  double enqueue = 0.0;   ///< when the sender first held the chunk
+  double start = 0.0;     ///< when the successful transmission started
+  double finish = 0.0;    ///< delivery time at the receiver
+  int retransmits = 0;    ///< failed attempts (loss/corruption) before this
+  double loss_time = 0.0; ///< scenario time burned by those failed attempts
+  bool hol_stalled = false;  ///< sender hit receiver-window backpressure
+  bool overtake = false;     ///< reservation overtake picked this chunk
+};
+
+struct LineageConfig {
+  /// Hard cap on retained hop records; deliveries past it are counted as
+  /// drops so a long stream degrades to a truncated lineage, not OOM.
+  std::size_t max_hops = 1u << 20;
+};
+
+class LineageSink {
+ public:
+  explicit LineageSink(LineageConfig config = {});
+
+  /// Marks the chunk available at `node` (source emission or failover
+  /// re-seed); roots the chunk's delivery DAG.
+  void record_emit(int channel, int node, int chunk, double time) {
+    roots_.push_back({key(channel, node, chunk), time});
+    resolved_ = false;
+  }
+
+  /// Records one delivery. `hop.enqueue` is resolved lazily from the
+  /// availability index (the time the sender itself received — or emitted —
+  /// the chunk) the first time the sink is read, keeping the hot path to a
+  /// plain append; callers leave it zero. Records past `max_hops` are
+  /// dropped but their availability is still tracked, so later enqueue
+  /// times stay right.
+  void record(const HopRecord& hop) {
+    if (record_hop(hop.channel, hop.from, hop.to, hop.chunk, hop.start,
+                   hop.finish, hop.hol_stalled, hop.overtake) &&
+        hop.retransmits > 0) {
+      record_hop_retry(hop.retransmits, hop.loss_time);
+    }
+  }
+
+  /// Hot-path recorder: appends a packed 32-byte raw hop (half a
+  /// HopRecord's cache footprint — the record stream must not evict the
+  /// caller's working set). Returns false when the sink was full and the
+  /// delivery fell to the drop counter. Retransmit data, rare by nature,
+  /// rides in a sideband via record_hop_retry().
+  bool record_hop(int channel, int from, int to, int chunk, double start,
+                  double finish, bool hol, bool overtake) {
+    ++recorded_;
+    if (raw_.size() >= config_.max_hops) {
+      ++dropped_;
+      // Keep the dropped delivery as an availability root so surviving
+      // children still resolve their enqueue times correctly.
+      roots_.push_back({key(channel, to, chunk), finish});
+      return false;
+    }
+    resolved_ = false;
+    RawHop& raw = raw_.emplace_back();
+    raw.start = start;
+    raw.finish = finish;
+    raw.packed = (static_cast<std::uint32_t>(chunk) & kChunkMask) |
+                 (hol ? kHolBit : 0u) | (overtake ? kOvertakeBit : 0u);
+    raw.from = from;
+    raw.to = to;
+    raw.channel = channel;
+    return true;
+  }
+
+  /// Attaches retransmit data to the hop most recently accepted by
+  /// record_hop(). Call only after record_hop() returned true.
+  void record_hop_retry(int retransmits, double loss_time) {
+    raw_.back().packed |= kRetryBit;
+    retries_.push_back({retransmits, loss_time});
+  }
+
+  /// Forgets every record but keeps the allocated capacity — re-arming a
+  /// sink for a fresh run without re-faulting its buffers in.
+  void clear() {
+    raw_.clear();
+    retries_.clear();
+    hops_.clear();
+    roots_.clear();
+    avail_.clear();
+    recorded_ = 0;
+    dropped_ = 0;
+    resolved_ = true;
+  }
+
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const std::vector<HopRecord>& hops() const {
+    resolve();
+    return hops_;
+  }
+
+  /// When the chunk became available at the node (delivery finish or emit
+  /// time); `fallback` when unknown (e.g. the root hop fell to the drop
+  /// counter).
+  [[nodiscard]] double available_at(int channel, int node, int chunk,
+                                    double fallback) const;
+
+  /// Deterministic JSON dump: one hop object per line inside "hops", plus
+  /// the drop counter — the format tools/lineage_report parses back.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  static constexpr std::uint32_t kChunkMask = 0xFFFFFFu;
+  static constexpr std::uint32_t kHolBit = 1u << 24;
+  static constexpr std::uint32_t kOvertakeBit = 1u << 25;
+  static constexpr std::uint32_t kRetryBit = 1u << 26;
+
+  /// Cache-lean on-the-wire form of a hop: 32 bytes vs HopRecord's 64.
+  /// `packed` holds the chunk id (24 bits) plus the hol/overtake/retry
+  /// flags; retransmit counts and loss times live in `retries_`, in hop
+  /// order, for the rare hops whose retry bit is set.
+  struct RawHop {
+    double start = 0.0;
+    double finish = 0.0;
+    std::uint32_t packed = 0;
+    std::int32_t from = 0;
+    std::int32_t to = 0;
+    std::int32_t channel = 0;
+  };
+  struct RetryData {
+    int retransmits = 0;
+    double loss_time = 0.0;
+  };
+
+  static std::uint64_t key(int channel, int node, int chunk) {
+    // channel is a small id (trace_id), node < 16M, chunk < 16M.
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(channel))
+            << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node) &
+                                       0xFFFFFFu)
+            << 24) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(chunk)) &
+            0xFFFFFFu);
+  }
+
+  /// Expands raw_ into hops_, builds the availability index and fills
+  /// every hop's `enqueue` field. Idempotent; invalidated by the record
+  /// calls. Off the record() hot path by design — hashing twice per
+  /// delivery costs ~10% wall on the dataplane event loop.
+  void resolve() const;
+
+  LineageConfig config_;
+  std::vector<RawHop> raw_;
+  std::vector<RetryData> retries_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  /// Availability roots that are not delivery hops: source emissions,
+  /// failover re-seeds, and hops that fell to the drop counter.
+  std::vector<std::pair<std::uint64_t, double>> roots_;
+  /// Expanded view of raw_; built by resolve().
+  mutable std::vector<HopRecord> hops_;
+  /// (channel, node, chunk) -> availability time; built by resolve().
+  mutable std::unordered_map<std::uint64_t, double> avail_;
+  mutable bool resolved_ = true;
+};
+
+/// One critical-path edge with its delay decomposition. The four components
+/// sum to `finish - enqueue`; summed over the whole path (plus the leading
+/// emission segment) they telescope to the last node's completion time.
+struct PathSegment {
+  int chunk = 0;
+  int from = 0;
+  int to = 0;
+  double enqueue = 0.0;
+  double start = 0.0;
+  double finish = 0.0;
+  double queue_wait = 0.0;      ///< sender held the chunk, pipe served others
+  double transmit = 0.0;        ///< successful transmission + propagation
+  double retransmit_loss = 0.0; ///< failed attempts before the good copy
+  double sched_stall = 0.0;     ///< receiver-window (HOL) backpressure
+  bool overtake = false;
+};
+
+/// Aggregated blame for one edge or one node, sorted by total delay.
+struct BlameRow {
+  std::string key;  ///< "from->to" for edges, node id rendered for nodes
+  double delay = 0.0;
+  double queue_wait = 0.0;
+  double transmit = 0.0;
+  double retransmit_loss = 0.0;
+  double sched_stall = 0.0;
+};
+
+struct BlameTable {
+  bool valid = false;    ///< false when the sink held no matching hops
+  int channel = -1;
+  int last_node = -1;    ///< the last-completing node
+  int critical_chunk = -1;  ///< its last-arriving chunk
+  double completion_time = 0.0;  ///< finish of the final hop
+  double emit_delay = 0.0;  ///< source pacing: first segment's enqueue time
+  std::vector<PathSegment> path;  ///< source -> last node, in path order
+  std::vector<BlameRow> edges;    ///< top-N edges by attributed delay
+  std::vector<BlameRow> nodes;    ///< top-N sender nodes by attributed delay
+  /// Sum of emit_delay and every segment delay — equals completion_time by
+  /// construction; exported so validators can check the invariant.
+  double attributed_total = 0.0;
+
+  /// Deterministic JSON rendering of the decomposition.
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable table (what lineage_report prints).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Walks the delivery DAG back from the last-completing node (max hop
+/// finish; ties resolve to the latest record) and decomposes its completion
+/// time. `channel` filters the hops (-1 = the channel of the globally last
+/// hop). Top-N rows per blame dimension.
+[[nodiscard]] BlameTable analyze_critical_path(
+    const std::vector<HopRecord>& hops, int channel = -1,
+    std::size_t top_n = 10);
+
+/// Emits the blame table's path segments as instant events on the lineage
+/// lane (one per segment, at the segment's finish time). Null sink = no-op.
+void emit_blame_trace(const BlameTable& table, TraceSink* trace);
+
+/// Parses a LineageSink::to_json() dump back into hop records (the
+/// lineage_report CLI's loader). Returns false on malformed input.
+bool parse_lineage_json(const std::string& text, std::vector<HopRecord>& hops,
+                        std::uint64_t& dropped);
+
+}  // namespace bmp::obs

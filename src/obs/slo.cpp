@@ -1,0 +1,156 @@
+#include "bmp/obs/slo.hpp"
+
+#include <cstdio>
+
+#include "bmp/obs/flight_recorder.hpp"
+
+namespace bmp::obs {
+
+namespace {
+
+std::string render_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(SloState state) {
+  switch (state) {
+    case SloState::kOk: return "ok";
+    case SloState::kWarn: return "warn";
+    case SloState::kPage: return "page";
+  }
+  return "?";
+}
+
+const char* SloSample::worst_sli() const {
+  if (violating_sustained) return "sustained";
+  if (violating_recover) return "recover";
+  if (violating_latency) return "latency_p99";
+  return "none";
+}
+
+SloMonitor::SloMonitor(int channel, SloConfig config, FlightRecorder* recorder)
+    : channel_(channel),
+      config_(config),
+      recorder_(recorder),
+      latencies_(config.latency_window) {}
+
+void SloMonitor::observe_latency(double latency) {
+  latencies_.observe(latency);
+}
+
+void SloMonitor::on_directive(double time) {
+  if (directive_time_ < 0.0) directive_time_ = time;
+}
+
+double SloMonitor::burn(const std::deque<bool>& window) const {
+  if (window.empty()) return 0.0;
+  std::size_t violating = 0;
+  for (const bool v : window) {
+    if (v) ++violating;
+  }
+  return static_cast<double>(violating) / static_cast<double>(window.size());
+}
+
+SloState SloMonitor::evaluate(double time, double sustained_worst) {
+  ++ticks_;
+  SloSample sample;
+  sample.time = time;
+  sample.sustained_worst = sustained_worst;
+  sample.latency_p99 =
+      latencies_.count() == 0 ? 0.0 : latencies_.quantile(0.99);
+  sample.violating_sustained = sustained_worst < config_.target_sustained;
+  sample.violating_latency = sample.latency_p99 > config_.target_latency_p99;
+  if (directive_time_ >= 0.0) {
+    if (sustained_worst >= config_.target_sustained) {
+      directive_time_ = -1.0;  // recovered
+    } else {
+      sample.recover_wait = time - directive_time_;
+      sample.violating_recover = sample.recover_wait > config_.recover_timeout;
+    }
+  }
+
+  const bool violating = sample.violating();
+  short_window_.push_back(violating);
+  long_window_.push_back(violating);
+  while (static_cast<int>(short_window_.size()) > config_.short_window) {
+    short_window_.pop_front();
+  }
+  while (static_cast<int>(long_window_.size()) > config_.long_window) {
+    long_window_.pop_front();
+  }
+  const double short_burn = burn(short_window_);
+  const double long_burn = burn(long_window_);
+
+  // Multi-window burn-rate: page needs the fast window fully burning AND
+  // the slow window past the warn floor — a sustained problem, not a blip.
+  SloState next = SloState::kOk;
+  if (short_burn >= config_.page_burn && long_burn >= config_.warn_burn) {
+    next = SloState::kPage;
+  } else if (short_burn >= config_.warn_burn) {
+    next = SloState::kWarn;
+  }
+  if (next != state_) transition(next, sample, short_burn, long_burn);
+  return state_;
+}
+
+void SloMonitor::transition(SloState to, const SloSample& sample,
+                            double short_burn, double long_burn) {
+  SloAlert alert;
+  alert.seq = next_seq_++;
+  alert.time = sample.time;
+  alert.from = state_;
+  alert.to = to;
+  alert.sli = to > state_ ? sample.worst_sli() : "clear";
+  alert.short_burn = short_burn;
+  alert.long_burn = long_burn;
+  alert.sample = sample;
+  state_ = to;
+  if (to == SloState::kPage) ++pages_;
+  if (to == SloState::kWarn) ++warns_;
+  if (recorder_ != nullptr) {
+    recorder_->record(sample.time, channel_, "slo",
+                      std::string(to_string(alert.from)) + "->" +
+                          to_string(alert.to) + " sli=" + alert.sli +
+                          " sustained=" + render_double(sample.sustained_worst) +
+                          " latency_p99=" + render_double(sample.latency_p99) +
+                          " recover_wait=" + render_double(sample.recover_wait) +
+                          " burn=" + render_double(short_burn) + "/" +
+                          render_double(long_burn));
+  }
+  if (alerts_.size() >= config_.max_alerts) {
+    ++dropped_;
+    return;
+  }
+  alerts_.push_back(std::move(alert));
+}
+
+std::string SloMonitor::alerts_json() const {
+  std::string out = "{\"channel\":" + std::to_string(channel_) +
+                    ",\"state\":\"" + to_string(state_) +
+                    "\",\"ticks\":" + std::to_string(ticks_) +
+                    ",\"dropped\":" + std::to_string(dropped_) +
+                    ",\"alerts\":[";
+  for (std::size_t i = 0; i < alerts_.size(); ++i) {
+    const SloAlert& alert = alerts_[i];
+    if (i != 0) out += ",";
+    out += std::string("{\"seq\":") + std::to_string(alert.seq) +
+           ",\"time\":" + render_double(alert.time) + ",\"from\":\"" +
+           to_string(alert.from) + "\",\"to\":\"" + to_string(alert.to) +
+           "\",\"sli\":\"" + alert.sli +
+           "\",\"short_burn\":" + render_double(alert.short_burn) +
+           ",\"long_burn\":" + render_double(alert.long_burn) +
+           ",\"sample\":{\"sustained_worst\":" +
+           render_double(alert.sample.sustained_worst) +
+           ",\"latency_p99\":" + render_double(alert.sample.latency_p99) +
+           ",\"recover_wait\":" + render_double(alert.sample.recover_wait) +
+           "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace bmp::obs

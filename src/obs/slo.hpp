@@ -1,0 +1,129 @@
+// SloMonitor — deterministic per-channel SLO evaluation on the control
+// sample grid.
+//
+// Three SLIs, all computed from scenario-clock telemetry (never wall
+// time, so two runs — at any planner thread count — produce byte-identical
+// alert sequences):
+//   * worst-node sustained ratio: min over judgeable nodes of delivered
+//     data / design-rate integral (the finalize_stream measure, sampled
+//     live at every control tick);
+//   * chunk-latency p99 over a sliding window of recent deliveries;
+//   * time-to-recover: once a control directive fires, the sustained SLI
+//     must climb back over its target within `recover_timeout` seconds.
+//
+// Alerting is multi-window burn-rate in the SRE sense: each tick scores
+// "violating" when any SLI misses its target; the monitor keeps a short
+// and a long window of tick outcomes and transitions
+//   ok   -> warn  when the short window burns past `warn_burn`,
+//   warn -> page  when short AND long windows burn past `page_burn`,
+//   back down as the burn rates clear.
+// Every transition appends an SloAlert (bounded ring, drop counter)
+// carrying the violating window sample, and is mirrored into the flight
+// recorder (kind "slo"), so a page links straight to the black box.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bmp/runtime/metrics.hpp"
+
+namespace bmp::obs {
+
+class FlightRecorder;
+
+struct SloConfig {
+  double target_sustained = 0.7;   ///< worst-node sustained ratio floor
+  double target_latency_p99 = 5.0; ///< chunk-latency p99 ceiling, seconds
+  double recover_timeout = 3.0;    ///< directive -> sustained-ok deadline, s
+  int short_window = 4;            ///< ticks in the fast burn window
+  int long_window = 12;            ///< ticks in the slow burn window
+  double warn_burn = 0.5;          ///< short-window violation fraction
+  double page_burn = 0.75;         ///< short+long violation fraction
+  std::size_t latency_window = 512;  ///< recent deliveries for the p99 SLI
+  std::size_t max_alerts = 256;    ///< alert ring bound
+};
+
+enum class SloState : int { kOk = 0, kWarn = 1, kPage = 2 };
+
+[[nodiscard]] const char* to_string(SloState state);
+
+/// One control-tick observation of every SLI.
+struct SloSample {
+  double time = 0.0;
+  double sustained_worst = 1.0;  ///< 1.0 when no node is judgeable yet
+  double latency_p99 = 0.0;
+  double recover_wait = 0.0;     ///< seconds since the oldest open directive
+  bool violating_sustained = false;
+  bool violating_latency = false;
+  bool violating_recover = false;
+  [[nodiscard]] bool violating() const {
+    return violating_sustained || violating_latency || violating_recover;
+  }
+  /// The SLI that tripped (worst-first: sustained, recover, latency).
+  [[nodiscard]] const char* worst_sli() const;
+};
+
+/// One state transition, with the evidence that caused it.
+struct SloAlert {
+  std::uint64_t seq = 0;
+  double time = 0.0;
+  SloState from = SloState::kOk;
+  SloState to = SloState::kOk;
+  std::string sli;        ///< violating SLI (or "clear" on downgrades)
+  double short_burn = 0.0;
+  double long_burn = 0.0;
+  SloSample sample;       ///< the tick sample that sealed the transition
+};
+
+class SloMonitor {
+ public:
+  SloMonitor(int channel, SloConfig config = {},
+             FlightRecorder* recorder = nullptr);
+
+  /// Feed one delivered chunk's latency (arrival - emission, seconds).
+  void observe_latency(double latency);
+  /// Arms the time-to-recover SLI; called when a directive is applied.
+  /// Re-arming while already armed keeps the earlier deadline.
+  void on_directive(double time);
+
+  /// Evaluates one control tick. `sustained_worst` is the worst judgeable
+  /// node's sustained ratio (pass 1.0 when nothing is judgeable yet).
+  /// Returns the state after the tick.
+  SloState evaluate(double time, double sustained_worst);
+
+  [[nodiscard]] int channel() const { return channel_; }
+  [[nodiscard]] SloState state() const { return state_; }
+  [[nodiscard]] const std::vector<SloAlert>& alerts() const { return alerts_; }
+  [[nodiscard]] std::uint64_t dropped_alerts() const { return dropped_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] std::uint64_t pages() const { return pages_; }
+  [[nodiscard]] std::uint64_t warns() const { return warns_; }
+
+  /// Deterministic JSON of the alert sequence (the byte-identity surface
+  /// the determinism tests compare).
+  [[nodiscard]] std::string alerts_json() const;
+
+ private:
+  [[nodiscard]] double burn(const std::deque<bool>& window) const;
+  void transition(SloState to, const SloSample& sample, double short_burn,
+                  double long_burn);
+
+  int channel_;
+  SloConfig config_;
+  FlightRecorder* recorder_;
+  SloState state_ = SloState::kOk;
+  runtime::WindowedHistogram latencies_;
+  std::deque<bool> short_window_;
+  std::deque<bool> long_window_;
+  double directive_time_ = -1.0;  ///< < 0: no open recovery deadline
+  std::vector<SloAlert> alerts_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t pages_ = 0;
+  std::uint64_t warns_ = 0;
+};
+
+}  // namespace bmp::obs

@@ -16,6 +16,7 @@ const char* to_string(Lane lane) {
     case Lane::kBroker: return "broker";
     case Lane::kExecution: return "execution";
     case Lane::kControl: return "control";
+    case Lane::kLineage: return "lineage";
   }
   return "?";
 }
@@ -163,7 +164,7 @@ std::string TraceSink::to_json() const {
   // Metadata first: one named track per lane, so Perfetto labels the rows.
   out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
          "\"args\":{\"name\":\"bmp\"}}";
-  for (int lane = 0; lane <= static_cast<int>(Lane::kControl); ++lane) {
+  for (int lane = 0; lane <= static_cast<int>(Lane::kLineage); ++lane) {
     out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
     out += std::to_string(lane);
     out += ",\"args\":{\"name\":\"";

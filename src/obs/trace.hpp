@@ -35,6 +35,7 @@ enum class Lane : int {
   kBroker = 4,     ///< capacity admissions and renegotiations
   kExecution = 5,  ///< chunk lifecycle (sampled)
   kControl = 6,    ///< controller boundaries and directives
+  kLineage = 7,    ///< critical-path blame segments (lineage analysis)
 };
 
 [[nodiscard]] const char* to_string(Lane lane);

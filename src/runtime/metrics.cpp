@@ -27,6 +27,12 @@ void WindowedHistogram::observe(double value) {
   }
   ++count_;
   sum_ += value;
+  for (std::size_t i = 0; i < kBucketBounds.size(); ++i) {
+    if (value <= kBucketBounds[i]) {
+      ++bins_[i];
+      break;
+    }
+  }
   if (recent_.size() < window_) {
     recent_.push_back(value);
   } else {
@@ -75,6 +81,14 @@ HistogramStats WindowedHistogram::stats() const {
     stats.p50 = sorted_quantile(sorted, 0.50);
     stats.p90 = sorted_quantile(sorted, 0.90);
     stats.p99 = sorted_quantile(sorted, 0.99);
+  }
+  if (count_ > 0) {
+    stats.buckets.reserve(kBucketBounds.size());
+    std::uint64_t running = 0;
+    for (const std::uint64_t bin : bins_) {
+      running += bin;
+      stats.buckets.push_back(running);
+    }
   }
   return stats;
 }

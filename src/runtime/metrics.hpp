@@ -13,6 +13,7 @@
 // event loop. (Planner worker threads never touch it.)
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -30,12 +31,24 @@ struct HistogramStats {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  /// Cumulative bucket counts over ALL observations (not just the window):
+  /// buckets[i] = observations <= WindowedHistogram::kBucketBounds[i]. The
+  /// implicit +Inf bucket is `count`. Empty when the histogram never saw an
+  /// observation.
+  std::vector<std::uint64_t> buckets;
 };
 
 /// Sliding-window histogram: cumulative count/sum/min/max over all
 /// observations plus order statistics over the most recent `window` ones.
 class WindowedHistogram {
  public:
+  /// Fixed upper bounds of the cumulative export buckets (Prometheus-style
+  /// le bounds; the +Inf bucket is implicit). Fixed — not adaptive — so two
+  /// runs bucket identically and exports stay byte-comparable.
+  static constexpr std::array<double, 14> kBucketBounds = {
+      0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+      1.0,   2.5,  5.0,   10.0, 25.0, 50.0, 100.0};
+
   explicit WindowedHistogram(std::size_t window = 1024);
 
   void observe(double value);
@@ -60,6 +73,9 @@ class WindowedHistogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  /// Per-bin (non-cumulative) counts over all observations; values above
+  /// the last bound live only in count_ (the +Inf bucket).
+  std::array<std::uint64_t, kBucketBounds.size()> bins_{};
 };
 
 struct MetricsSnapshot {

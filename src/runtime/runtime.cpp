@@ -81,6 +81,10 @@ Runtime::Runtime(RuntimeConfig config, double source_bandwidth,
   // stream attribute their work to the same tree the planner writes into.
   config_.session.verify.profiler = config_.profiler;
   config_.dataplane.execution.profiler = config_.profiler;
+  // One lineage switch likewise: every chunk stream records delivery hops
+  // into the shared sink (records carry the channel id, so streams never
+  // collide).
+  config_.dataplane.execution.lineage = config_.lineage;
   if (!is_valid_bandwidth(source_bandwidth)) {
     throw std::invalid_argument("Runtime: invalid source bandwidth");
   }
@@ -342,6 +346,10 @@ void Runtime::on_channel_open(const Event& event) {
         channel.controller =
             std::make_unique<control::Controller>(config_.control.controller);
         channel.last_control_time = now_;
+        if (config_.control.slo_enabled) {
+          channel.slo = std::make_unique<obs::SloMonitor>(
+              event.channel, config_.control.slo, config_.recorder);
+        }
       }
     }
     build_session(event.channel, channel);
@@ -385,6 +393,7 @@ void Runtime::on_channel_close(const Event& event) {
   metrics_.erase(channel_metric(event.channel, "control.stragglers"));
   metrics_.erase(channel_metric(event.channel, "control.degraded_edges"));
   metrics_.erase(channel_metric(event.channel, "control.overrides"));
+  metrics_.erase(channel_metric(event.channel, "slo.state"));
   channels_.erase(it);
 }
 
@@ -928,6 +937,11 @@ const control::Controller* Runtime::controller(int channel) const {
   return it == channels_.end() ? nullptr : it->second.controller.get();
 }
 
+const obs::SloMonitor* Runtime::slo_monitor(int channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? nullptr : it->second.slo.get();
+}
+
 void Runtime::advance_executions(double t) {
   if (!config_.dataplane.execute) return;
   if (!config_.control.enabled) {
@@ -1127,6 +1141,57 @@ void Runtime::control_tick(double t) {
     metrics_.inc("control.stale_edges",
                  static_cast<std::uint64_t>(directive.stale_edges));
     if (directive.act) apply_directive(id, channel, directive, t);
+
+    if (channel.slo) {
+      // Fresh latency SLI input at the boundary (the same tee as the
+      // per-event drain in export_dataplane_metrics — identical observation
+      // sequence, just not deferred to the next event).
+      for (const double latency : channel.execution->drain_latencies()) {
+        metrics_.observe("dataplane.chunk_latency", latency);
+        channel.slo->observe_latency(latency);
+      }
+      // Windowed sustained SLI: the worst judgeable node's delivered delta
+      // against the emission promise over the last slo_sustained_window
+      // ticks. Windowed — not cumulative — so a node crippled by a healed
+      // partition recovers to ok once its recent windows look healthy
+      // again, even though it can never make up the backlog.
+      double worst = 1.0;
+      const double expected_total =
+          channel.slo_expected_total + inputs.expected_delta;
+      const int window_ticks =
+          std::max(1, config_.control.slo_sustained_window);
+      if (static_cast<int>(channel.slo_history.size()) >= window_ticks) {
+        const Channel::SloSnapshot& base = channel.slo_history.front();
+        const double promised = expected_total - base.expected;
+        if (promised > 1e-12) {
+          for (const control::NodeSample& sample : inputs.nodes) {
+            if (!sample.judgeable) continue;
+            const auto prev = base.delivered.find(sample.id);
+            if (prev == base.delivered.end()) continue;
+            worst = std::min(worst,
+                             (sample.delivered - prev->second) / promised);
+          }
+        }
+      }
+      channel.slo_expected_total = expected_total;
+      Channel::SloSnapshot snap;
+      snap.expected = expected_total;
+      for (const control::NodeSample& sample : inputs.nodes) {
+        snap.delivered[sample.id] = sample.delivered;
+      }
+      channel.slo_history.push_back(std::move(snap));
+      while (static_cast<int>(channel.slo_history.size()) > window_ticks) {
+        channel.slo_history.pop_front();
+      }
+      const std::uint64_t pages_before = channel.slo->pages();
+      const std::uint64_t warns_before = channel.slo->warns();
+      const obs::SloState state = channel.slo->evaluate(t, worst);
+      metrics_.set(channel_metric(id, "slo.state"),
+                   static_cast<double>(state));
+      metrics_.observe("slo.sustained_worst", worst);
+      metrics_.inc("slo.pages", channel.slo->pages() - pages_before);
+      metrics_.inc("slo.warns", channel.slo->warns() - warns_before);
+    }
   }
   if (!crash_candidates.empty()) detect_crashes(crash_candidates, t);
 }
@@ -1168,6 +1233,9 @@ void Runtime::detect_crashes(const std::set<int>& candidates, double t) {
 
 void Runtime::apply_directive(int id, Channel& channel,
                               const control::Directive& directive, double t) {
+  // Arm the time-to-recover SLI: the sustained ratio now has
+  // recover_timeout seconds to climb back over its target.
+  if (channel.slo) channel.slo->on_directive(t);
   const double rate_before = channel.session->current_rate();
   const Instance& instance = channel.session->instance();
   engine::AdaptationRequest request;
@@ -1413,6 +1481,7 @@ void Runtime::export_dataplane_metrics(int id, Channel& channel) {
   delta("dataplane.duplicates", exec.duplicates(), channel.seen_duplicates);
   for (const double latency : exec.drain_latencies()) {
     metrics_.observe("dataplane.chunk_latency", latency);
+    if (channel.slo) channel.slo->observe_latency(latency);
   }
   metrics_.set(channel_metric(id, "dataplane.delivered"),
                static_cast<double>(exec.delivered_chunks()));

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -36,6 +37,7 @@
 #include "bmp/dataplane/execution.hpp"
 #include "bmp/engine/planner.hpp"
 #include "bmp/engine/session.hpp"
+#include "bmp/obs/slo.hpp"
 #include "bmp/runtime/capacity_broker.hpp"
 #include "bmp/runtime/event.hpp"
 #include "bmp/runtime/metrics.hpp"
@@ -44,6 +46,7 @@ namespace bmp::obs {
 class Profiler;
 class TraceSink;
 class FlightRecorder;
+class LineageSink;
 }  // namespace bmp::obs
 
 namespace bmp::runtime {
@@ -116,6 +119,17 @@ struct FaultToleranceConfig {
 struct ControlConfig {
   bool enabled = false;
   control::ControllerConfig controller;
+  /// Per-channel SLO monitor on the control sample grid (requires
+  /// `enabled`): worst-node windowed sustained ratio, chunk-latency p99 and
+  /// time-to-recover SLIs feed a multi-window burn-rate ok/warn/page state
+  /// machine (obs::SloMonitor). Alert sequences are byte-identical across
+  /// runs and planner thread counts.
+  bool slo_enabled = false;
+  obs::SloConfig slo;
+  /// Control ticks spanned by the windowed sustained SLI: the worst node's
+  /// delivered delta over the emission promise across the last N ticks —
+  /// windowed (not cumulative), so a healed partition recovers to ok.
+  int slo_sustained_window = 4;
 };
 
 struct RuntimeConfig {
@@ -142,6 +156,10 @@ struct RuntimeConfig {
   /// deterministic; wall time only when the profiler opted in. Non-owning;
   /// must outlive the runtime.
   obs::Profiler* profiler = nullptr;
+  /// Chunk lineage (null = off): every execution records one hop per
+  /// delivered chunk into this sink — the critical-path analyzer's input
+  /// (obs::analyze_critical_path). Non-owning; must outlive the runtime.
+  obs::LineageSink* lineage = nullptr;
 };
 
 /// One line of the runtime's churn audit trail: how a channel fared at one
@@ -233,6 +251,9 @@ class Runtime {
   /// The channel's controller (keyed by runtime node ids); nullptr unless
   /// the control plane is on and the channel is open.
   [[nodiscard]] const control::Controller* controller(int channel) const;
+  /// The channel's SLO monitor; nullptr unless control.slo_enabled and the
+  /// channel is open.
+  [[nodiscard]] const obs::SloMonitor* slo_monitor(int channel) const;
   /// Stream outcomes of closed (or drained) channels, in close order.
   [[nodiscard]] const std::vector<StreamReport>& stream_log() const {
     return stream_log_;
@@ -295,6 +316,17 @@ class Runtime {
     std::unique_ptr<control::Controller> controller;
     double control_expected = 0.0;   ///< emission integral since last tick
     double last_control_time = 0.0;  ///< previous sampling boundary
+    // ---- SLO monitor ----
+    std::unique_ptr<obs::SloMonitor> slo;
+    /// Rolling per-tick snapshots for the windowed sustained SLI: the
+    /// emission promise integral and each node's delivered bytes at the
+    /// last `slo_sustained_window` boundaries.
+    struct SloSnapshot {
+      double expected = 0.0;
+      std::map<int, double> delivered;
+    };
+    std::deque<SloSnapshot> slo_history;
+    double slo_expected_total = 0.0;
     // counter snapshots for delta export into the metrics registry
     std::uint64_t seen_delivered = 0;
     std::uint64_t seen_losses = 0;

@@ -205,7 +205,25 @@ TEST(Exporters, PrometheusGolden) {
       "bmp_control_drift{quantile=\"0.9\"} 0.75\n"
       "bmp_control_drift{quantile=\"0.99\"} 0.75\n"
       "bmp_control_drift_sum 1\n"
-      "bmp_control_drift_count 2\n";
+      "bmp_control_drift_count 2\n"
+      "# TYPE bmp_control_drift_hist histogram\n"
+      "bmp_control_drift_hist_bucket{le=\"0.005\"} 0\n"
+      "bmp_control_drift_hist_bucket{le=\"0.01\"} 0\n"
+      "bmp_control_drift_hist_bucket{le=\"0.025\"} 0\n"
+      "bmp_control_drift_hist_bucket{le=\"0.05\"} 0\n"
+      "bmp_control_drift_hist_bucket{le=\"0.1\"} 0\n"
+      "bmp_control_drift_hist_bucket{le=\"0.25\"} 1\n"
+      "bmp_control_drift_hist_bucket{le=\"0.5\"} 1\n"
+      "bmp_control_drift_hist_bucket{le=\"1\"} 2\n"
+      "bmp_control_drift_hist_bucket{le=\"2.5\"} 2\n"
+      "bmp_control_drift_hist_bucket{le=\"5\"} 2\n"
+      "bmp_control_drift_hist_bucket{le=\"10\"} 2\n"
+      "bmp_control_drift_hist_bucket{le=\"25\"} 2\n"
+      "bmp_control_drift_hist_bucket{le=\"50\"} 2\n"
+      "bmp_control_drift_hist_bucket{le=\"100\"} 2\n"
+      "bmp_control_drift_hist_bucket{le=\"+Inf\"} 2\n"
+      "bmp_control_drift_hist_sum 1\n"
+      "bmp_control_drift_hist_count 2\n";
   EXPECT_EQ(text, expected);
 }
 

@@ -240,6 +240,13 @@ Rule classify(const std::string& key, double wall_tolerance) {
   }
   // Deterministic work attribution: exact or the commit owns the drift.
   if (key.rfind("profile.", 0) == 0) return {Direction::kExact, 0.0};
+  // Tail-latency spread metrics (completion p50/p99, straggler ratio):
+  // lower is better, with a tolerance between the tight ratio class and the
+  // loose wall class — tail quantiles of a deterministic scenario drift
+  // only when scheduling actually changed. Must run before the ratio rule:
+  // "latency.straggler_ratio" is a latency spread, not a higher-better
+  // efficiency ratio.
+  if (key.rfind("latency.", 0) == 0) return {Direction::kLowerBetter, 0.10};
   // Order matters: "cache.hit_ratio" must hit the tight ratio rule, and
   // "events_per_s" the throughput rule, before the "_s" time suffix.
   if (contains(key, "ratio") || contains(key, "share") ||
