@@ -527,7 +527,13 @@ const LinkProfile& Execution::profile_for(const Pipe& pipe) const {
 
 std::vector<EdgeStats> Execution::edge_stats() const {
   std::vector<EdgeStats> stats;
-  stats.reserve(pipe_of_.size());
+  edge_stats_into(stats);
+  return stats;
+}
+
+void Execution::edge_stats_into(std::vector<EdgeStats>& out) const {
+  out.clear();
+  out.reserve(pipe_of_.size());
   for (const auto& [key, slot] : pipe_of_) {
     const Pipe& pipe = pipes_[static_cast<std::size_t>(slot)];
     EdgeStats entry;
@@ -544,9 +550,8 @@ std::vector<EdgeStats> Execution::edge_stats() const {
     entry.attempts = pipe.attempts;
     entry.window_stalls = pipe.window_stalls;
     entry.no_chunk = pipe.no_chunk;
-    stats.push_back(entry);
+    out.push_back(entry);
   }
-  return stats;
 }
 
 // ------------------------------------------------------------- scan index

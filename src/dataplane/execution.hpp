@@ -301,6 +301,10 @@ class Execution {
 
   /// Cumulative per-pipe counters, ordered by (from, to) — deterministic.
   [[nodiscard]] std::vector<EdgeStats> edge_stats() const;
+  /// Same rows into a caller-owned buffer (cleared first). Per-tick
+  /// telemetry sweeps reuse one scratch vector so the steady state
+  /// allocates nothing (Runtime::feed_edge_telemetry).
+  void edge_stats_into(std::vector<EdgeStats>& out) const;
 
   // ------------------------------------------------------------ advance
   /// Processes every event with time <= t and advances the clock to t.

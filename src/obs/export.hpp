@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "bmp/obs/rollup.hpp"
 #include "bmp/runtime/metrics.hpp"
 
 namespace bmp::obs {
@@ -24,6 +25,27 @@ namespace bmp::obs {
 /// Keys stay in registry (name-sorted) order; values use %.12g formatting,
 /// matching MetricsSnapshot::to_string precision.
 [[nodiscard]] std::string to_json(const runtime::MetricsSnapshot& snap,
+                                  bool include_timing = false);
+
+/// Prometheus rendering of a (possibly merged) shard rollup. Counters and
+/// gauges render as for MetricsSnapshot. Each sketch renders twice: a
+/// summary with q=0.5/0.9/0.99 quantile labels, and a native cumulative
+/// histogram `<name>_sketch` whose `le` bounds are the sketch's own
+/// log-bucket boundaries gamma^i (empty buckets elided; the cumulative
+/// counts are unaffected). Relative-error contract: every quantile — and
+/// every `le` boundary read as a quantile — is within the sketch's
+/// configured alpha of the true order statistic (see obs::Sketch).
+/// Top-K series render as one `<name>{key="..."}` gauge sample per
+/// retained heavy hitter, in the deterministic top() order.
+[[nodiscard]] std::string to_prometheus(const RollupSnapshot& snap,
+                                        bool include_timing = false,
+                                        std::string_view prefix = "bmp_");
+
+/// Compact JSON rendering of a rollup (display form — for the lossless
+/// wire form use RollupSnapshot::to_json): sketches export count / sum /
+/// min / max / mean and p50/p90/p99 under the alpha contract above; topk
+/// series export `[key, count, error]` rows in top() order.
+[[nodiscard]] std::string to_json(const RollupSnapshot& snap,
                                   bool include_timing = false);
 
 }  // namespace bmp::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <stdexcept>
 
 #include "bmp/obs/trace.hpp"
 
@@ -24,7 +25,54 @@ std::string render_time(double value) {
 // ------------------------------------------------------------ LineageSink
 
 LineageSink::LineageSink(LineageConfig config) : config_(config) {
+  if (config_.sample_mod == 0 ||
+      (config_.sample_mod & (config_.sample_mod - 1)) != 0) {
+    throw std::invalid_argument(
+        "LineageSink: sample_mod must be a power of two");
+  }
+  sample_mod_ = config_.sample_mod;
   raw_.reserve(std::min<std::size_t>(config_.max_hops, 1u << 16));
+}
+
+void LineageSink::resample() {
+  while (raw_.size() > config_.auto_sample_target &&
+         sample_mod_ < (1u << 30)) {
+    sample_mod_ *= 2;
+    // Re-filter everything already retained under the tightened sample.
+    // Walking raw_ in record order keeps the retry sideband aligned and
+    // makes the surviving set — and therefore the dump — a pure function
+    // of the record sequence.
+    std::vector<RawHop> kept_raw;
+    kept_raw.reserve(raw_.size() / 2);
+    std::vector<RetryData> kept_retries;
+    std::size_t retry = 0;
+    for (const RawHop& raw : raw_) {
+      const bool has_retry = (raw.packed & kRetryBit) != 0;
+      const std::size_t retry_index = retry;
+      if (has_retry) ++retry;
+      if (!sampled(raw.channel, static_cast<int>(raw.packed & kChunkMask))) {
+        ++sampled_out_;
+        continue;
+      }
+      kept_raw.push_back(raw);
+      if (has_retry) kept_retries.push_back(retries_[retry_index]);
+    }
+    raw_.swap(kept_raw);
+    retries_.swap(kept_retries);
+    // Roots of now-unsampled chunks only existed to resolve enqueue times
+    // of hops we no longer hold; drop them too so root storage shrinks at
+    // the same rate. Channel/chunk come back out of the packed key.
+    std::vector<std::pair<std::uint64_t, double>> kept_roots;
+    kept_roots.reserve(roots_.size() / 2);
+    for (const auto& root : roots_) {
+      if (sampled(static_cast<int>(root.first >> 48),
+                  static_cast<int>(root.first & 0xFFFFFFu))) {
+        kept_roots.push_back(root);
+      }
+    }
+    roots_.swap(kept_roots);
+    resolved_ = false;
+  }
 }
 
 void LineageSink::resolve() const {
@@ -75,6 +123,8 @@ double LineageSink::available_at(int channel, int node, int chunk,
 std::string LineageSink::to_json() const {
   resolve();
   std::string out = "{\"dropped\":" + std::to_string(dropped_) +
+                    ",\"sample_mod\":" + std::to_string(sample_mod_) +
+                    ",\"sampled_out\":" + std::to_string(sampled_out_) +
                     ",\"hops\":[\n";
   for (std::size_t i = 0; i < hops_.size(); ++i) {
     const HopRecord& hop = hops_[i];
@@ -104,15 +154,40 @@ bool LineageSink::write(const std::string& path) const {
 }
 
 bool parse_lineage_json(const std::string& text, std::vector<HopRecord>& hops,
-                        std::uint64_t& dropped) {
+                        std::uint64_t& dropped, std::uint64_t& sampled_out,
+                        std::uint32_t& sample_mod) {
   hops.clear();
   dropped = 0;
+  sampled_out = 0;
+  sample_mod = 1;
   unsigned long long dropped_ull = 0;
   if (std::sscanf(text.c_str(), "{\"dropped\":%llu", &dropped_ull) != 1) {
     return false;
   }
   dropped = dropped_ull;
-  std::size_t pos = text.find("\"hops\":[");
+  // Sampling fields are optional: dumps written before chunk sampling
+  // existed (and hand-built test fixtures) omit them.
+  const std::size_t header_end = text.find("\"hops\":[");
+  const std::size_t mod_pos = text.find("\"sample_mod\":");
+  if (mod_pos != std::string::npos && mod_pos < header_end) {
+    unsigned long long mod_ull = 1;
+    if (std::sscanf(text.c_str() + mod_pos, "\"sample_mod\":%llu", &mod_ull) !=
+            1 ||
+        mod_ull == 0 || mod_ull > (1ull << 30)) {
+      return false;
+    }
+    sample_mod = static_cast<std::uint32_t>(mod_ull);
+  }
+  const std::size_t out_pos = text.find("\"sampled_out\":");
+  if (out_pos != std::string::npos && out_pos < header_end) {
+    unsigned long long out_ull = 0;
+    if (std::sscanf(text.c_str() + out_pos, "\"sampled_out\":%llu",
+                    &out_ull) != 1) {
+      return false;
+    }
+    sampled_out = out_ull;
+  }
+  std::size_t pos = header_end;
   if (pos == std::string::npos) return false;
   pos += 8;
   while (true) {
@@ -138,6 +213,13 @@ bool parse_lineage_json(const std::string& text, std::vector<HopRecord>& hops,
     if (pos == std::string::npos) break;
   }
   return true;
+}
+
+bool parse_lineage_json(const std::string& text, std::vector<HopRecord>& hops,
+                        std::uint64_t& dropped) {
+  std::uint64_t sampled_out = 0;
+  std::uint32_t sample_mod = 1;
+  return parse_lineage_json(text, hops, dropped, sampled_out, sample_mod);
 }
 
 // -------------------------------------------------- critical-path analysis
@@ -209,8 +291,10 @@ std::string row_json(const BlameRow& row, const char* key_field) {
 }  // namespace
 
 BlameTable analyze_critical_path(const std::vector<HopRecord>& hops,
-                                 int channel, std::size_t top_n) {
+                                 int channel, std::size_t top_n,
+                                 std::uint32_t sample_mod) {
   BlameTable table;
+  table.sample_mod = sample_mod;
   // The last-completing node: the receiver of the hop with the latest
   // finish (ties resolve to the latest record — the event loop's order).
   const HopRecord* last = nullptr;
@@ -276,6 +360,7 @@ std::string BlameTable::to_json() const {
                     ",\"completion_time\":" + render_time(completion_time) +
                     ",\"emit_delay\":" + render_time(emit_delay) +
                     ",\"attributed_total\":" + render_time(attributed_total) +
+                    ",\"sample_mod\":" + std::to_string(sample_mod) +
                     ",\"path\":[";
   for (std::size_t i = 0; i < path.size(); ++i) {
     const PathSegment& seg = path[i];
@@ -316,6 +401,13 @@ std::string BlameTable::to_text() const {
                 last_node, completion_time, critical_chunk, path.size(),
                 emit_delay);
   out += buf;
+  if (sample_mod > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "note: built from a 1-in-%u chunk sample; the true "
+                  "critical path may lie on an unsampled chunk\n",
+                  sample_mod);
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf), "%-12s %10s %10s %10s %10s %10s\n", "edge",
                 "delay", "queue", "transmit", "retx_loss", "hol_stall");
   out += buf;

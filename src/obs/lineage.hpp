@@ -51,6 +51,22 @@ struct LineageConfig {
   /// Hard cap on retained hop records; deliveries past it are counted as
   /// drops so a long stream degrades to a truncated lineage, not OOM.
   std::size_t max_hops = 1u << 20;
+  /// Deterministic chunk sampling (power of two; 1 = record everything):
+  /// a chunk is in the sample iff a stable hash of (channel, chunk) lands
+  /// in residue 0 mod sample_mod. Sampling whole chunks — not individual
+  /// hops — keeps every retained delivery DAG complete, so critical-path
+  /// blame on the sample is exact for the sampled chunks; tables carry
+  /// the factor as an annotation (BlameTable::sample_mod). Unlike the
+  /// drop counter (which truncates the *tail* of a long run), sampling
+  /// thins uniformly across the whole stream.
+  std::uint32_t sample_mod = 1;
+  /// When nonzero: each time retained hops exceed this budget the sink
+  /// doubles sample_mod and deterministically prunes already-recorded
+  /// chunks that fell out of the sample. Memory stays O(target) at any
+  /// population size, and the final factor is a pure function of the
+  /// record sequence — byte-identical across runs and planner thread
+  /// counts (the PR-6 determinism convention).
+  std::size_t auto_sample_target = 0;
 };
 
 class LineageSink {
@@ -60,6 +76,7 @@ class LineageSink {
   /// Marks the chunk available at `node` (source emission or failover
   /// re-seed); roots the chunk's delivery DAG.
   void record_emit(int channel, int node, int chunk, double time) {
+    if (!sampled(channel, chunk)) return;
     roots_.push_back({key(channel, node, chunk), time});
     resolved_ = false;
   }
@@ -86,6 +103,10 @@ class LineageSink {
   bool record_hop(int channel, int from, int to, int chunk, double start,
                   double finish, bool hol, bool overtake) {
     ++recorded_;
+    if (!sampled(channel, chunk)) {
+      ++sampled_out_;
+      return false;
+    }
     if (raw_.size() >= config_.max_hops) {
       ++dropped_;
       // Keep the dropped delivery as an availability root so surviving
@@ -102,6 +123,10 @@ class LineageSink {
     raw.from = from;
     raw.to = to;
     raw.channel = channel;
+    if (config_.auto_sample_target != 0 &&
+        raw_.size() > config_.auto_sample_target) {
+      resample();
+    }
     return true;
   }
 
@@ -122,11 +147,24 @@ class LineageSink {
     avail_.clear();
     recorded_ = 0;
     dropped_ = 0;
+    sampled_out_ = 0;
+    sample_mod_ = config_.sample_mod;
     resolved_ = true;
   }
 
   [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Deliveries outside the chunk sample (distinct from dropped_: those
+  /// hit the capacity ceiling, these were never candidates).
+  [[nodiscard]] std::uint64_t sampled_out() const { return sampled_out_; }
+  /// Current sampling factor — config_.sample_mod, possibly doubled by
+  /// auto-resampling. The blame-table annotation.
+  [[nodiscard]] std::uint32_t sample_mod() const { return sample_mod_; }
+  /// Whether chunk (channel, chunk) is inside the current sample.
+  [[nodiscard]] bool sampled(int channel, int chunk) const {
+    return sample_mod_ <= 1 ||
+           (chunk_hash(channel, chunk) & (sample_mod_ - 1)) == 0;
+  }
   [[nodiscard]] const std::vector<HopRecord>& hops() const {
     resolve();
     return hops_;
@@ -178,6 +216,26 @@ class LineageSink {
             0xFFFFFFu);
   }
 
+  /// Splitmix64 of (channel, chunk). Fields are masked exactly as key()
+  /// stores them, so resample() hashes a chunk recovered from a root key
+  /// to the same value as the original record_hop() call.
+  static std::uint64_t chunk_hash(int channel, int chunk) {
+    std::uint64_t x = (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(channel) & 0xFFFFu)
+                       << 24) |
+                      (static_cast<std::uint32_t>(chunk) & kChunkMask);
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  /// Doubles sample_mod_ (possibly repeatedly) until retained hops fit the
+  /// auto_sample_target budget, pruning already-recorded chunks that fell
+  /// out of the sample. Off the common path: runs only when the budget is
+  /// exceeded, and each run halves the expected retained set.
+  void resample();
+
   /// Expands raw_ into hops_, builds the availability index and fills
   /// every hop's `enqueue` field. Idempotent; invalidated by the record
   /// calls. Off the record() hot path by design — hashing twice per
@@ -189,6 +247,10 @@ class LineageSink {
   std::vector<RetryData> retries_;
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t sampled_out_ = 0;
+  /// Live sampling factor; starts at config_.sample_mod, doubled by
+  /// resample(). Always a power of two.
+  std::uint32_t sample_mod_ = 1;
   /// Availability roots that are not delivery hops: source emissions,
   /// failover re-seeds, and hops that fell to the drop counter.
   std::vector<std::pair<std::uint64_t, double>> roots_;
@@ -239,6 +301,9 @@ struct BlameTable {
   /// Sum of emit_delay and every segment delay — equals completion_time by
   /// construction; exported so validators can check the invariant.
   double attributed_total = 0.0;
+  /// Chunk-sampling factor of the sink the hops came from: the table was
+  /// built from 1-in-sample_mod of the stream's chunks. 1 = exhaustive.
+  std::uint32_t sample_mod = 1;
 
   /// Deterministic JSON rendering of the decomposition.
   [[nodiscard]] std::string to_json() const;
@@ -252,14 +317,19 @@ struct BlameTable {
 /// hop). Top-N rows per blame dimension.
 [[nodiscard]] BlameTable analyze_critical_path(
     const std::vector<HopRecord>& hops, int channel = -1,
-    std::size_t top_n = 10);
+    std::size_t top_n = 10, std::uint32_t sample_mod = 1);
 
 /// Emits the blame table's path segments as instant events on the lineage
 /// lane (one per segment, at the segment's finish time). Null sink = no-op.
 void emit_blame_trace(const BlameTable& table, TraceSink* trace);
 
 /// Parses a LineageSink::to_json() dump back into hop records (the
-/// lineage_report CLI's loader). Returns false on malformed input.
+/// lineage_report CLI's loader). Returns false on malformed input. Dumps
+/// written before chunk sampling existed load with sample_mod = 1 and
+/// sampled_out = 0.
+bool parse_lineage_json(const std::string& text, std::vector<HopRecord>& hops,
+                        std::uint64_t& dropped, std::uint64_t& sampled_out,
+                        std::uint32_t& sample_mod);
 bool parse_lineage_json(const std::string& text, std::vector<HopRecord>& hops,
                         std::uint64_t& dropped);
 

@@ -1,0 +1,547 @@
+#include "bmp/obs/rollup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bmp::obs {
+
+namespace {
+
+/// %.17g round-trips every finite double exactly — the serialization must
+/// be lossless so a dump -> parse -> re-dump cycle is byte-identical.
+std::string render_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(GaugeReduction reduction) {
+  switch (reduction) {
+    case GaugeReduction::kSum: return "sum";
+    case GaugeReduction::kMin: return "min";
+    case GaugeReduction::kMax: return "max";
+  }
+  return "?";
+}
+
+void RollupSnapshot::merge(const RollupSnapshot& other) {
+  shards += other.shards;
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, cell] : other.gauges) {
+    const auto it = gauges.find(name);
+    if (it == gauges.end()) {
+      gauges.emplace(name, cell);
+      continue;
+    }
+    if (it->second.reduction != cell.reduction) {
+      throw std::invalid_argument("RollupSnapshot::merge: gauge '" + name +
+                                  "' reduction mismatch");
+    }
+    switch (cell.reduction) {
+      case GaugeReduction::kSum: it->second.value += cell.value; break;
+      case GaugeReduction::kMin:
+        it->second.value = std::min(it->second.value, cell.value);
+        break;
+      case GaugeReduction::kMax:
+        it->second.value = std::max(it->second.value, cell.value);
+        break;
+    }
+  }
+  for (const auto& [name, sketch] : other.sketches) {
+    const auto it = sketches.find(name);
+    if (it == sketches.end()) {
+      sketches.emplace(name, sketch);
+    } else {
+      it->second.merge(sketch);
+    }
+  }
+  for (const auto& [name, topk] : other.topks) {
+    const auto it = topks.find(name);
+    if (it == topks.end()) {
+      topks.emplace(name, topk);
+    } else {
+      if (it->second.capacity() != topk.capacity()) {
+        throw std::invalid_argument("RollupSnapshot::merge: topk '" + name +
+                                    "' capacity mismatch");
+      }
+      it->second.merge(topk);
+    }
+  }
+}
+
+runtime::MetricsSnapshot RollupSnapshot::to_metrics() const {
+  runtime::MetricsSnapshot snap;
+  snap.counters = counters;
+  for (const auto& [name, cell] : gauges) {
+    snap.gauges.emplace(name, cell.value);
+  }
+  for (const auto& [name, sketch] : sketches) {
+    runtime::HistogramStats stats;
+    stats.count = sketch.count();
+    stats.sum = sketch.sum();
+    stats.min = sketch.min();
+    stats.max = sketch.max();
+    stats.mean = sketch.mean();
+    stats.p50 = sketch.quantile(0.50);
+    stats.p90 = sketch.quantile(0.90);
+    stats.p99 = sketch.quantile(0.99);
+    if (stats.count > 0) {
+      // Re-bin onto the registry's fixed export bounds: a bucket counts
+      // toward bound `le` when its representative value is <= le, so the
+      // re-binned cumulative counts inherit the sketch's alpha contract.
+      stats.buckets.reserve(runtime::WindowedHistogram::kBucketBounds.size());
+      std::size_t k = 0;
+      std::uint64_t running = sketch.zero_count();
+      for (const double bound : runtime::WindowedHistogram::kBucketBounds) {
+        const auto& counts = sketch.counts();
+        while (k < counts.size() &&
+               sketch.bucket_value(sketch.bucket_offset() +
+                                   static_cast<std::int32_t>(k)) <= bound) {
+          running += counts[k];
+          ++k;
+        }
+        stats.buckets.push_back(running);
+      }
+    }
+    snap.histograms.emplace(name, stats);
+  }
+  for (const auto& [name, topk] : topks) {
+    for (const TopKEntry& row : topk.top()) {
+      snap.counters.emplace(name + "." + row.key, row.count);
+    }
+  }
+  return snap;
+}
+
+std::string RollupSnapshot::to_text() const {
+  std::ostringstream out;
+  out.precision(12);
+  out << "rollup shards=" << shards << "\n";
+  for (const auto& [name, value] : counters) {
+    out << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, cell] : gauges) {
+    out << "gauge " << name << " " << cell.value << " ("
+        << to_string(cell.reduction) << ")\n";
+  }
+  for (const auto& [name, sketch] : sketches) {
+    out << "sketch " << name << " count=" << sketch.count()
+        << " sum=" << sketch.sum() << " min=" << sketch.min()
+        << " max=" << sketch.max() << " p50=" << sketch.quantile(0.50)
+        << " p90=" << sketch.quantile(0.90)
+        << " p99=" << sketch.quantile(0.99)
+        << " (alpha=" << sketch.config().alpha << ")\n";
+  }
+  for (const auto& [name, topk] : topks) {
+    out << "topk " << name << " total=" << topk.total_weight() << "\n";
+    for (const TopKEntry& row : topk.top()) {
+      out << "  " << row.key << " count=" << row.count
+          << " (overcount<=" << row.error << ")\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RollupSnapshot::to_json() const {
+  // Metric / heavy-hitter keys are identifier-ish (dots, digits, ':',
+  // '->'); no quotes or backslashes to escape, so keys render verbatim —
+  // same convention as obs::to_json and lineage dumps.
+  std::string out = "{\"rollup_schema\":1,\"shards\":" +
+                    std::to_string(shards) + ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, cell] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"red\":\"" +
+           std::string(to_string(cell.reduction)) + "\",\"value\":" +
+           render_double(cell.value) + "}";
+  }
+  out += "},\"sketches\":{";
+  first = true;
+  for (const auto& [name, sketch] : sketches) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"alpha\":" +
+           render_double(sketch.config().alpha) + ",\"min_value\":" +
+           render_double(sketch.config().min_value) + ",\"zero\":" +
+           std::to_string(sketch.zero_count()) + ",\"min\":" +
+           render_double(sketch.min()) + ",\"max\":" +
+           render_double(sketch.max()) + ",\"offset\":" +
+           std::to_string(sketch.bucket_offset()) + ",\"counts\":[";
+    bool first_count = true;
+    for (const std::uint64_t count : sketch.counts()) {
+      if (!first_count) out += ",";
+      first_count = false;
+      out += std::to_string(count);
+    }
+    out += "]}";
+  }
+  out += "},\"topk\":{";
+  first = true;
+  for (const auto& [name, topk] : topks) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"capacity\":" +
+           std::to_string(topk.capacity()) + ",\"total\":" +
+           std::to_string(topk.total_weight()) + ",\"entries\":[";
+    bool first_row = true;
+    // top(tracked()) = every retained entry, in the deterministic export
+    // order — the dump is the full summary, not a K-truncation, so
+    // offline merges of dumped shards stay exact.
+    for (const TopKEntry& row : topk.top(std::max<std::size_t>(
+             topk.tracked(), 1))) {
+      if (!first_row) out += ",";
+      first_row = false;
+      out += "[\"" + row.key + "\"," + std::to_string(row.count) + "," +
+             std::to_string(row.error) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool RollupSnapshot::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+/// Minimal cursor parser for the fixed-shape JSON to_json() emits (keys
+/// in emission order, strings without escapes) — the same philosophy as
+/// parse_lineage_json: we only ever load our own dumps.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  void ws() {
+    while (p < end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool lit(const char* text) {
+    ws();
+    const std::size_t n = std::strlen(text);
+    if (static_cast<std::size_t>(end - p) < n ||
+        std::strncmp(p, text, n) != 0) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+  bool str(std::string& out) {
+    ws();
+    if (p >= end || *p != '"') return false;
+    const char* start = ++p;
+    while (p < end && *p != '"') ++p;
+    if (p >= end) return false;
+    out.assign(start, p);
+    ++p;
+    return true;
+  }
+  bool u64(std::uint64_t& out) {
+    ws();
+    char* next = nullptr;
+    out = std::strtoull(p, &next, 10);
+    if (next == p) return false;
+    p = next;
+    return true;
+  }
+  bool i64(long long& out) {
+    ws();
+    char* next = nullptr;
+    out = std::strtoll(p, &next, 10);
+    if (next == p) return false;
+    p = next;
+    return true;
+  }
+  bool num(double& out) {
+    ws();
+    char* next = nullptr;
+    out = std::strtod(p, &next);
+    if (next == p) return false;
+    p = next;
+    return true;
+  }
+};
+
+bool parse_gauge_reduction(const std::string& text, GaugeReduction& out) {
+  if (text == "sum") { out = GaugeReduction::kSum; return true; }
+  if (text == "min") { out = GaugeReduction::kMin; return true; }
+  if (text == "max") { out = GaugeReduction::kMax; return true; }
+  return false;
+}
+
+}  // namespace
+
+bool parse_rollup_json(const std::string& text, RollupSnapshot& out) {
+  out = RollupSnapshot{};
+  Cursor c{text.data(), text.data() + text.size()};
+  if (!c.lit("{\"rollup_schema\":1,\"shards\":")) return false;
+  long long shards = 0;
+  if (!c.i64(shards) || shards < 0) return false;
+  out.shards = static_cast<int>(shards);
+  if (!c.lit(",\"counters\":{")) return false;
+  while (!c.lit("}")) {
+    if (!out.counters.empty() && !c.lit(",")) return false;
+    std::string name;
+    std::uint64_t value = 0;
+    if (!c.str(name) || !c.lit(":") || !c.u64(value)) return false;
+    out.counters.emplace(std::move(name), value);
+  }
+  if (!c.lit(",\"gauges\":{")) return false;
+  while (!c.lit("}")) {
+    if (!out.gauges.empty() && !c.lit(",")) return false;
+    std::string name;
+    std::string red;
+    RollupSnapshot::GaugeCell cell;
+    if (!c.str(name) || !c.lit(":{\"red\":") || !c.str(red) ||
+        !parse_gauge_reduction(red, cell.reduction) ||
+        !c.lit(",\"value\":") || !c.num(cell.value) || !c.lit("}")) {
+      return false;
+    }
+    out.gauges.emplace(std::move(name), cell);
+  }
+  if (!c.lit(",\"sketches\":{")) return false;
+  while (!c.lit("}")) {
+    if (!out.sketches.empty() && !c.lit(",")) return false;
+    std::string name;
+    SketchConfig config;
+    std::uint64_t zero = 0;
+    double min = 0.0;
+    double max = 0.0;
+    long long offset = 0;
+    if (!c.str(name) || !c.lit(":{\"alpha\":") || !c.num(config.alpha) ||
+        !c.lit(",\"min_value\":") || !c.num(config.min_value) ||
+        !c.lit(",\"zero\":") || !c.u64(zero) || !c.lit(",\"min\":") ||
+        !c.num(min) || !c.lit(",\"max\":") || !c.num(max) ||
+        !c.lit(",\"offset\":") || !c.i64(offset) ||
+        !c.lit(",\"counts\":[")) {
+      return false;
+    }
+    Sketch sketch(config);
+    std::vector<std::uint64_t> counts;
+    while (!c.lit("]")) {
+      if (!counts.empty() && !c.lit(",")) return false;
+      std::uint64_t count = 0;
+      if (!c.u64(count)) return false;
+      counts.push_back(count);
+    }
+    if (!c.lit("}")) return false;
+    sketch.restore(static_cast<std::int32_t>(offset), std::move(counts),
+                   zero, min, max);
+    out.sketches.emplace(std::move(name), std::move(sketch));
+  }
+  if (!c.lit(",\"topk\":{")) return false;
+  while (!c.lit("}")) {
+    if (!out.topks.empty() && !c.lit(",")) return false;
+    std::string name;
+    std::uint64_t capacity = 0;
+    std::uint64_t total = 0;
+    if (!c.str(name) || !c.lit(":{\"capacity\":") || !c.u64(capacity) ||
+        capacity == 0 || !c.lit(",\"total\":") || !c.u64(total) ||
+        !c.lit(",\"entries\":[")) {
+      return false;
+    }
+    TopK topk(capacity);
+    bool first = true;
+    while (!c.lit("]")) {
+      if (!first && !c.lit(",")) return false;
+      first = false;
+      std::string key;
+      std::uint64_t count = 0;
+      std::uint64_t error = 0;
+      if (!c.lit("[") || !c.str(key) || !c.lit(",") || !c.u64(count) ||
+          !c.lit(",") || !c.u64(error) || !c.lit("]")) {
+        return false;
+      }
+      topk.restore(key, count, error);
+    }
+    if (!c.lit("}")) return false;
+    topk.restore_total(total);
+    out.topks.emplace(std::move(name), std::move(topk));
+  }
+  if (!c.lit("}")) return false;
+  c.ws();
+  return c.p == c.end;
+}
+
+RollupSnapshot rollup(const std::vector<RollupSnapshot>& shards) {
+  RollupSnapshot global;
+  global.shards = 0;
+  for (const RollupSnapshot& shard : shards) global.merge(shard);
+  return global;
+}
+
+template <typename Handle>
+Handle ShardRegistry::intern(
+    std::string_view name, std::vector<std::string>& names,
+    std::map<std::string, std::size_t, std::less<>>& index) {
+  const auto it = index.find(name);
+  if (it != index.end()) return Handle{it->second};
+  const std::size_t slot = names.size();
+  names.emplace_back(name);
+  index.emplace(std::string(name), slot);
+  return Handle{slot};
+}
+
+ShardRegistry::CounterHandle ShardRegistry::counter(std::string_view name) {
+  const CounterHandle h =
+      intern<CounterHandle>(name, counter_names_, counter_index_);
+  if (h.index == counter_values_.size()) counter_values_.push_back(0);
+  return h;
+}
+
+ShardRegistry::GaugeHandle ShardRegistry::gauge(std::string_view name,
+                                                GaugeReduction reduction) {
+  const GaugeHandle h = intern<GaugeHandle>(name, gauge_names_, gauge_index_);
+  if (h.index == gauge_values_.size()) {
+    gauge_values_.push_back(0.0);
+    gauge_reductions_.push_back(reduction);
+  } else if (gauge_reductions_[h.index] != reduction) {
+    throw std::invalid_argument("ShardRegistry::gauge: '" +
+                                std::string(name) + "' reduction mismatch");
+  }
+  return h;
+}
+
+ShardRegistry::SketchHandle ShardRegistry::sketch(std::string_view name,
+                                                  SketchConfig config) {
+  const SketchHandle h =
+      intern<SketchHandle>(name, sketch_names_, sketch_index_);
+  if (h.index == sketch_values_.size()) {
+    sketch_values_.emplace_back(config);
+  } else if (sketch_values_[h.index].config().alpha != config.alpha ||
+             sketch_values_[h.index].config().min_value !=
+                 config.min_value) {
+    throw std::invalid_argument("ShardRegistry::sketch: '" +
+                                std::string(name) + "' config mismatch");
+  }
+  return h;
+}
+
+ShardRegistry::TopKHandle ShardRegistry::topk(std::string_view name,
+                                              std::size_t capacity) {
+  const TopKHandle h = intern<TopKHandle>(name, topk_names_, topk_index_);
+  if (h.index == topk_values_.size()) {
+    topk_values_.emplace_back(capacity);
+  } else if (topk_values_[h.index].capacity() != capacity) {
+    throw std::invalid_argument("ShardRegistry::topk: '" +
+                                std::string(name) + "' capacity mismatch");
+  }
+  return h;
+}
+
+std::size_t ShardRegistry::memory_bytes() const {
+  std::size_t bytes = 0;
+  const auto names_bytes = [](const std::vector<std::string>& names) {
+    std::size_t total = names.capacity() * sizeof(std::string);
+    for (const std::string& name : names) total += name.capacity();
+    return total;
+  };
+  bytes += names_bytes(counter_names_) + names_bytes(gauge_names_) +
+           names_bytes(sketch_names_) + names_bytes(topk_names_);
+  bytes += counter_values_.capacity() * sizeof(std::uint64_t);
+  bytes += gauge_values_.capacity() * sizeof(double);
+  bytes += gauge_reductions_.capacity() * sizeof(GaugeReduction);
+  bytes += sketch_values_.capacity() * sizeof(Sketch);
+  for (const Sketch& sketch : sketch_values_) {
+    bytes += sketch.counts().capacity() * sizeof(std::uint64_t);
+  }
+  bytes += topk_values_.capacity() * sizeof(TopK);
+  for (const TopK& topk : topk_values_) {
+    for (const TopKEntry& row : topk.top(topk.tracked())) {
+      bytes += row.key.capacity() + 3 * sizeof(std::uint64_t) + 48;
+    }
+  }
+  // Index maps: ~one node (key + pointers) per series.
+  bytes += series() * 64;
+  return bytes;
+}
+
+RollupSnapshot ShardRegistry::snapshot() const {
+  RollupSnapshot snap;
+  snap.shards = 1;
+  for (std::size_t k = 0; k < counter_names_.size(); ++k) {
+    snap.counters.emplace(counter_names_[k], counter_values_[k]);
+  }
+  for (std::size_t k = 0; k < gauge_names_.size(); ++k) {
+    snap.gauges.emplace(
+        gauge_names_[k],
+        RollupSnapshot::GaugeCell{gauge_values_[k], gauge_reductions_[k]});
+  }
+  for (std::size_t k = 0; k < sketch_names_.size(); ++k) {
+    snap.sketches.emplace(sketch_names_[k], sketch_values_[k]);
+  }
+  for (std::size_t k = 0; k < topk_names_.size(); ++k) {
+    snap.topks.emplace(topk_names_[k], topk_values_[k]);
+  }
+  return snap;
+}
+
+void ShardRegistry::clear() {
+  for (std::uint64_t& value : counter_values_) value = 0;
+  for (double& value : gauge_values_) value = 0.0;
+  for (Sketch& sketch : sketch_values_) sketch.clear();
+  for (TopK& topk : topk_values_) topk.clear();
+}
+
+RollupTree::RollupTree(int fanout) : fanout_(fanout) {
+  if (fanout_ < 2) {
+    throw std::invalid_argument("RollupTree: fanout must be >= 2");
+  }
+}
+
+void RollupTree::add(RollupSnapshot shard) {
+  shards_.push_back(std::move(shard));
+}
+
+RollupSnapshot RollupTree::global() const {
+  if (shards_.empty()) {
+    RollupSnapshot empty;
+    empty.shards = 0;
+    return empty;
+  }
+  // Reduce level by level in groups of `fanout_` — the hierarchy a
+  // region-of-regions deployment would materialize over the network.
+  std::vector<RollupSnapshot> level = shards_;
+  while (level.size() > 1) {
+    std::vector<RollupSnapshot> next;
+    next.reserve((level.size() + static_cast<std::size_t>(fanout_) - 1) /
+                 static_cast<std::size_t>(fanout_));
+    for (std::size_t base = 0; base < level.size();
+         base += static_cast<std::size_t>(fanout_)) {
+      RollupSnapshot group = std::move(level[base]);
+      const std::size_t stop =
+          std::min(level.size(), base + static_cast<std::size_t>(fanout_));
+      for (std::size_t k = base + 1; k < stop; ++k) {
+        group.merge(level[k]);
+      }
+      next.push_back(std::move(group));
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+}  // namespace bmp::obs

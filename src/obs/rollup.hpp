@@ -1,0 +1,196 @@
+// Sharded metric rollups — the observability layer the sharded /
+// hierarchical runtime sits on.
+//
+// A ShardRegistry is a per-shard (per event loop) metric registry with
+// *interned handles*: every series is registered once up front and
+// recorded through an index into a flat array — no string hashing or map
+// walk on the hot path (the per-sample cost runtime::MetricsRegistry
+// pays). Four series kinds:
+//   counters  monotone u64, merge by summation
+//   gauges    double with a *configured reduction* (sum / min / max — the
+//             commutative ones; "last write" deliberately doesn't exist
+//             here because it has no order-independent merge)
+//   sketches  obs::Sketch log-bucket histograms, merged bucket-wise
+//   topk      obs::TopK heavy-hitter summaries, merged by exact union
+//
+// snapshot() freezes a shard into a RollupSnapshot; RollupSnapshot::merge
+// folds two snapshots into one. Every merge is exact and commutative/
+// associative (integer sums, min/max, bucket sums, summary unions), so a
+// RollupTree can reduce S shards in any order, grouping, or parallel
+// shape and the global snapshot — and everything rendered from it
+// (to_metrics / to_json / exporters) — is byte-identical. That is the
+// contract bench_obs gates and the sharded-runtime design relies on:
+// telemetry cost is O(shards * series), never O(nodes * window).
+//
+// Snapshots serialize to a compact JSON (to_json / parse_rollup_json) so
+// shards can be rolled up offline: tools/obs_query merges N dumped shard
+// snapshots and answers quantile / heavy-hitter queries with no replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bmp/obs/sketch.hpp"
+#include "bmp/runtime/metrics.hpp"
+
+namespace bmp::obs {
+
+/// How a gauge folds across shards. Only commutative, associative
+/// reductions are offered — a rollup must not depend on merge order.
+enum class GaugeReduction { kSum, kMin, kMax };
+
+[[nodiscard]] const char* to_string(GaugeReduction reduction);
+
+/// A frozen shard (or a merge of several): the unit the rollup tree
+/// reduces and the obs_query CLI consumes.
+struct RollupSnapshot {
+  struct GaugeCell {
+    double value = 0.0;
+    GaugeReduction reduction = GaugeReduction::kMax;
+  };
+
+  int shards = 1;  ///< shard snapshots folded into this one
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeCell> gauges;
+  std::map<std::string, Sketch> sketches;
+  std::map<std::string, TopK> topks;
+
+  /// Exact fold: counters sum, gauges apply their reduction, sketches
+  /// merge bucket-wise, top-K summaries union. Commutative and
+  /// associative, so any merge tree over the same shard set yields a
+  /// byte-identical snapshot. Throws on conflicting series definitions
+  /// (same name, different reduction / sketch config / topk capacity).
+  void merge(const RollupSnapshot& other);
+
+  /// Flattens into the runtime's MetricsSnapshot form (the global view
+  /// the rest of the stack already renders): counters and gauges map
+  /// directly; each sketch becomes a HistogramStats whose quantiles carry
+  /// the sketch's alpha relative-error contract and whose cumulative
+  /// buckets are re-binned onto WindowedHistogram::kBucketBounds; each
+  /// top-K row lands as a counter named `<series>.<key>`.
+  [[nodiscard]] runtime::MetricsSnapshot to_metrics() const;
+
+  /// Human-readable rollup: counters/gauges, one summary line per sketch,
+  /// one table per top-K series. Deterministic.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Compact deterministic JSON (one object, fixed key order) — the
+  /// format parse_rollup_json() loads back losslessly.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+};
+
+/// Parses a RollupSnapshot::to_json() dump. Returns false on malformed
+/// input (out is left unspecified).
+bool parse_rollup_json(const std::string& text, RollupSnapshot& out);
+
+/// Folds shard snapshots left to right (any order gives the same bytes).
+[[nodiscard]] RollupSnapshot rollup(const std::vector<RollupSnapshot>& shards);
+
+/// Per-shard registry with interned handles. Single-threaded by design:
+/// one instance per shard event loop; cross-shard aggregation happens on
+/// frozen snapshots, never on live registries.
+class ShardRegistry {
+ public:
+  struct CounterHandle { std::size_t index = 0; };
+  struct GaugeHandle { std::size_t index = 0; };
+  struct SketchHandle { std::size_t index = 0; };
+  struct TopKHandle { std::size_t index = 0; };
+
+  /// Registration: idempotent per name (re-registering returns the same
+  /// handle; conflicting definitions throw). Register at setup time, then
+  /// record through the handle — the hot path is a bounds-unchecked array
+  /// index away from the counter.
+  CounterHandle counter(std::string_view name);
+  GaugeHandle gauge(std::string_view name,
+                    GaugeReduction reduction = GaugeReduction::kMax);
+  SketchHandle sketch(std::string_view name, SketchConfig config = {});
+  TopKHandle topk(std::string_view name, std::size_t capacity = 16);
+
+  void inc(CounterHandle h, std::uint64_t delta = 1) {
+    counter_values_[h.index] += delta;
+  }
+  void set_counter(CounterHandle h, std::uint64_t value) {
+    counter_values_[h.index] = value;
+  }
+  void set(GaugeHandle h, double value) { gauge_values_[h.index] = value; }
+  void observe(SketchHandle h, double value) {
+    sketch_values_[h.index].record(value);
+  }
+  void offer(TopKHandle h, std::string_view key, std::uint64_t weight = 1) {
+    topk_values_[h.index].offer(key, weight);
+  }
+
+  [[nodiscard]] std::uint64_t counter_value(CounterHandle h) const {
+    return counter_values_[h.index];
+  }
+  [[nodiscard]] double gauge_value(GaugeHandle h) const {
+    return gauge_values_[h.index];
+  }
+  [[nodiscard]] const Sketch& sketch_value(SketchHandle h) const {
+    return sketch_values_[h.index];
+  }
+  [[nodiscard]] const TopK& topk_value(TopKHandle h) const {
+    return topk_values_[h.index];
+  }
+
+  [[nodiscard]] std::size_t series() const {
+    return counter_names_.size() + gauge_names_.size() +
+           sketch_names_.size() + topk_names_.size();
+  }
+
+  /// Approximate heap footprint of the registry's telemetry state — the
+  /// number bench_obs audits for the O(shards * series) memory bound.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Freezes the shard into a mergeable snapshot (single-shard rollup).
+  [[nodiscard]] RollupSnapshot snapshot() const;
+
+  void clear();
+
+ private:
+  template <typename Handle>
+  Handle intern(std::string_view name, std::vector<std::string>& names,
+                std::map<std::string, std::size_t, std::less<>>& index);
+
+  std::map<std::string, std::size_t, std::less<>> counter_index_;
+  std::map<std::string, std::size_t, std::less<>> gauge_index_;
+  std::map<std::string, std::size_t, std::less<>> sketch_index_;
+  std::map<std::string, std::size_t, std::less<>> topk_index_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> sketch_names_;
+  std::vector<std::string> topk_names_;
+  std::vector<std::uint64_t> counter_values_;
+  std::vector<double> gauge_values_;
+  std::vector<GaugeReduction> gauge_reductions_;
+  std::vector<Sketch> sketch_values_;
+  std::vector<TopK> topk_values_;
+};
+
+/// Hierarchical reducer: shards fold into groups of `fanout`, groups fold
+/// into one global snapshot — the shape a region-of-regions runtime will
+/// produce. Because snapshot merge is exact and order-independent, the
+/// tree shape is a pure performance choice; global() is byte-identical to
+/// a flat left fold (a property the tests assert, not just assume).
+class RollupTree {
+ public:
+  explicit RollupTree(int fanout = 8);
+
+  void add(RollupSnapshot shard);
+  [[nodiscard]] std::size_t size() const { return shards_.size(); }
+
+  /// Reduces all added shards. Empty tree yields an empty snapshot with
+  /// shards = 0.
+  [[nodiscard]] RollupSnapshot global() const;
+
+ private:
+  int fanout_;
+  std::vector<RollupSnapshot> shards_;
+};
+
+}  // namespace bmp::obs

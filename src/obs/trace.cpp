@@ -39,8 +39,17 @@ std::string render_us(double value) {
   return buf;
 }
 
+bool needs_escape(char c) {
+  return c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20;
+}
+
 void append_escaped(std::string& out, const char* text) {
-  for (const char* p = text; *p != '\0'; ++p) {
+  // Fast path: event names, categories and arg keys are plain identifiers,
+  // so the whole string almost always appends in one piece.
+  const char* p = text;
+  while (*p != '\0' && !needs_escape(*p)) ++p;
+  out.append(text, static_cast<std::size_t>(p - text));
+  for (; *p != '\0'; ++p) {
     const char c = *p;
     switch (c) {
       case '"': out += "\\\""; break;
@@ -93,6 +102,7 @@ void TraceSink::append(Lane lane, char phase, const char* cat,
                        const char* name, double sim_time, double sim_duration,
                        double wall_us, std::initializer_list<TraceArg> args) {
   std::string rendered;
+  rendered.reserve(args.size() * 24);
   for (const auto& arg : args) {
     if (!rendered.empty()) rendered += ",";
     rendered += "\"";

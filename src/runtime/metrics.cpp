@@ -117,6 +117,30 @@ std::string MetricsSnapshot::to_string(bool include_timing) const {
   return out.str();
 }
 
+std::uint64_t* MetricsRegistry::counter_handle(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return &it->second;
+}
+
+double* MetricsRegistry::gauge_handle(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0.0).first;
+  }
+  return &it->second;
+}
+
+WindowedHistogram* MetricsRegistry::histogram_handle(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), WindowedHistogram()).first;
+  }
+  return &it->second;
+}
+
 void MetricsRegistry::inc(std::string_view name, std::uint64_t delta) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {

@@ -100,6 +100,17 @@ class MetricsRegistry {
     return name.substr(0, kTimingPrefix.size()) == kTimingPrefix;
   }
 
+  /// Interned hot-path handles: resolve a metric's storage cell once (at
+  /// setup) and bump it through the pointer thereafter — no per-sample
+  /// string compare / map walk. The registries are node-based maps, so the
+  /// pointers are stable across later registrations; the one hazard is
+  /// erase(): never intern a metric that can be erased (the per-channel
+  /// `channel.N.*` gauges), only fleet-wide series. Snapshots see handle
+  /// writes and named writes identically.
+  [[nodiscard]] std::uint64_t* counter_handle(std::string_view name);
+  [[nodiscard]] double* gauge_handle(std::string_view name);
+  [[nodiscard]] WindowedHistogram* histogram_handle(std::string_view name);
+
   void inc(std::string_view name, std::uint64_t delta = 1);
   /// Mirror an externally tracked monotonic count (e.g. broker totals).
   void set_counter(std::string_view name, std::uint64_t value);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -110,8 +111,33 @@ Runtime::Runtime(RuntimeConfig config, double source_bandwidth,
     nodes_.push_back(node);
   }
   alive_peers_ = static_cast<int>(initial_peers.size());
-  metrics_.set("population.alive", static_cast<double>(alive_peers_));
-  metrics_.set("channels.open", 0.0);
+  // These two gauges exist from construction, so their handles can be
+  // interned eagerly; everything else in hot_ resolves lazily on first
+  // use to keep snapshot contents identical to create-on-first-touch.
+  hot_.population_alive = metrics_.gauge_handle("population.alive");
+  hot_.channels_open = metrics_.gauge_handle("channels.open");
+  *hot_.population_alive = static_cast<double>(alive_peers_);
+  *hot_.channels_open = 0.0;
+  if (config_.telemetry != nullptr) {
+    // Scale-facing series, registered once; recording is an array index.
+    obs::ShardRegistry& shard = *config_.telemetry;
+    tel_.delivered = shard.counter("dataplane.delivered");
+    tel_.losses = shard.counter("dataplane.losses");
+    tel_.retransmits = shard.counter("dataplane.retransmits");
+    tel_.hol_stalls = shard.counter("dataplane.hol_stalls");
+    tel_.duplicates = shard.counter("dataplane.duplicates");
+    tel_.events = shard.counter("events.total");
+    tel_.alive = shard.gauge("population.alive", obs::GaugeReduction::kSum);
+    tel_.latency = shard.sketch("dataplane.chunk_latency");
+    tel_.sustained = shard.sketch("dataplane.sustained_ratio");
+    tel_.slo_worst = shard.sketch("slo.sustained_worst");
+    tel_.recovered = shard.sketch("control.recovered_ratio");
+    tel_.node_retransmits = shard.topk("hot.node_retransmits");
+    tel_.node_stalls = shard.topk("hot.node_stalls");
+    tel_.edge_retransmits = shard.topk("hot.edge_retransmits");
+    tel_.node_demotions = shard.topk("hot.node_demotion_weight");
+    shard.set(tel_.alive, static_cast<double>(alive_peers_));
+  }
 }
 
 void Runtime::run(const std::vector<Event>& events) {
@@ -189,20 +215,42 @@ void Runtime::step(const Event& event) {
     case EventType::kDegrade: on_degrade(event); break;
     case EventType::kFault: on_fault(event); break;
   }
-  metrics_.inc("events.total");
-  metrics_.inc(std::string("events.") + to_string(event.type));
+  // Interned hot-path counters: the names resolve to storage cells once
+  // (on first use, preserving create-on-first-touch snapshot contents) and
+  // every later event is a pointer bump, not a map walk.
+  if (hot_.events_total == nullptr) {
+    hot_.events_total = metrics_.counter_handle("events.total");
+  }
+  ++*hot_.events_total;
+  std::uint64_t*& by_type =
+      hot_.events_by_type[static_cast<std::size_t>(event.type)];
+  if (by_type == nullptr) {
+    by_type = metrics_.counter_handle(std::string("events.") +
+                                      to_string(event.type));
+  }
+  ++*by_type;
+  if (config_.telemetry != nullptr) config_.telemetry->inc(tel_.events);
   if (config_.profiler != nullptr) {
     config_.profiler->enter("runtime/step");
     config_.profiler->count("runtime/step", to_string(event.type));
   }
   // The broker is the single source of truth for admission accounting;
   // mirror its totals instead of double-counting at every call site.
-  metrics_.set_counter("broker.admitted", broker_.admissions());
-  metrics_.set_counter("broker.rejected", broker_.rejections());
-  metrics_.set_counter("broker.released", broker_.releases());
-  metrics_.set("broker.allocated", broker_.allocated());
-  metrics_.set("channels.open", static_cast<double>(channels_.size()));
-  metrics_.set("population.alive", static_cast<double>(alive_peers_));
+  if (hot_.broker_admitted == nullptr) {
+    hot_.broker_admitted = metrics_.counter_handle("broker.admitted");
+    hot_.broker_rejected = metrics_.counter_handle("broker.rejected");
+    hot_.broker_released = metrics_.counter_handle("broker.released");
+    hot_.broker_allocated = metrics_.gauge_handle("broker.allocated");
+  }
+  *hot_.broker_admitted = broker_.admissions();
+  *hot_.broker_rejected = broker_.rejections();
+  *hot_.broker_released = broker_.releases();
+  *hot_.broker_allocated = broker_.allocated();
+  *hot_.channels_open = static_cast<double>(channels_.size());
+  *hot_.population_alive = static_cast<double>(alive_peers_);
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->set(tel_.alive, static_cast<double>(alive_peers_));
+  }
   if (config_.dataplane.execute) {
     for (auto& [id, channel] : channels_) {
       export_dataplane_metrics(id, channel);
@@ -212,7 +260,11 @@ void Runtime::step(const Event& event) {
     const double us = std::chrono::duration<double, std::micro>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-    metrics_.observe("timing.event_loop_us", us);
+    if (hot_.timing_event_loop == nullptr) {
+      hot_.timing_event_loop =
+          metrics_.histogram_handle("timing.event_loop_us");
+    }
+    hot_.timing_event_loop->observe(us);
     if (config_.profiler != nullptr && config_.profiler->wall_time()) {
       config_.profiler->add_wall("runtime/step", us);
     }
@@ -994,7 +1046,11 @@ void Runtime::control_tick(double t) {
     const dataplane::Execution& exec = *channel.execution;
     const engine::Session& session = *channel.session;
     const double chunk = config_.dataplane.execution.chunk_size;
-    metrics_.inc("control.samples");
+    if (hot_.control_samples == nullptr) {
+      hot_.control_samples = metrics_.counter_handle("control.samples");
+    }
+    ++*hot_.control_samples;
+    if (config_.telemetry != nullptr) feed_edge_telemetry(channel, exec);
 
     control::TickInputs inputs;
     inputs.now = t;
@@ -1147,7 +1203,14 @@ void Runtime::control_tick(double t) {
       // per-event drain in export_dataplane_metrics — identical observation
       // sequence, just not deferred to the next event).
       for (const double latency : channel.execution->drain_latencies()) {
-        metrics_.observe("dataplane.chunk_latency", latency);
+        if (hot_.dp_chunk_latency == nullptr) {
+          hot_.dp_chunk_latency =
+              metrics_.histogram_handle("dataplane.chunk_latency");
+        }
+        hot_.dp_chunk_latency->observe(latency);
+        if (config_.telemetry != nullptr) {
+          config_.telemetry->observe(tel_.latency, latency);
+        }
         channel.slo->observe_latency(latency);
       }
       // Windowed sustained SLI: the worst judgeable node's delivered delta
@@ -1164,10 +1227,16 @@ void Runtime::control_tick(double t) {
         const Channel::SloSnapshot& base = channel.slo_history.front();
         const double promised = expected_total - base.expected;
         if (promised > 1e-12) {
+          // Both sides are sorted by node id, so the join is a linear
+          // two-pointer walk.
+          auto prev = base.delivered.begin();
           for (const control::NodeSample& sample : inputs.nodes) {
             if (!sample.judgeable) continue;
-            const auto prev = base.delivered.find(sample.id);
-            if (prev == base.delivered.end()) continue;
+            while (prev != base.delivered.end() && prev->first < sample.id) {
+              ++prev;
+            }
+            if (prev == base.delivered.end()) break;
+            if (prev->first != sample.id) continue;
             worst = std::min(worst,
                              (sample.delivered - prev->second) / promised);
           }
@@ -1176,8 +1245,9 @@ void Runtime::control_tick(double t) {
       channel.slo_expected_total = expected_total;
       Channel::SloSnapshot snap;
       snap.expected = expected_total;
+      snap.delivered.reserve(inputs.nodes.size());
       for (const control::NodeSample& sample : inputs.nodes) {
-        snap.delivered[sample.id] = sample.delivered;
+        snap.delivered.emplace_back(sample.id, sample.delivered);
       }
       channel.slo_history.push_back(std::move(snap));
       while (static_cast<int>(channel.slo_history.size()) > window_ticks) {
@@ -1191,6 +1261,9 @@ void Runtime::control_tick(double t) {
       metrics_.observe("slo.sustained_worst", worst);
       metrics_.inc("slo.pages", channel.slo->pages() - pages_before);
       metrics_.inc("slo.warns", channel.slo->warns() - warns_before);
+      if (config_.telemetry != nullptr) {
+        config_.telemetry->observe(tel_.slo_worst, worst);
+      }
     }
   }
   if (!crash_candidates.empty()) detect_crashes(crash_candidates, t);
@@ -1316,6 +1389,24 @@ void Runtime::apply_directive(int id, Channel& channel,
   if (rate_before > 0.0) {
     metrics_.observe("control.recovered_ratio",
                      outcome.achieved_rate / rate_before);
+    if (config_.telemetry != nullptr && outcome.achieved_rate >= 0.0) {
+      config_.telemetry->observe(tel_.recovered,
+                                 outcome.achieved_rate / rate_before);
+    }
+  }
+  if (config_.telemetry != nullptr) {
+    // Heavy-hitter view of the control plane: which nodes keep costing
+    // capacity. Weight = milli-units of capacity factor surrendered, so a
+    // node demoted 1.0 -> 0.25 outweighs ten 0.95 -> 0.90 nudges.
+    for (const control::Evidence& ev : directive.evidence) {
+      if (ev.node < 0 || std::strcmp(ev.action, "demote") != 0) continue;
+      const double drop = std::max(0.0, ev.factor_before - ev.factor_after);
+      config_.telemetry->offer(
+          tel_.node_demotions,
+          "node:" + config_.telemetry_node_prefix + std::to_string(ev.node),
+          std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(std::lround(drop * 1000.0))));
+    }
   }
   set_channel_gauges(id, channel);
   // The adapted overlay splices into the running stream — no restart; the
@@ -1466,25 +1557,94 @@ void Runtime::sync_execution(int id, Channel& channel) {
 void Runtime::export_dataplane_metrics(int id, Channel& channel) {
   if (!channel.execution) return;
   dataplane::Execution& exec = *channel.execution;
-  const auto delta = [this](const char* name, std::uint64_t current,
-                            std::uint64_t& seen) {
+  // Interned delta export: each dataplane counter's cell resolves once
+  // (lazily, on the first positive delta — so a run that never loses a
+  // chunk still never materializes dataplane.losses) and the telemetry
+  // shard mirrors the same delta through its O(1) handle.
+  const auto delta = [this](std::uint64_t*& slot, const char* name,
+                            obs::ShardRegistry::CounterHandle mirror,
+                            std::uint64_t current, std::uint64_t& seen) {
     if (current > seen) {
-      metrics_.inc(name, current - seen);
+      if (slot == nullptr) slot = metrics_.counter_handle(name);
+      *slot += current - seen;
+      if (config_.telemetry != nullptr) {
+        config_.telemetry->inc(mirror, current - seen);
+      }
       seen = current;
     }
   };
-  delta("dataplane.delivered", exec.delivered_chunks(), channel.seen_delivered);
-  delta("dataplane.losses", exec.losses(), channel.seen_losses);
-  delta("dataplane.retransmits", exec.retransmits(),
-        channel.seen_retransmits);
-  delta("dataplane.hol_stalls", exec.hol_stalls(), channel.seen_stalls);
-  delta("dataplane.duplicates", exec.duplicates(), channel.seen_duplicates);
+  delta(hot_.dp_delivered, "dataplane.delivered", tel_.delivered,
+        exec.delivered_chunks(), channel.seen_delivered);
+  delta(hot_.dp_losses, "dataplane.losses", tel_.losses, exec.losses(),
+        channel.seen_losses);
+  delta(hot_.dp_retransmits, "dataplane.retransmits", tel_.retransmits,
+        exec.retransmits(), channel.seen_retransmits);
+  delta(hot_.dp_hol_stalls, "dataplane.hol_stalls", tel_.hol_stalls,
+        exec.hol_stalls(), channel.seen_stalls);
+  delta(hot_.dp_duplicates, "dataplane.duplicates", tel_.duplicates,
+        exec.duplicates(), channel.seen_duplicates);
   for (const double latency : exec.drain_latencies()) {
-    metrics_.observe("dataplane.chunk_latency", latency);
+    if (hot_.dp_chunk_latency == nullptr) {
+      hot_.dp_chunk_latency =
+          metrics_.histogram_handle("dataplane.chunk_latency");
+    }
+    hot_.dp_chunk_latency->observe(latency);
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->observe(tel_.latency, latency);
+    }
     if (channel.slo) channel.slo->observe_latency(latency);
   }
   metrics_.set(channel_metric(id, "dataplane.delivered"),
                static_cast<double>(exec.delivered_chunks()));
+}
+
+void Runtime::feed_edge_telemetry(Channel& channel,
+                                  const dataplane::Execution& exec) {
+  obs::ShardRegistry& shard = *config_.telemetry;
+  const std::string& prefix = config_.telemetry_node_prefix;
+  // This sweep runs at every control tick; both lookup structures are
+  // reused scratch, so the steady state allocates nothing.
+  std::vector<int>& rid_of_dp = rid_of_dp_scratch_;
+  rid_of_dp.clear();
+  for (const auto& [rid, dp] : channel.dp_of_node) {
+    const auto slot = static_cast<std::size_t>(dp);
+    if (slot >= rid_of_dp.size()) rid_of_dp.resize(slot + 1, -1);
+    rid_of_dp[slot] = rid;
+  }
+  const auto rid_of = [&](int dp) {
+    const auto slot = static_cast<std::size_t>(dp);
+    return dp >= 0 && slot < rid_of_dp.size() ? rid_of_dp[slot] : -1;
+  };
+  exec.edge_stats_into(edge_stats_scratch_);
+  for (const dataplane::EdgeStats& stats : edge_stats_scratch_) {
+    const int from_rid = rid_of(stats.from);
+    const int to_rid = rid_of(stats.to);
+    if (from_rid < 0 || to_rid < 0) continue;
+    auto& seen = channel.seen_edge_telemetry
+                     [static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(from_rid))
+                          << 32 |
+                      static_cast<std::uint32_t>(to_rid)];
+    // Pipes reset their counters when an overlay patch re-splices them; a
+    // counter below its watermark restarts the delta from zero.
+    const std::uint64_t lost_delta =
+        stats.lost >= seen.first ? stats.lost - seen.first : stats.lost;
+    const std::uint64_t stall_delta = stats.window_stalls >= seen.second
+                                          ? stats.window_stalls - seen.second
+                                          : stats.window_stalls;
+    seen = {stats.lost, stats.window_stalls};
+    if (lost_delta == 0 && stall_delta == 0) continue;
+    const std::string node_key =
+        "node:" + prefix + std::to_string(from_rid);
+    if (lost_delta > 0) {
+      shard.offer(tel_.edge_retransmits,
+                  "edge:" + prefix + std::to_string(from_rid) + "->" +
+                      std::to_string(to_rid),
+                  lost_delta);
+      shard.offer(tel_.node_retransmits, node_key, lost_delta);
+    }
+    if (stall_delta > 0) shard.offer(tel_.node_stalls, node_key, stall_delta);
+  }
 }
 
 StreamReport Runtime::finalize_stream(int id, Channel& channel) {
@@ -1551,6 +1711,13 @@ StreamReport Runtime::finalize_stream(int id, Channel& channel) {
   }
   metrics_.observe("dataplane.sustained_ratio", report.sustained_ratio);
   metrics_.observe("dataplane.achieved_rate", report.achieved_rate);
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->observe(tel_.sustained,
+                               std::max(0.0, report.sustained_ratio));
+    // Control-less runs never tick feed_edge_telemetry; the close-out
+    // sweep attributes whatever accumulated since the last boundary.
+    feed_edge_telemetry(channel, exec);
+  }
   metrics_.erase(channel_metric(id, "dataplane.delivered"));
   channel.execution.reset();
   return report;

@@ -30,6 +30,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "bmp/dataplane/execution.hpp"
 #include "bmp/engine/planner.hpp"
 #include "bmp/engine/session.hpp"
+#include "bmp/obs/rollup.hpp"
 #include "bmp/obs/slo.hpp"
 #include "bmp/runtime/capacity_broker.hpp"
 #include "bmp/runtime/event.hpp"
@@ -160,6 +162,20 @@ struct RuntimeConfig {
   /// delivered chunk into this sink — the critical-path analyzer's input
   /// (obs::analyze_critical_path). Non-owning; must outlive the runtime.
   obs::LineageSink* lineage = nullptr;
+  /// Sharded telemetry rollup (null = off): the runtime pre-registers its
+  /// scale-facing series here at construction — chunk-latency /
+  /// sustained-ratio / SLO sketches plus bounded top-K heavy-hitter tables
+  /// of the worst nodes and edges by retransmit, stall and demotion weight
+  /// — and records through interned O(1) handles, replacing any
+  /// record-everything-per-node series. One registry per shard (it is
+  /// single-threaded, like the runtime); shard snapshots roll up to a
+  /// byte-identical global obs::RollupSnapshot regardless of merge order
+  /// or planner thread count. Non-owning; must outlive the runtime.
+  obs::ShardRegistry* telemetry = nullptr;
+  /// Disambiguates node/edge heavy-hitter keys across shards (each shard
+  /// numbers its nodes from 0): keys render as
+  /// `node:<prefix><id>` / `edge:<prefix><from>-><to>`.
+  std::string telemetry_node_prefix;
 };
 
 /// One line of the runtime's churn audit trail: how a channel fared at one
@@ -323,7 +339,10 @@ class Runtime {
     /// last `slo_sustained_window` boundaries.
     struct SloSnapshot {
       double expected = 0.0;
-      std::map<int, double> delivered;
+      /// (node id, delivered) rows in ascending id order — built from the
+      /// already-sorted control samples, so the windowed comparison is a
+      /// two-pointer walk with no per-tick tree allocations.
+      std::vector<std::pair<int, double>> delivered;
     };
     std::deque<SloSnapshot> slo_history;
     double slo_expected_total = 0.0;
@@ -344,6 +363,13 @@ class Runtime {
     /// (the stale-telemetry guard's input) instead of leaking fresh data.
     std::map<int, control::NodeSample> last_node_sample;
     std::map<std::pair<int, int>, control::EdgeSample> last_edge_sample;
+    /// Heavy-hitter delta tracking (telemetry hook): last (lost,
+    /// window_stalls) seen per edge, keyed by packed runtime ids
+    /// (from << 32 | to). Hash map: looked up only, never iterated, so
+    /// the unordered layout cannot leak into the deterministic output.
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::uint64_t, std::uint64_t>>
+        seen_edge_telemetry;
     /// >= 0: the session wanted a full re-plan but the planner was down; it
     /// kept serving the incremental repair since this instant. Rebuilt
     /// through the planner when the outage ends.
@@ -395,6 +421,11 @@ class Runtime {
   /// added/removed, pipes spliced to the current overlay, emission paced at
   /// the verified current rate. Called after every session change.
   void sync_execution(int id, Channel& channel);
+  /// Telemetry hook: streams per-edge (lost, window_stall) deltas into the
+  /// shard registry's heavy-hitter tables. Called at every control tick
+  /// and at stream finalize (so control-less runs still attribute).
+  void feed_edge_telemetry(Channel& channel,
+                           const dataplane::Execution& exec);
   /// Exports the execution's counter deltas / latencies into dataplane.*.
   void export_dataplane_metrics(int id, Channel& channel);
   /// Lets the stream tail drain, reports, and releases the execution.
@@ -406,6 +437,50 @@ class Runtime {
   void set_channel_gauges(int id, const Channel& channel);
   [[nodiscard]] std::string channel_metric(int id, const char* what) const;
 
+  /// Interned hot-path metric cells (satellite of the telemetry-at-scale
+  /// work): the per-event metrics the loop used to reach through
+  /// string-keyed map lookups are resolved once — lazily, on first use, so
+  /// snapshot contents match the old create-on-first-touch behavior — and
+  /// bumped through stable pointers thereafter (MetricsRegistry handles).
+  /// None of these series is ever erase()d.
+  struct HotMetrics {
+    std::uint64_t* events_total = nullptr;
+    std::uint64_t* events_by_type[8] = {};
+    std::uint64_t* broker_admitted = nullptr;
+    std::uint64_t* broker_rejected = nullptr;
+    std::uint64_t* broker_released = nullptr;
+    double* broker_allocated = nullptr;
+    double* channels_open = nullptr;
+    double* population_alive = nullptr;
+    WindowedHistogram* timing_event_loop = nullptr;
+    std::uint64_t* dp_delivered = nullptr;
+    std::uint64_t* dp_losses = nullptr;
+    std::uint64_t* dp_retransmits = nullptr;
+    std::uint64_t* dp_hol_stalls = nullptr;
+    std::uint64_t* dp_duplicates = nullptr;
+    WindowedHistogram* dp_chunk_latency = nullptr;
+    std::uint64_t* control_samples = nullptr;
+  };
+  /// Shard-registry handles, registered at construction when
+  /// config_.telemetry is set (all O(1) to record through).
+  struct Telemetry {
+    obs::ShardRegistry::CounterHandle delivered;
+    obs::ShardRegistry::CounterHandle losses;
+    obs::ShardRegistry::CounterHandle retransmits;
+    obs::ShardRegistry::CounterHandle hol_stalls;
+    obs::ShardRegistry::CounterHandle duplicates;
+    obs::ShardRegistry::CounterHandle events;
+    obs::ShardRegistry::GaugeHandle alive;
+    obs::ShardRegistry::SketchHandle latency;
+    obs::ShardRegistry::SketchHandle sustained;
+    obs::ShardRegistry::SketchHandle slo_worst;
+    obs::ShardRegistry::SketchHandle recovered;
+    obs::ShardRegistry::TopKHandle node_retransmits;
+    obs::ShardRegistry::TopKHandle node_stalls;
+    obs::ShardRegistry::TopKHandle edge_retransmits;
+    obs::ShardRegistry::TopKHandle node_demotions;
+  };
+
   RuntimeConfig config_;
   /// Planner-failure injection target, wired into the planner's config
   /// (declared first: the planner copies the pointer at construction).
@@ -415,6 +490,8 @@ class Runtime {
   engine::Planner planner_;
   CapacityBroker broker_;
   MetricsRegistry metrics_;
+  HotMetrics hot_;
+  Telemetry tel_;
   std::vector<Node> nodes_;  // index = runtime node id, 0 = source
   int alive_peers_ = 0;
   std::map<int, Channel> channels_;  // ordered: deterministic event handling
@@ -424,6 +501,10 @@ class Runtime {
   std::vector<PendingOpen> pending_opens_;
   double now_ = 0.0;
   double dp_clock_ = 0.0;  ///< time every live execution has reached
+  /// Scratch buffers for the per-tick telemetry sweep
+  /// (feed_edge_telemetry): reused so the steady state allocates nothing.
+  std::vector<dataplane::EdgeStats> edge_stats_scratch_;
+  std::vector<int> rid_of_dp_scratch_;
   /// Sampling boundaries processed so far: boundary k + 1 sits at
   /// (k + 1) * sample_interval on the scenario clock (an integer counter,
   /// so the grid never accumulates floating-point drift).

@@ -11,6 +11,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -204,6 +206,122 @@ TEST(SloMonitor, LatencySliLabelsTheAlert) {
   EXPECT_GE(monitor.warns() + monitor.pages(), 1u);
   ASSERT_FALSE(monitor.alerts().empty());
   EXPECT_EQ(monitor.alerts()[0].sli, "latency_p99");
+}
+
+// ----------------------------------------------- chunk sampling (ISSUE 10)
+
+TEST(LineageSampling, GatesWholeChunkDags) {
+  obs::LineageConfig config;
+  config.sample_mod = 4;
+  obs::LineageSink sink(config);
+  // 64 chunks, each a two-hop chain 0 -> 1 -> 2.
+  for (int chunk = 0; chunk < 64; ++chunk) {
+    sink.record_emit(0, 0, chunk, 0.1 * chunk);
+    sink.record(make_hop(chunk, 0, 1, 0.1 * chunk + 0.1, 0.1 * chunk + 0.2));
+    sink.record(make_hop(chunk, 1, 2, 0.1 * chunk + 0.3, 0.1 * chunk + 0.4));
+  }
+  EXPECT_EQ(sink.recorded(), 128u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_GT(sink.sampled_out(), 0u);
+  EXPECT_EQ(sink.sampled_out() + sink.hops().size(), 128u);
+  // Whole-DAG property: a retained chunk keeps BOTH its hops (and its
+  // emission root, so the first hop's enqueue resolves to the emit time,
+  // not the start-time fallback).
+  std::map<int, int> hops_per_chunk;
+  for (const obs::HopRecord& hop : sink.hops()) ++hops_per_chunk[hop.chunk];
+  EXPECT_FALSE(hops_per_chunk.empty());
+  for (const auto& [chunk, count] : hops_per_chunk) {
+    EXPECT_EQ(count, 2) << "chunk " << chunk << " lost part of its DAG";
+    EXPECT_TRUE(sink.sampled(0, chunk));
+  }
+  for (const obs::HopRecord& hop : sink.hops()) {
+    if (hop.from == 0) {
+      EXPECT_DOUBLE_EQ(hop.enqueue, 0.1 * hop.chunk);
+    }
+  }
+  // Determinism: an identically configured sink fed the same stream dumps
+  // identical bytes.
+  obs::LineageSink replay(config);
+  for (int chunk = 0; chunk < 64; ++chunk) {
+    replay.record_emit(0, 0, chunk, 0.1 * chunk);
+    replay.record(make_hop(chunk, 0, 1, 0.1 * chunk + 0.1, 0.1 * chunk + 0.2));
+    replay.record(make_hop(chunk, 1, 2, 0.1 * chunk + 0.3, 0.1 * chunk + 0.4));
+  }
+  EXPECT_EQ(sink.to_json(), replay.to_json());
+}
+
+TEST(LineageSampling, AutoResampleBoundsMemoryDeterministically) {
+  obs::LineageConfig config;
+  config.auto_sample_target = 64;
+  obs::LineageSink sink(config);
+  for (int chunk = 0; chunk < 4000; ++chunk) {
+    sink.record_emit(0, 0, chunk, 0.001 * chunk);
+    sink.record(make_hop(chunk, 0, 1, 0.001 * chunk, 0.001 * chunk + 0.5));
+  }
+  // Memory stayed inside the budget and the factor tightened to a power of
+  // two > 1; nothing fell to the capacity drop counter.
+  EXPECT_LE(sink.hops().size(), 64u);
+  EXPECT_GT(sink.sample_mod(), 1u);
+  EXPECT_EQ(sink.sample_mod() & (sink.sample_mod() - 1), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.sampled_out() + sink.hops().size(), 4000u);
+
+  // The retained set is a pure function of the stream: a fresh sink
+  // configured directly with the final factor retains exactly the same
+  // hops (auto-resampling only decided the factor, not the membership).
+  obs::LineageConfig fixed;
+  fixed.sample_mod = sink.sample_mod();
+  obs::LineageSink direct(fixed);
+  for (int chunk = 0; chunk < 4000; ++chunk) {
+    direct.record_emit(0, 0, chunk, 0.001 * chunk);
+    direct.record(make_hop(chunk, 0, 1, 0.001 * chunk, 0.001 * chunk + 0.5));
+  }
+  EXPECT_EQ(sink.to_json(), direct.to_json());
+}
+
+TEST(LineageSampling, DumpCarriesFactorAndParsesBack) {
+  obs::LineageConfig config;
+  config.sample_mod = 8;
+  obs::LineageSink sink(config);
+  for (int chunk = 0; chunk < 256; ++chunk) {
+    sink.record(make_hop(chunk, 0, 1, 1.0, 2.0));
+  }
+  std::vector<obs::HopRecord> hops;
+  std::uint64_t dropped = 1;
+  std::uint64_t sampled_out = 0;
+  std::uint32_t sample_mod = 0;
+  ASSERT_TRUE(obs::parse_lineage_json(sink.to_json(), hops, dropped,
+                                      sampled_out, sample_mod));
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(sample_mod, 8u);
+  EXPECT_EQ(sampled_out, sink.sampled_out());
+  EXPECT_EQ(hops.size(), sink.hops().size());
+
+  // The blame table carries the factor as an annotation in both renders.
+  const obs::BlameTable table =
+      obs::analyze_critical_path(hops, -1, 10, sample_mod);
+  EXPECT_EQ(table.sample_mod, 8u);
+  EXPECT_NE(table.to_json().find("\"sample_mod\":8"), std::string::npos);
+  EXPECT_NE(table.to_text().find("1-in-8 chunk sample"), std::string::npos);
+
+  // Pre-sampling dumps (no sample fields) still load, as factor 1.
+  const std::string legacy =
+      "{\"dropped\":3,\"hops\":[\n"
+      "{\"chunk\":0,\"from\":0,\"to\":1,\"channel\":0,\"enqueue\":1,"
+      "\"start\":1,\"finish\":2,\"retransmits\":0,\"loss_time\":0,"
+      "\"hol\":0,\"overtake\":0}\n]}\n";
+  ASSERT_TRUE(obs::parse_lineage_json(legacy, hops, dropped, sampled_out,
+                                      sample_mod));
+  EXPECT_EQ(dropped, 3u);
+  EXPECT_EQ(sample_mod, 1u);
+  EXPECT_EQ(sampled_out, 0u);
+  ASSERT_EQ(hops.size(), 1u);
+}
+
+TEST(LineageSampling, RejectsNonPowerOfTwoFactor) {
+  obs::LineageConfig config;
+  config.sample_mod = 3;
+  EXPECT_THROW(obs::LineageSink bad(config), std::invalid_argument);
 }
 
 // ---------------------------------------- closed-loop acceptance (ISSUE 9)

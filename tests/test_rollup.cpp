@@ -1,0 +1,375 @@
+// Sharded rollup tests (ISSUE 10): ShardRegistry handle registration and
+// recording, the exact commutative/associative snapshot merge (byte-level
+// JSON identity for every shard order and every RollupTree shape), the
+// lossless snapshot JSON round-trip, the MetricsSnapshot flattening, the
+// Prometheus/JSON exporter goldens that document the sketch relative-error
+// contract — and the 500-node acceptance bar: the adaptive brownout
+// scenario with telemetry on yields byte-identical rollups across planner
+// thread counts, sketch quantiles within alpha of the exact sorted
+// latencies, and order-independent two-shard merges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bmp/engine/planner.hpp"
+#include "bmp/obs/export.hpp"
+#include "bmp/obs/lineage.hpp"
+#include "bmp/obs/rollup.hpp"
+#include "bmp/runtime/runtime.hpp"
+#include "bmp/runtime/scenario.hpp"
+
+namespace bmp {
+namespace {
+
+// --------------------------------------------------------- registry units
+
+TEST(ShardRegistry, HandlesRecordIntoSnapshot) {
+  obs::ShardRegistry reg;
+  const auto delivered = reg.counter("dataplane.delivered");
+  const auto alive = reg.gauge("population.alive", obs::GaugeReduction::kSum);
+  const auto latency = reg.sketch("latency", obs::SketchConfig{0.01, 1e-9});
+  const auto worst = reg.topk("worst", 4);
+
+  reg.inc(delivered, 41);
+  reg.inc(delivered);
+  reg.set(alive, 500.0);
+  reg.observe(latency, 2.0);
+  reg.offer(worst, "node:7", 3);
+
+  EXPECT_EQ(reg.counter_value(delivered), 42u);
+  EXPECT_EQ(reg.gauge_value(alive), 500.0);
+  EXPECT_EQ(reg.sketch_value(latency).count(), 1u);
+  EXPECT_EQ(reg.topk_value(worst).total_weight(), 3u);
+  EXPECT_EQ(reg.series(), 4u);
+  EXPECT_GT(reg.memory_bytes(), 0u);
+
+  const obs::RollupSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.shards, 1);
+  EXPECT_EQ(snap.counters.at("dataplane.delivered"), 42u);
+  EXPECT_EQ(snap.gauges.at("population.alive").value, 500.0);
+  EXPECT_EQ(snap.sketches.at("latency").count(), 1u);
+  EXPECT_EQ(snap.topks.at("worst").top(1).at(0).key, "node:7");
+}
+
+TEST(ShardRegistry, RegistrationIsIdempotentAndConflictsThrow) {
+  obs::ShardRegistry reg;
+  const auto a = reg.counter("c");
+  const auto b = reg.counter("c");
+  EXPECT_EQ(a.index, b.index);
+  reg.gauge("g", obs::GaugeReduction::kSum);
+  EXPECT_NO_THROW(reg.gauge("g", obs::GaugeReduction::kSum));
+  EXPECT_THROW(reg.gauge("g", obs::GaugeReduction::kMax),
+               std::invalid_argument);
+  reg.sketch("s", obs::SketchConfig{0.01, 1e-9});
+  EXPECT_THROW(reg.sketch("s", obs::SketchConfig{0.02, 1e-9}),
+               std::invalid_argument);
+  reg.topk("t", 8);
+  EXPECT_THROW(reg.topk("t", 16), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ merge units
+
+/// S shards with overlapping series and deterministic per-shard streams.
+std::vector<obs::RollupSnapshot> make_shards(int count) {
+  std::vector<obs::RollupSnapshot> shards;
+  for (int s = 0; s < count; ++s) {
+    obs::ShardRegistry reg;
+    const auto delivered = reg.counter("delivered");
+    const auto alive = reg.gauge("alive", obs::GaugeReduction::kSum);
+    const auto low = reg.gauge("low_water", obs::GaugeReduction::kMin);
+    const auto high = reg.gauge("high_water", obs::GaugeReduction::kMax);
+    const auto lat = reg.sketch("latency", obs::SketchConfig{0.01, 1e-9});
+    const auto worst = reg.topk("worst", 3);
+    reg.inc(delivered, static_cast<std::uint64_t>(100 + s));
+    reg.set(alive, 10.0 * (s + 1));
+    reg.set(low, 5.0 - s);
+    reg.set(high, 5.0 + s);
+    for (int k = 0; k < 200; ++k) {
+      reg.observe(lat, 0.001 * ((k * 37 + s * 101) % 997 + 1));
+    }
+    for (int k = 0; k < 50; ++k) {
+      reg.offer(worst, "n" + std::to_string((k * k + s) % 7));
+    }
+    shards.push_back(reg.snapshot());
+  }
+  return shards;
+}
+
+TEST(Rollup, MergeOrderAndTreeShapeAreByteIdentical) {
+  const std::vector<obs::RollupSnapshot> shards = make_shards(7);
+  const obs::RollupSnapshot forward = obs::rollup(shards);
+  EXPECT_EQ(forward.shards, 7);
+
+  std::vector<obs::RollupSnapshot> reversed(shards.rbegin(), shards.rend());
+  EXPECT_EQ(obs::rollup(reversed).to_json(), forward.to_json());
+
+  std::vector<obs::RollupSnapshot> rotated(shards.begin() + 3, shards.end());
+  rotated.insert(rotated.end(), shards.begin(), shards.begin() + 3);
+  EXPECT_EQ(obs::rollup(rotated).to_json(), forward.to_json());
+
+  for (const int fanout : {2, 3, 8}) {
+    obs::RollupTree tree(fanout);
+    for (const obs::RollupSnapshot& shard : shards) tree.add(shard);
+    EXPECT_EQ(tree.global().to_json(), forward.to_json())
+        << "fanout " << fanout;
+  }
+
+  // Reductions folded as configured.
+  EXPECT_EQ(forward.counters.at("delivered"), 100u * 7 + 21);
+  EXPECT_EQ(forward.gauges.at("alive").value, 10.0 * 28);
+  EXPECT_EQ(forward.gauges.at("low_water").value, -1.0);
+  EXPECT_EQ(forward.gauges.at("high_water").value, 11.0);
+}
+
+TEST(Rollup, MergeRejectsConflictingSeriesDefinitions) {
+  obs::ShardRegistry a;
+  a.gauge("g", obs::GaugeReduction::kSum);
+  obs::ShardRegistry b;
+  b.gauge("g", obs::GaugeReduction::kMax);
+  obs::RollupSnapshot left = a.snapshot();
+  EXPECT_THROW(left.merge(b.snapshot()), std::invalid_argument);
+}
+
+TEST(Rollup, JsonRoundTripIsLossless) {
+  // Round-trip both a single shard and a merged rollup whose top-K summary
+  // exceeds its streaming capacity — the case obs_query relies on.
+  const std::vector<obs::RollupSnapshot> shards = make_shards(5);
+  const obs::RollupSnapshot global = obs::rollup(shards);
+  for (const obs::RollupSnapshot* snap : {&shards[0], &global}) {
+    obs::RollupSnapshot parsed;
+    ASSERT_TRUE(obs::parse_rollup_json(snap->to_json(), parsed));
+    EXPECT_EQ(parsed.to_json(), snap->to_json());
+    // A reloaded snapshot merges like the original (offline == online).
+    obs::RollupSnapshot a = *snap;
+    a.merge(shards[1]);
+    parsed.merge(shards[1]);
+    EXPECT_EQ(parsed.to_json(), a.to_json());
+  }
+  obs::RollupSnapshot bad;
+  EXPECT_FALSE(obs::parse_rollup_json("{\"not\":\"a rollup\"}", bad));
+}
+
+TEST(Rollup, ToMetricsFlattensEverySeriesKind) {
+  obs::ShardRegistry reg;
+  const auto c = reg.counter("delivered");
+  const auto g = reg.gauge("alive", obs::GaugeReduction::kSum);
+  const auto s = reg.sketch("latency", obs::SketchConfig{0.01, 1e-9});
+  const auto t = reg.topk("worst", 4);
+  reg.inc(c, 9);
+  reg.set(g, 3.0);
+  reg.observe(s, 0.003);  // representative <= 0.005: first export bucket
+  reg.observe(s, 0.7);    // representative <= 1.0: eighth export bucket
+  reg.offer(t, "node:5", 6);
+
+  const runtime::MetricsSnapshot snap = reg.snapshot().to_metrics();
+  EXPECT_EQ(snap.counters.at("delivered"), 9u);
+  EXPECT_EQ(snap.gauges.at("alive"), 3.0);
+  // Top-K rows land as counters named <series>.<key>.
+  EXPECT_EQ(snap.counters.at("worst.node:5"), 6u);
+  // The sketch's log buckets re-bin onto the fixed export bounds
+  // cumulatively.
+  const runtime::HistogramStats& stats = snap.histograms.at("latency");
+  EXPECT_EQ(stats.count, 2u);
+  ASSERT_EQ(stats.buckets.size(),
+            runtime::WindowedHistogram::kBucketBounds.size());
+  EXPECT_EQ(stats.buckets[0], 1u);  // <= 0.005
+  EXPECT_EQ(stats.buckets[7], 2u);  // <= 1.0
+  EXPECT_EQ(stats.buckets.back(), 2u);
+}
+
+// -------------------------------------------------------- exporter goldens
+
+/// One observation of 1.0 in an alpha = 0.01 sketch: gamma = 1.01/0.99,
+/// the value lands in bucket 0 (range (gamma^-1, 1]) whose representative
+/// is 2/(gamma+1) = 0.99 — exactly the documented worst-case relative
+/// error: |0.99 - 1.0| = alpha * 1.0. The goldens below pin that rendering.
+obs::RollupSnapshot golden_snapshot() {
+  obs::ShardRegistry reg;
+  const auto c = reg.counter("events.total");
+  const auto g = reg.gauge("alive", obs::GaugeReduction::kSum);
+  const auto s = reg.sketch("latency", obs::SketchConfig{0.01, 1e-9});
+  const auto t = reg.topk("worst", 4);
+  reg.inc(c, 3);
+  reg.set(g, 2.0);
+  reg.observe(s, 1.0);
+  reg.offer(t, "node:1", 5);
+  reg.offer(t, "node:2", 2);
+  return reg.snapshot();
+}
+
+TEST(RollupExport, PrometheusGolden) {
+  const std::string expected =
+      "# TYPE bmp_events_total_total counter\n"
+      "bmp_events_total_total 3\n"
+      "# TYPE bmp_alive gauge\n"
+      "bmp_alive 2\n"
+      "# TYPE bmp_latency summary\n"
+      "bmp_latency{quantile=\"0.5\"} 0.99\n"
+      "bmp_latency{quantile=\"0.9\"} 0.99\n"
+      "bmp_latency{quantile=\"0.99\"} 0.99\n"
+      "bmp_latency_sum 0.99\n"
+      "bmp_latency_count 1\n"
+      "# TYPE bmp_latency_sketch histogram\n"
+      "bmp_latency_sketch_bucket{le=\"1\"} 1\n"
+      "bmp_latency_sketch_bucket{le=\"+Inf\"} 1\n"
+      "bmp_latency_sketch_sum 0.99\n"
+      "bmp_latency_sketch_count 1\n"
+      "# TYPE bmp_worst gauge\n"
+      "bmp_worst{key=\"node:1\"} 5\n"
+      "bmp_worst{key=\"node:2\"} 2\n";
+  EXPECT_EQ(obs::to_prometheus(golden_snapshot()), expected);
+}
+
+TEST(RollupExport, JsonGolden) {
+  const std::string expected =
+      "{\"shards\":1,\"counters\":{\"events.total\":3},"
+      "\"gauges\":{\"alive\":2},"
+      "\"sketches\":{\"latency\":{\"count\":1,\"sum\":0.99,\"min\":1,"
+      "\"max\":1,\"mean\":0.99,\"p50\":0.99,\"p90\":0.99,\"p99\":0.99,"
+      "\"alpha\":0.01}},"
+      "\"topk\":{\"worst\":[[\"node:1\",5,0],[\"node:2\",2,0]]}}";
+  EXPECT_EQ(obs::to_json(golden_snapshot()), expected);
+}
+
+// ------------------------------------- 500-node acceptance (ISSUE 10)
+
+/// The 500-node adaptive brownout scenario from the control/lineage
+/// acceptance tests: two peer classes behind a half-share channel, 10% of
+/// the nodes browned out 4x at t=3 for good.
+runtime::ScenarioScript telemetry_script(int peers, double horizon,
+                                         std::uint64_t seed) {
+  runtime::Scenario scenario(horizon, seed);
+  scenario.source(4000.0)
+      .population({peers * 3 / 5, 0.7, gen::Dist::kUnif100})
+      .population({peers * 2 / 5, 0.3, gen::Dist::kLogNormal1})
+      .channel({0.0, -1.0, 1.0, /*fraction=*/0.5});
+  runtime::BrownoutSpec brownout;
+  brownout.time = 3.0;
+  brownout.duration = -1.0;
+  brownout.fraction = 0.10;
+  brownout.capacity_factor = 0.25;
+  scenario.brownout(brownout);
+  return scenario.build();
+}
+
+double post_brownout_optimum(const runtime::ScenarioScript& script,
+                             double fraction) {
+  std::vector<char> browned(script.initial_peers.size() + 1, 0);
+  for (const runtime::Event& event : script.events) {
+    if (event.type != runtime::EventType::kDegrade) continue;
+    for (const runtime::Degradation& d : event.degrades) {
+      browned[static_cast<std::size_t>(d.node)] = 1;
+    }
+    break;
+  }
+  std::vector<double> open_bw;
+  std::vector<double> guarded_bw;
+  for (std::size_t k = 0; k < script.initial_peers.size(); ++k) {
+    const runtime::NodeSpec& peer = script.initial_peers[k];
+    const double eff =
+        peer.bandwidth * fraction * (browned[k + 1] ? 0.25 : 1.0);
+    (peer.guarded ? guarded_bw : open_bw).push_back(eff);
+  }
+  Instance effective(script.source_bandwidth * fraction, std::move(open_bw),
+                     std::move(guarded_bw));
+  return engine::Planner::plan_uncached(effective,
+                                        engine::Algorithm::kAcyclic, 0)
+      .throughput;
+}
+
+void run_with_telemetry(const runtime::ScenarioScript& script, double chunk,
+                        double horizon, std::size_t planner_threads,
+                        const std::string& prefix, obs::ShardRegistry& reg,
+                        obs::LineageSink* sink) {
+  runtime::RuntimeConfig config;
+  config.collect_timing = false;
+  config.broker_headroom = 0.05;
+  config.planner.threads = planner_threads;
+  config.dataplane.execute = true;
+  config.dataplane.execution.chunk_size = chunk;
+  config.dataplane.execution.receiver_window = 16;
+  config.control.enabled = true;
+  config.control.slo_enabled = true;
+  config.telemetry = &reg;
+  config.telemetry_node_prefix = prefix;
+  config.lineage = sink;
+  runtime::Runtime rt(config, script.source_bandwidth, script.initial_peers);
+  std::size_t next = 0;
+  while (next < script.events.size() && script.events[next].time <= horizon) {
+    rt.step(script.events[next++]);
+  }
+  runtime::Event marker;
+  marker.type = runtime::EventType::kNodeJoin;  // empty: clock only
+  marker.time = horizon;
+  rt.step(marker);
+  EXPECT_TRUE(rt.validate().empty());
+  // The telemetry mirror agrees with the classic registry on the shared
+  // fleet-wide counter.
+  EXPECT_EQ(reg.snapshot().counters.at("dataplane.delivered"),
+            rt.metrics().counter("dataplane.delivered"));
+}
+
+TEST(RollupAcceptance, FiveHundredNodeScenarioTelemetry) {
+  const runtime::ScenarioScript script = telemetry_script(500, 24.0, 2026);
+  const double optimum = post_brownout_optimum(script, 0.5);
+  ASSERT_GT(optimum, 0.0);
+  const double chunk = optimum / 40.0;
+
+  obs::LineageSink sink;
+  obs::ShardRegistry one;
+  obs::ShardRegistry four;
+  run_with_telemetry(script, chunk, 24.0, 1, "a:", one, &sink);
+  run_with_telemetry(script, chunk, 24.0, 4, "a:", four, nullptr);
+
+  const obs::RollupSnapshot snap_one = one.snapshot();
+  const obs::RollupSnapshot snap_four = four.snapshot();
+  EXPECT_GT(snap_one.counters.at("dataplane.delivered"), 0u);
+  EXPECT_GT(snap_one.sketches.at("dataplane.chunk_latency").count(), 0u);
+
+  // Byte-identity across planner thread counts: the rolled-up telemetry is
+  // part of the determinism contract, like the lineage dump before it.
+  EXPECT_EQ(snap_one.to_json(), snap_four.to_json());
+
+  // Quantile relative error vs an exact sort of the scenario's per-hop
+  // delivery delays: feed the exact multiset into a fresh sketch and
+  // compare against the sorted truth at the exported quantiles.
+  std::vector<double> delays;
+  for (const obs::HopRecord& hop : sink.hops()) {
+    delays.push_back(hop.finish - hop.enqueue);
+  }
+  ASSERT_GT(delays.size(), 1000u);
+  obs::Sketch sketch(obs::SketchConfig{0.01, 1e-9});
+  for (const double d : delays) sketch.record(d);
+  std::sort(delays.begin(), delays.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(delays.size())));
+    const double exact = delays[rank == 0 ? 0 : rank - 1];
+    EXPECT_LE(std::fabs(sketch.quantile(q) - exact), 0.01 * exact + 1e-12)
+        << "q=" << q;
+  }
+
+  // A second shard (different node prefix, same workload) merges into the
+  // global snapshot identically from either side, flat or tree-shaped.
+  obs::ShardRegistry other;
+  run_with_telemetry(script, chunk, 24.0, 1, "b:", other, nullptr);
+  const obs::RollupSnapshot snap_other = other.snapshot();
+  obs::RollupSnapshot ab = snap_one;
+  ab.merge(snap_other);
+  obs::RollupSnapshot ba = snap_other;
+  ba.merge(snap_one);
+  EXPECT_EQ(ab.shards, 2);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+  obs::RollupTree tree(2);
+  tree.add(snap_one);
+  tree.add(snap_other);
+  EXPECT_EQ(tree.global().to_json(), ab.to_json());
+}
+
+}  // namespace
+}  // namespace bmp

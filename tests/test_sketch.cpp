@@ -1,0 +1,283 @@
+// Sketch + TopK property tests (ISSUE 10): the DDSketch-style log-bucket
+// histogram's relative-error contract against exact sorted quantiles, the
+// lossless commutative/associative merge (byte-level bucket equality for
+// every merge order and grouping), the zero-bucket / negative-input edge
+// cases, and the space-saving heavy-hitter summary's overestimate
+// invariant, deterministic eviction, and order-independent union merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bmp/obs/sketch.hpp"
+
+namespace bmp {
+namespace {
+
+/// Deterministic pseudo-random stream (no <random> — the test must feed
+/// every platform the same values). Values span several decades, the range
+/// sketches exist for.
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 11;
+  }
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() % (1u << 24)) /
+           static_cast<double>(1u << 24);
+  }
+  /// Log-uniform over [1e-3, 1e3) — exercises ~6 decades of buckets.
+  double log_uniform() { return std::pow(10.0, uniform() * 6.0 - 3.0); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Nearest-rank quantile of a sorted non-empty vector — the exact
+/// statistic the sketch's contract is stated against.
+double exact_quantile(const std::vector<double>& sorted, double q) {
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+/// Byte-level equality of two sketches: same bucket store, same extrema.
+void expect_identical(const obs::Sketch& a, const obs::Sketch& b) {
+  EXPECT_EQ(a.bucket_offset(), b.bucket_offset());
+  EXPECT_EQ(a.counts(), b.counts());
+  EXPECT_EQ(a.zero_count(), b.zero_count());
+  EXPECT_EQ(a.count(), b.count());
+  // min/max merge exactly (no arithmetic), so bitwise equality holds.
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+// ------------------------------------------------------------ Sketch
+
+TEST(Sketch, QuantilesWithinRelativeErrorOfExactSort) {
+  const double alpha = 0.01;
+  obs::Sketch sketch(obs::SketchConfig{alpha, 1e-9});
+  Lcg rng(2026);
+  std::vector<double> values;
+  for (int k = 0; k < 20000; ++k) {
+    const double v = rng.log_uniform();
+    values.push_back(v);
+    sketch.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double exact = exact_quantile(values, q);
+    const double approx = sketch.quantile(q);
+    // The documented contract: |v - x_q| <= alpha * x_q (tiny epsilon for
+    // the floating-point boundary computation itself).
+    EXPECT_LE(std::fabs(approx - exact), alpha * exact + 1e-12)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+  // Sum and mean reconstruct from bucket representatives under the same
+  // relative bound.
+  double exact_sum = 0.0;
+  for (const double v : values) exact_sum += v;
+  EXPECT_LE(std::fabs(sketch.sum() - exact_sum), alpha * exact_sum + 1e-9);
+  EXPECT_EQ(sketch.count(), values.size());
+}
+
+TEST(Sketch, SubMinimumValuesCollapseIntoZeroBucket) {
+  obs::Sketch sketch(obs::SketchConfig{0.01, 1e-6});
+  sketch.record(0.0);
+  sketch.record(1e-9);   // below min_value
+  sketch.record(2.0);
+  EXPECT_EQ(sketch.zero_count(), 2u);
+  EXPECT_EQ(sketch.count(), 3u);
+  // The zero bucket reads back as 0.0; the median here is a zero.
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_GT(sketch.quantile(1.0), 0.0);
+}
+
+TEST(Sketch, RejectsNegativeAndNonFinite) {
+  obs::Sketch sketch;
+  EXPECT_THROW(sketch.record(-1.0), std::invalid_argument);
+  EXPECT_THROW(sketch.record(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(sketch.record(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_EQ(sketch.count(), 0u);
+}
+
+TEST(Sketch, MergeEqualsSketchOfConcatenatedStream) {
+  Lcg rng(7);
+  obs::Sketch left;
+  obs::Sketch right;
+  obs::Sketch whole;
+  for (int k = 0; k < 5000; ++k) {
+    const double v = rng.log_uniform();
+    (k % 2 == 0 ? left : right).record(v);
+    whole.record(v);
+  }
+  left.merge(right);
+  expect_identical(left, whole);
+}
+
+TEST(Sketch, MergeIsCommutativeAndAssociative) {
+  Lcg rng(13);
+  std::vector<obs::Sketch> shards(3);
+  for (int k = 0; k < 3000; ++k) {
+    shards[static_cast<std::size_t>(k % 3)].record(rng.log_uniform());
+  }
+  // (a + b) + c
+  obs::Sketch abc = shards[0];
+  abc.merge(shards[1]);
+  abc.merge(shards[2]);
+  // a + (b + c)
+  obs::Sketch bc = shards[1];
+  bc.merge(shards[2]);
+  obs::Sketch a_bc = shards[0];
+  a_bc.merge(bc);
+  // (c + a) + b — a different order entirely
+  obs::Sketch cab = shards[2];
+  cab.merge(shards[0]);
+  cab.merge(shards[1]);
+  expect_identical(abc, a_bc);
+  expect_identical(abc, cab);
+}
+
+TEST(Sketch, MergeRejectsMismatchedConfigs) {
+  obs::Sketch coarse(obs::SketchConfig{0.05, 1e-9});
+  obs::Sketch fine(obs::SketchConfig{0.01, 1e-9});
+  EXPECT_THROW(coarse.merge(fine), std::invalid_argument);
+}
+
+TEST(Sketch, WeightedRecordMatchesRepeatedRecord) {
+  obs::Sketch weighted;
+  obs::Sketch repeated;
+  weighted.record(3.5, 7);
+  for (int k = 0; k < 7; ++k) repeated.record(3.5);
+  expect_identical(weighted, repeated);
+}
+
+// -------------------------------------------------------------- TopK
+
+TEST(TopK, ExactWhileUnderCapacity) {
+  obs::TopK top(8);
+  top.offer("a", 5);
+  top.offer("b", 3);
+  top.offer("a", 2);
+  const std::vector<obs::TopKEntry> rows = top.top();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, "a");
+  EXPECT_EQ(rows[0].count, 7u);
+  EXPECT_EQ(rows[0].error, 0u);  // no eviction happened: counts are exact
+  EXPECT_EQ(rows[1].key, "b");
+  EXPECT_EQ(top.total_weight(), 10u);
+}
+
+TEST(TopK, OverestimateInvariantUnderEviction) {
+  // Space-saving invariant: for every reported row,
+  //   true_count <= count  and  count - error <= true_count.
+  obs::TopK top(4);
+  Lcg rng(99);
+  std::map<std::string, std::uint64_t> truth;
+  for (int k = 0; k < 4000; ++k) {
+    // Heavy skew: every other offer hits "hot", the rest spread over 20
+    // cold keys — hot's true share (50%) dwarfs total/capacity (25%), the
+    // regime where space-saving guarantees the hitter stays tracked.
+    const std::string key =
+        k % 2 == 0 ? "hot" : "n" + std::to_string(rng.next() % 20);
+    top.offer(key);
+    ++truth[key];
+  }
+  for (const obs::TopKEntry& row : top.top()) {
+    const std::uint64_t exact = truth[row.key];
+    EXPECT_GE(row.count, exact) << row.key;
+    EXPECT_LE(row.count - row.error, exact) << row.key;
+  }
+  EXPECT_EQ(top.top(1).at(0).key, "hot");
+}
+
+TEST(TopK, EvictionVictimIsDeterministic) {
+  // Two equal-count candidates: the lexicographically smallest key is
+  // recycled, making the summary a pure function of the stream.
+  obs::TopK one(2);
+  obs::TopK two(2);
+  for (obs::TopK* top : {&one, &two}) {
+    top->offer("bb", 3);
+    top->offer("aa", 3);
+    top->offer("zz", 1);  // evicts "aa" (min count ties break on key)
+  }
+  const std::vector<obs::TopKEntry> rows = one.top();
+  ASSERT_EQ(rows.size(), 2u);
+  // "zz" inherited "aa"'s count of 3 as its overestimate, so it sorts
+  // first with count 4 / error 3; the space-saving invariant still brackets
+  // its true weight: 4 - 3 = 1 <= true(1) <= 4.
+  EXPECT_EQ(rows[0].key, "zz");
+  EXPECT_EQ(rows[0].count, 4u);
+  EXPECT_EQ(rows[0].error, 3u);
+  EXPECT_EQ(rows[1].key, "bb");
+  EXPECT_EQ(rows[1].count, 3u);
+  EXPECT_EQ(rows[1].error, 0u);
+  // Determinism: an identical stream gives an identical summary.
+  const std::vector<obs::TopKEntry> again = two.top();
+  ASSERT_EQ(again.size(), rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    EXPECT_EQ(again[k].key, rows[k].key);
+    EXPECT_EQ(again[k].count, rows[k].count);
+    EXPECT_EQ(again[k].error, rows[k].error);
+  }
+}
+
+TEST(TopK, MergeIsOrderIndependent) {
+  Lcg rng(5);
+  std::vector<obs::TopK> shards(4, obs::TopK(4));
+  for (int k = 0; k < 2000; ++k) {
+    const auto shard = static_cast<std::size_t>(k % 4);
+    const auto id = static_cast<int>(rng.next() % 32);
+    shards[shard].offer("n" + std::to_string(id * id / 40));
+  }
+  const auto fold = [&](const std::vector<std::size_t>& order) {
+    obs::TopK out(4);
+    for (const std::size_t s : order) out.merge(shards[s]);
+    return out;
+  };
+  const obs::TopK forward = fold({0, 1, 2, 3});
+  const obs::TopK reverse = fold({3, 2, 1, 0});
+  const obs::TopK shuffled = fold({2, 0, 3, 1});
+  const std::vector<obs::TopKEntry> expected = forward.top(forward.tracked());
+  for (const obs::TopK* other : {&reverse, &shuffled}) {
+    EXPECT_EQ(other->tracked(), forward.tracked());
+    EXPECT_EQ(other->total_weight(), forward.total_weight());
+    const std::vector<obs::TopKEntry> rows = other->top(other->tracked());
+    ASSERT_EQ(rows.size(), expected.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      EXPECT_EQ(rows[k].key, expected[k].key);
+      EXPECT_EQ(rows[k].count, expected[k].count);
+      EXPECT_EQ(rows[k].error, expected[k].error);
+    }
+  }
+  // Union semantics: the merge may track more than `capacity` keys
+  // (bounded by shards * capacity); truncation happens only at top(k).
+  EXPECT_LE(forward.tracked(), 4u * 4u);
+  EXPECT_LE(forward.top(4).size(), 4u);
+}
+
+TEST(TopK, TopOrderIsTotalEvenAmongTies) {
+  obs::TopK top(8);
+  top.offer("b", 5);
+  top.offer("a", 5);
+  top.offer("c", 5);
+  const std::vector<obs::TopKEntry> rows = top.top();
+  ASSERT_EQ(rows.size(), 3u);
+  // Equal count, equal error: key ascending decides.
+  EXPECT_EQ(rows[0].key, "a");
+  EXPECT_EQ(rows[1].key, "b");
+  EXPECT_EQ(rows[2].key, "c");
+}
+
+}  // namespace
+}  // namespace bmp

@@ -49,7 +49,10 @@ int main(int argc, char** argv) {
 
   std::vector<bmp::obs::HopRecord> hops;
   std::uint64_t dropped = 0;
-  if (!bmp::obs::parse_lineage_json(buffer.str(), hops, dropped)) {
+  std::uint64_t sampled_out = 0;
+  std::uint32_t sample_mod = 1;
+  if (!bmp::obs::parse_lineage_json(buffer.str(), hops, dropped, sampled_out,
+                                    sample_mod)) {
     std::cerr << "lineage_report: " << argv[1]
               << " is not a lineage dump (LineageSink::to_json format)\n";
     return 2;
@@ -65,8 +68,10 @@ int main(int argc, char** argv) {
   }
 
   const bmp::obs::BlameTable table =
-      bmp::obs::analyze_critical_path(hops, channel, top_n);
-  std::cout << "hops: " << hops.size() << " (dropped " << dropped << ")\n"
+      bmp::obs::analyze_critical_path(hops, channel, top_n, sample_mod);
+  std::cout << "hops: " << hops.size() << " (dropped " << dropped
+            << ", sampled out " << sampled_out << ", 1-in-" << sample_mod
+            << " chunk sample)\n"
             << table.to_text();
   if (const char* value = arg_value(argc, argv, "--json")) {
     std::ofstream out(value);
